@@ -1,0 +1,244 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation, plus the design-choice ablations. Each benchmark
+// regenerates its experiment end to end (model building, baseline and
+// DNNFusion compilation, device simulation) and reports the headline
+// quantity as a custom metric, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the entire evaluation and its key numbers in one run.
+package dnnfusion_test
+
+import (
+	"io"
+	"testing"
+
+	"dnnfusion/internal/baseline"
+	"dnnfusion/internal/bench"
+	"dnnfusion/internal/device"
+	"dnnfusion/internal/tuner"
+)
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := bench.NewContext()
+		rows := c.Table1()
+		b.ReportMetric(rows[0].SpeedGFLOPS, "VGG-GFLOPs/s")
+		b.ReportMetric(rows[len(rows)-1].SpeedGFLOPS, "GPT2-GFLOPs/s")
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		groups := bench.Table2()
+		total := 0
+		for _, g := range groups {
+			total += len(g.Operators)
+		}
+		b.ReportMetric(float64(total), "classified-ops")
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := bench.Table3()
+		b.ReportMetric(float64(len(m)*len(m[0])), "cells")
+	}
+}
+
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _ := bench.Table4()
+		var saved int64
+		for _, r := range rows {
+			saved += r.FLOPsBefore - r.FLOPsAfter
+		}
+		b.ReportMetric(float64(saved), "FLOPs-saved")
+	}
+}
+
+func BenchmarkTable5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := bench.NewContext()
+		rows := c.Table5()
+		var maxRate float64
+		for _, r := range rows {
+			rate := float64(r.Total) / float64(r.Fused[baseline.DNNF])
+			if rate > maxRate {
+				maxRate = rate
+			}
+		}
+		b.ReportMetric(maxRate, "max-fusion-rate")
+	}
+}
+
+func BenchmarkTable6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := bench.NewContext()
+		rows := c.Table6()
+		var maxSpeedup float64
+		for _, r := range rows {
+			if s := r.CPU[baseline.OurB] / r.CPU[baseline.DNNF]; s > maxSpeedup {
+				maxSpeedup = s
+			}
+		}
+		b.ReportMetric(maxSpeedup, "max-speedup-vs-OurB")
+	}
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := bench.NewContext()
+		rows := c.Figure6()
+		var maxS float64
+		for _, r := range rows {
+			if r.Speedup > maxS {
+				maxS = r.Speedup
+			}
+		}
+		b.ReportMetric(maxS, "max-speedup-vs-TASO")
+	}
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := bench.NewContext()
+		rows := c.Figure7()
+		var gpt2GPU float64
+		for _, r := range rows {
+			if r.Model == "GPT-2" && r.Device == "GPU" {
+				gpt2GPU = r.GRFuseOther
+			}
+		}
+		b.ReportMetric(gpt2GPU, "GPT2-GPU-speedup")
+	}
+}
+
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := bench.NewContext()
+		rows := c.Figure8()
+		var worst float64
+		for _, r := range rows {
+			if r.NormVsDNNF > worst {
+				worst = r.NormVsDNNF
+			}
+		}
+		b.ReportMetric(worst, "max-MA-vs-DNNF")
+	}
+}
+
+func BenchmarkFigure9a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := bench.NewContext()
+		rows := c.Figure9a()
+		for _, r := range rows {
+			if r.Framework == baseline.DNNF && r.Device == "CPU" {
+				b.ReportMetric(r.UtilizationPct, "DNNF-CPU-util-%")
+			}
+		}
+	}
+}
+
+func BenchmarkFigure9b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := bench.NewContext()
+		rows := c.Figure9b()
+		b.ReportMetric(rows[0].TuningMin, "TVM-tuning-min")
+		b.ReportMetric(rows[1].TuningMin+rows[1].ProfilingMin, "DNNF-cold-min")
+		b.ReportMetric(rows[2].TuningMin+rows[2].ProfilingMin, "DNNF-warm-min")
+	}
+}
+
+func BenchmarkFigure10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := bench.NewContext()
+		rows := c.Figure10()
+		b.ReportMetric(float64(len(rows)), "phone-model-framework-points")
+	}
+}
+
+// --- Ablation benchmarks (DESIGN.md §5) -------------------------------------
+
+func BenchmarkAblationSeedPolicy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := bench.NewContext()
+		rows := c.AblationSeedPolicy()
+		b.ReportMetric(rows[0].LatencyMs, "minIRS-ms")
+		b.ReportMetric(rows[2].LatencyMs, "noseed-ms")
+	}
+}
+
+func BenchmarkAblationConstraint(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := bench.NewContext()
+		rows := c.AblationConstraint()
+		b.ReportMetric(float64(len(rows)), "configs")
+	}
+}
+
+func BenchmarkAblationProfileDB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := bench.NewContext()
+		rows := c.AblationProfileDB()
+		// GPT-2 is where yellow decisions bite (rows come in model pairs).
+		b.ReportMetric(rows[4].LatencyMs, "GPT2-profiled-ms")
+		b.ReportMetric(rows[5].LatencyMs, "GPT2-optimistic-ms")
+	}
+}
+
+func BenchmarkAblationLayout(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := bench.NewContext()
+		rows := c.AblationLayout()
+		b.ReportMetric(rows[0].LatencyMs, "layout-on-ms")
+		b.ReportMetric(rows[1].LatencyMs, "layout-off-ms")
+	}
+}
+
+func BenchmarkAblationRewrite(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := bench.NewContext()
+		rows := c.AblationRewrite()
+		b.ReportMetric(rows[0].LatencyMs, "rewrite-on-ms")
+		b.ReportMetric(rows[1].LatencyMs, "rewrite-off-ms")
+	}
+}
+
+// --- Component micro-benchmarks ----------------------------------------------
+
+func BenchmarkCompileGPT2(b *testing.B) {
+	c := bench.NewContext()
+	g := c.Model("GPT-2")
+	_ = g
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx := bench.NewContext()
+		ctx.DNNF("GPT-2")
+	}
+}
+
+func BenchmarkTunerGA(b *testing.B) {
+	t := tuner.Task{M: 256, N: 1024, K: 512, Device: device.Snapdragon865CPU()}
+	for i := 0; i < b.N; i++ {
+		res := tuner.TuneGA(t, tuner.GAOptions{Seed: uint64(i + 1)})
+		b.ReportMetric(res.Score, "fitness")
+	}
+}
+
+func BenchmarkTunerRandom(b *testing.B) {
+	t := tuner.Task{M: 256, N: 1024, K: 512, Device: device.Snapdragon865CPU()}
+	for i := 0; i < b.N; i++ {
+		res := tuner.TuneRandom(t, 192, uint64(i+1))
+		b.ReportMetric(res.Score, "fitness")
+	}
+}
+
+// BenchmarkFullEvaluation regenerates every experiment, as cmd/dnnf-bench
+// does, writing to io.Discard.
+func BenchmarkFullEvaluation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := bench.NewContext()
+		c.PrintAll(io.Discard)
+	}
+}

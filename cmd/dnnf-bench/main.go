@@ -1,0 +1,86 @@
+// Command dnnf-bench regenerates the paper's tables and figures on the
+// simulated mobile devices.
+//
+// Usage:
+//
+//	dnnf-bench -e all
+//	dnnf-bench -e table5
+//	dnnf-bench -e fig7 -e fig9b
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dnnfusion/internal/bench"
+	"dnnfusion/internal/profile"
+)
+
+type list []string
+
+func (l *list) String() string     { return strings.Join(*l, ",") }
+func (l *list) Set(v string) error { *l = append(*l, v); return nil }
+
+func main() {
+	var experiments list
+	flag.Var(&experiments, "e", "experiment id (table1..table6, fig6..fig10, ablations, all); repeatable")
+	dbPath := flag.String("db", "", "profiling database path: loaded if present, saved on exit (accumulates across runs, §4.3)")
+	flag.Parse()
+	if len(experiments) == 0 {
+		experiments = list{"all"}
+	}
+
+	c := bench.NewContext()
+	if *dbPath != "" {
+		if db, err := profile.Load(*dbPath); err == nil {
+			c.ProfileDB = db
+			fmt.Fprintf(os.Stderr, "loaded profiling database: %d entries\n", db.Len())
+		}
+		defer func() {
+			if err := c.ProfileDB.Save(*dbPath); err != nil {
+				fmt.Fprintf(os.Stderr, "saving profiling database: %v\n", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "saved profiling database: %d entries\n", c.ProfileDB.Len())
+		}()
+	}
+	w := os.Stdout
+	for _, e := range experiments {
+		switch strings.ToLower(e) {
+		case "all":
+			c.PrintAll(w)
+		case "table1":
+			c.PrintTable1(w)
+		case "table2":
+			bench.PrintTable2(w)
+		case "table3":
+			bench.PrintTable3(w)
+		case "table4":
+			bench.PrintTable4(w)
+		case "table5":
+			c.PrintTable5(w)
+		case "table6":
+			c.PrintTable6(w)
+		case "fig6":
+			c.PrintFigure6(w)
+		case "fig7":
+			c.PrintFigure7(w)
+		case "fig8":
+			c.PrintFigure8(w)
+		case "fig9a":
+			c.PrintFigure9a(w)
+		case "fig9b":
+			c.PrintFigure9b(w)
+		case "fig10":
+			c.PrintFigure10(w)
+		case "ablations":
+			c.PrintAblations(w)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", e)
+			os.Exit(2)
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,101 @@
+// Command dnnf-compile compiles one of the evaluation models with the
+// DNNFusion pipeline and reports what the compiler did: rewriting
+// statistics, the fusion plan, generated kernels (optionally their source),
+// and simulated latency on the selected phone.
+//
+// Usage:
+//
+//	dnnf-compile -model GPT-2
+//	dnnf-compile -model YOLO-V4 -source -top 3
+//	dnnf-compile -model BERT-base -phone "Honor Magic 2"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"dnnfusion"
+	"dnnfusion/internal/device"
+)
+
+func main() {
+	model := flag.String("model", "GPT-2", "model name (see dnnfusion.ModelNames)")
+	phone := flag.String("phone", "Samsung Galaxy S20", "phone profile for simulation")
+	source := flag.Bool("source", false, "print generated kernel source for the largest blocks")
+	top := flag.Int("top", 5, "how many of the largest kernels to describe")
+	noRewrite := flag.Bool("no-rewrite", false, "disable graph rewriting")
+	noFusion := flag.Bool("no-fusion", false, "disable fusion (OurB)")
+	flag.Parse()
+
+	g, err := dnnfusion.BuildModel(*model)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(2)
+	}
+	var dev *dnnfusion.Device
+	var gpuDev *dnnfusion.Device
+	for _, p := range device.Phones() {
+		if p.Name == *phone {
+			dev, gpuDev = p.CPU, p.GPU
+		}
+	}
+	if dev == nil {
+		fmt.Fprintf(os.Stderr, "unknown phone %q\n", *phone)
+		os.Exit(2)
+	}
+
+	opts := dnnfusion.DefaultOptions()
+	opts.GraphRewrite = !*noRewrite
+	opts.Fusion = !*noFusion
+	opts.Device = dev
+	compiled, err := dnnfusion.Compile(g, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s: %d operators, %.1f GFLOPs, %.0f MB intermediates\n",
+		*model, len(g.Nodes), float64(g.FLOPs())/1e9, float64(g.IntermediateBytes())/1e6)
+	st := compiled.Stats
+	if opts.GraphRewrite {
+		fmt.Printf("rewriting: %d applications in %.1f ms (%d -> %d ops, %d -> %d FLOPs)\n",
+			st.RewriteApplied, st.RewriteMs,
+			st.RewriteStats.NodesBefore, st.RewriteStats.NodesAfter,
+			st.RewriteStats.FLOPsBefore, st.RewriteStats.FLOPsAfter)
+		for cat, n := range st.RewriteStats.ByCategory {
+			fmt.Printf("  %-16s %d\n", cat, n)
+		}
+	}
+	fmt.Printf("fusion: %d kernels in %.1f ms; %d green, %d yellow, %d broken (table %d / constraint %d / cycle %d / profile %d)\n",
+		compiled.FusedLayerCount(), st.FusionMs,
+		compiled.Plan.GreenFusions, compiled.Plan.YellowFusions,
+		compiled.Plan.BrokenByTable+compiled.Plan.BrokenByConstraint+compiled.Plan.BrokenByCycle+compiled.Plan.BrokenByProfile,
+		compiled.Plan.BrokenByTable, compiled.Plan.BrokenByConstraint,
+		compiled.Plan.BrokenByCycle, compiled.Plan.BrokenByProfile)
+
+	ks := compiled.Kernels
+	sort.Slice(ks, func(i, j int) bool { return ks[i].OpCount > ks[j].OpCount })
+	fmt.Printf("\nlargest %d kernels:\n", *top)
+	for i := 0; i < *top && i < len(ks); i++ {
+		k := ks[i]
+		fmt.Printf("  %s: %s (%d ops, %d FLOPs, layout %s)\n",
+			k.Name, k.Block, k.OpCount, k.FLOPs, k.Layout)
+		if *source {
+			fmt.Println(k.SourceCPU)
+		}
+	}
+
+	cpuRep, err := compiled.Simulate(dev)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gpuRep, err := compiled.Simulate(gpuDev)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsimulated latency on %s: CPU %.0f ms, GPU %.0f ms\n", *phone, cpuRep.LatencyMs, gpuRep.LatencyMs)
+	fmt.Printf("memory: %.0f MB accessed, %.0f MB peak\n",
+		float64(cpuRep.MemAccessBytes)/1e6, float64(cpuRep.PeakMemBytes)/1e6)
+}

@@ -1,0 +1,60 @@
+// Command dnnf-rules prints the compiler's static rule tables: the operator
+// classification (Table 2), the mapping-type combination matrix (Table 3),
+// the graph-rewriting rule catalogue (Table 4), and the 23 code-generation
+// rules per backend.
+//
+// Usage:
+//
+//	dnnf-rules -table 2
+//	dnnf-rules -table 3
+//	dnnf-rules -table 4
+//	dnnf-rules -codegen
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dnnfusion/internal/bench"
+	"dnnfusion/internal/codegen"
+	"dnnfusion/internal/rewrite"
+)
+
+func main() {
+	table := flag.Int("table", 0, "paper table to print (2, 3, or 4); 0 prints all")
+	cg := flag.Bool("codegen", false, "print the 23 code-generation rules per backend")
+	flag.Parse()
+
+	w := os.Stdout
+	switch {
+	case *cg:
+		for _, b := range []codegen.Backend{codegen.CPU, codegen.GPU} {
+			rules := codegen.RulesFor(b)
+			fmt.Fprintf(w, "%v backend: %d code-generation rules (one per non-red Table 3 cell)\n", b, len(rules))
+			for _, r := range rules {
+				fmt.Fprintf(w, "  %-14s + %-14s -> %-16s [%s]\n", r.First, r.Second, r.Strategy, r.Decision)
+			}
+			fmt.Fprintln(w)
+		}
+	case *table == 2:
+		bench.PrintTable2(w)
+	case *table == 3:
+		bench.PrintTable3(w)
+	case *table == 4:
+		bench.PrintTable4(w)
+		fmt.Fprintln(w, "\nfull rule catalogue (matchers and the equation forms they derive):")
+		for _, r := range rewrite.DefaultRules() {
+			fmt.Fprintf(w, "%-14s %s\n", r.Cat, r.Name)
+			for _, f := range r.Forms {
+				fmt.Fprintf(w, "    %s\n", f)
+			}
+		}
+	default:
+		bench.PrintTable2(w)
+		fmt.Fprintln(w)
+		bench.PrintTable3(w)
+		fmt.Fprintln(w)
+		bench.PrintTable4(w)
+	}
+}

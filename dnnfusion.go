@@ -1,0 +1,151 @@
+// Package dnnfusion is the public API of the DNNFusion reproduction: an
+// operator-fusion compiler for DNN inference (Niu et al., PLDI 2021,
+// "DNNFusion: Accelerating Deep Neural Networks Execution with Advanced
+// Operator Fusion") together with the substrates its evaluation needs — an
+// operator library, a graph IR, a graph-rewriting engine, fusion plan
+// exploration, fused-kernel code generation, a mobile-SoC simulator, the
+// baseline frameworks it is compared against, and the 15-model zoo.
+//
+// # Quick start
+//
+//	g := dnnfusion.NewGraph("mymodel")
+//	x := g.AddInput("x", dnnfusion.ShapeOf(1, 64))
+//	w := g.AddWeight("w", dnnfusion.Rand(64, 64))
+//	h := g.Apply1(dnnfusion.MatMul(), x, w)
+//	g.MarkOutput(g.Apply1(dnnfusion.Relu(), h))
+//
+//	compiled, err := dnnfusion.Compile(g, dnnfusion.DefaultOptions())
+//	outs, err := compiled.RunInputs(input)             // numeric execution
+//	report, err := compiled.Simulate(dnnfusion.SnapdragonCPU()) // device model
+//
+// See the examples/ directory for runnable programs and cmd/dnnf-bench for
+// the full evaluation harness.
+package dnnfusion
+
+import (
+	"dnnfusion/internal/core"
+	"dnnfusion/internal/device"
+	"dnnfusion/internal/engine"
+	"dnnfusion/internal/fusion"
+	"dnnfusion/internal/graph"
+	"dnnfusion/internal/models"
+	"dnnfusion/internal/ops"
+	"dnnfusion/internal/profile"
+	"dnnfusion/internal/tensor"
+)
+
+// Core graph and tensor types.
+type (
+	// Graph is a DNN computational graph.
+	Graph = graph.Graph
+	// Value is a tensor-valued edge of a Graph.
+	Value = graph.Value
+	// Tensor is a dense float32 tensor.
+	Tensor = tensor.Tensor
+	// Shape is a tensor shape.
+	Shape = tensor.Shape
+	// Operator is a DNN operator instance.
+	Operator = ops.Operator
+	// MappingType is the paper's operator classification (Table 2).
+	MappingType = ops.MappingType
+
+	// Options configures the compilation pipeline.
+	Options = core.Options
+	// Compiled is a compiled model: run it numerically or simulate it.
+	Compiled = core.Compiled
+	// Report is a simulated-inference report (latency, memory, cache).
+	Report = engine.Report
+	// Device is a simulated mobile CPU or GPU.
+	Device = device.Device
+	// ProfileDB is the profiling-result database of §4.3.
+	ProfileDB = profile.DB
+	// SeedPolicy selects the fusion planner's seed heuristic.
+	SeedPolicy = fusion.SeedPolicy
+)
+
+// NewGraph creates an empty computational graph.
+func NewGraph(name string) *Graph { return graph.New(name) }
+
+// ShapeOf builds a Shape from dimensions.
+func ShapeOf(dims ...int) Shape { return tensor.Of(dims...) }
+
+// NewTensor allocates a zero tensor.
+func NewTensor(dims ...int) *Tensor { return tensor.New(dims...) }
+
+// Rand allocates a tensor with deterministic pseudo-random values.
+func Rand(dims ...int) *Tensor { return tensor.New(dims...).Rand(uint64(len(dims)) + 42) }
+
+// FromSlice wraps data in a tensor of the given shape.
+func FromSlice(data []float32, dims ...int) *Tensor { return tensor.FromSlice(data, dims...) }
+
+// Compile runs the DNNFusion pipeline over g (the input graph is cloned,
+// never mutated).
+func Compile(g *Graph, opts Options) (*Compiled, error) { return core.Compile(g, opts) }
+
+// DefaultOptions is the full pipeline: graph rewriting, profile-driven
+// fusion, and the intra-/inter-block optimizations.
+func DefaultOptions() Options { return core.Defaults() }
+
+// NewProfileDB creates an empty profiling database; assign it to
+// Options.ProfileDB (with Options.Device) to enable profile-driven yellow
+// decisions that persist across compilations.
+func NewProfileDB() *ProfileDB { return profile.New() }
+
+// LoadProfileDB reads a database saved with (*ProfileDB).Save.
+func LoadProfileDB(path string) (*ProfileDB, error) { return profile.Load(path) }
+
+// Devices.
+func SnapdragonCPU() *Device { return device.Snapdragon865CPU() }
+func SnapdragonGPU() *Device { return device.Adreno650() }
+
+// Phones returns the paper's three evaluation handsets (Galaxy S20, Galaxy
+// S10, Honor Magic 2), each with a CPU and GPU profile.
+func Phones() []device.Phone { return device.Phones() }
+
+// BuildModel constructs one of the paper's 15 evaluation models by name
+// (see ModelNames).
+func BuildModel(name string) (*Graph, error) { return models.Build(name) }
+
+// ModelNames lists the evaluation models in Table 5 order.
+func ModelNames() []string { return models.Names() }
+
+// Interpret executes a graph with the reference (unfused) operator
+// implementations — the semantic ground truth fused execution is tested
+// against.
+func Interpret(g *Graph, feeds map[*Value]*Tensor) ([]*Tensor, error) {
+	return graph.InterpretOutputs(g, feeds)
+}
+
+// Operator constructors (a curated subset; the full set lives in
+// internal/ops and is re-exported here as needed by the public examples).
+func Add() Operator                    { return ops.NewAdd() }
+func Sub() Operator                    { return ops.NewSub() }
+func Mul() Operator                    { return ops.NewMul() }
+func Div() Operator                    { return ops.NewDiv() }
+func Relu() Operator                   { return ops.NewRelu() }
+func Sigmoid() Operator                { return ops.NewSigmoid() }
+func Tanh() Operator                   { return ops.NewTanh() }
+func Exp() Operator                    { return ops.NewExp() }
+func Sqrt() Operator                   { return ops.NewSqrt() }
+func Reciprocal() Operator             { return ops.NewReciprocal() }
+func Square() Operator                 { return ops.NewSquare() }
+func MatMul() Operator                 { return ops.NewMatMul() }
+func Softmax(axis int) Operator        { return ops.NewSoftmax(axis) }
+func Transpose(perm ...int) Operator   { return ops.NewTranspose(perm...) }
+func Reshape(dims ...int) Operator     { return ops.NewReshape(dims...) }
+func Concat(axis int) Operator         { return ops.NewConcat(axis) }
+func Conv(attrs ConvAttrs) Operator    { return ops.NewConv(attrs) }
+func MaxPool(attrs PoolAttrs) Operator { return ops.NewMaxPool(attrs) }
+func ReduceSum(keepDims bool, axes ...int) Operator {
+	return ops.NewReduce(ops.ReduceSum, keepDims, axes...)
+}
+func ReduceMean(keepDims bool, axes ...int) Operator {
+	return ops.NewReduce(ops.ReduceMean, keepDims, axes...)
+}
+func BatchNormalization(eps float32) Operator { return ops.NewBatchNormalization(eps) }
+
+// ConvAttrs and PoolAttrs configure convolutions and pooling.
+type (
+	ConvAttrs = ops.ConvAttrs
+	PoolAttrs = ops.PoolAttrs
+)

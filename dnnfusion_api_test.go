@@ -1,0 +1,125 @@
+// Public-API tests: the facade a downstream user sees, exercised the way
+// the README documents it.
+package dnnfusion_test
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"dnnfusion"
+)
+
+func buildPublicMLP(t *testing.T) *dnnfusion.Graph {
+	t.Helper()
+	g := dnnfusion.NewGraph("api-mlp")
+	x := g.AddInput("x", dnnfusion.ShapeOf(4, 16))
+	w1 := g.AddWeight("w1", dnnfusion.Rand(16, 32))
+	h := g.Apply1(dnnfusion.MatMul(), x, w1)
+	h = g.Apply1(dnnfusion.Relu(), h)
+	w2 := g.AddWeight("w2", dnnfusion.Rand(32, 8))
+	out := g.Apply1(dnnfusion.MatMul(), h, w2)
+	out = g.Apply1(dnnfusion.Softmax(-1), out)
+	g.MarkOutput(out)
+	return g
+}
+
+func TestPublicCompileRunSimulate(t *testing.T) {
+	g := buildPublicMLP(t)
+	compiled, err := dnnfusion.Compile(g, dnnfusion.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compiled.FusedLayerCount() >= len(g.Nodes) {
+		t.Errorf("no fusion: %d kernels for %d ops", compiled.FusedLayerCount(), len(g.Nodes))
+	}
+
+	input := dnnfusion.Rand(4, 16)
+	got, err := compiled.RunInputs(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := dnnfusion.Interpret(g, map[*dnnfusion.Value]*dnnfusion.Tensor{g.Inputs[0]: input})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want[0].Data() {
+		if math.Abs(float64(got[0].Data()[i]-want[0].Data()[i])) > 1e-4 {
+			t.Fatalf("public API execution diverges at %d", i)
+		}
+	}
+
+	for _, dev := range []*dnnfusion.Device{dnnfusion.SnapdragonCPU(), dnnfusion.SnapdragonGPU()} {
+		rep, err := compiled.Simulate(dev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.LatencyMs <= 0 || rep.Kernels != compiled.FusedLayerCount() {
+			t.Errorf("%s: bad report %+v", dev, rep)
+		}
+	}
+}
+
+func TestPublicModelZoo(t *testing.T) {
+	names := dnnfusion.ModelNames()
+	if len(names) != 15 {
+		t.Fatalf("model zoo has %d models, want 15", len(names))
+	}
+	g, err := dnnfusion.BuildModel("VGG-16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dnnfusion.BuildModel("not-a-model"); err == nil {
+		t.Error("unknown model should fail")
+	}
+	if len(dnnfusion.Phones()) != 3 {
+		t.Error("expected the paper's three phones")
+	}
+}
+
+func TestPublicProfileDBRoundTrip(t *testing.T) {
+	db := dnnfusion.NewProfileDB()
+	g := buildPublicMLP(t)
+	opts := dnnfusion.DefaultOptions()
+	opts.Device = dnnfusion.SnapdragonCPU()
+	opts.ProfileDB = db
+	if _, err := dnnfusion.Compile(g, opts); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "db.json")
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := dnnfusion.LoadProfileDB(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != db.Len() {
+		t.Errorf("round trip lost entries: %d vs %d", back.Len(), db.Len())
+	}
+}
+
+func TestPublicOptionsAblation(t *testing.T) {
+	g := buildPublicMLP(t)
+	full, err := dnnfusion.Compile(g, dnnfusion.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	none, err := dnnfusion.Compile(g, dnnfusion.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.FusedLayerCount() >= none.FusedLayerCount() {
+		t.Errorf("full pipeline (%d kernels) should fuse below no-pipeline (%d)",
+			full.FusedLayerCount(), none.FusedLayerCount())
+	}
+	cpu := dnnfusion.SnapdragonCPU()
+	rf, _ := full.Simulate(cpu)
+	rn, _ := none.Simulate(cpu)
+	if rf.LatencyMs >= rn.LatencyMs {
+		t.Errorf("full pipeline not faster: %v >= %v", rf.LatencyMs, rn.LatencyMs)
+	}
+}

@@ -1,0 +1,182 @@
+package baseline
+
+import (
+	"testing"
+
+	"dnnfusion/internal/graph"
+	"dnnfusion/internal/ops"
+	"dnnfusion/internal/tensor"
+)
+
+// buildConvNet: Conv -> BN -> Relu -> Conv -> Relu -> Add(residual) chain.
+func buildConvNet(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := graph.New("convnet")
+	x := g.AddInput("x", tensor.Of(1, 4, 8, 8))
+	w1 := g.AddWeight("w1", tensor.New(4, 4, 3, 3).Rand(1))
+	c1 := g.Apply1(ops.NewConv(ops.ConvAttrs{Pads: []int{1}}), x, w1)
+	bnS := g.AddWeight("s", tensor.Full(1, 4))
+	bnB := g.AddWeight("b", tensor.Full(0, 4))
+	bnM := g.AddWeight("m", tensor.Full(0, 4))
+	bnV := g.AddWeight("v", tensor.Full(1, 4))
+	bn := g.Apply1(ops.NewBatchNormalization(1e-5), c1, bnS, bnB, bnM, bnV)
+	r1 := g.Apply1(ops.NewRelu(), bn)
+	w2 := g.AddWeight("w2", tensor.New(4, 4, 3, 3).Rand(2))
+	c2 := g.Apply1(ops.NewConv(ops.ConvAttrs{Pads: []int{1}}), r1, w2)
+	r2 := g.Apply1(ops.NewRelu(), c2)
+	res := g.Apply1(ops.NewAdd(), r2, r1)
+	sig := g.Apply1(ops.NewSigmoid(), res)
+	mul := g.Apply1(ops.NewMul(), sig, res)
+	g.MarkOutput(mul)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("convnet invalid: %v", err)
+	}
+	return g
+}
+
+func TestOurBIsSingleton(t *testing.T) {
+	g := buildConvNet(t)
+	e, plan, err := Plan(OurB, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// BN folding still runs (every framework folds), so the plan has one
+	// block per surviving node.
+	if plan.FusedLayerCount() != len(e.G.Nodes) {
+		t.Errorf("OurB blocks = %d, nodes = %d", plan.FusedLayerCount(), len(e.G.Nodes))
+	}
+}
+
+func TestPatternFusersOrdering(t *testing.T) {
+	g := buildConvNet(t)
+	counts := map[Framework]int{}
+	for _, f := range []Framework{MNN, TVM, TFLite, Pytorch, OurB, OurBPlus} {
+		_, plan, err := Plan(f, g)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		counts[f] = plan.FusedLayerCount()
+	}
+	if counts[OurB] < counts[TVM] || counts[OurB] < counts[Pytorch] {
+		t.Errorf("OurB (no fusion) should have the most layers: %v", counts)
+	}
+	if counts[TVM] > counts[Pytorch] {
+		t.Errorf("TVM's richer patterns should fuse at least as much as Pytorch: %v", counts)
+	}
+	if counts[OurBPlus] != counts[TVM] {
+		t.Errorf("OurB+ uses TVM's pattern set: %v", counts)
+	}
+	for f, c := range counts {
+		if f == OurB {
+			continue
+		}
+		if c >= counts[OurB] {
+			t.Errorf("%s did not fuse anything: %d vs OurB %d", f, c, counts[OurB])
+		}
+	}
+}
+
+func TestPatternFuseSemanticsPreserved(t *testing.T) {
+	g := buildConvNet(t)
+	feeds := map[*graph.Value]*tensor.Tensor{g.Inputs[0]: tensor.NewOf(g.Inputs[0].Shape).Rand(3)}
+	want, err := graph.InterpretOutputs(g, feeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []Framework{MNN, TVM, TFLite, Pytorch, OurBPlus} {
+		e, plan, err := Plan(f, g)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		// The plan's graph is a clone; re-key the feeds by position.
+		cfeeds := map[*graph.Value]*tensor.Tensor{e.G.Inputs[0]: feeds[g.Inputs[0]]}
+		got, err := graph.InterpretOutputs(e.G, cfeeds)
+		if err != nil {
+			t.Fatalf("%s interpret: %v", f, err)
+		}
+		if !tensor.AllClose(got[0], want[0], 1e-3) {
+			t.Errorf("%s changed model semantics (max diff %g)",
+				f, tensor.MaxAbsDiff(got[0], want[0]))
+		}
+		_ = plan
+	}
+}
+
+func TestTVMFusesConvEpilogues(t *testing.T) {
+	g := buildConvNet(t)
+	e, plan, err := Plan(TVM, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After BN folding: Conv -> Relu must be one block.
+	for _, n := range e.G.Nodes {
+		if n.Op.Type() == "Conv" {
+			b := plan.BlockOf(n)
+			if b.Size() < 2 {
+				t.Errorf("TVM left Conv unfused: %v", b)
+			}
+		}
+	}
+}
+
+func TestQualityOrdering(t *testing.T) {
+	// OurB and friends share the best kernels; Pytorch's are the weakest.
+	if Quality(OurB) != 1.0 || Quality(DNNF) != 1.0 {
+		t.Error("our baselines must have quality 1.0")
+	}
+	for _, f := range []Framework{MNN, TVM, TFLite, Pytorch} {
+		if Quality(f) >= 1.0 {
+			t.Errorf("%s quality %v should be below OurB", f, Quality(f))
+		}
+	}
+	if Quality(Pytorch) >= Quality(MNN) {
+		t.Error("Pytorch-Mobile should have the weakest kernels")
+	}
+}
+
+func TestTASOOptimize(t *testing.T) {
+	// TASO substitutions simplify but do not fuse.
+	g := graph.New("taso")
+	x := g.AddInput("x", tensor.Of(4, 4))
+	v := g.Apply1(ops.NewNeg(), g.Apply1(ops.NewNeg(), x))
+	w1 := g.AddWeight("w1", tensor.New(4, 4).Rand(1))
+	w2 := g.AddWeight("w2", tensor.New(4, 4).Rand(2))
+	l := g.Apply1(ops.NewMatMul(), v, w1)
+	r := g.Apply1(ops.NewMatMul(), v, w2)
+	out := g.Apply1(ops.NewAdd(), l, r)
+	g.MarkOutput(out)
+	opt, st, err := TASOOptimize(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Applied == 0 {
+		t.Error("TASO applied no substitutions")
+	}
+	if len(opt.Nodes) >= len(g.Nodes) {
+		t.Errorf("TASO did not shrink the graph: %d -> %d", len(g.Nodes), len(opt.Nodes))
+	}
+	if len(g.Nodes) != 5 {
+		t.Errorf("original graph mutated: %d nodes", len(g.Nodes))
+	}
+}
+
+func TestSupportMatrix(t *testing.T) {
+	// DNNFusion is the only engine supporting everything (§5.2).
+	for _, m := range []string{"Faster R-CNN", "Mask R-CNN", "S3D", "GPT-2"} {
+		if s := Supports(DNNF, m); !s.CPU || !s.GPU {
+			t.Errorf("DNNF must support %s", m)
+		}
+	}
+	if s := Supports(MNN, "GPT-2"); s.CPU || s.GPU {
+		t.Error("MNN does not support GPT-2")
+	}
+	if s := Supports(TVM, "GPT-2"); s.CPU || !s.FusionCount {
+		t.Error("TVM: GPT-2 layer counts only (laptop build)")
+	}
+	if s := Supports(TFLite, "BERT-base"); !s.CPU || s.GPU {
+		t.Error("TFLite runs BERT-base on CPU only")
+	}
+	if s := Supports(Pytorch, "VGG-16"); !s.CPU || s.GPU {
+		t.Error("Pytorch-Mobile has no GPU support in the comparison")
+	}
+}

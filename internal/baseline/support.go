@@ -1,0 +1,73 @@
+package baseline
+
+// Model support matrices of the four frameworks, transcribed from the '-'
+// cells of Tables 5 and 6. DNNFusion, OurB and OurB+ support every model on
+// both CPU and GPU (the paper's central capability claim).
+
+// Support describes a framework's ability to run a model.
+type Support struct {
+	CPU bool // mobile CPU execution (Table 6)
+	GPU bool // mobile GPU execution (Table 6)
+	// FusionCount: layer counts are reported in Table 5 even when mobile
+	// execution is unsupported (TVM's transformer numbers come from a
+	// laptop build, marked † in the paper).
+	FusionCount bool
+}
+
+var supportMatrix = map[Framework]map[string]Support{
+	MNN: {
+		"EfficientNet-B0": {true, true, true},
+		"VGG-16":          {true, true, true},
+		"MobileNetV1-SSD": {true, true, true},
+		"YOLO-V4":         {true, true, true},
+		"C3D":             {true, false, true},
+		"U-Net":           {true, true, true},
+	},
+	TVM: {
+		"EfficientNet-B0": {true, true, true},
+		"VGG-16":          {true, true, true},
+		"MobileNetV1-SSD": {true, true, true},
+		"YOLO-V4":         {true, true, true},
+		"C3D":             {true, false, true},
+		"U-Net":           {true, true, true},
+		// Transformers: layer counts only (laptop build, † in Table 5).
+		"TinyBERT":   {false, false, true},
+		"DistilBERT": {false, false, true},
+		"ALBERT":     {false, false, true},
+		"BERT-base":  {false, false, true},
+		"MobileBERT": {false, false, true},
+		"GPT-2":      {false, false, true},
+	},
+	TFLite: {
+		"EfficientNet-B0": {true, true, true},
+		"VGG-16":          {true, true, true},
+		"MobileNetV1-SSD": {true, true, true},
+		"YOLO-V4":         {true, true, true},
+		"U-Net":           {true, true, true},
+		// Transformers run on mobile CPU only.
+		"TinyBERT":   {true, false, true},
+		"DistilBERT": {true, false, true},
+		"ALBERT":     {true, false, true},
+		"BERT-base":  {true, false, true},
+		"MobileBERT": {true, false, true},
+		"GPT-2":      {true, false, true},
+	},
+	Pytorch: {
+		"EfficientNet-B0": {true, false, true},
+		"VGG-16":          {true, false, true},
+		"MobileNetV1-SSD": {true, false, true},
+		"YOLO-V4":         {true, false, true},
+		"C3D":             {true, false, true},
+		"S3D":             {true, false, true},
+	},
+}
+
+// Supports reports whether the framework handles the model; OurB, OurB+ and
+// DNNF support everything.
+func Supports(f Framework, model string) Support {
+	switch f {
+	case OurB, OurBPlus, DNNF:
+		return Support{true, true, true}
+	}
+	return supportMatrix[f][model]
+}

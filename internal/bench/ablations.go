@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"dnnfusion/internal/core"
+	"dnnfusion/internal/device"
+	"dnnfusion/internal/fusion"
+)
+
+// Ablation benchmarks for the design choices DESIGN.md calls out. Each
+// returns rows comparing the paper's choice against alternatives on a
+// representative model set.
+
+// AblationRow compares one configuration against the paper's default.
+type AblationRow struct {
+	Model       string
+	Config      string
+	LatencyMs   float64
+	FusedLayers int
+}
+
+var ablationModels = []string{"EfficientNet-B0", "YOLO-V4", "GPT-2"}
+
+func (c *Context) ablate(model string, mutate func(*core.Options), label string) AblationRow {
+	opts := core.Defaults()
+	cpu := device.Snapdragon865CPU()
+	opts.Device = cpu
+	mutate(&opts)
+	comp, err := core.Compile(c.Model(model), opts)
+	if err != nil {
+		panic(err)
+	}
+	rep, err := comp.Simulate(cpu)
+	if err != nil {
+		panic(err)
+	}
+	return AblationRow{Model: model, Config: label, LatencyMs: rep.LatencyMs, FusedLayers: comp.FusedLayerCount()}
+}
+
+// AblationSeedPolicy compares the paper's min-IRS One-to-One seeding against
+// max-IRS and no seeding (§4.3 Step I).
+func (c *Context) AblationSeedPolicy() []AblationRow {
+	var rows []AblationRow
+	for _, m := range ablationModels {
+		rows = append(rows,
+			c.ablate(m, func(o *core.Options) { o.Seeds = fusion.SeedMinIRS }, "seed=min-IRS (paper)"),
+			c.ablate(m, func(o *core.Options) { o.Seeds = fusion.SeedMaxIRS }, "seed=max-IRS"),
+			c.ablate(m, func(o *core.Options) { o.Seeds = fusion.SeedNone }, "seed=none"),
+		)
+	}
+	return rows
+}
+
+// AblationConstraint sweeps the register-pressure constraint threshold
+// (Listing 1 step 2.2).
+func (c *Context) AblationConstraint() []AblationRow {
+	var rows []AblationRow
+	for _, m := range ablationModels {
+		for _, cap := range []int{2, 4, 8, 24, 48} {
+			capCopy := cap
+			rows = append(rows, c.ablate(m, func(o *core.Options) {
+				o.MaxBlockInputs = capCopy
+			}, "max-inputs="+itoa(capCopy)))
+		}
+	}
+	return rows
+}
+
+// AblationProfileDB compares yellow decisions resolved by the cost model
+// against optimistic acceptance (no profiling).
+func (c *Context) AblationProfileDB() []AblationRow {
+	var rows []AblationRow
+	for _, m := range ablationModels {
+		rows = append(rows,
+			c.ablate(m, func(o *core.Options) {}, "profiled yellow (paper)"),
+			c.ablate(m, func(o *core.Options) { o.Device = nil }, "optimistic yellow"),
+		)
+	}
+	return rows
+}
+
+// AblationLayout compares the dominant-operator layout selection (§4.4.2)
+// against no layout optimization.
+func (c *Context) AblationLayout() []AblationRow {
+	var rows []AblationRow
+	for _, m := range ablationModels {
+		rows = append(rows,
+			c.ablate(m, func(o *core.Options) { o.OtherOpt = true }, "layout=dominant-op (paper)"),
+			c.ablate(m, func(o *core.Options) { o.OtherOpt = false }, "layout=off"),
+		)
+	}
+	return rows
+}
+
+// AblationRewrite compares full rewriting against folding-only rewriting.
+func (c *Context) AblationRewrite() []AblationRow {
+	var rows []AblationRow
+	for _, m := range ablationModels {
+		rows = append(rows,
+			c.ablate(m, func(o *core.Options) { o.GraphRewrite = true }, "rewrite=full (paper)"),
+			c.ablate(m, func(o *core.Options) { o.GraphRewrite = false }, "rewrite=off"),
+		)
+	}
+	return rows
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

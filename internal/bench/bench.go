@@ -1,0 +1,183 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§5) on the simulated devices: Tables 1-6, Figures 6-10, and
+// the design-choice ablations called out in DESIGN.md. Each experiment has
+// a generator returning typed rows and a printer producing the same
+// rows/series the paper reports.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"dnnfusion/internal/baseline"
+	"dnnfusion/internal/codegen"
+	"dnnfusion/internal/core"
+	"dnnfusion/internal/device"
+	"dnnfusion/internal/ecg"
+	"dnnfusion/internal/engine"
+	"dnnfusion/internal/fusion"
+	"dnnfusion/internal/graph"
+	"dnnfusion/internal/models"
+	"dnnfusion/internal/profile"
+	"dnnfusion/internal/tuner"
+)
+
+// Context caches models, plans, compilations and the cross-model kernel
+// cache and profiling database, so the full evaluation suite runs in
+// seconds and mirrors the paper's amortized compilation setup.
+type Context struct {
+	KernelCache *codegen.Cache
+	ProfileDB   *profile.DB
+
+	graphs    map[string]*graph.Graph
+	baselines map[string]*baselinePlan
+	dnnf      map[string]*core.Compiled
+}
+
+type baselinePlan struct {
+	e    *ecg.ECG
+	plan *fusion.Plan
+}
+
+// NewContext creates a fresh evaluation context.
+func NewContext() *Context {
+	return &Context{
+		KernelCache: codegen.NewCache(),
+		ProfileDB:   profile.New(),
+		graphs:      map[string]*graph.Graph{},
+		baselines:   map[string]*baselinePlan{},
+		dnnf:        map[string]*core.Compiled{},
+	}
+}
+
+// Model returns (building and caching) the named model graph.
+func (c *Context) Model(name string) *graph.Graph {
+	if g, ok := c.graphs[name]; ok {
+		return g
+	}
+	g, err := models.Build(name)
+	if err != nil {
+		panic(err)
+	}
+	c.graphs[name] = g
+	return g
+}
+
+// Baseline returns the framework's optimized plan for the model.
+func (c *Context) Baseline(f baseline.Framework, model string) (*ecg.ECG, *fusion.Plan) {
+	key := string(f) + "/" + model
+	if bp, ok := c.baselines[key]; ok {
+		return bp.e, bp.plan
+	}
+	e, plan, err := baseline.Plan(f, c.Model(model))
+	if err != nil {
+		panic(fmt.Sprintf("baseline %s on %s: %v", f, model, err))
+	}
+	c.baselines[key] = &baselinePlan{e, plan}
+	return e, plan
+}
+
+// DNNF returns the full-pipeline compilation of the model (yellow decisions
+// resolved on the primary CPU through the shared profiling database).
+func (c *Context) DNNF(model string) *core.Compiled {
+	if comp, ok := c.dnnf[model]; ok {
+		return comp
+	}
+	opts := core.Defaults()
+	opts.Device = device.Snapdragon865CPU()
+	opts.ProfileDB = c.ProfileDB
+	opts.Cache = c.KernelCache
+	comp, err := core.Compile(c.Model(model), opts)
+	if err != nil {
+		panic(fmt.Sprintf("DNNF compile %s: %v", model, err))
+	}
+	c.dnnf[model] = comp
+	return comp
+}
+
+// SimulateFramework prices one inference of the model under the framework
+// on the device; ok is false when the framework does not support the model
+// on that device kind.
+func (c *Context) SimulateFramework(f baseline.Framework, model string, dev *device.Device) (*engine.Report, bool) {
+	sup := baseline.Supports(f, model)
+	if dev.Kind == device.CPU && !sup.CPU {
+		return nil, false
+	}
+	if dev.Kind == device.GPU && !sup.GPU {
+		return nil, false
+	}
+	if f == baseline.DNNF {
+		rep, err := c.DNNF(model).Simulate(dev)
+		if err != nil {
+			panic(err)
+		}
+		return rep, true
+	}
+	e, plan := c.Baseline(f, model)
+	rep, err := engine.Simulate(e, plan, dev, engine.Options{
+		// OurB+ shares DNNFusion's kernel library but not the §4.4.2
+		// optimizations; the four frameworks get their quality factors.
+		OtherOpt: false,
+		Quality:  baseline.Quality(f),
+	})
+	if err != nil {
+		panic(err)
+	}
+	return rep, true
+}
+
+// dnnfVariant compiles the model with a partial pipeline (Figure 7).
+func (c *Context) dnnfVariant(model string, gr, fuse, other bool) *core.Compiled {
+	opts := core.Options{GraphRewrite: gr, Fusion: fuse, OtherOpt: other}
+	opts.Device = device.Snapdragon865CPU()
+	opts.ProfileDB = c.ProfileDB
+	comp, err := core.Compile(c.Model(model), opts)
+	if err != nil {
+		panic(err)
+	}
+	return comp
+}
+
+// tuningTasks extracts the distinct heavy-kernel shapes of a graph — the
+// units the auto-tuner optimizes (Figure 9b's tuning cost driver).
+func tuningTasks(g *graph.Graph, dev *device.Device) []tuner.Task {
+	seen := map[[3]int]bool{}
+	var tasks []tuner.Task
+	add := func(m, n, k int) {
+		key := [3]int{m, n, k}
+		if m <= 0 || n <= 0 || k <= 0 || seen[key] {
+			return
+		}
+		seen[key] = true
+		tasks = append(tasks, tuner.Task{M: m, N: n, K: k, Device: dev})
+	}
+	for _, nd := range g.Nodes {
+		switch nd.Op.Type() {
+		case "Conv", "ConvTranspose":
+			out := nd.Outputs[0].Shape
+			w := nd.Inputs[1].Shape
+			spatial := 1
+			for _, d := range out[2:] {
+				spatial *= d
+			}
+			kdim := 1
+			for _, d := range w[1:] {
+				kdim *= d
+			}
+			add(out[1], spatial, kdim)
+		case "MatMul", "Gemm":
+			a, bShape := nd.Inputs[0].Shape, nd.Inputs[1].Shape
+			if a.Rank() >= 2 && bShape.Rank() >= 2 {
+				add(a[a.Rank()-2], bShape[bShape.Rank()-1], a[a.Rank()-1])
+			}
+		}
+	}
+	return tasks
+}
+
+// timeIt returns the wall-clock milliseconds of fn.
+func timeIt(fn func()) float64 {
+	start := time.Now()
+	fn()
+	return float64(time.Since(start).Microseconds()) / 1000
+}

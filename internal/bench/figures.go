@@ -1,0 +1,307 @@
+package bench
+
+import (
+	"dnnfusion/internal/baseline"
+	"dnnfusion/internal/core"
+	"dnnfusion/internal/device"
+	"dnnfusion/internal/engine"
+	"dnnfusion/internal/profile"
+	"dnnfusion/internal/tuner"
+)
+
+// --- Figure 6: speedup over TASO --------------------------------------------
+
+// Figure6Row is the DNNFusion-over-TASO speedup on the mobile CPU for one
+// of the eleven TFLite-supported models.
+type Figure6Row struct {
+	Model         string
+	TASOLatencyMs float64
+	DNNFLatencyMs float64
+	Speedup       float64
+}
+
+// fig6Models are the eleven models TFLite supports (Figure 6's x-axis).
+var fig6Models = []string{
+	"EfficientNet-B0", "VGG-16", "MobileNetV1-SSD", "YOLO-V4", "U-Net",
+	"TinyBERT", "DistilBERT", "ALBERT", "BERT-base", "MobileBERT", "GPT-2",
+}
+
+// Figure6 optimizes each model with the TASO-like substitution pass,
+// executes it under the TFLite engine on the CPU, and compares against
+// DNNFusion.
+func (c *Context) Figure6() []Figure6Row {
+	cpu := device.Snapdragon865CPU()
+	var rows []Figure6Row
+	for _, name := range fig6Models {
+		opt, _, err := baseline.TASOOptimize(c.Model(name))
+		if err != nil {
+			panic(err)
+		}
+		e, plan, err := baseline.Plan(baseline.TFLite, opt)
+		if err != nil {
+			panic(err)
+		}
+		rep, err := engine.Simulate(e, plan, cpu, engine.Options{Quality: baseline.Quality(baseline.TFLite)})
+		if err != nil {
+			panic(err)
+		}
+		dnnf, err := c.DNNF(name).Simulate(cpu)
+		if err != nil {
+			panic(err)
+		}
+		rows = append(rows, Figure6Row{
+			Model:         name,
+			TASOLatencyMs: rep.LatencyMs,
+			DNNFLatencyMs: dnnf.LatencyMs,
+			Speedup:       rep.LatencyMs / dnnf.LatencyMs,
+		})
+	}
+	return rows
+}
+
+// --- Figure 7: optimization breakdown ----------------------------------------
+
+// Figure7Row is the incremental speedup over OurB of the pipeline stages
+// for one model on one device.
+type Figure7Row struct {
+	Model  string
+	Device string
+	// Speedups over OurB: graph rewriting alone; + fusion; + other
+	// optimizations; and fusion+other without rewriting (the paper's
+	// orange bar isolating rewriting's contribution).
+	GR          float64
+	GRFuse      float64
+	GRFuseOther float64
+	FuseOther   float64
+	// FusedLayersWithGR / WithoutGR quantify the "18% fewer fused
+	// layers" effect of rewriting on fusion.
+	FusedLayersWithGR    int
+	FusedLayersWithoutGR int
+}
+
+var fig7Models = []string{"EfficientNet-B0", "YOLO-V4", "S3D", "GPT-2"}
+
+// Figure7 regenerates the optimization breakdown for both devices.
+func (c *Context) Figure7() []Figure7Row {
+	var rows []Figure7Row
+	for _, dev := range []*device.Device{device.Snapdragon865CPU(), device.Adreno650()} {
+		for _, name := range fig7Models {
+			sim := func(gr, fuse, other bool) (*engine.Report, int) {
+				comp := c.dnnfVariant(name, gr, fuse, other)
+				rep, err := comp.Simulate(dev)
+				if err != nil {
+					panic(err)
+				}
+				return rep, comp.FusedLayerCount()
+			}
+			base, _ := sim(false, false, false)
+			gr, _ := sim(true, false, false)
+			grFuse, fusedWith := sim(true, true, false)
+			grFuseOther, _ := sim(true, true, true)
+			fuseOther, fusedWithout := sim(false, true, true)
+			rows = append(rows, Figure7Row{
+				Model:                name,
+				Device:               dev.Kind.String(),
+				GR:                   base.LatencyMs / gr.LatencyMs,
+				GRFuse:               base.LatencyMs / grFuse.LatencyMs,
+				GRFuseOther:          base.LatencyMs / grFuseOther.LatencyMs,
+				FuseOther:            base.LatencyMs / fuseOther.LatencyMs,
+				FusedLayersWithGR:    fusedWith,
+				FusedLayersWithoutGR: fusedWithout,
+			})
+		}
+	}
+	return rows
+}
+
+// --- Figure 8: memory and cache ----------------------------------------------
+
+// Figure8Row holds memory and cache-miss counters for YOLO-V4 under one
+// framework, plus the same values normalized to DNNFusion.
+type Figure8Row struct {
+	Framework     baseline.Framework
+	Device        string
+	MemAccessMB   float64
+	MemConsumpMB  float64
+	CacheMisses   map[string]int64
+	TLBMisses     map[string]int64
+	NormVsDNNF    float64 // memory accesses normalized to DNNF
+	ConsumpVsDNNF float64
+}
+
+// Figure8 regenerates the memory/cache analysis on YOLO-V4.
+func (c *Context) Figure8() []Figure8Row {
+	const model = "YOLO-V4"
+	var rows []Figure8Row
+	for _, dev := range []*device.Device{device.Snapdragon865CPU(), device.Adreno650()} {
+		dnnf, _ := c.SimulateFramework(baseline.DNNF, model, dev)
+		order := []baseline.Framework{baseline.MNN, baseline.TVM, baseline.TFLite, baseline.Pytorch, baseline.DNNF}
+		for _, f := range order {
+			rep, ok := c.SimulateFramework(f, model, dev)
+			if !ok {
+				continue
+			}
+			rows = append(rows, Figure8Row{
+				Framework:     f,
+				Device:        dev.Kind.String(),
+				MemAccessMB:   float64(rep.MemAccessBytes) / 1e6,
+				MemConsumpMB:  float64(rep.PeakMemBytes) / 1e6,
+				CacheMisses:   rep.CacheMisses,
+				TLBMisses:     rep.TLBMisses,
+				NormVsDNNF:    float64(rep.MemAccessBytes) / float64(dnnf.MemAccessBytes),
+				ConsumpVsDNNF: float64(rep.PeakMemBytes) / float64(dnnf.PeakMemBytes),
+			})
+		}
+	}
+	return rows
+}
+
+// --- Figure 9a: utilization ---------------------------------------------------
+
+// Figure9aRow is device utilization under one framework on YOLO-V4.
+type Figure9aRow struct {
+	Framework      baseline.Framework
+	Device         string
+	UtilizationPct float64
+}
+
+// Figure9a regenerates the CPU/GPU utilization comparison.
+func (c *Context) Figure9a() []Figure9aRow {
+	const model = "YOLO-V4"
+	var rows []Figure9aRow
+	for _, dev := range []*device.Device{device.Snapdragon865CPU(), device.Adreno650()} {
+		for _, f := range []baseline.Framework{baseline.MNN, baseline.TVM, baseline.TFLite, baseline.Pytorch, baseline.DNNF} {
+			rep, ok := c.SimulateFramework(f, model, dev)
+			if !ok {
+				continue
+			}
+			rows = append(rows, Figure9aRow{f, dev.Kind.String(), rep.UtilizationPct})
+		}
+	}
+	return rows
+}
+
+// --- Figure 9b: compilation time ----------------------------------------------
+
+// Figure9bRow is the compilation-time breakdown of one configuration for
+// YOLO-V4 on the mobile CPU, in modeled minutes (the per-measurement and
+// per-trial costs are on-device constants; the counts are real).
+type Figure9bRow struct {
+	Config       string
+	FusionMin    float64
+	ProfilingMin float64
+	TuningMin    float64
+	// Counts backing the model.
+	ProfileEntries int
+	TuningTrials   int
+}
+
+// Per-unit on-device costs (seconds): one profiling measurement of an
+// operator combination, and one tuning trial (build + flash + run).
+const (
+	perProfileSec    = 5.0
+	perTrialSec      = 0.8
+	tvmTrialsPerTask = 800 // AutoTVM-style random search budget per task
+)
+
+// Figure9b regenerates the compilation-time comparison: TVM, DNNFusion
+// without a pre-existing profiling database, and DNNFusion with one.
+func (c *Context) Figure9b() []Figure9bRow {
+	const model = "YOLO-V4"
+	cpu := device.Snapdragon865CPU()
+	g := c.Model(model)
+	tasks := tuningTasks(g, cpu)
+
+	// TVM: pattern fusion (fast) + random-search tuning.
+	var tvmFusionMs float64
+	tvmFusionMs = timeIt(func() { _, _ = c.Baseline(baseline.TVM, model) })
+	tvmTrials := 0
+	for _, t := range tasks {
+		res := tuner.TuneRandom(t, tvmTrialsPerTask, 11)
+		tvmTrials += res.Trials
+	}
+
+	// DNNFusion without database: fusion + profiling (all misses) + GA tuning.
+	dnnfCompile := func(db *profile.DB) (fusionMs float64, misses int) {
+		opts := core.Defaults()
+		opts.Device = cpu
+		opts.ProfileDB = db
+		var comp *core.Compiled
+		fusionMs = timeIt(func() {
+			var err error
+			comp, err = core.Compile(g, opts)
+			if err != nil {
+				panic(err)
+			}
+		})
+		return fusionMs, comp.Stats.ProfileMisses
+	}
+	coldDB := profile.New()
+	fusionMsCold, misses := dnnfCompile(coldDB)
+	gaTrials := 0
+	for _, t := range tasks {
+		res := tuner.TuneGA(t, tuner.GAOptions{Seed: 11})
+		gaTrials += res.Trials
+	}
+
+	// DNNFusion with the (now warm) database.
+	fusionMsWarm, warmMisses := dnnfCompile(coldDB)
+
+	return []Figure9bRow{
+		{
+			Config:       "TVM",
+			FusionMin:    tvmFusionMs / 60000,
+			ProfilingMin: 0,
+			TuningMin:    float64(tvmTrials) * perTrialSec / 60,
+			TuningTrials: tvmTrials,
+		},
+		{
+			Config:         "DNNF (w/o db)",
+			FusionMin:      fusionMsCold / 60000,
+			ProfilingMin:   float64(misses) * perProfileSec / 60,
+			TuningMin:      float64(gaTrials) * perTrialSec / 60,
+			ProfileEntries: misses,
+			TuningTrials:   gaTrials,
+		},
+		{
+			Config:         "DNNF (w/ db)",
+			FusionMin:      fusionMsWarm / 60000,
+			ProfilingMin:   float64(warmMisses) * perProfileSec / 60,
+			TuningMin:      float64(gaTrials) * perTrialSec / 60,
+			ProfileEntries: warmMisses,
+			TuningTrials:   gaTrials,
+		},
+	}
+}
+
+// --- Figure 10: portability ----------------------------------------------------
+
+// Figure10Row is one model × phone × framework latency pair.
+type Figure10Row struct {
+	Phone     string
+	Model     string
+	Framework baseline.Framework
+	CPUms     float64 // -1 unsupported
+	GPUms     float64
+}
+
+// Figure10 regenerates the portability evaluation (YOLO-V4 and GPT-2 on the
+// Galaxy S10 and the Honor Magic 2).
+func (c *Context) Figure10() []Figure10Row {
+	var rows []Figure10Row
+	for _, phone := range device.Phones()[1:] { // S10 and Magic 2
+		for _, model := range []string{"YOLO-V4", "GPT-2"} {
+			for _, f := range []baseline.Framework{baseline.MNN, baseline.TVM, baseline.TFLite, baseline.Pytorch, baseline.DNNF} {
+				row := Figure10Row{Phone: phone.Name, Model: model, Framework: f, CPUms: -1, GPUms: -1}
+				if rep, ok := c.SimulateFramework(f, model, phone.CPU); ok {
+					row.CPUms = rep.LatencyMs
+				}
+				if rep, ok := c.SimulateFramework(f, model, phone.GPU); ok {
+					row.GPUms = rep.LatencyMs
+				}
+				rows = append(rows, row)
+			}
+		}
+	}
+	return rows
+}

@@ -1,0 +1,234 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"dnnfusion/internal/baseline"
+	"dnnfusion/internal/fusion"
+)
+
+// Printers render each experiment in the same shape the paper reports.
+
+func fmtMs(v float64) string {
+	if v < 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f", v)
+}
+
+func fmtCount(v int) string {
+	if v < 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+// PrintTable1 renders the motivating study.
+func (c *Context) PrintTable1(w io.Writer) {
+	fmt.Fprintln(w, "Table 1: computation, layer count and execution efficiency (Adreno 650, OurB+)")
+	fmt.Fprintf(w, "%-14s %8s %9s %8s %14s\n", "Model", "#Layers", "IR size", "#FLOPS", "Speed")
+	for _, r := range c.Table1() {
+		fmt.Fprintf(w, "%-14s %8d %8.0fM %7.1fB %12.0fG FLOPs/s\n",
+			r.Model, r.TotalLayers, r.IRSizeMB, r.GFLOPs, r.SpeedGFLOPS)
+	}
+}
+
+// PrintTable2 renders the operator classification.
+func PrintTable2(w io.Writer) {
+	fmt.Fprintln(w, "Table 2: classification of DNN operators in mapping types")
+	for _, g := range Table2() {
+		fmt.Fprintf(w, "%-14s (%2d ops) %s\n", g.Mapping, len(g.Operators), strings.Join(g.Operators, ", "))
+		if len(g.Representatives) > 0 {
+			fmt.Fprintf(w, "%-14s   representatives: %s\n", "", strings.Join(g.Representatives, ", "))
+		}
+	}
+}
+
+// PrintTable3 renders the combination matrix.
+func PrintTable3(w io.Writer) {
+	fmt.Fprintln(w, "Table 3: mapping type analysis (result / decision)")
+	matrix := Table3()
+	fmt.Fprintf(w, "%-14s", "first\\second")
+	for _, cell := range matrix[0] {
+		fmt.Fprintf(w, " %-14s", cell.Second)
+	}
+	fmt.Fprintln(w)
+	for _, row := range matrix {
+		fmt.Fprintf(w, "%-14s", row[0].First)
+		for _, cell := range row {
+			mark := map[fusion.Decision]string{
+				fusion.FuseThrough: "G", fusion.FuseDepend: "Y", fusion.FuseBreak: "R",
+			}[cell.Decision]
+			fmt.Fprintf(w, " %-12s %s", abbrevMapping(cell.Result), mark)
+		}
+		fmt.Fprintln(w)
+	}
+	g, y, r := fusion.TableCounts()
+	fmt.Fprintf(w, "colors: %d green (fuse), %d yellow (profile), %d red (break)\n", g, y, r)
+}
+
+func abbrevMapping(s fmt.Stringer) string {
+	return strings.ReplaceAll(s.String(), "-to-", "-")
+}
+
+// PrintTable4 renders the rewriting rules with measured FLOPs.
+func PrintTable4(w io.Writer) {
+	rows, census := Table4()
+	fmt.Fprintln(w, "Table 4: graph rewriting with mathematical properties (measured on 64x64 inputs)")
+	fmt.Fprintf(w, "%-13s %-38s %-30s %9s %9s\n", "Property", "Without rewriting", "With rewriting", "#FLOPs", "#FLOPs'")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-13s %-38s %-30s %9d %9d\n",
+			r.Property, r.Pattern, r.Rewritten, r.FLOPsBefore, r.FLOPsAfter)
+	}
+	fmt.Fprintln(w, "rule census (matchers / derived forms):")
+	for _, ce := range census {
+		fmt.Fprintf(w, "  %-14s %2d matchers, %2d forms\n", ce.Category, ce.Matchers, ce.Forms)
+	}
+}
+
+// PrintTable5 renders the fusion-rate evaluation.
+func (c *Context) PrintTable5(w io.Writer) {
+	fmt.Fprintln(w, "Table 5: fusion rate evaluation (layer counts before/after optimization)")
+	fmt.Fprintf(w, "%-16s %5s %5s %6s %8s | %6s %6s %6s %7s %6s | %9s %8s\n",
+		"Model", "#CIL", "#MIL", "#Total", "IRS", "MNN", "TVM", "TFLite", "Pytorch", "DNNF", "IRS after", "rate")
+	for _, r := range c.Table5() {
+		rate := float64(r.Total) / float64(r.Fused[baseline.DNNF])
+		fmt.Fprintf(w, "%-16s %5d %5d %6d %7.0fM | %6s %6s %6s %7s %6d | %8.0fM %7.1fx\n",
+			r.Model, r.CIL, r.MIL, r.Total, r.IRSMB,
+			fmtCount(r.Fused[baseline.MNN]), fmtCount(r.Fused[baseline.TVM]),
+			fmtCount(r.Fused[baseline.TFLite]), fmtCount(r.Fused[baseline.Pytorch]),
+			r.Fused[baseline.DNNF], r.IRSAfterMB, rate)
+	}
+}
+
+// PrintTable6 renders the latency comparison.
+func (c *Context) PrintTable6(w io.Writer) {
+	fmt.Fprintln(w, "Table 6: inference latency (ms) on Snapdragon 865 (CPU / GPU)")
+	fws := baseline.Frameworks()
+	fmt.Fprintf(w, "%-16s %7s %7s", "Model", "Params", "GFLOPs")
+	for _, f := range fws {
+		fmt.Fprintf(w, " %11s", f)
+	}
+	fmt.Fprintln(w)
+	for _, r := range c.Table6() {
+		fmt.Fprintf(w, "%-16s %6.0fM %7.1f", r.Model, r.ParamsM, r.GFLOPs)
+		for _, f := range fws {
+			fmt.Fprintf(w, " %5s/%-5s", fmtMs(r.CPU[f]), fmtMs(r.GPU[f]))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// PrintFigure6 renders the TASO comparison.
+func (c *Context) PrintFigure6(w io.Writer) {
+	fmt.Fprintln(w, "Figure 6: speedup over TASO-optimized execution (TFLite engine, mobile CPU)")
+	for _, r := range c.Figure6() {
+		fmt.Fprintf(w, "%-16s TASO %7.0fms  DNNF %7.0fms  speedup %.2fx\n",
+			r.Model, r.TASOLatencyMs, r.DNNFLatencyMs, r.Speedup)
+	}
+}
+
+// PrintFigure7 renders the optimization breakdown.
+func (c *Context) PrintFigure7(w io.Writer) {
+	fmt.Fprintln(w, "Figure 7: optimization breakdown (speedup over OurB)")
+	fmt.Fprintf(w, "%-16s %-4s %6s %9s %15s %12s %20s\n",
+		"Model", "Dev", "GR", "GR+Fuse", "GR+Fuse+Other", "Fuse+Other", "fused layers GR/noGR")
+	for _, r := range c.Figure7() {
+		fmt.Fprintf(w, "%-16s %-4s %5.2fx %8.2fx %14.2fx %11.2fx %10d/%d\n",
+			r.Model, r.Device, r.GR, r.GRFuse, r.GRFuseOther, r.FuseOther,
+			r.FusedLayersWithGR, r.FusedLayersWithoutGR)
+	}
+}
+
+// PrintFigure8 renders the memory/cache analysis.
+func (c *Context) PrintFigure8(w io.Writer) {
+	fmt.Fprintln(w, "Figure 8: memory and cache analysis, YOLO-V4 (normalized to DNNF)")
+	for _, r := range c.Figure8() {
+		fmt.Fprintf(w, "%-4s %-8s MA %7.0fMB (%.2fx)  MC %7.0fMB (%.2fx)  misses:",
+			r.Device, r.Framework, r.MemAccessMB, r.NormVsDNNF, r.MemConsumpMB, r.ConsumpVsDNNF)
+		for _, lvl := range []string{"L1", "L2", "L3"} {
+			if v, ok := r.CacheMisses[lvl]; ok {
+				fmt.Fprintf(w, " %s=%dK", lvl, v/1000)
+			}
+		}
+		for _, lvl := range []string{"L1-TLB", "L2-TLB"} {
+			if v, ok := r.TLBMisses[lvl]; ok {
+				fmt.Fprintf(w, " %s=%dK", lvl, v/1000)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// PrintFigure9a renders utilization.
+func (c *Context) PrintFigure9a(w io.Writer) {
+	fmt.Fprintln(w, "Figure 9a: CPU and GPU utilization, YOLO-V4")
+	for _, r := range c.Figure9a() {
+		fmt.Fprintf(w, "%-4s %-8s %5.1f%%\n", r.Device, r.Framework, r.UtilizationPct)
+	}
+}
+
+// PrintFigure9b renders compilation time.
+func (c *Context) PrintFigure9b(w io.Writer) {
+	fmt.Fprintln(w, "Figure 9b: compilation time, YOLO-V4 on mobile CPU (modeled minutes)")
+	for _, r := range c.Figure9b() {
+		total := r.FusionMin + r.ProfilingMin + r.TuningMin
+		fmt.Fprintf(w, "%-14s fusion %6.2fm  profiling %6.1fm (%d entries)  tuning %6.1fm (%d trials)  total %6.1fm\n",
+			r.Config, r.FusionMin, r.ProfilingMin, r.ProfileEntries, r.TuningMin, r.TuningTrials, total)
+	}
+}
+
+// PrintFigure10 renders portability.
+func (c *Context) PrintFigure10(w io.Writer) {
+	fmt.Fprintln(w, "Figure 10: portability (CPU/GPU ms)")
+	for _, r := range c.Figure10() {
+		fmt.Fprintf(w, "%-20s %-8s %-8s %7s / %-7s\n",
+			r.Phone, r.Model, r.Framework, fmtMs(r.CPUms), fmtMs(r.GPUms))
+	}
+}
+
+// PrintAblations renders all ablation studies.
+func (c *Context) PrintAblations(w io.Writer) {
+	print := func(title string, rows []AblationRow) {
+		fmt.Fprintln(w, title)
+		for _, r := range rows {
+			fmt.Fprintf(w, "  %-16s %-26s %8.1fms %5d kernels\n", r.Model, r.Config, r.LatencyMs, r.FusedLayers)
+		}
+	}
+	print("Ablation: seed policy", c.AblationSeedPolicy())
+	print("Ablation: constraint threshold", c.AblationConstraint())
+	print("Ablation: yellow-decision profiling", c.AblationProfileDB())
+	print("Ablation: layout selection", c.AblationLayout())
+	print("Ablation: graph rewriting", c.AblationRewrite())
+}
+
+// PrintAll runs every experiment.
+func (c *Context) PrintAll(w io.Writer) {
+	c.PrintTable1(w)
+	fmt.Fprintln(w)
+	PrintTable2(w)
+	fmt.Fprintln(w)
+	PrintTable3(w)
+	fmt.Fprintln(w)
+	PrintTable4(w)
+	fmt.Fprintln(w)
+	c.PrintTable5(w)
+	fmt.Fprintln(w)
+	c.PrintTable6(w)
+	fmt.Fprintln(w)
+	c.PrintFigure6(w)
+	fmt.Fprintln(w)
+	c.PrintFigure7(w)
+	fmt.Fprintln(w)
+	c.PrintFigure8(w)
+	fmt.Fprintln(w)
+	c.PrintFigure9a(w)
+	fmt.Fprintln(w)
+	c.PrintFigure9b(w)
+	fmt.Fprintln(w)
+	c.PrintFigure10(w)
+	fmt.Fprintln(w)
+	c.PrintAblations(w)
+}

@@ -1,0 +1,312 @@
+package bench
+
+import (
+	"dnnfusion/internal/baseline"
+	"dnnfusion/internal/device"
+	"dnnfusion/internal/ecg"
+	"dnnfusion/internal/fusion"
+	"dnnfusion/internal/graph"
+	"dnnfusion/internal/models"
+	"dnnfusion/internal/ops"
+	"dnnfusion/internal/rewrite"
+	"dnnfusion/internal/tensor"
+)
+
+// --- Table 1: the motivating study ------------------------------------------
+
+// Table1Row correlates depth with achieved throughput on the mobile GPU
+// under fixed-pattern fusion (OurB+), reproducing the paper's observation
+// that deeper models run at a fraction of the FLOPs/s of shallow ones.
+type Table1Row struct {
+	Model       string
+	TotalLayers int
+	IRSizeMB    float64
+	GFLOPs      float64
+	SpeedGFLOPS float64
+}
+
+// Table1 regenerates Table 1 (VGG-16, YOLO-V4, DistilBERT, MobileBERT,
+// GPT-2 on the Adreno 650 under OurB+).
+func (c *Context) Table1() []Table1Row {
+	gpu := device.Adreno650()
+	var rows []Table1Row
+	for _, name := range []string{"VGG-16", "YOLO-V4", "DistilBERT", "MobileBERT", "GPT-2"} {
+		g := c.Model(name)
+		e := ecg.Build(g)
+		st := e.ComputeStats()
+		rep, ok := c.SimulateFramework(baseline.OurBPlus, name, gpu)
+		if !ok {
+			continue
+		}
+		rows = append(rows, Table1Row{
+			Model:       name,
+			TotalLayers: st.Total,
+			IRSizeMB:    float64(st.IRSBytes) / 1e6,
+			GFLOPs:      float64(st.FLOPs) / 1e9,
+			SpeedGFLOPS: float64(st.FLOPs) / 1e6 / rep.LatencyMs,
+		})
+	}
+	return rows
+}
+
+// --- Table 2: operator classification ----------------------------------------
+
+// Table2Group is one mapping-type row of Table 2.
+type Table2Group struct {
+	Mapping         ops.MappingType
+	Operators       []string
+	Representatives []string
+}
+
+// Table2 regenerates the operator classification from the live registry.
+func Table2() []Table2Group {
+	byType := map[ops.MappingType]*Table2Group{}
+	var order []ops.MappingType
+	for _, m := range ops.AllMappingTypes() {
+		byType[m] = &Table2Group{Mapping: m}
+		order = append(order, m)
+	}
+	for _, e := range ops.Catalog() {
+		grp := byType[e.Mapping]
+		grp.Operators = append(grp.Operators, e.Name)
+		if e.Representative {
+			grp.Representatives = append(grp.Representatives, e.Name)
+		}
+	}
+	out := make([]Table2Group, 0, len(order))
+	for _, m := range order {
+		out = append(out, *byType[m])
+	}
+	return out
+}
+
+// --- Table 3: mapping type analysis ------------------------------------------
+
+// Table3Cell is one cell of the fusion combination matrix.
+type Table3Cell struct {
+	First, Second ops.MappingType
+	Result        ops.MappingType
+	Decision      fusion.Decision
+}
+
+// Table3 regenerates the 5×5 combination matrix.
+func Table3() [][]Table3Cell {
+	types := ops.AllMappingTypes()
+	out := make([][]Table3Cell, len(types))
+	for i, first := range types {
+		out[i] = make([]Table3Cell, len(types))
+		for j, second := range types {
+			r, d := fusion.Combine(first, second)
+			out[i][j] = Table3Cell{first, second, r, d}
+		}
+	}
+	return out
+}
+
+// --- Table 4: graph rewriting rules ------------------------------------------
+
+// Table4Row verifies one representative rewriting rule end to end: the
+// pattern is built as a real graph, rewritten, and the measured FLOPs are
+// reported next to the paper's symbolic counts.
+type Table4Row struct {
+	Property    string
+	Pattern     string
+	Rewritten   string
+	FLOPsBefore int64
+	FLOPsAfter  int64
+	Applied     int
+}
+
+// table4Case builds a pattern graph over m×n inputs.
+type table4Case struct {
+	property string
+	pattern  string
+	result   string
+	build    func() *graph.Graph
+}
+
+func table4Cases() []table4Case {
+	const m, n = 64, 64
+	in := func(g *graph.Graph, name string) *graph.Value {
+		return g.AddInput(name, tensor.Of(m, n))
+	}
+	return []table4Case{
+		{"Associative", "Recip(A) ⊙ Recip(A⊙B)", "Recip(Square(A)⊙B)", func() *graph.Graph {
+			g := graph.New("t4a1")
+			a, b := in(g, "A"), in(g, "B")
+			out := g.Apply1(ops.NewMul(),
+				g.Apply1(ops.NewReciprocal(), a),
+				g.Apply1(ops.NewReciprocal(), g.Apply1(ops.NewMul(), a, b)))
+			g.MarkOutput(out)
+			return g
+		}},
+		{"Associative", "(A⊙√B) ⊙ (√B⊙C)", "A⊙B⊙C", func() *graph.Graph {
+			g := graph.New("t4a2")
+			a, b, cc := in(g, "A"), in(g, "B"), in(g, "C")
+			l := g.Apply1(ops.NewMul(), a, g.Apply1(ops.NewSqrt(), b))
+			r := g.Apply1(ops.NewMul(), g.Apply1(ops.NewSqrt(), b), cc)
+			g.MarkOutput(g.Apply1(ops.NewMul(), l, r))
+			return g
+		}},
+		{"Associative", "Abs(A)⊙B⊙Abs(C)", "Abs(A⊙C)⊙B", func() *graph.Graph {
+			g := graph.New("t4a3")
+			a, b, cc := in(g, "A"), in(g, "B"), in(g, "C")
+			l := g.Apply1(ops.NewMul(), g.Apply1(ops.NewAbs(), a), b)
+			g.MarkOutput(g.Apply1(ops.NewMul(), l, g.Apply1(ops.NewAbs(), cc)))
+			return g
+		}},
+		{"Associative", "(A⊙ReduceSum(B))⊙(ReduceSum(B)⊙C)", "A⊙Square(ReduceSum(B))⊙C", func() *graph.Graph {
+			g := graph.New("t4a4")
+			a, b, cc := in(g, "A"), in(g, "B"), in(g, "C")
+			rs := g.Apply1(ops.NewReduce(ops.ReduceSum, true, 1), b)
+			l := g.Apply1(ops.NewMul(), a, rs)
+			r := g.Apply1(ops.NewMul(), rs, cc)
+			g.MarkOutput(g.Apply1(ops.NewMul(), l, r))
+			return g
+		}},
+		{"Distributive", "A⊙C + A⊙B", "A⊙(C+B)", func() *graph.Graph {
+			g := graph.New("t4d1")
+			a, b, cc := in(g, "A"), in(g, "B"), in(g, "C")
+			g.MarkOutput(g.Apply1(ops.NewAdd(),
+				g.Apply1(ops.NewMul(), a, cc), g.Apply1(ops.NewMul(), a, b)))
+			return g
+		}},
+		{"Distributive", "A + A⊙B", "A⊙(B+1)", func() *graph.Graph {
+			g := graph.New("t4d2")
+			a, b := in(g, "A"), in(g, "B")
+			g.MarkOutput(g.Apply1(ops.NewAdd(), a, g.Apply1(ops.NewMul(), a, b)))
+			return g
+		}},
+		{"Distributive", "Square(A+B) − (A+B)⊙C", "(A+B)⊙(A+B−C)", func() *graph.Graph {
+			g := graph.New("t4d3")
+			a, b, cc := in(g, "A"), in(g, "B"), in(g, "C")
+			s := g.Apply1(ops.NewAdd(), a, b)
+			g.MarkOutput(g.Apply1(ops.NewSub(),
+				g.Apply1(ops.NewSquare(), s), g.Apply1(ops.NewMul(), s, cc)))
+			return g
+		}},
+		{"Commutative", "ReduceSum(BitShift(A))", "BitShift(ReduceSum(A))", func() *graph.Graph {
+			g := graph.New("t4c1")
+			a := in(g, "A")
+			g.MarkOutput(g.Apply1(ops.NewReduce(ops.ReduceSum, false, 1),
+				g.Apply1(ops.NewBitShift(2), a)))
+			return g
+		}},
+		{"Commutative", "ReduceProd(Exp(A))", "Exp(ReduceSum(A))", func() *graph.Graph {
+			g := graph.New("t4c2")
+			a := in(g, "A")
+			g.MarkOutput(g.Apply1(ops.NewReduce(ops.ReduceProd, false, 1),
+				g.Apply1(ops.NewExp(), a)))
+			return g
+		}},
+	}
+}
+
+// Table4 runs the representative rewrite patterns and reports measured
+// FLOPs before/after, plus the rule census (the paper's 45/38/66 counts).
+func Table4() ([]Table4Row, []rewrite.RuleCensus) {
+	var rows []Table4Row
+	for _, tc := range table4Cases() {
+		g := tc.build()
+		before := g.FLOPs()
+		e := ecg.Build(g)
+		st, err := rewrite.NewDefaultEngine().Run(e)
+		if err != nil {
+			panic(err)
+		}
+		rows = append(rows, Table4Row{
+			Property:    tc.property,
+			Pattern:     tc.pattern,
+			Rewritten:   tc.result,
+			FLOPsBefore: before,
+			FLOPsAfter:  g.FLOPs(),
+			Applied:     st.Applied,
+		})
+	}
+	return rows, rewrite.Census(rewrite.DefaultRules())
+}
+
+// --- Table 5: fusion rate ----------------------------------------------------
+
+// Table5Row reports layer counts before/after fusion per framework.
+type Table5Row struct {
+	Model      string
+	Type       string
+	Task       string
+	CIL        int
+	MIL        int
+	Total      int
+	IRSMB      float64
+	Fused      map[baseline.Framework]int // -1 = unsupported
+	IRSAfterMB float64                    // DNNFusion's plan
+}
+
+// Table5 regenerates the fusion-rate evaluation over all 15 models.
+func (c *Context) Table5() []Table5Row {
+	var rows []Table5Row
+	for _, spec := range models.All() {
+		g := c.Model(spec.Name)
+		st := ecg.Build(g).ComputeStats()
+		row := Table5Row{
+			Model: spec.Name, Type: spec.Type, Task: spec.Task,
+			CIL: st.CIL, MIL: st.MIL, Total: st.Total,
+			IRSMB: float64(st.IRSBytes) / 1e6,
+			Fused: map[baseline.Framework]int{},
+		}
+		for _, f := range []baseline.Framework{baseline.MNN, baseline.TVM, baseline.TFLite, baseline.Pytorch} {
+			if !baseline.Supports(f, spec.Name).FusionCount {
+				row.Fused[f] = -1
+				continue
+			}
+			_, plan := c.Baseline(f, spec.Name)
+			row.Fused[f] = plan.FusedLayerCount()
+		}
+		comp := c.DNNF(spec.Name)
+		row.Fused[baseline.DNNF] = comp.FusedLayerCount()
+		row.IRSAfterMB = float64(comp.Plan.IRSBytesAfter()) / 1e6
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// --- Table 6: inference latency ----------------------------------------------
+
+// Table6Row reports CPU and GPU latency per framework; -1 = unsupported.
+type Table6Row struct {
+	Model   string
+	ParamsM float64
+	GFLOPs  float64
+	CPU     map[baseline.Framework]float64
+	GPU     map[baseline.Framework]float64
+}
+
+// Table6 regenerates the latency comparison on the Snapdragon 865.
+func (c *Context) Table6() []Table6Row {
+	cpu := device.Snapdragon865CPU()
+	gpu := device.Adreno650()
+	var rows []Table6Row
+	for _, spec := range models.All() {
+		g := c.Model(spec.Name)
+		row := Table6Row{
+			Model:   spec.Name,
+			ParamsM: float64(g.ParamBytes()) / 4e6,
+			GFLOPs:  float64(g.FLOPs()) / 1e9,
+			CPU:     map[baseline.Framework]float64{},
+			GPU:     map[baseline.Framework]float64{},
+		}
+		for _, f := range baseline.Frameworks() {
+			if rep, ok := c.SimulateFramework(f, spec.Name, cpu); ok {
+				row.CPU[f] = rep.LatencyMs
+			} else {
+				row.CPU[f] = -1
+			}
+			if rep, ok := c.SimulateFramework(f, spec.Name, gpu); ok {
+				row.GPU[f] = rep.LatencyMs
+			} else {
+				row.GPU[f] = -1
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}

@@ -1,0 +1,298 @@
+package codegen
+
+import (
+	"fmt"
+
+	"dnnfusion/internal/ecg"
+	"dnnfusion/internal/fusion"
+	"dnnfusion/internal/graph"
+	"dnnfusion/internal/ops"
+	"dnnfusion/internal/tensor"
+)
+
+// Layout is the data layout a kernel computes in; the inter-block
+// optimization picks one per block from its dominant operator (§4.4.2).
+type Layout string
+
+const (
+	LayoutNCHW     Layout = "NCHW"
+	LayoutNHWC     Layout = "NHWC"
+	LayoutRowMajor Layout = "row-major"
+)
+
+// Kernel is the compiled form of a fusion block.
+type Kernel struct {
+	Name  string
+	Key   string
+	Block *fusion.Block
+	DFT   *DFT
+
+	Inputs  []*graph.Value
+	Outputs []*graph.Value
+
+	// Rules lists the Table 3 code-generation rules invoked while
+	// stitching the block, in fusion order.
+	Rules []GenRule
+	// Layout is the block's layout, chosen by the dominant operator.
+	Layout Layout
+	// DominantOp is the operator that chose the layout.
+	DominantOp string
+
+	// SourceCPU / SourceGPU hold the emitted kernel source.
+	SourceCPU string
+	SourceGPU string
+
+	// Cost profile used by the device model.
+	FLOPs      int64
+	ReadBytes  int64
+	WriteBytes int64
+	OpCount    int
+	// Disruption counts Shuffle/One-to-Many operators fused into the
+	// block; the device model charges heavy kernels for the resulting
+	// strided access (the yellow-cell effect of Table 3).
+	Disruption int
+}
+
+// artifact is the reusable generated code for a block structure. The cache
+// stores artifacts, not kernels: the emitted implementation is shared
+// across every structurally identical fusion site in this or future models,
+// while each Kernel keeps its own per-site wiring (values, tensors).
+type artifact struct {
+	Name      string
+	SourceCPU string
+	SourceGPU string
+}
+
+// Cache deduplicates generated kernel code structurally within and across
+// models.
+type Cache struct {
+	artifacts map[string]*artifact
+	Hits      int
+	Misses    int
+}
+
+// NewCache returns an empty kernel cache.
+func NewCache() *Cache { return &Cache{artifacts: map[string]*artifact{}} }
+
+// Size returns the number of distinct generated kernel implementations.
+func (c *Cache) Size() int { return len(c.artifacts) }
+
+// Compile builds the kernel for a fusion block, reusing the generated
+// implementation from the cache when a structurally identical block was
+// compiled before. The returned bool reports a cache hit.
+func Compile(e *ecg.ECG, b *fusion.Block, cache *Cache) (*Kernel, bool, error) {
+	key := StructuralKey(b)
+	dft := BuildDFT(b)
+	k := &Kernel{
+		Name:    fmt.Sprintf("dnnf_kernel_%s", shortHash(key)),
+		Key:     key,
+		Block:   b,
+		DFT:     dft,
+		Inputs:  b.Inputs(),
+		Outputs: dft.Roots,
+		FLOPs:   dft.FLOPs,
+		OpCount: b.Size(),
+	}
+	for _, in := range k.Inputs {
+		k.ReadBytes += in.Shape.Bytes()
+	}
+	for _, out := range k.Outputs {
+		k.WriteBytes += out.Shape.Bytes()
+	}
+	if err := k.planRules(e); err != nil {
+		return nil, false, err
+	}
+	for _, n := range b.Nodes {
+		switch e.Mapping(n) {
+		case ops.Shuffle, ops.OneToMany:
+			k.Disruption++
+		}
+	}
+	k.chooseLayout(e)
+	if cache != nil {
+		if a, ok := cache.artifacts[key]; ok {
+			cache.Hits++
+			k.Name, k.SourceCPU, k.SourceGPU = a.Name, a.SourceCPU, a.SourceGPU
+			return k, true, nil
+		}
+	}
+	k.SourceCPU = emit(k, CPU)
+	k.SourceGPU = emit(k, GPU)
+	if cache != nil {
+		cache.artifacts[key] = &artifact{Name: k.Name, SourceCPU: k.SourceCPU, SourceGPU: k.SourceGPU}
+		cache.Misses++
+	}
+	return k, false, nil
+}
+
+// planRules replays the block's fusion order through the Table 3 rule
+// table, recording the strategy for every pairwise fusion (Figure 4's
+// "fused code generation for each pair of operators").
+func (k *Kernel) planRules(e *ecg.ECG) error {
+	if k.Block.Size() < 2 {
+		return nil
+	}
+	acc := e.Mapping(k.Block.Nodes[0])
+	for _, n := range k.Block.Nodes[1:] {
+		m := e.Mapping(n)
+		rule, ok := lookupRule(CPU, acc, m)
+		if !ok {
+			// Fall back to the predecessor orientation (the planner
+			// fused this node in front of the block).
+			rule, ok = lookupRule(CPU, m, acc)
+			if !ok {
+				return fmt.Errorf("codegen: %s: red pair %v+%v reached code generation",
+					k.Name, acc, m)
+			}
+			acc, _ = fusion.Combine(m, acc)
+		} else {
+			acc, _ = fusion.Combine(acc, m)
+		}
+		k.Rules = append(k.Rules, rule)
+	}
+	return nil
+}
+
+// chooseLayout implements the inter-block optimization: the operator whose
+// performance is most layout-sensitive (largest FLOPs among Conv/GEMM-like
+// and Softmax ops, falling back to the biggest op) dictates the layout for
+// the whole block.
+func (k *Kernel) chooseLayout(e *ecg.ECG) {
+	var dom *graph.Node
+	var domFLOPs int64 = -1
+	for _, n := range k.Block.Nodes {
+		f := nodeFLOPs(n)
+		if layoutSensitive(n.Op.Type()) {
+			f += 1 << 40 // layout-sensitive ops dominate regardless of size
+		}
+		if f > domFLOPs {
+			domFLOPs = f
+			dom = n
+		}
+	}
+	k.DominantOp = dom.Op.Type()
+	k.Layout = preferredLayout(dom.Op.Type())
+}
+
+func layoutSensitive(opType string) bool {
+	switch opType {
+	case "Conv", "ConvTranspose", "MatMul", "Gemm", "Einsum", "Softmax":
+		return true
+	}
+	return false
+}
+
+// Heavy reports whether the kernel contains compute-bound (Conv/GEMM-class)
+// work; the device model prices heavy and light kernels differently.
+func (k *Kernel) Heavy() bool {
+	for _, n := range k.Block.Nodes {
+		switch n.Op.Type() {
+		case "Conv", "ConvTranspose", "MatMul", "Gemm", "Einsum":
+			return true
+		}
+	}
+	return false
+}
+
+// FoldedMovementBytes is the traffic the intra-block optimization avoids:
+// the write+read of every interior data-movement result folded into index
+// arithmetic (Figure 5). The engine charges it back when that optimization
+// is disabled.
+func (k *Kernel) FoldedMovementBytes() int64 {
+	var total int64
+	for _, n := range k.DFT.FoldedMovement {
+		for _, out := range n.Outputs {
+			total += 2 * out.Shape.Bytes()
+		}
+	}
+	return total
+}
+
+func preferredLayout(opType string) Layout {
+	switch opType {
+	case "Conv", "ConvTranspose", "MaxPool", "AveragePool":
+		return LayoutNCHW
+	case "MatMul", "Gemm", "Einsum", "Softmax":
+		return LayoutRowMajor
+	default:
+		return LayoutNCHW
+	}
+}
+
+// Execute runs the fused kernel in the pull model: block outputs are
+// materialized by composing the member operators' Sources; interior values
+// never exist in memory — precisely the intermediate-result elimination
+// that fusion buys. env must hold every exterior input (weights may be
+// omitted; their constant data is used directly).
+func (k *Kernel) Execute(env map[*graph.Value]*tensor.Tensor) (map[*graph.Value]*tensor.Tensor, error) {
+	srcOf := map[*graph.Value]ops.Source{}
+	var build func(v *graph.Value) (ops.Source, error)
+	build = func(v *graph.Value) (ops.Source, error) {
+		if s, ok := srcOf[v]; ok {
+			return s, nil
+		}
+		if v.Producer == nil || !k.Block.Contains(v.Producer) {
+			t, ok := env[v]
+			if !ok {
+				if v.Data != nil {
+					t = v.Data
+				} else {
+					return nil, fmt.Errorf("codegen: %s: missing exterior input %v", k.Name, v)
+				}
+			}
+			if !t.Shape().Equal(v.Shape) {
+				return nil, fmt.Errorf("codegen: %s: input %v fed with shape %v", k.Name, v, t.Shape())
+			}
+			s := ops.AsSource(t)
+			srcOf[v] = s
+			return s, nil
+		}
+		n := v.Producer
+		ins := make([]ops.Source, len(n.Inputs))
+		for i, in := range n.Inputs {
+			s, err := build(in)
+			if err != nil {
+				return nil, err
+			}
+			ins[i] = s
+		}
+		s, err := n.Op.Virtualize(ins, v.ProducerOut)
+		if err != nil {
+			return nil, fmt.Errorf("codegen: %s: %v: %w", k.Name, n, err)
+		}
+		srcOf[v] = s
+		return s, nil
+	}
+	out := make(map[*graph.Value]*tensor.Tensor, len(k.Outputs))
+	for _, o := range k.Outputs {
+		s, err := build(o)
+		if err != nil {
+			return nil, err
+		}
+		out[o] = ops.Materialize(s)
+	}
+	return out, nil
+}
+
+// shortHash is a tiny FNV-1a hex digest for kernel names.
+func shortHash(s string) string {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return fmt.Sprintf("%08x", uint32(h^(h>>32)))
+}
+
+// CompilePlan compiles every block of a fusion plan, sharing the cache.
+func CompilePlan(e *ecg.ECG, plan *fusion.Plan, cache *Cache) ([]*Kernel, error) {
+	kernels := make([]*Kernel, 0, len(plan.Blocks))
+	for _, b := range plan.Blocks {
+		k, _, err := Compile(e, b, cache)
+		if err != nil {
+			return nil, err
+		}
+		kernels = append(kernels, k)
+	}
+	return kernels, nil
+}

@@ -1,0 +1,225 @@
+// Package core wires DNNFusion's passes into the end-to-end compiler of
+// Figure 1: Extended Computational Graph construction, mathematical-
+// property-based graph rewriting, light-weight profile-driven fusion plan
+// exploration, and fusion code generation with the intra-/inter-block
+// optimizations — plus execution (numeric) and simulation (device model)
+// entry points. The root dnnfusion package re-exports this as the public
+// API.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"dnnfusion/internal/codegen"
+	"dnnfusion/internal/device"
+	"dnnfusion/internal/ecg"
+	"dnnfusion/internal/engine"
+	"dnnfusion/internal/fusion"
+	"dnnfusion/internal/graph"
+	"dnnfusion/internal/ops"
+	"dnnfusion/internal/profile"
+	"dnnfusion/internal/rewrite"
+	"dnnfusion/internal/tensor"
+)
+
+// Options selects which parts of the pipeline run; the defaults (via
+// Defaults) are the full DNNFusion configuration. The Figure 7 breakdown
+// toggles the individual flags.
+type Options struct {
+	// GraphRewrite enables the §4.2 rewriting pass.
+	GraphRewrite bool
+	// Fusion enables fusion plan exploration; when false every operator
+	// becomes its own kernel (the paper's OurB).
+	Fusion bool
+	// OtherOpt enables the §4.4.2 intra-/inter-block optimizations.
+	OtherOpt bool
+	// Seeds selects the planner's seed policy (ablation).
+	Seeds fusion.SeedPolicy
+	// MaxBlockOps / MaxBlockInputs forward the planner constraints.
+	MaxBlockOps    int
+	MaxBlockInputs int
+	// Device resolves yellow fusion decisions through the cost model;
+	// nil accepts them optimistically.
+	Device *device.Device
+	// ProfileDB caches yellow-decision measurements across compilations.
+	ProfileDB *profile.DB
+	// Cache shares generated kernels across models.
+	Cache *codegen.Cache
+	// Quality forwards the framework kernel-quality factor to simulation.
+	Quality float64
+}
+
+// Defaults is the full DNNFusion pipeline.
+func Defaults() Options {
+	return Options{GraphRewrite: true, Fusion: true, OtherOpt: true}
+}
+
+// CompileStats reports what compilation did — the inputs to Figure 9b.
+type CompileStats struct {
+	RewriteMs float64
+	FusionMs  float64
+	// ProfileLookups is the number of yellow decisions; ProfileMisses is
+	// how many required a fresh measurement (empty or cold database).
+	ProfileLookups  int
+	ProfileMisses   int
+	RewriteApplied  int
+	RewriteStats    rewrite.Stats
+	KernelCacheHits int
+}
+
+// Compiled is a ready-to-run model.
+type Compiled struct {
+	G       *graph.Graph
+	E       *ecg.ECG
+	Plan    *fusion.Plan
+	Kernels []*codegen.Kernel
+	Opts    Options
+	Stats   CompileStats
+}
+
+// Compile clones g and runs the configured pipeline over the clone (the
+// input graph is never mutated).
+func Compile(g *graph.Graph, opts Options) (*Compiled, error) {
+	work := g.Clone()
+	e := ecg.Build(work)
+	c := &Compiled{G: work, E: e, Opts: opts}
+
+	if opts.GraphRewrite {
+		start := time.Now()
+		st, err := rewrite.NewDefaultEngine().Run(e)
+		if err != nil {
+			return nil, err
+		}
+		c.Stats.RewriteStats = st
+		c.Stats.RewriteApplied = st.Applied
+		c.Stats.RewriteMs = float64(time.Since(start).Microseconds()) / 1000
+	}
+
+	start := time.Now()
+	if opts.Fusion {
+		fopts := fusion.Options{
+			Seeds:          opts.Seeds,
+			MaxBlockOps:    opts.MaxBlockOps,
+			MaxBlockInputs: opts.MaxBlockInputs,
+		}
+		if opts.Device != nil {
+			fopts.Latency = c.latencyFunc()
+		}
+		c.Plan = fusion.GeneratePlan(e, fopts)
+	} else {
+		c.Plan = fusion.SingletonPlan(e)
+	}
+	c.Stats.FusionMs = float64(time.Since(start).Microseconds()) / 1000
+	c.Plan.MarkRemovable(e)
+
+	cacheHitsBefore := 0
+	if opts.Cache != nil {
+		cacheHitsBefore = opts.Cache.Hits
+	}
+	kernels, err := codegen.CompilePlan(e, c.Plan, opts.Cache)
+	if err != nil {
+		return nil, err
+	}
+	c.Kernels = kernels
+	if opts.Cache != nil {
+		c.Stats.KernelCacheHits = opts.Cache.Hits - cacheHitsBefore
+	}
+	return c, nil
+}
+
+// latencyFunc resolves yellow fusion decisions: profile-database lookup
+// first, then a "measurement" on the device cost model (standing in for the
+// paper's on-device profiling runs).
+func (c *Compiled) latencyFunc() fusion.LatencyFunc {
+	return func(nodes []*graph.Node) float64 {
+		c.Stats.ProfileLookups++
+		key := profile.KeyFor(nodes)
+		if c.Opts.ProfileDB != nil {
+			if ms, ok := c.Opts.ProfileDB.Lookup(key); ok {
+				return ms
+			}
+		}
+		c.Stats.ProfileMisses++
+		ms := EstimateBlockLatency(c.Opts.Device, nodes)
+		if c.Opts.ProfileDB != nil {
+			c.Opts.ProfileDB.Insert(key, ms)
+		}
+		return ms
+	}
+}
+
+// EstimateBlockLatency prices a hypothetical fused kernel over the node set
+// without building a block: summed FLOPs, boundary traffic, heavy-op
+// detection.
+func EstimateBlockLatency(dev *device.Device, nodes []*graph.Node) float64 {
+	inSet := make(map[*graph.Node]bool, len(nodes))
+	for _, n := range nodes {
+		inSet[n] = true
+	}
+	var w device.Work
+	for _, n := range nodes {
+		shapes := make([]tensor.Shape, len(n.Inputs))
+		for i, in := range n.Inputs {
+			shapes[i] = in.Shape
+			if in.Producer == nil || !inSet[in.Producer] {
+				w.ReadBytes += in.Shape.Bytes()
+			}
+		}
+		w.FLOPs += n.Op.FLOPs(shapes)
+		switch n.Op.Type() {
+		case "Conv", "ConvTranspose", "MatMul", "Gemm", "Einsum":
+			w.Heavy = true
+		}
+		switch n.Op.Mapping(shapes) {
+		case ops.Shuffle, ops.OneToMany:
+			w.Disruption++
+		}
+		for _, out := range n.Outputs {
+			external := out.Kind == graph.Output
+			for _, consumer := range out.Consumers {
+				if !inSet[consumer] {
+					external = true
+				}
+			}
+			if external {
+				w.WriteBytes += out.Shape.Bytes()
+			}
+		}
+	}
+	return dev.Price(w).TimeMs
+}
+
+// Run executes the compiled model numerically. Feeds are keyed by the
+// compiled graph's input values (c.G.Inputs); most callers want RunInputs.
+func (c *Compiled) Run(feeds map[*graph.Value]*tensor.Tensor) ([]*tensor.Tensor, error) {
+	return engine.Run(c.E, c.Plan, feeds)
+}
+
+// RunInputs executes the compiled model with inputs given positionally, in
+// the graph's input declaration order.
+func (c *Compiled) RunInputs(inputs ...*tensor.Tensor) ([]*tensor.Tensor, error) {
+	if len(inputs) != len(c.G.Inputs) {
+		return nil, fmt.Errorf("core: %d inputs supplied, model has %d", len(inputs), len(c.G.Inputs))
+	}
+	feeds := make(map[*graph.Value]*tensor.Tensor, len(inputs))
+	for i, in := range c.G.Inputs {
+		feeds[in] = inputs[i]
+	}
+	return engine.Run(c.E, c.Plan, feeds)
+}
+
+// Simulate prices one inference on the device.
+func (c *Compiled) Simulate(dev *device.Device) (*engine.Report, error) {
+	return engine.Simulate(c.E, c.Plan, dev, engine.Options{
+		OtherOpt: c.Opts.OtherOpt,
+		Quality:  c.Opts.Quality,
+		Cache:    c.Opts.Cache,
+	})
+}
+
+// FusedLayerCount is the number of kernels after compilation.
+func (c *Compiled) FusedLayerCount() int { return c.Plan.FusedLayerCount() }
+
+// Stats recomputed on the optimized graph (Table 5's "after opt" columns).
+func (c *Compiled) OptimizedStats() ecg.Stats { return c.E.ComputeStats() }

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"testing"
+
+	"dnnfusion/internal/device"
+	"dnnfusion/internal/graph"
+	"dnnfusion/internal/ops"
+	"dnnfusion/internal/profile"
+	"dnnfusion/internal/tensor"
+)
+
+// buildAttentionish: a transformer-flavored micro-graph with rewritable
+// redundancy (double transpose) and fusable chains.
+func buildAttentionish(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := graph.New("attn")
+	x := g.AddInput("x", tensor.Of(8, 16))
+	wq := g.AddWeight("wq", tensor.New(16, 16).Rand(1))
+	q := g.Apply1(ops.NewMatMul(), x, wq)
+	q = g.Apply1(ops.NewTranspose(1, 0), q)
+	q = g.Apply1(ops.NewTranspose(1, 0), q) // export cruft: cancels
+	q = g.Apply1(ops.NewMulConst(0.25), q)
+	k := g.Apply1(ops.NewMatMul(), x, g.AddWeight("wk", tensor.New(16, 16).Rand(2)))
+	scores := g.Apply1(ops.NewMatMul(), q, g.Apply1(ops.NewTranspose(1, 0), k))
+	attn := g.Apply1(ops.NewSoftmax(-1), scores)
+	g.MarkOutput(attn)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	return g
+}
+
+func TestCompileFullPipeline(t *testing.T) {
+	g := buildAttentionish(t)
+	before := len(g.Nodes)
+	c, err := Compile(g, Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Nodes) != before {
+		t.Error("Compile mutated the input graph")
+	}
+	if c.Stats.RewriteApplied == 0 {
+		t.Error("rewriting found nothing on a graph with a transpose pair")
+	}
+	if c.FusedLayerCount() >= len(c.G.Nodes) {
+		t.Errorf("fusion produced %d kernels for %d nodes", c.FusedLayerCount(), len(c.G.Nodes))
+	}
+	if len(c.Kernels) != c.FusedLayerCount() {
+		t.Errorf("kernels %d != blocks %d", len(c.Kernels), c.FusedLayerCount())
+	}
+}
+
+func TestCompiledRunMatchesInterpreter(t *testing.T) {
+	g := buildAttentionish(t)
+	x := tensor.NewOf(g.Inputs[0].Shape).Rand(9)
+	want, err := graph.InterpretOutputs(g, map[*graph.Value]*tensor.Tensor{g.Inputs[0]: x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range []Options{
+		Defaults(),
+		{Fusion: true},       // no rewriting
+		{GraphRewrite: true}, // no fusion
+		{},                   // neither
+	} {
+		c, err := Compile(g, opts)
+		if err != nil {
+			t.Fatalf("%+v: %v", opts, err)
+		}
+		got, err := c.RunInputs(x)
+		if err != nil {
+			t.Fatalf("%+v run: %v", opts, err)
+		}
+		if !tensor.AllClose(got[0], want[0], 1e-4) {
+			t.Errorf("opts %+v changed semantics (max diff %g)",
+				opts, tensor.MaxAbsDiff(got[0], want[0]))
+		}
+	}
+}
+
+func TestRunInputsArityCheck(t *testing.T) {
+	g := buildAttentionish(t)
+	c, err := Compile(g, Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RunInputs(); err == nil {
+		t.Error("RunInputs with missing inputs should fail")
+	}
+}
+
+func TestProfileDBReducesMeasurements(t *testing.T) {
+	g := buildAttentionish(t)
+	dev := device.Snapdragon865CPU()
+	db := profile.New()
+
+	opts := Defaults()
+	opts.Device = dev
+	opts.ProfileDB = db
+	c1, err := Compile(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldMisses := c1.Stats.ProfileMisses
+	if c1.Stats.ProfileLookups == 0 {
+		t.Skip("this graph produced no yellow decisions; covered by model-level tests")
+	}
+	// Second compilation with the warmed database.
+	c2, err := Compile(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Stats.ProfileMisses >= coldMisses && coldMisses > 0 {
+		t.Errorf("warm database did not reduce measurements: %d -> %d",
+			coldMisses, c2.Stats.ProfileMisses)
+	}
+	if c1.FusedLayerCount() != c2.FusedLayerCount() {
+		t.Error("profile database changed the plan")
+	}
+}
+
+func TestSimulatePipelineOrdering(t *testing.T) {
+	g := buildAttentionish(t)
+	dev := device.Snapdragon865CPU()
+	latency := func(opts Options) float64 {
+		c, err := Compile(g, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := c.Simulate(dev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.LatencyMs
+	}
+	ourB := latency(Options{})
+	gr := latency(Options{GraphRewrite: true})
+	grFuse := latency(Options{GraphRewrite: true, Fusion: true})
+	full := latency(Defaults())
+	if gr > ourB {
+		t.Errorf("rewriting slowed things down: %v > %v", gr, ourB)
+	}
+	if grFuse > gr {
+		t.Errorf("fusion slowed things down: %v > %v", grFuse, gr)
+	}
+	if full > grFuse {
+		t.Errorf("other optimizations slowed things down: %v > %v", full, grFuse)
+	}
+	if full >= ourB {
+		t.Errorf("full pipeline not faster than baseline: %v >= %v", full, ourB)
+	}
+}
+
+func TestEstimateBlockLatencyBoundaries(t *testing.T) {
+	g := buildAttentionish(t)
+	dev := device.Snapdragon865CPU()
+	single := EstimateBlockLatency(dev, g.Nodes[:1])
+	pair := EstimateBlockLatency(dev, g.Nodes[:2])
+	if single <= 0 || pair <= 0 {
+		t.Fatal("non-positive block latency")
+	}
+	// Fusing two ops into one kernel saves a launch: the fused estimate
+	// must undercut the sum of separate estimates.
+	sum := single + EstimateBlockLatency(dev, g.Nodes[1:2])
+	if pair >= sum {
+		t.Errorf("fused estimate %v >= split %v", pair, sum)
+	}
+}

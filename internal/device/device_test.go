@@ -1,0 +1,112 @@
+package device
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestProfilesSanity(t *testing.T) {
+	for _, p := range Phones() {
+		for _, d := range []*Device{p.CPU, p.GPU} {
+			if d.PeakGFLOPS <= 0 || d.DRAMBandwidthGBs <= 0 || d.KernelLaunchMs <= 0 {
+				t.Errorf("%s: non-positive parameters", d)
+			}
+			if d.HeavyEff <= d.LightEff {
+				t.Errorf("%s: heavy efficiency must exceed light", d)
+			}
+			if len(d.Caches) == 0 {
+				t.Errorf("%s: no cache levels", d)
+			}
+			for i := 1; i < len(d.Caches); i++ {
+				if d.Caches[i].SizeBytes <= d.Caches[i-1].SizeBytes {
+					t.Errorf("%s: cache sizes not increasing", d)
+				}
+			}
+		}
+		if p.CPU.Kind != CPU || p.GPU.Kind != GPU {
+			t.Errorf("%s: kinds mixed up", p.Name)
+		}
+	}
+	// GPU launch overhead exceeds CPU dispatch (the paper's kernel-launch
+	// argument for why fusion helps GPUs more).
+	if Adreno650().KernelLaunchMs <= Snapdragon865CPU().KernelLaunchMs {
+		t.Error("GPU launch overhead should exceed CPU dispatch overhead")
+	}
+	// Newer SoCs are faster (Figure 10's premise).
+	if Snapdragon855CPU().PeakGFLOPS >= Snapdragon865CPU().PeakGFLOPS {
+		t.Error("S855 should be slower than S865")
+	}
+	if Kirin980CPU().PeakGFLOPS >= Snapdragon855CPU().PeakGFLOPS {
+		t.Error("Kirin 980 should be slower than S855")
+	}
+}
+
+func TestPriceComponents(t *testing.T) {
+	d := Snapdragon865CPU()
+	w := Work{FLOPs: 1 << 28, ReadBytes: 1 << 24, WriteBytes: 1 << 24, Heavy: true}
+	c := d.Price(w)
+	if c.TimeMs <= 0 || c.ComputeMs <= 0 || c.MemoryMs <= 0 {
+		t.Fatalf("non-positive cost components: %+v", c)
+	}
+	if c.TimeMs < c.OverheadMs {
+		t.Error("total time below launch overhead")
+	}
+	// Roofline: total = overhead + max(compute, memory).
+	want := c.OverheadMs + c.ComputeMs
+	if c.MemoryMs > c.ComputeMs {
+		want = c.OverheadMs + c.MemoryMs
+	}
+	if c.TimeMs != want {
+		t.Errorf("roofline broken: %v != %v", c.TimeMs, want)
+	}
+	if len(c.CacheMisses) != len(d.Caches) || len(c.TLBMisses) != len(d.TLBs) {
+		t.Error("miss vectors do not match hierarchy")
+	}
+	// Misses decrease with cache level size.
+	for i := 1; i < len(c.CacheMisses); i++ {
+		if c.CacheMisses[i] > c.CacheMisses[i-1] {
+			t.Errorf("misses increase with level: %v", c.CacheMisses)
+		}
+	}
+}
+
+func TestDisruptionPenalty(t *testing.T) {
+	d := Snapdragon865CPU()
+	base := Work{FLOPs: 1 << 28, ReadBytes: 1 << 20, WriteBytes: 1 << 20, Heavy: true}
+	disrupted := base
+	disrupted.Disruption = 2
+	if d.Price(disrupted).ComputeMs <= d.Price(base).ComputeMs {
+		t.Error("disruption should slow heavy kernels")
+	}
+	// Light kernels are bandwidth-bound; disruption leaves compute alone.
+	light := Work{FLOPs: 1 << 20, ReadBytes: 1 << 20, WriteBytes: 1 << 20, Disruption: 3}
+	lightBase := light
+	lightBase.Disruption = 0
+	if d.Price(light).ComputeMs != d.Price(lightBase).ComputeMs {
+		t.Error("disruption should not affect light kernels")
+	}
+}
+
+func TestGPUUsesFP16Traffic(t *testing.T) {
+	cpu := Snapdragon865CPU()
+	gpu := Adreno650()
+	w := Work{FLOPs: 1, ReadBytes: 1 << 20, WriteBytes: 1 << 20}
+	if gpu.Price(w).DRAMBytes >= cpu.Price(w).DRAMBytes {
+		t.Error("GPU fp16 traffic should be below CPU fp32 traffic")
+	}
+}
+
+// Property: pricing is monotone in every work dimension.
+func TestPriceMonotoneProperty(t *testing.T) {
+	d := Snapdragon865CPU()
+	f := func(flopsRaw, bytesRaw uint32) bool {
+		flops := int64(flopsRaw)%1e9 + 1
+		bytes := int64(bytesRaw)%1e8 + 1
+		small := d.Price(Work{FLOPs: flops, ReadBytes: bytes, WriteBytes: bytes})
+		big := d.Price(Work{FLOPs: flops * 2, ReadBytes: bytes * 2, WriteBytes: bytes * 2})
+		return big.TimeMs >= small.TimeMs && big.DRAMBytes >= small.DRAMBytes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

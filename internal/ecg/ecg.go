@@ -1,0 +1,153 @@
+// Package ecg implements the paper's Extended Computational Graph (§3.2):
+// the computational graph annotated with each operator's mapping type, its
+// mathematical properties, and per-value IR_removable flags maintained by
+// the fusion planner. It also computes the layer statistics reported in
+// Table 5 (compute-intensive vs memory-intensive layer counts, intermediate
+// result sizes).
+package ecg
+
+import (
+	"dnnfusion/internal/graph"
+	"dnnfusion/internal/ops"
+	"dnnfusion/internal/tensor"
+)
+
+// NodeInfo is the fusion-relevant annotation of one operator node.
+type NodeInfo struct {
+	// Mapping is the operator's mapping type for its concrete input
+	// shapes (broadcast elementwise becomes One-to-Many here).
+	Mapping ops.MappingType
+	// Props are the operator's mathematical properties.
+	Props ops.Properties
+	// FLOPs for the node's concrete shapes.
+	FLOPs int64
+}
+
+// ValueInfo annotates one value (edge).
+type ValueInfo struct {
+	// IRRemovable is true when the intermediate result can be removed
+	// completely: every consumer is fused into the producer's fusion
+	// block. Computed during fusion planning (paper §3.2).
+	IRRemovable bool
+}
+
+// ECG wraps a graph with DNNFusion's annotations.
+type ECG struct {
+	G     *graph.Graph
+	Node  map[*graph.Node]*NodeInfo
+	Value map[*graph.Value]*ValueInfo
+}
+
+// Build annotates g. The graph is not copied: fusion planning and rewriting
+// act on the same underlying graph.
+func Build(g *graph.Graph) *ECG {
+	e := &ECG{
+		G:     g,
+		Node:  make(map[*graph.Node]*NodeInfo, len(g.Nodes)),
+		Value: make(map[*graph.Value]*ValueInfo, len(g.Values)),
+	}
+	for _, n := range g.Nodes {
+		e.annotate(n)
+	}
+	for _, v := range g.Values {
+		e.Value[v] = &ValueInfo{}
+	}
+	return e
+}
+
+func (e *ECG) annotate(n *graph.Node) {
+	shapes := make([]tensor.Shape, len(n.Inputs))
+	for i, in := range n.Inputs {
+		shapes[i] = in.Shape
+	}
+	e.Node[n] = &NodeInfo{
+		Mapping: n.Op.Mapping(shapes),
+		Props:   n.Op.Properties(),
+		FLOPs:   n.Op.FLOPs(shapes),
+	}
+}
+
+// Refresh re-annotates the graph after surgery (rewriting adds and removes
+// nodes); stale entries are dropped.
+func (e *ECG) Refresh() {
+	live := make(map[*graph.Node]bool, len(e.G.Nodes))
+	for _, n := range e.G.Nodes {
+		live[n] = true
+		if _, ok := e.Node[n]; !ok {
+			e.annotate(n)
+		}
+	}
+	for n := range e.Node {
+		if !live[n] {
+			delete(e.Node, n)
+		}
+	}
+	liveV := make(map[*graph.Value]bool, len(e.G.Values))
+	for _, v := range e.G.Values {
+		liveV[v] = true
+		if _, ok := e.Value[v]; !ok {
+			e.Value[v] = &ValueInfo{}
+		}
+	}
+	for v := range e.Value {
+		if !liveV[v] {
+			delete(e.Value, v)
+		}
+	}
+}
+
+// Mapping returns the annotated mapping type of n (annotating on demand
+// after surgery).
+func (e *ECG) Mapping(n *graph.Node) ops.MappingType {
+	info, ok := e.Node[n]
+	if !ok {
+		e.annotate(n)
+		info = e.Node[n]
+	}
+	return info.Mapping
+}
+
+// computeIntensive reports whether the node is a compute-intensive layer
+// per the paper's Table 5 definition: each input element is used more than
+// once (MatMul, Conv and friends).
+func computeIntensive(n *graph.Node) bool {
+	switch n.Op.Type() {
+	case "Conv", "ConvTranspose", "MatMul", "Gemm", "Einsum":
+		return true
+	}
+	return false
+}
+
+// Stats are the per-model layer statistics of Table 5.
+type Stats struct {
+	CIL      int   // compute-intensive layers
+	MIL      int   // memory-intensive layers
+	Total    int   // all layers
+	IRSBytes int64 // intermediate result size
+	FLOPs    int64
+}
+
+// ComputeStats tallies layer counts and intermediate sizes for the graph.
+func (e *ECG) ComputeStats() Stats {
+	var s Stats
+	for _, n := range e.G.Nodes {
+		s.Total++
+		if computeIntensive(n) {
+			s.CIL++
+		} else {
+			s.MIL++
+		}
+		s.FLOPs += e.nodeFLOPs(n)
+	}
+	s.IRSBytes = e.G.IntermediateBytes()
+	return s
+}
+
+func (e *ECG) nodeFLOPs(n *graph.Node) int64 {
+	info, ok := e.Node[n]
+	if !ok {
+		e.annotate(n)
+		info = e.Node[n]
+	}
+	return info.FLOPs
+}

@@ -1,0 +1,110 @@
+package ecg
+
+import (
+	"testing"
+
+	"dnnfusion/internal/graph"
+	"dnnfusion/internal/ops"
+	"dnnfusion/internal/tensor"
+)
+
+func buildSmallCNN(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := graph.New("smallcnn")
+	x := g.AddInput("x", tensor.Of(1, 3, 8, 8))
+	w := g.AddWeight("w", tensor.New(4, 3, 3, 3).Rand(1))
+	b := g.AddWeight("b", tensor.New(4).Rand(2))
+	c := g.Apply1(ops.NewConv(ops.ConvAttrs{Pads: []int{1}}), x, w, b)
+	r := g.Apply1(ops.NewRelu(), c)
+	fl := g.Apply1(ops.NewFlatten(1), r)
+	w2 := g.AddWeight("w2", tensor.New(4*8*8, 10).Rand(3))
+	mm := g.Apply1(ops.NewMatMul(), fl, w2)
+	sm := g.Apply1(ops.NewSoftmax(-1), mm)
+	g.MarkOutput(sm)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("graph invalid: %v", err)
+	}
+	return g
+}
+
+func TestBuildAnnotations(t *testing.T) {
+	g := buildSmallCNN(t)
+	e := Build(g)
+	wantMappings := map[string]ops.MappingType{
+		"Conv":    ops.ManyToMany,
+		"Relu":    ops.OneToOne,
+		"Flatten": ops.Reorganize,
+		"MatMul":  ops.ManyToMany,
+		"Softmax": ops.ManyToMany,
+	}
+	for _, n := range g.Nodes {
+		want, ok := wantMappings[n.Op.Type()]
+		if !ok {
+			t.Fatalf("unexpected node %v", n)
+		}
+		if got := e.Mapping(n); got != want {
+			t.Errorf("%s mapping = %v, want %v", n.Op.Type(), got, want)
+		}
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	g := buildSmallCNN(t)
+	e := Build(g)
+	s := e.ComputeStats()
+	if s.Total != 5 {
+		t.Errorf("Total = %d, want 5", s.Total)
+	}
+	if s.CIL != 2 { // Conv + MatMul
+		t.Errorf("CIL = %d, want 2", s.CIL)
+	}
+	if s.MIL != 3 {
+		t.Errorf("MIL = %d, want 3", s.MIL)
+	}
+	if s.IRSBytes != g.IntermediateBytes() {
+		t.Errorf("IRSBytes = %d, want %d", s.IRSBytes, g.IntermediateBytes())
+	}
+	if s.FLOPs != g.FLOPs() {
+		t.Errorf("FLOPs = %d, want %d", s.FLOPs, g.FLOPs())
+	}
+}
+
+func TestBroadcastElementwiseIsOneToMany(t *testing.T) {
+	g := graph.New("bcast")
+	x := g.AddInput("x", tensor.Of(2, 3))
+	bias := g.AddWeight("b", tensor.New(3).Rand(1))
+	out := g.Apply1(ops.NewAdd(), x, bias)
+	g.MarkOutput(out)
+	e := Build(g)
+	if got := e.Mapping(g.Nodes[0]); got != ops.OneToMany {
+		t.Errorf("broadcast Add mapping = %v, want One-to-Many", got)
+	}
+}
+
+func TestRefreshAfterSurgery(t *testing.T) {
+	g := buildSmallCNN(t)
+	e := Build(g)
+	before := len(e.Node)
+	// Remove the Softmax by redirecting the output to MatMul.
+	smNode := g.Nodes[len(g.Nodes)-1]
+	mmOut := smNode.Inputs[0]
+	if err := g.ReplaceAllUses(smNode.Outputs[0], mmOut); err != nil {
+		t.Fatalf("replace: %v", err)
+	}
+	g.EliminateDeadNodes()
+	e.Refresh()
+	if len(e.Node) != before-1 {
+		t.Errorf("Refresh kept %d annotations, want %d", len(e.Node), before-1)
+	}
+	for n := range e.Node {
+		found := false
+		for _, gn := range g.Nodes {
+			if gn == n {
+				found = true
+			}
+		}
+		if !found {
+			t.Error("Refresh left a stale node annotation")
+		}
+	}
+}

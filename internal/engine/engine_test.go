@@ -1,0 +1,230 @@
+package engine
+
+import (
+	"testing"
+
+	"dnnfusion/internal/codegen"
+	"dnnfusion/internal/device"
+	"dnnfusion/internal/ecg"
+	"dnnfusion/internal/fusion"
+	"dnnfusion/internal/graph"
+	"dnnfusion/internal/ops"
+	"dnnfusion/internal/tensor"
+)
+
+// buildMLP builds a small two-layer MLP with elementwise epilogues.
+func buildMLP(t *testing.T) (*graph.Graph, *ecg.ECG) {
+	t.Helper()
+	g := graph.New("mlp")
+	x := g.AddInput("x", tensor.Of(16, 64))
+	w1 := g.AddWeight("w1", tensor.New(64, 96).Rand(1))
+	b1 := g.AddWeight("b1", tensor.New(96).Rand(2))
+	h := g.Apply1(ops.NewMatMul(), x, w1)
+	h = g.Apply1(ops.NewAdd(), h, b1)
+	h = g.Apply1(ops.NewRelu(), h)
+	w2 := g.AddWeight("w2", tensor.New(96, 32).Rand(3))
+	o := g.Apply1(ops.NewMatMul(), h, w2)
+	o = g.Apply1(ops.NewSoftmax(-1), o)
+	g.MarkOutput(o)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("mlp invalid: %v", err)
+	}
+	return g, ecg.Build(g)
+}
+
+func feeds(g *graph.Graph, seed uint64) map[*graph.Value]*tensor.Tensor {
+	m := map[*graph.Value]*tensor.Tensor{}
+	for i, in := range g.Inputs {
+		m[in] = tensor.NewOf(in.Shape).Rand(seed + uint64(i))
+	}
+	return m
+}
+
+func TestRunMatchesInterpreter(t *testing.T) {
+	g, e := buildMLP(t)
+	plan := fusion.GeneratePlan(e, fusion.Options{})
+	f := feeds(g, 7)
+	want, err := graph.InterpretOutputs(g, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(e, plan, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if !tensor.AllClose(got[i], want[i], 1e-4) {
+			t.Errorf("fused engine output %d differs (max diff %g)",
+				i, tensor.MaxAbsDiff(got[i], want[i]))
+		}
+	}
+	// The no-fusion singleton plan must agree too.
+	_, e2 := buildMLP(t)
+	singleton := fusion.SingletonPlan(e2)
+	got2, err := Run(e2, singleton, feeds(e2.G, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if !tensor.AllClose(got2[i], want[i], 1e-4) {
+			t.Errorf("singleton engine output %d differs", i)
+		}
+	}
+}
+
+func TestSimulateFusionReducesEverything(t *testing.T) {
+	g, e := buildMLP(t)
+	dev := device.Snapdragon865CPU()
+	fused, err := Simulate(e, fusion.GeneratePlan(e, fusion.Options{}), dev, Options{OtherOpt: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, e2 := buildMLP(t)
+	unfused, err := Simulate(e2, fusion.SingletonPlan(e2), dev, Options{OtherOpt: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = g
+	if fused.LatencyMs >= unfused.LatencyMs {
+		t.Errorf("fusion did not reduce latency: %v >= %v", fused.LatencyMs, unfused.LatencyMs)
+	}
+	if fused.Kernels >= unfused.Kernels {
+		t.Errorf("fusion did not reduce kernels: %d >= %d", fused.Kernels, unfused.Kernels)
+	}
+	if fused.MemAccessBytes >= unfused.MemAccessBytes {
+		t.Errorf("fusion did not reduce memory accesses: %d >= %d",
+			fused.MemAccessBytes, unfused.MemAccessBytes)
+	}
+	if fused.PeakMemBytes > unfused.PeakMemBytes {
+		t.Errorf("fusion increased peak memory: %d > %d", fused.PeakMemBytes, unfused.PeakMemBytes)
+	}
+	if fused.UtilizationPct <= unfused.UtilizationPct {
+		t.Errorf("fusion did not improve utilization: %.1f%% <= %.1f%%",
+			fused.UtilizationPct, unfused.UtilizationPct)
+	}
+	for name, misses := range fused.CacheMisses {
+		if misses >= unfused.CacheMisses[name] {
+			t.Errorf("%s misses not reduced: %d >= %d", name, misses, unfused.CacheMisses[name])
+		}
+	}
+}
+
+func TestSimulateGPUBenefitsMoreFromFusion(t *testing.T) {
+	// The paper: GPU gains more from fusion because of launch overhead
+	// and smaller caches.
+	ratio := func(dev *device.Device) float64 {
+		_, e := buildMLP(t)
+		fused, err := Simulate(e, fusion.GeneratePlan(e, fusion.Options{}), dev, Options{OtherOpt: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, e2 := buildMLP(t)
+		unfused, err := Simulate(e2, fusion.SingletonPlan(e2), dev, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return unfused.LatencyMs / fused.LatencyMs
+	}
+	cpu := ratio(device.Snapdragon865CPU())
+	gpu := ratio(device.Adreno650())
+	if gpu <= cpu {
+		t.Errorf("GPU fusion speedup %.2fx should exceed CPU %.2fx", gpu, cpu)
+	}
+}
+
+func TestSimulateQualityScalesLatency(t *testing.T) {
+	_, e := buildMLP(t)
+	plan := fusion.SingletonPlan(e)
+	dev := device.Snapdragon865CPU()
+	good, _ := Simulate(e, plan, dev, Options{Quality: 1.0})
+	bad, _ := Simulate(e, plan, dev, Options{Quality: 0.5})
+	if bad.LatencyMs <= good.LatencyMs {
+		t.Errorf("lower quality should be slower: %v <= %v", bad.LatencyMs, good.LatencyMs)
+	}
+}
+
+func TestSimulateKernelCacheShared(t *testing.T) {
+	cache := codegen.NewCache()
+	_, e := buildMLP(t)
+	if _, err := Simulate(e, fusion.GeneratePlan(e, fusion.Options{}), device.Snapdragon865CPU(),
+		Options{Cache: cache}); err != nil {
+		t.Fatal(err)
+	}
+	misses := cache.Misses
+	_, e2 := buildMLP(t)
+	if _, err := Simulate(e2, fusion.GeneratePlan(e2, fusion.Options{}), device.Snapdragon865CPU(),
+		Options{Cache: cache}); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Hits != misses {
+		t.Errorf("cache hits = %d, want %d (identical model reuses all kernels)", cache.Hits, misses)
+	}
+}
+
+func TestPlanMemoryReuse(t *testing.T) {
+	// A chain of equal-size elementwise ops reuses buffers: peak must be
+	// far below the sum of all intermediates.
+	g := graph.New("chain")
+	x := g.AddInput("x", tensor.Of(1024))
+	v := x
+	for i := 0; i < 10; i++ {
+		v = g.Apply1(ops.NewExp(), v)
+	}
+	g.MarkOutput(v)
+	e := ecg.Build(g)
+	plan := fusion.SingletonPlan(e)
+	order, err := scheduleBlocks(plan, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := PlanMemory(plan, order, g)
+	total := g.IntermediateBytes() + 4*1024
+	if peak >= total/2 {
+		t.Errorf("peak %d too close to no-reuse total %d", peak, total)
+	}
+	if peak < 2*4*1024 {
+		t.Errorf("peak %d below the two live buffers a chain needs", peak)
+	}
+}
+
+func TestScheduleBlocksRespectsDeps(t *testing.T) {
+	g, e := buildMLP(t)
+	plan := fusion.GeneratePlan(e, fusion.Options{})
+	order, err := scheduleBlocks(plan, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[*fusion.Block]int{}
+	for i, b := range order {
+		pos[b] = i
+	}
+	for _, b := range order {
+		for _, in := range b.Inputs() {
+			if in.Producer == nil {
+				continue
+			}
+			p := plan.BlockOf(in.Producer)
+			if p != b && pos[p] >= pos[b] {
+				t.Fatalf("block order violates dependency")
+			}
+		}
+	}
+}
+
+func TestDevicePriceMonotonicity(t *testing.T) {
+	dev := device.Snapdragon865CPU()
+	small := dev.Price(device.Work{FLOPs: 1000, ReadBytes: 1 << 10, WriteBytes: 1 << 10})
+	big := dev.Price(device.Work{FLOPs: 1000000, ReadBytes: 1 << 20, WriteBytes: 1 << 20})
+	if big.TimeMs <= small.TimeMs {
+		t.Errorf("bigger kernel not slower: %v <= %v", big.TimeMs, small.TimeMs)
+	}
+	heavy := dev.Price(device.Work{FLOPs: 1 << 30, ReadBytes: 1 << 20, WriteBytes: 1 << 20, Heavy: true})
+	light := dev.Price(device.Work{FLOPs: 1 << 30, ReadBytes: 1 << 20, WriteBytes: 1 << 20, Heavy: false})
+	if heavy.ComputeMs >= light.ComputeMs {
+		t.Errorf("heavy kernels should hit higher efficiency: %v >= %v", heavy.ComputeMs, light.ComputeMs)
+	}
+	opt := dev.Price(device.Work{FLOPs: 1 << 30, ReadBytes: 1 << 20, WriteBytes: 1 << 20, Heavy: true, LayoutOptimized: true})
+	if opt.ComputeMs >= heavy.ComputeMs {
+		t.Errorf("layout optimization should speed heavy kernels: %v >= %v", opt.ComputeMs, heavy.ComputeMs)
+	}
+}

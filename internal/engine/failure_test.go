@@ -1,0 +1,99 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"dnnfusion/internal/device"
+	"dnnfusion/internal/ecg"
+	"dnnfusion/internal/fusion"
+	"dnnfusion/internal/graph"
+	"dnnfusion/internal/ops"
+	"dnnfusion/internal/tensor"
+)
+
+// Failure-injection coverage: the engine must fail loudly and descriptively
+// on malformed inputs rather than producing silent garbage.
+
+func TestRunMissingFeed(t *testing.T) {
+	g, e := buildMLP(t)
+	plan := fusion.GeneratePlan(e, fusion.Options{})
+	_, err := Run(e, plan, map[*graph.Value]*tensor.Tensor{})
+	if err == nil {
+		t.Fatal("Run without feeds succeeded")
+	}
+	if !strings.Contains(err.Error(), "missing") {
+		t.Errorf("error should mention the missing input: %v", err)
+	}
+	_ = g
+}
+
+func TestRunWrongShapeFeed(t *testing.T) {
+	g, e := buildMLP(t)
+	plan := fusion.GeneratePlan(e, fusion.Options{})
+	bad := map[*graph.Value]*tensor.Tensor{g.Inputs[0]: tensor.New(2, 2)}
+	if _, err := Run(e, plan, bad); err == nil {
+		t.Fatal("Run with wrong-shape feed succeeded")
+	}
+}
+
+func TestBuildPlanRejectsBadGroups(t *testing.T) {
+	g, e := buildMLP(t)
+	// Missing nodes.
+	if _, err := fusion.BuildPlan(e, [][]*graph.Node{{g.Nodes[0]}}); err == nil {
+		t.Error("BuildPlan with partial coverage succeeded")
+	}
+	// Duplicate nodes.
+	all := make([][]*graph.Node, 0, len(g.Nodes)+1)
+	for _, n := range g.Nodes {
+		all = append(all, []*graph.Node{n})
+	}
+	all = append(all, []*graph.Node{g.Nodes[0]})
+	if _, err := fusion.BuildPlan(e, all); err == nil {
+		t.Error("BuildPlan with duplicated node succeeded")
+	}
+	// Empty group.
+	if _, err := fusion.BuildPlan(e, [][]*graph.Node{{}}); err == nil {
+		t.Error("BuildPlan with empty group succeeded")
+	}
+}
+
+func TestScheduleBlocksDetectsCycle(t *testing.T) {
+	// Hand-build a cyclic grouping: {Relu, Add} around an exterior
+	// Softmax (the configuration the planner must never produce) and
+	// verify the scheduler reports it instead of hanging.
+	g := graph.New("cyclic")
+	x := g.AddInput("x", tensor.Of(4, 4))
+	relu := g.Apply1(ops.NewRelu(), x)
+	sm := g.Apply1(ops.NewSoftmax(-1), relu)
+	add := g.Apply1(ops.NewAdd(), relu, sm)
+	g.MarkOutput(add)
+	e := ecg.Build(g)
+	plan, err := fusion.BuildPlan(e, [][]*graph.Node{
+		{g.Nodes[0], g.Nodes[2]}, // Relu + Add fused around the Softmax
+		{g.Nodes[1]},             // Softmax alone
+	})
+	if err != nil {
+		t.Fatalf("BuildPlan: %v", err)
+	}
+	if _, err := scheduleBlocks(plan, g); err == nil {
+		t.Fatal("scheduler accepted a cyclic block grouping")
+	}
+	if _, err := Simulate(e, plan, nil, Options{}); err == nil {
+		t.Fatal("Simulate accepted a cyclic block grouping")
+	}
+}
+
+func TestSimulateEmptyGraph(t *testing.T) {
+	g := graph.New("empty")
+	g.AddInput("x", tensor.Of(1))
+	e := ecg.Build(g)
+	plan := fusion.SingletonPlan(e)
+	rep, err := Simulate(e, plan, device.Snapdragon865CPU(), Options{})
+	if err != nil {
+		t.Fatalf("Simulate of empty graph: %v", err)
+	}
+	if rep.Kernels != 0 || rep.LatencyMs != 0 {
+		t.Errorf("empty graph produced work: %+v", rep)
+	}
+}

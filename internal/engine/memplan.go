@@ -1,0 +1,89 @@
+package engine
+
+import (
+	"dnnfusion/internal/fusion"
+	"dnnfusion/internal/graph"
+)
+
+// PlanMemory computes the peak activation memory (bytes) of executing the
+// blocks in the given order with liveness-driven buffer reuse: each block
+// output gets a buffer (reusing a freed one when it fits), and buffers are
+// freed once their last consuming block has run. Weights are excluded (the
+// caller adds ParamBytes). This is the memory-consumption (MC) quantity of
+// Figure 8: fusion shrinks it by eliminating materialized intermediates.
+func PlanMemory(plan *fusion.Plan, order []*fusion.Block, g *graph.Graph) int64 {
+	// Remaining consumer-block counts per materialized value.
+	remaining := map[*graph.Value]int{}
+	consumersOf := func(v *graph.Value) map[*fusion.Block]bool {
+		blocks := map[*fusion.Block]bool{}
+		for _, c := range v.Consumers {
+			b := plan.BlockOf(c)
+			if b != nil && (v.Producer == nil || b != plan.BlockOf(v.Producer)) {
+				blocks[b] = true
+			}
+		}
+		return blocks
+	}
+
+	type buffer struct {
+		size int64
+		free bool
+	}
+	var buffers []*buffer
+	bufferOf := map[*graph.Value]*buffer{}
+	var current, peak int64
+
+	alloc := func(size int64) *buffer {
+		// Best-fit reuse: the smallest free buffer that holds the value,
+		// without more than 2x internal waste.
+		var best *buffer
+		for _, b := range buffers {
+			if b.free && b.size >= size && b.size <= 2*size {
+				if best == nil || b.size < best.size {
+					best = b
+				}
+			}
+		}
+		if best != nil {
+			best.free = false
+			return best
+		}
+		b := &buffer{size: size}
+		buffers = append(buffers, b)
+		current += size
+		if current > peak {
+			peak = current
+		}
+		return b
+	}
+	release := func(b *buffer) { b.free = true }
+
+	// Model inputs are live from the start.
+	for _, in := range g.Inputs {
+		bufferOf[in] = alloc(in.Shape.Bytes())
+		remaining[in] = len(consumersOf(in))
+	}
+
+	for _, blk := range order {
+		for _, out := range blk.Outputs() {
+			cons := consumersOf(out)
+			remaining[out] = len(cons)
+			bufferOf[out] = alloc(out.Shape.Bytes())
+		}
+		for _, in := range blk.Inputs() {
+			if in.Kind == graph.Weight {
+				continue
+			}
+			if _, tracked := remaining[in]; !tracked {
+				continue
+			}
+			remaining[in]--
+			if remaining[in] == 0 && in.Kind != graph.Output {
+				if b := bufferOf[in]; b != nil {
+					release(b)
+				}
+			}
+		}
+	}
+	return peak
+}

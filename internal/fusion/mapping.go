@@ -1,0 +1,118 @@
+// Package fusion implements DNNFusion's fusion analysis and plan generation:
+// the mapping-type combination table (paper Table 3) and the light-weight
+// profile-driven fusion plan exploration algorithm (paper §4.3, Listing 1).
+package fusion
+
+import "dnnfusion/internal/ops"
+
+// Decision classifies the fusion of two mapping types (the colors of
+// Table 3).
+type Decision int
+
+const (
+	// FuseThrough (green): legal and profitable; fuse without further
+	// analysis.
+	FuseThrough Decision = iota
+	// FuseDepend (yellow): legal, but profitability requires profiling
+	// (a profile-database lookup or an on-line measurement).
+	FuseDepend
+	// FuseBreak (red): illegal or clearly unprofitable; abort.
+	FuseBreak
+)
+
+var decisionNames = [...]string{"fuse_through", "fuse_depend", "fuse_break"}
+
+func (d Decision) String() string { return decisionNames[d] }
+
+// combineCell is one cell of Table 3.
+type combineCell struct {
+	result   ops.MappingType
+	decision Decision
+}
+
+// combineTable is Table 3. Rows are the first operator's mapping type,
+// columns the second's, in impedance order (One-to-One, Reorganize,
+// Shuffle, One-to-Many, Many-to-Many).
+//
+// The structure follows the paper's "transformation impedance" rules
+// (§3.2): One-to-One never changes the other type; Reorganize and Shuffle
+// absorb One-to-One and, when paired with each other, resolve to
+// Reorganize; One-to-Many and Many-to-Many dominate everything. The colors
+// give 13 green, 10 yellow and 2 red cells; the paper's 23 code-generation
+// rules per backend correspond exactly to the 23 non-red cells.
+var combineTable = [5][5]combineCell{
+	// First op: One-to-One — fusing with anything is profitable (green).
+	ops.OneToOne: {
+		ops.OneToOne:   {ops.OneToOne, FuseThrough},
+		ops.Reorganize: {ops.Reorganize, FuseThrough},
+		ops.Shuffle:    {ops.Shuffle, FuseThrough},
+		ops.OneToMany:  {ops.OneToMany, FuseThrough},
+		ops.ManyToMany: {ops.ManyToMany, FuseThrough},
+	},
+	// First op: Reorganize — index composition with One-to-One/Reorganize/
+	// Shuffle is free (green); against expanding or reducing ops the data
+	// access order may degrade, so profile (yellow).
+	ops.Reorganize: {
+		ops.OneToOne:   {ops.Reorganize, FuseThrough},
+		ops.Reorganize: {ops.Reorganize, FuseThrough},
+		ops.Shuffle:    {ops.Reorganize, FuseThrough},
+		ops.OneToMany:  {ops.OneToMany, FuseDepend},
+		ops.ManyToMany: {ops.ManyToMany, FuseDepend},
+	},
+	// First op: Shuffle — same reasoning as Reorganize (the paper's
+	// Expand/Transpose example is the yellow case).
+	ops.Shuffle: {
+		ops.OneToOne:   {ops.Shuffle, FuseThrough},
+		ops.Reorganize: {ops.Reorganize, FuseThrough},
+		ops.Shuffle:    {ops.Shuffle, FuseThrough},
+		ops.OneToMany:  {ops.OneToMany, FuseDepend},
+		ops.ManyToMany: {ops.ManyToMany, FuseDepend},
+	},
+	// First op: One-to-Many — feeding a Many-to-Many op distributes the
+	// continuous input the compute op wants (Expand→Conv), so red;
+	// other combinations may introduce data copies, so profile.
+	ops.OneToMany: {
+		ops.OneToOne:   {ops.OneToMany, FuseThrough},
+		ops.Reorganize: {ops.OneToMany, FuseDepend},
+		ops.Shuffle:    {ops.OneToMany, FuseDepend},
+		ops.OneToMany:  {ops.OneToMany, FuseDepend},
+		ops.ManyToMany: {ops.ManyToMany, FuseBreak},
+	},
+	// First op: Many-to-Many — epilogue fusion with One-to-One is the
+	// classic profitable case (Conv+ReLU, GEMM+Add); Many-to-Many with
+	// Many-to-Many (Conv→Conv) wrecks register/cache usage, so red;
+	// the rest require profiling (Conv→Expand vs Conv→Resize example).
+	ops.ManyToMany: {
+		ops.OneToOne:   {ops.ManyToMany, FuseThrough},
+		ops.Reorganize: {ops.ManyToMany, FuseDepend},
+		ops.Shuffle:    {ops.ManyToMany, FuseDepend},
+		ops.OneToMany:  {ops.ManyToMany, FuseDepend},
+		ops.ManyToMany: {ops.ManyToMany, FuseBreak},
+	},
+}
+
+// Combine returns the mapping type of the operator resulting from fusing
+// first followed by second, and the fusion decision (Table 3).
+func Combine(first, second ops.MappingType) (ops.MappingType, Decision) {
+	c := combineTable[first][second]
+	return c.result, c.decision
+}
+
+// TableCounts tallies the decision colors of the 25 cells; the paper's
+// Table 3 implies 13 green, 10 yellow, 2 red (23 code-generation rules, one
+// per non-red cell).
+func TableCounts() (green, yellow, red int) {
+	for _, row := range combineTable {
+		for _, c := range row {
+			switch c.decision {
+			case FuseThrough:
+				green++
+			case FuseDepend:
+				yellow++
+			case FuseBreak:
+				red++
+			}
+		}
+	}
+	return
+}

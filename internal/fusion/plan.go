@@ -1,0 +1,512 @@
+package fusion
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dnnfusion/internal/ecg"
+	"dnnfusion/internal/graph"
+	"dnnfusion/internal/ops"
+)
+
+// SeedPolicy selects fusion seed operators (§4.3 Step I). The paper's
+// policy is MinIRS; the others exist for the ablation benchmarks.
+type SeedPolicy int
+
+const (
+	// SeedMinIRS picks the One-to-One operator with the smallest
+	// intermediate result first (the paper's heuristic).
+	SeedMinIRS SeedPolicy = iota
+	// SeedMaxIRS picks the largest intermediate result first (ablation).
+	SeedMaxIRS
+	// SeedNone disables seeding: every unfused op is visited in topo
+	// order (ablation; approximates pattern-free greedy fusion).
+	SeedNone
+)
+
+// LatencyFunc estimates the latency (in milliseconds) of executing the given
+// nodes as a single fused kernel. The fusion planner calls it for yellow
+// (fuse_depend) decisions; internal/core wires it to the device cost model
+// through the profiling database.
+type LatencyFunc func(nodes []*graph.Node) float64
+
+// Options tunes plan generation.
+type Options struct {
+	// MaxBlockOps bounds operators per block (constraint analysis,
+	// Listing 1 step 2.2). Zero means the default of 40.
+	MaxBlockOps int
+	// MaxBlockInputs bounds distinct exterior inputs per block, a proxy
+	// for register pressure. Zero means the default of 24.
+	MaxBlockInputs int
+	// Latency resolves yellow decisions; nil accepts them optimistically.
+	Latency LatencyFunc
+	// Seeds selects the seed policy.
+	Seeds SeedPolicy
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBlockOps == 0 {
+		o.MaxBlockOps = 40
+	}
+	if o.MaxBlockInputs == 0 {
+		o.MaxBlockInputs = 24
+	}
+	return o
+}
+
+// Block is a candidate fusion block: a connected set of operators compiled
+// into one kernel.
+type Block struct {
+	ID    int
+	Seed  *graph.Node
+	Nodes []*graph.Node
+	// Mapping is the fused operator's mapping type, evolved via Combine.
+	Mapping ops.MappingType
+	nodeSet map[*graph.Node]bool
+}
+
+// Contains reports whether n belongs to the block.
+func (b *Block) Contains(n *graph.Node) bool { return b.nodeSet[n] }
+
+// Size returns the number of fused operators.
+func (b *Block) Size() int { return len(b.Nodes) }
+
+// Inputs returns the distinct exterior input values of the block
+// (runtime inputs, weights, and other blocks' outputs).
+func (b *Block) Inputs() []*graph.Value {
+	var out []*graph.Value
+	seen := map[*graph.Value]bool{}
+	for _, n := range b.Nodes {
+		for _, in := range n.Inputs {
+			if in.Producer != nil && b.nodeSet[in.Producer] {
+				continue
+			}
+			if !seen[in] {
+				seen[in] = true
+				out = append(out, in)
+			}
+		}
+	}
+	return out
+}
+
+// Outputs returns the block's values that must be materialized: values
+// consumed outside the block or that are graph outputs.
+func (b *Block) Outputs() []*graph.Value {
+	var out []*graph.Value
+	for _, n := range b.Nodes {
+		for _, v := range n.Outputs {
+			if v.Kind == graph.Output {
+				out = append(out, v)
+				continue
+			}
+			external := false
+			for _, c := range v.Consumers {
+				if !b.nodeSet[c] {
+					external = true
+					break
+				}
+			}
+			if external {
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+func (b *Block) String() string {
+	names := make([]string, len(b.Nodes))
+	for i, n := range b.Nodes {
+		names[i] = n.Op.Type()
+	}
+	return fmt.Sprintf("block#%d{%s}", b.ID, strings.Join(names, "+"))
+}
+
+// Plan is a complete fusion plan: a partition of the graph's nodes into
+// blocks, plus planning statistics.
+type Plan struct {
+	Blocks  []*Block
+	blockOf map[*graph.Node]*Block
+
+	// ProfileQueries counts yellow decisions resolved via Latency.
+	ProfileQueries int
+	// GreenFusions and YellowFusions count accepted fusions by decision.
+	GreenFusions  int
+	YellowFusions int
+	// BrokenByTable, BrokenByConstraint, BrokenByCycle, BrokenByProfile
+	// count rejected fusion attempts by cause.
+	BrokenByTable      int
+	BrokenByConstraint int
+	BrokenByCycle      int
+	BrokenByProfile    int
+}
+
+// BlockOf returns the block containing n.
+func (p *Plan) BlockOf(n *graph.Node) *Block { return p.blockOf[n] }
+
+// FusedLayerCount is the number of kernels after fusion (Table 5's "layer
+// count after opt").
+func (p *Plan) FusedLayerCount() int { return len(p.Blocks) }
+
+// IRSBytesAfter totals the bytes of values still materialized under the
+// plan (Table 5's "IRS size after opt").
+func (p *Plan) IRSBytesAfter() int64 {
+	var total int64
+	for _, b := range p.Blocks {
+		for _, v := range b.Outputs() {
+			total += v.Shape.Bytes()
+		}
+	}
+	return total
+}
+
+// MarkRemovable sets IR_removable in the ECG for every value whose
+// consumers are all fused with its producer (paper §3.2).
+func (p *Plan) MarkRemovable(e *ecg.ECG) int {
+	removed := 0
+	for _, b := range p.Blocks {
+		for _, n := range b.Nodes {
+			for _, v := range n.Outputs {
+				if v.Kind == graph.Output {
+					continue
+				}
+				removable := true
+				for _, c := range v.Consumers {
+					if !b.nodeSet[c] {
+						removable = false
+						break
+					}
+				}
+				if info, ok := e.Value[v]; ok && removable {
+					info.IRRemovable = true
+					removed++
+				}
+			}
+		}
+	}
+	return removed
+}
+
+// planner carries the in-progress state of Listing 1.
+type planner struct {
+	e       *ecg.ECG
+	opts    Options
+	plan    *Plan
+	unfused map[*graph.Node]bool
+	nextID  int
+}
+
+// GeneratePlan runs the fusion plan exploration algorithm (Listing 1) over
+// the annotated graph.
+func GeneratePlan(e *ecg.ECG, opts Options) *Plan {
+	p := &planner{
+		e:       e,
+		opts:    opts.withDefaults(),
+		plan:    &Plan{blockOf: make(map[*graph.Node]*Block)},
+		unfused: make(map[*graph.Node]bool, len(e.G.Nodes)),
+	}
+	order := e.G.TopoSort()
+	for _, n := range order {
+		p.unfused[n] = true
+	}
+
+	// Step 1: iterate seeds until exhausted.
+	for {
+		seed := p.generateSeed(order)
+		if seed == nil {
+			break
+		}
+		block := p.newBlock(seed)
+		// Step 2: propagate along successors.
+		for _, succ := range successors(seed) {
+			p.fuseSuccessor(block, succ)
+		}
+		// Step 3: propagate along predecessors.
+		for _, pred := range predecessors(seed) {
+			p.fusePredecessor(block, pred)
+		}
+	}
+
+	// Remaining operators become singleton blocks in topo order.
+	for _, n := range order {
+		if p.unfused[n] {
+			p.newBlock(n)
+		}
+	}
+	// Blocks were created seed-first; order them topologically for
+	// consumers (the engine re-sorts anyway, but deterministic output
+	// helps tests and printing).
+	sortBlocksTopo(p.plan, order)
+	return p.plan
+}
+
+// generateSeed implements Listing 1 lines 1-5 for the configured policy.
+func (p *planner) generateSeed(order []*graph.Node) *graph.Node {
+	var best *graph.Node
+	var bestBytes int64
+	for _, n := range order {
+		if !p.unfused[n] {
+			continue
+		}
+		if p.opts.Seeds == SeedNone {
+			return n
+		}
+		if p.e.Mapping(n) != ops.OneToOne {
+			continue
+		}
+		var bytes int64
+		for _, out := range n.Outputs {
+			bytes += out.Shape.Bytes()
+		}
+		if best == nil ||
+			(p.opts.Seeds == SeedMinIRS && bytes < bestBytes) ||
+			(p.opts.Seeds == SeedMaxIRS && bytes > bestBytes) {
+			best = n
+			bestBytes = bytes
+		}
+	}
+	if best == nil && p.opts.Seeds != SeedNone {
+		// No One-to-One ops left; fall back to any unfused op so every
+		// node still gets explored (deep models always have seeds).
+		for _, n := range order {
+			if p.unfused[n] {
+				return n
+			}
+		}
+	}
+	return best
+}
+
+func (p *planner) newBlock(seed *graph.Node) *Block {
+	b := &Block{
+		ID:      p.nextID,
+		Seed:    seed,
+		Nodes:   []*graph.Node{seed},
+		Mapping: p.e.Mapping(seed),
+		nodeSet: map[*graph.Node]bool{seed: true},
+	}
+	p.nextID++
+	p.plan.Blocks = append(p.plan.Blocks, b)
+	p.plan.blockOf[seed] = b
+	delete(p.unfused, seed)
+	return b
+}
+
+func (p *planner) admit(b *Block, n *graph.Node, newMapping ops.MappingType, d Decision) {
+	b.Nodes = append(b.Nodes, n)
+	b.nodeSet[n] = true
+	b.Mapping = newMapping
+	p.plan.blockOf[n] = b
+	delete(p.unfused, n)
+	if d == FuseThrough {
+		p.plan.GreenFusions++
+	} else {
+		p.plan.YellowFusions++
+	}
+}
+
+// fuseSuccessor implements Listing 1 lines 7-24.
+func (p *planner) fuseSuccessor(b *Block, succ *graph.Node) {
+	if !p.unfused[succ] || b.Contains(succ) {
+		return
+	}
+	// Step 2.1: mapping type analysis against the block's evolved type.
+	newMapping, d := Combine(b.Mapping, p.e.Mapping(succ))
+	if d == FuseBreak {
+		p.plan.BrokenByTable++
+		return
+	}
+	// Step 2.2: constraint analysis (register pressure / block size).
+	if !p.checkConstraints(b, succ) {
+		p.plan.BrokenByConstraint++
+		return
+	}
+	if p.wouldCreateCycle(b, succ) {
+		p.plan.BrokenByCycle++
+		return
+	}
+	// Step 2.3: profile-based selection for yellow decisions.
+	if d == FuseDepend && !p.profitable(b, succ) {
+		p.plan.BrokenByProfile++
+		return
+	}
+	p.admit(b, succ, newMapping, d)
+	// Step 2.4: recurse to the successor's successors.
+	for _, next := range successors(succ) {
+		p.fuseSuccessor(b, next)
+	}
+}
+
+// fusePredecessor mirrors fuseSuccessor along the predecessor direction
+// (Listing 1 lines 27-28); the combination order is reversed.
+func (p *planner) fusePredecessor(b *Block, pred *graph.Node) {
+	if !p.unfused[pred] || b.Contains(pred) {
+		return
+	}
+	newMapping, d := Combine(p.e.Mapping(pred), b.Mapping)
+	if d == FuseBreak {
+		p.plan.BrokenByTable++
+		return
+	}
+	if !p.checkConstraints(b, pred) {
+		p.plan.BrokenByConstraint++
+		return
+	}
+	if p.wouldCreateCycle(b, pred) {
+		p.plan.BrokenByCycle++
+		return
+	}
+	if d == FuseDepend && !p.profitable(b, pred) {
+		p.plan.BrokenByProfile++
+		return
+	}
+	p.admit(b, pred, newMapping, d)
+	for _, prev := range predecessors(pred) {
+		p.fusePredecessor(b, prev)
+	}
+}
+
+// checkConstraints is Listing 1 step 2.2: reject fusions that would exceed
+// the block-size or register-pressure thresholds.
+func (p *planner) checkConstraints(b *Block, candidate *graph.Node) bool {
+	if b.Size()+1 > p.opts.MaxBlockOps {
+		return false
+	}
+	// Count distinct exterior inputs with the candidate admitted.
+	seen := map[*graph.Value]bool{}
+	inputs := 0
+	member := func(n *graph.Node) bool { return b.nodeSet[n] || n == candidate }
+	count := func(n *graph.Node) {
+		for _, in := range n.Inputs {
+			if in.Producer != nil && member(in.Producer) {
+				continue
+			}
+			if !seen[in] {
+				seen[in] = true
+				inputs++
+			}
+		}
+	}
+	for _, n := range b.Nodes {
+		count(n)
+	}
+	count(candidate)
+	return inputs <= p.opts.MaxBlockInputs
+}
+
+// profitable is Listing 1 step 2.3: fuse only if the fused kernel is
+// predicted no slower than running the block and the candidate separately.
+func (p *planner) profitable(b *Block, candidate *graph.Node) bool {
+	if p.opts.Latency == nil {
+		return true
+	}
+	p.plan.ProfileQueries++
+	fused := append(append([]*graph.Node(nil), b.Nodes...), candidate)
+	tFused := p.opts.Latency(fused)
+	tSplit := p.opts.Latency(b.Nodes) + p.opts.Latency([]*graph.Node{candidate})
+	return tFused <= tSplit
+}
+
+// wouldCreateCycle reports whether admitting candidate would create a
+// dependency cycle at kernel granularity: a path block → … → block that
+// leaves the set. Exterior traversal must treat already-committed blocks as
+// atomic supernodes — entering any member of a committed block reaches the
+// whole block, because it executes as one kernel. (Without the expansion,
+// two blocks can be individually convex at the node level yet cyclic at the
+// block level; found by the randomized integration tests.)
+func (p *planner) wouldCreateCycle(b *Block, candidate *graph.Node) bool {
+	inSet := func(n *graph.Node) bool { return b.nodeSet[n] || n == candidate }
+	var stack []*graph.Node
+	visited := map[*graph.Node]bool{}
+	push := func(n *graph.Node) {
+		if visited[n] || inSet(n) {
+			return
+		}
+		visited[n] = true
+		stack = append(stack, n)
+		// Atomic-block expansion: reaching one member of a committed
+		// block reaches all of it.
+		if other := p.plan.blockOf[n]; other != nil {
+			for _, sib := range other.Nodes {
+				if !visited[sib] && !inSet(sib) {
+					visited[sib] = true
+					stack = append(stack, sib)
+				}
+			}
+		}
+	}
+	for _, n := range append([]*graph.Node{candidate}, b.Nodes...) {
+		for _, out := range n.Outputs {
+			for _, c := range out.Consumers {
+				push(c)
+			}
+		}
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, out := range n.Outputs {
+			for _, c := range out.Consumers {
+				if inSet(c) {
+					return true
+				}
+				push(c)
+			}
+		}
+	}
+	return false
+}
+
+func successors(n *graph.Node) []*graph.Node {
+	var out []*graph.Node
+	seen := map[*graph.Node]bool{}
+	for _, v := range n.Outputs {
+		for _, c := range v.Consumers {
+			if !seen[c] {
+				seen[c] = true
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+func predecessors(n *graph.Node) []*graph.Node {
+	var out []*graph.Node
+	seen := map[*graph.Node]bool{}
+	for _, v := range n.Inputs {
+		if v.Producer != nil && !seen[v.Producer] {
+			seen[v.Producer] = true
+			out = append(out, v.Producer)
+		}
+	}
+	return out
+}
+
+// sortBlocksTopo orders blocks by the topological position of their
+// earliest node, which is a valid block-level schedule because blocks are
+// convex (cycle checks guarantee it).
+func sortBlocksTopo(p *Plan, order []*graph.Node) {
+	pos := make(map[*graph.Node]int, len(order))
+	for i, n := range order {
+		pos[n] = i
+	}
+	sort.SliceStable(p.Blocks, func(i, j int) bool {
+		return minPos(p.Blocks[i], pos) < minPos(p.Blocks[j], pos)
+	})
+	for i, b := range p.Blocks {
+		b.ID = i
+	}
+}
+
+func minPos(b *Block, pos map[*graph.Node]int) int {
+	m := int(^uint(0) >> 1)
+	for _, n := range b.Nodes {
+		if pos[n] < m {
+			m = pos[n]
+		}
+	}
+	return m
+}

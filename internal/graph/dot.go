@@ -1,0 +1,63 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DOT renders the graph in Graphviz format for inspection; fused plans and
+// rewritten graphs in the examples are emitted with it.
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n", g.Name)
+	for _, v := range g.Inputs {
+		fmt.Fprintf(&b, "  v%d [label=%q, shape=ellipse];\n", v.ID, fmt.Sprintf("%s %s", v.Name, v.Shape))
+	}
+	for _, n := range g.Nodes {
+		label := n.Op.Type()
+		if k := n.Op.AttrKey(); k != "" {
+			label += "\\n" + k
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q];\n", n.ID, label)
+		for _, in := range n.Inputs {
+			switch {
+			case in.Producer != nil:
+				fmt.Fprintf(&b, "  n%d -> n%d [label=%q];\n", in.Producer.ID, n.ID, in.Shape.String())
+			case in.Kind == Input:
+				fmt.Fprintf(&b, "  v%d -> n%d;\n", in.ID, n.ID)
+			default: // weight: rendered as a small dot to reduce clutter
+				fmt.Fprintf(&b, "  w%d [label=%q, shape=point];\n  w%d -> n%d;\n",
+					in.ID, in.Name, in.ID, n.ID)
+			}
+		}
+	}
+	for i, out := range g.Outputs {
+		fmt.Fprintf(&b, "  out%d [label=%q, shape=ellipse];\n", i, fmt.Sprintf("out %s", out.Shape))
+		if out.Producer != nil {
+			fmt.Fprintf(&b, "  n%d -> out%d;\n", out.Producer.ID, i)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Summary returns a one-line-per-op-type census of the graph, useful for
+// comparing layer counts before and after optimization.
+func (g *Graph) Summary() string {
+	counts := map[string]int{}
+	for _, n := range g.Nodes {
+		counts[n.Op.Type()]++
+	}
+	types := make([]string, 0, len(counts))
+	for t := range counts {
+		types = append(types, t)
+	}
+	sort.Strings(types)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d nodes, %d values\n", g.Name, len(g.Nodes), len(g.Values))
+	for _, t := range types {
+		fmt.Fprintf(&b, "  %-24s %d\n", t, counts[t])
+	}
+	return b.String()
+}

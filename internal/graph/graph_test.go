@@ -1,0 +1,203 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+
+	"dnnfusion/internal/ops"
+	"dnnfusion/internal/tensor"
+)
+
+// buildDiamond constructs x -> Relu -> {Exp, Neg} -> Add -> out.
+func buildDiamond(t *testing.T) (*Graph, *Value) {
+	t.Helper()
+	g := New("diamond")
+	x := g.AddInput("x", tensor.Of(2, 3))
+	r := g.Apply1(ops.NewRelu(), x)
+	e := g.Apply1(ops.NewExp(), r)
+	n := g.Apply1(ops.NewNeg(), r)
+	out := g.Apply1(ops.NewAdd(), e, n)
+	g.MarkOutput(out)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("diamond invalid: %v", err)
+	}
+	return g, out
+}
+
+func TestApplyAndValidate(t *testing.T) {
+	g, out := buildDiamond(t)
+	if len(g.Nodes) != 4 {
+		t.Errorf("nodes = %d, want 4", len(g.Nodes))
+	}
+	if out.Kind != Output {
+		t.Errorf("out kind = %v, want output", out.Kind)
+	}
+	if len(g.Inputs) != 1 || len(g.Outputs) != 1 {
+		t.Errorf("inputs/outputs = %d/%d", len(g.Inputs), len(g.Outputs))
+	}
+}
+
+func TestApplyShapeError(t *testing.T) {
+	g := New("bad")
+	a := g.AddInput("a", tensor.Of(2, 3))
+	b := g.AddInput("b", tensor.Of(2, 4))
+	if _, err := g.Apply(ops.NewAdd(), a, b); err == nil {
+		t.Fatal("Apply with mismatched shapes succeeded")
+	}
+}
+
+func TestTopoSortRespectsDeps(t *testing.T) {
+	g, _ := buildDiamond(t)
+	order := g.TopoSort()
+	pos := map[*Node]int{}
+	for i, n := range order {
+		pos[n] = i
+	}
+	for _, n := range g.Nodes {
+		for _, in := range n.Inputs {
+			if in.Producer != nil && pos[in.Producer] >= pos[n] {
+				t.Fatalf("topo order violates dependency %v -> %v", in.Producer, n)
+			}
+		}
+	}
+}
+
+func TestReplaceAllUses(t *testing.T) {
+	g := New("replace")
+	x := g.AddInput("x", tensor.Of(4))
+	a := g.Apply1(ops.NewRelu(), x)
+	b := g.Apply1(ops.NewExp(), a)
+	g.MarkOutput(b)
+
+	// Replace the Relu output with x directly (identity elimination).
+	if err := g.ReplaceAllUses(a, x); err != nil {
+		t.Fatalf("ReplaceAllUses: %v", err)
+	}
+	if removed := g.EliminateDeadNodes(); removed != 1 {
+		t.Errorf("EliminateDeadNodes removed %d, want 1 (the Relu)", removed)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("invalid after surgery: %v", err)
+	}
+	if len(g.Nodes) != 1 || g.Nodes[0].Op.Type() != "Exp" {
+		t.Errorf("unexpected nodes after surgery: %v", g.Nodes)
+	}
+	if g.Nodes[0].Inputs[0] != x {
+		t.Error("Exp not rewired to x")
+	}
+}
+
+func TestReplaceAllUsesShapeMismatch(t *testing.T) {
+	g := New("replace-bad")
+	x := g.AddInput("x", tensor.Of(4))
+	y := g.AddInput("y", tensor.Of(5))
+	a := g.Apply1(ops.NewRelu(), x)
+	if err := g.ReplaceAllUses(a, y); err == nil {
+		t.Fatal("ReplaceAllUses with shape mismatch succeeded")
+	}
+}
+
+func TestRemoveNodeGuards(t *testing.T) {
+	g, _ := buildDiamond(t)
+	relu := g.Nodes[0]
+	if err := g.RemoveNode(relu); err == nil {
+		t.Fatal("RemoveNode of still-consumed node succeeded")
+	}
+	addNode := g.Nodes[3]
+	if err := g.RemoveNode(addNode); err == nil {
+		t.Fatal("RemoveNode of output-producing node succeeded")
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	g, _ := buildDiamond(t)
+	c := g.Clone()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("clone invalid: %v", err)
+	}
+	if len(c.Nodes) != len(g.Nodes) || len(c.Values) != len(g.Values) {
+		t.Fatalf("clone size mismatch")
+	}
+	// Surgery on the clone must not affect the original.
+	reluOut := c.Nodes[0].Outputs[0]
+	_ = c.ReplaceAllUses(reluOut, c.Inputs[0])
+	c.EliminateDeadNodes()
+	if len(g.Nodes) != 4 {
+		t.Errorf("original mutated by clone surgery: %d nodes", len(g.Nodes))
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("original invalid after clone surgery: %v", err)
+	}
+}
+
+func TestCloneSharesWeights(t *testing.T) {
+	g := New("weights")
+	w := g.AddWeight("w", tensor.Full(2, 3))
+	x := g.AddInput("x", tensor.Of(3))
+	out := g.Apply1(ops.NewMul(), x, w)
+	g.MarkOutput(out)
+	c := g.Clone()
+	var cw *Value
+	for _, v := range c.Values {
+		if v.Kind == Weight {
+			cw = v
+		}
+	}
+	if cw == nil || cw.Data != w.Data {
+		t.Error("clone should share weight tensor storage")
+	}
+}
+
+func TestFLOPsAndBytes(t *testing.T) {
+	g := New("flops")
+	x := g.AddInput("x", tensor.Of(4, 8))
+	w := g.AddWeight("w", tensor.New(8, 2).Rand(1))
+	mm := g.Apply1(ops.NewMatMul(), x, w)
+	out := g.Apply1(ops.NewRelu(), mm)
+	g.MarkOutput(out)
+	if got := g.FLOPs(); got != 2*4*8*2+8 {
+		t.Errorf("FLOPs = %d, want %d", got, 2*4*8*2+8)
+	}
+	if got := g.ParamBytes(); got != 8*2*4 {
+		t.Errorf("ParamBytes = %d, want 64", got)
+	}
+	// Two produced values: MatMul out (4x2) and Relu out (4x2).
+	if got := g.IntermediateBytes(); got != 2*4*2*4 {
+		t.Errorf("IntermediateBytes = %d, want 64", got)
+	}
+}
+
+func TestDOTAndSummary(t *testing.T) {
+	g, _ := buildDiamond(t)
+	dot := g.DOT()
+	for _, want := range []string{"digraph", "Relu", "Add", "->"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q", want)
+		}
+	}
+	sum := g.Summary()
+	if !strings.Contains(sum, "Relu") || !strings.Contains(sum, "4 nodes") {
+		t.Errorf("Summary = %q", sum)
+	}
+}
+
+func TestMultiOutputSplit(t *testing.T) {
+	g := New("split")
+	x := g.AddInput("x", tensor.Of(4, 6))
+	outs, err := g.Apply(ops.NewSplit(1, 2, 4), x)
+	if err != nil {
+		t.Fatalf("Apply split: %v", err)
+	}
+	if len(outs) != 2 {
+		t.Fatalf("split outputs = %d", len(outs))
+	}
+	a := g.Apply1(ops.NewRelu(), outs[0])
+	b := g.Apply1(ops.NewRelu(), outs[1])
+	g.MarkOutput(a, b)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("split graph invalid: %v", err)
+	}
+	if outs[0].ProducerOut != 0 || outs[1].ProducerOut != 1 {
+		t.Error("ProducerOut slots wrong")
+	}
+}

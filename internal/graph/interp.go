@@ -1,0 +1,73 @@
+package graph
+
+import (
+	"fmt"
+
+	"dnnfusion/internal/ops"
+	"dnnfusion/internal/tensor"
+)
+
+// Interpret executes the graph node by node with the reference operator
+// implementations, materializing every intermediate. It is the semantic
+// ground truth that fused execution (internal/engine) and graph rewriting
+// (internal/rewrite) are tested against.
+func Interpret(g *Graph, feeds map[*Value]*tensor.Tensor) (map[*Value]*tensor.Tensor, error) {
+	env := make(map[*Value]*tensor.Tensor, len(g.Values))
+	for _, v := range g.Values {
+		if v.Kind == Weight {
+			if v.Data == nil {
+				return nil, fmt.Errorf("graph: weight %v has no data", v)
+			}
+			env[v] = v.Data
+		}
+	}
+	for _, in := range g.Inputs {
+		t, ok := feeds[in]
+		if !ok {
+			return nil, fmt.Errorf("graph: missing feed for input %v", in)
+		}
+		if !t.Shape().Equal(in.Shape) {
+			return nil, fmt.Errorf("graph: feed for %v has shape %v", in, t.Shape())
+		}
+		env[in] = t
+	}
+	for _, n := range g.TopoSort() {
+		ins := make([]*tensor.Tensor, len(n.Inputs))
+		for i, in := range n.Inputs {
+			t, ok := env[in]
+			if !ok {
+				return nil, fmt.Errorf("graph: %v input %v not computed", n, in)
+			}
+			ins[i] = t
+		}
+		outs, err := ops.Eval(n.Op, ins)
+		if err != nil {
+			return nil, fmt.Errorf("graph: %v: %w", n, err)
+		}
+		for o, out := range n.Outputs {
+			env[out] = outs[o]
+		}
+	}
+	results := make(map[*Value]*tensor.Tensor, len(g.Outputs))
+	for _, out := range g.Outputs {
+		t, ok := env[out]
+		if !ok {
+			return nil, fmt.Errorf("graph: output %v not computed", out)
+		}
+		results[out] = t
+	}
+	return results, nil
+}
+
+// InterpretOutputs is Interpret returning outputs in declaration order.
+func InterpretOutputs(g *Graph, feeds map[*Value]*tensor.Tensor) ([]*tensor.Tensor, error) {
+	m, err := Interpret(g, feeds)
+	if err != nil {
+		return nil, err
+	}
+	outs := make([]*tensor.Tensor, len(g.Outputs))
+	for i, v := range g.Outputs {
+		outs[i] = m[v]
+	}
+	return outs, nil
+}

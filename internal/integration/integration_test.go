@@ -1,0 +1,280 @@
+// Package integration_test drives the full compiler pipeline over
+// randomized graphs and asserts end-to-end semantic preservation: for every
+// generated DAG, DNNFusion's rewritten+fused execution, the no-fusion
+// configuration, and every baseline framework's transformed graph must all
+// agree with the reference interpreter. This is the executable form of the
+// fusion-legality argument of §3.2.
+package integration_test
+
+import (
+	"fmt"
+	"testing"
+
+	"dnnfusion/internal/baseline"
+	"dnnfusion/internal/codegen"
+	"dnnfusion/internal/core"
+	"dnnfusion/internal/device"
+	"dnnfusion/internal/ecg"
+	"dnnfusion/internal/engine"
+	"dnnfusion/internal/fusion"
+	"dnnfusion/internal/graph"
+	"dnnfusion/internal/ops"
+	"dnnfusion/internal/tensor"
+)
+
+// rng is a deterministic generator for reproducible random graphs.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return r.s
+}
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+const (
+	rows = 4
+	cols = 6
+)
+
+// randomGraph builds a random DAG over [4x6] tensors: unary and binary
+// elementwise ops, MatMul against square weights, Softmax, batch-norm-free
+// shuffle round trips, and random fan-out (diamonds). All operators keep
+// values in a numerically safe range for the fast-math rewrite rules.
+func randomGraph(seed uint64, size int) *graph.Graph {
+	r := &rng{s: seed*2654435761 + 1}
+	g := graph.New(fmt.Sprintf("rand-%d", seed))
+	pool := []*graph.Value{g.AddInput("x", tensor.Of(rows, cols))}
+	pick := func() *graph.Value { return pool[r.intn(len(pool))] }
+
+	weightID := 0
+	weight := func(dims ...int) *graph.Value {
+		weightID++
+		w := tensor.NewOf(tensor.Of(dims...)).Rand(seed + uint64(weightID))
+		for i, v := range w.Data() {
+			w.Data()[i] = v*0.4 + 0.6 // keep positive, bounded
+		}
+		return g.AddWeight(fmt.Sprintf("w%d", weightID), w)
+	}
+
+	for i := 0; i < size; i++ {
+		var v *graph.Value
+		switch r.intn(10) {
+		case 0, 1: // safe unary
+			unaries := []func() ops.Operator{
+				ops.NewRelu, ops.NewSigmoid, ops.NewTanh, ops.NewAbs,
+				ops.NewSqrt, ops.NewSquare, func() ops.Operator { return ops.NewLeakyRelu(0.1) },
+				func() ops.Operator { return ops.NewClip(0, 2) },
+				func() ops.Operator { return ops.NewMulConst(0.5) },
+				func() ops.Operator { return ops.NewAddConst(0.25) },
+			}
+			v = g.Apply1(unaries[r.intn(len(unaries))](), pick())
+		case 2, 3, 4: // binary over two pool values (may alias: x⊙x)
+			binaries := []func() ops.Operator{ops.NewAdd, ops.NewMul, ops.NewMin, ops.NewMax}
+			v = g.Apply1(binaries[r.intn(len(binaries))](), pick(), pick())
+		case 5: // MatMul against a square weight (shape-preserving)
+			v = g.Apply1(ops.NewMatMul(), pick(), weight(cols, cols))
+		case 6: // Softmax row-wise
+			v = g.Apply1(ops.NewSoftmax(-1), pick())
+		case 7: // shuffle round trip (rewriting fodder)
+			t1 := g.Apply1(ops.NewTranspose(1, 0), pick())
+			v = g.Apply1(ops.NewTranspose(1, 0), t1)
+		case 8: // reshape round trip
+			r1 := g.Apply1(ops.NewReshape(cols, rows), pick())
+			v = g.Apply1(ops.NewReshape(rows, cols), r1)
+		default: // broadcast add with a [cols] weight (One-to-Many)
+			v = g.Apply1(ops.NewAdd(), pick(), weight(cols))
+		}
+		pool = append(pool, v)
+	}
+	// The last value plus one random interior value become outputs (the
+	// interior output forces multi-output blocks).
+	g.MarkOutput(pool[len(pool)-1])
+	if extra := pick(); extra != pool[len(pool)-1] && extra.Kind == graph.Intermediate {
+		g.MarkOutput(extra)
+	}
+	return g
+}
+
+func feedsFor(g *graph.Graph, seed uint64) map[*graph.Value]*tensor.Tensor {
+	feeds := map[*graph.Value]*tensor.Tensor{}
+	for i, in := range g.Inputs {
+		x := tensor.NewOf(in.Shape).Rand(seed + 1000 + uint64(i))
+		for off, v := range x.Data() {
+			x.Data()[off] = v*0.4 + 0.6
+		}
+		feeds[in] = x
+	}
+	return feeds
+}
+
+func reference(t *testing.T, g *graph.Graph, feeds map[*graph.Value]*tensor.Tensor) []*tensor.Tensor {
+	t.Helper()
+	want, err := graph.InterpretOutputs(g, feeds)
+	if err != nil {
+		t.Fatalf("interpret: %v", err)
+	}
+	return want
+}
+
+func compare(t *testing.T, label string, got, want []*tensor.Tensor) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d outputs, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if !tensor.AllClose(got[i], want[i], 1e-3) {
+			t.Errorf("%s: output %d diverged (max diff %g)",
+				label, i, tensor.MaxAbsDiff(got[i], want[i]))
+		}
+	}
+}
+
+const randomSeeds = 40
+
+func TestFullPipelinePreservesSemantics(t *testing.T) {
+	for seed := uint64(1); seed <= randomSeeds; seed++ {
+		g := randomGraph(seed, 25)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("seed %d: invalid graph: %v", seed, err)
+		}
+		feeds := feedsFor(g, seed)
+		want := reference(t, g, feeds)
+
+		for _, cfg := range []struct {
+			label string
+			opts  core.Options
+		}{
+			{"full", core.Defaults()},
+			{"fusion-only", core.Options{Fusion: true}},
+			{"rewrite-only", core.Options{GraphRewrite: true}},
+			{"ourb", core.Options{}},
+		} {
+			c, err := core.Compile(g, cfg.opts)
+			if err != nil {
+				t.Fatalf("seed %d %s: compile: %v", seed, cfg.label, err)
+			}
+			inputs := make([]*tensor.Tensor, len(g.Inputs))
+			for i, in := range g.Inputs {
+				inputs[i] = feeds[in]
+			}
+			got, err := c.RunInputs(inputs...)
+			if err != nil {
+				t.Fatalf("seed %d %s: run: %v", seed, cfg.label, err)
+			}
+			compare(t, fmt.Sprintf("seed %d %s", seed, cfg.label), got, want)
+		}
+	}
+}
+
+func TestBaselinesPreserveSemantics(t *testing.T) {
+	for seed := uint64(1); seed <= randomSeeds/2; seed++ {
+		g := randomGraph(seed, 20)
+		feeds := feedsFor(g, seed)
+		want := reference(t, g, feeds)
+		for _, f := range []baseline.Framework{baseline.MNN, baseline.TVM, baseline.TFLite, baseline.Pytorch, baseline.OurBPlus} {
+			e, plan, err := baseline.Plan(f, g)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, f, err)
+			}
+			// Re-key the feeds into the clone by input position.
+			cfeeds := map[*graph.Value]*tensor.Tensor{}
+			for i, in := range e.G.Inputs {
+				cfeeds[in] = feeds[g.Inputs[i]]
+			}
+			got, err := engine.Run(e, plan, cfeeds)
+			if err != nil {
+				t.Fatalf("seed %d %s: run: %v", seed, f, err)
+			}
+			compare(t, fmt.Sprintf("seed %d %s", seed, f), got, want)
+		}
+	}
+}
+
+func TestPlanInvariantsOnRandomGraphs(t *testing.T) {
+	for seed := uint64(1); seed <= randomSeeds; seed++ {
+		g := randomGraph(seed, 30)
+		e := ecg.Build(g)
+		plan := fusion.GeneratePlan(e, fusion.Options{})
+
+		// Invariant 1: the plan partitions the nodes.
+		seen := map[*graph.Node]bool{}
+		for _, b := range plan.Blocks {
+			for _, n := range b.Nodes {
+				if seen[n] {
+					t.Fatalf("seed %d: node %v in two blocks", seed, n)
+				}
+				seen[n] = true
+			}
+		}
+		if len(seen) != len(g.Nodes) {
+			t.Fatalf("seed %d: plan covers %d/%d nodes", seed, len(seen), len(g.Nodes))
+		}
+
+		// Invariant 2: every adjacent in-block pair is non-red under the
+		// block's evolving mapping (Table 3 compliance).
+		for _, b := range plan.Blocks {
+			acc := e.Mapping(b.Nodes[0])
+			for _, n := range b.Nodes[1:] {
+				m := e.Mapping(n)
+				_, d1 := fusion.Combine(acc, m)
+				_, d2 := fusion.Combine(m, acc)
+				if d1 == fusion.FuseBreak && d2 == fusion.FuseBreak {
+					t.Errorf("seed %d: block %v holds a red pair %v+%v", seed, b, acc, m)
+				}
+				if d1 != fusion.FuseBreak {
+					acc, _ = fusion.Combine(acc, m)
+				} else {
+					acc, _ = fusion.Combine(m, acc)
+				}
+			}
+		}
+
+		// Invariant 3: the block DAG schedules (no cycles).
+		if _, err := engine.Simulate(e, plan, device.Snapdragon865CPU(), engine.Options{}); err != nil {
+			t.Fatalf("seed %d: simulate: %v", seed, err)
+		}
+
+		// Invariant 4: at most one Many-to-Many anchor per block
+		// (consequence of the red Many-to-Many×Many-to-Many cell).
+		for _, b := range plan.Blocks {
+			anchors := 0
+			for _, n := range b.Nodes {
+				if e.Mapping(n) == ops.ManyToMany {
+					anchors++
+				}
+			}
+			if anchors > 1 {
+				t.Errorf("seed %d: block %v fused %d Many-to-Many anchors", seed, b, anchors)
+			}
+		}
+	}
+}
+
+func TestKernelCacheConsistencyOnRandomGraphs(t *testing.T) {
+	// Compiling the same random graph twice through a shared cache must
+	// reuse every kernel and still execute correctly.
+	cache := codegen.NewCache()
+	for seed := uint64(1); seed <= 10; seed++ {
+		g := randomGraph(seed, 15)
+		e := ecg.Build(g)
+		plan := fusion.GeneratePlan(e, fusion.Options{})
+		if _, err := codegen.CompilePlan(e, plan, cache); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		missesAfterFirst := cache.Misses
+		hitsBefore := cache.Hits
+		g2 := randomGraph(seed, 15)
+		e2 := ecg.Build(g2)
+		plan2 := fusion.GeneratePlan(e2, fusion.Options{})
+		kernels, err := codegen.CompilePlan(e2, plan2, cache)
+		if err != nil {
+			t.Fatalf("seed %d: recompile: %v", seed, err)
+		}
+		if cache.Hits-hitsBefore != len(kernels) {
+			t.Errorf("seed %d: %d cache hits for %d kernels", seed, cache.Hits-hitsBefore, len(kernels))
+		}
+		_ = missesAfterFirst
+	}
+}

@@ -1,0 +1,259 @@
+package models
+
+import (
+	"dnnfusion/internal/graph"
+	"dnnfusion/internal/ops"
+	"dnnfusion/internal/tensor"
+)
+
+// VGG16 is the classic 16-layer CNN (ImageNet, 224×224): 13 convolutions,
+// 5 max-pools, 3 fully-connected layers. ~31 GFLOPs, 138M parameters.
+func VGG16() *graph.Graph {
+	b := newBuilder("VGG-16")
+	x := b.g.AddInput("image", tensor.Of(1, 3, 224, 224))
+	cfg := []struct {
+		convs, ch int
+	}{{2, 64}, {2, 128}, {3, 256}, {3, 512}, {3, 512}}
+	v := x
+	for _, blk := range cfg {
+		for i := 0; i < blk.convs; i++ {
+			v = b.relu(b.conv2d(v, blk.ch, 3, 1, 1))
+		}
+		v = b.maxpool2(v)
+	}
+	v = b.apply(ops.NewFlatten(1), v)
+	v = b.relu(b.linear(v, 4096))
+	v = b.relu(b.linear(v, 4096))
+	v = b.linear(v, 1000)
+	v = b.apply(ops.NewSoftmax(-1), v)
+	b.g.MarkOutput(v)
+	return b.g
+}
+
+// EfficientNetB0 (224×224): MBConv blocks with expand/depthwise/SE/project
+// stages; Swish decomposed into Sigmoid+Mul as in exports. ~0.8 GFLOPs.
+func EfficientNetB0() *graph.Graph {
+	b := newBuilder("EfficientNet-B0")
+	x := b.g.AddInput("image", tensor.Of(1, 3, 224, 224))
+	v := b.swish(b.bn(b.convNB(x, 32, 3, 2, 1))) // stem
+
+	// MBConv(expand ratio, channels, repeats, stride, kernel).
+	cfg := []struct {
+		expand, ch, repeats, stride, k int
+	}{
+		{1, 16, 1, 1, 3},
+		{6, 24, 2, 2, 3},
+		{6, 40, 2, 2, 5},
+		{6, 80, 3, 2, 3},
+		{6, 112, 3, 1, 5},
+		{6, 192, 4, 2, 5},
+		{6, 320, 1, 1, 3},
+	}
+	for _, blk := range cfg {
+		for r := 0; r < blk.repeats; r++ {
+			stride := blk.stride
+			if r > 0 {
+				stride = 1
+			}
+			v = b.mbconv(v, blk.expand, blk.ch, stride, blk.k)
+		}
+	}
+	v = b.swish(b.bn(b.convNB(v, 1280, 1, 1, 0))) // head
+	v = b.apply(ops.NewGlobalAveragePool(), v)
+	v = b.apply(ops.NewFlatten(1), v)
+	v = b.linear(v, 1000)
+	v = b.apply(ops.NewSoftmax(-1), v)
+	b.g.MarkOutput(v)
+	return b.g
+}
+
+// mbconv is one EfficientNet inverted-residual block with squeeze-excite.
+func (b *builder) mbconv(x *graph.Value, expand, outCh, stride, k int) *graph.Value {
+	inCh := x.Shape[1]
+	v := x
+	if expand != 1 {
+		v = b.swish(b.bn(b.convNB(v, inCh*expand, 1, 1, 0)))
+	}
+	v = b.swish(b.bn(b.dwconv(v, k, stride, k/2)))
+	// Squeeze and excite.
+	se := b.apply(ops.NewGlobalAveragePool(), v)
+	mid := v.Shape[1]
+	se = b.swish(b.convNB(se, max(1, inCh/4), 1, 1, 0))
+	se = b.apply(ops.NewSigmoid(), b.convNB(se, mid, 1, 1, 0))
+	v = b.apply(ops.NewMul(), v, se)
+	// Project.
+	v = b.bn(b.convNB(v, outCh, 1, 1, 0))
+	if stride == 1 && inCh == outCh {
+		v = b.apply(ops.NewAdd(), v, x)
+	}
+	return v
+}
+
+// MobileNetV1SSD (300×300): depthwise-separable backbone plus the SSD
+// multi-scale detection head with its box-decode chains. ~3 GFLOPs.
+func MobileNetV1SSD() *graph.Graph {
+	b := newBuilder("MobileNetV1-SSD")
+	x := b.g.AddInput("image", tensor.Of(1, 3, 300, 300))
+	dwsep := func(v *graph.Value, outCh, stride int) *graph.Value {
+		v = b.relu6(b.bn(b.dwconv(v, 3, stride, 1)))
+		return b.relu6(b.bn(b.convNB(v, outCh, 1, 1, 0)))
+	}
+	v := b.relu6(b.bn(b.convNB(x, 32, 3, 2, 1)))
+	plan := []struct{ ch, stride int }{
+		{64, 1}, {128, 2}, {128, 1}, {256, 2}, {256, 1}, {512, 2},
+		{512, 1}, {512, 1}, {512, 1}, {512, 1}, {512, 1}, {1024, 2}, {1024, 1},
+	}
+	var taps []*graph.Value
+	for i, p := range plan {
+		v = dwsep(v, p.ch, p.stride)
+		if i == 10 || i == 12 {
+			taps = append(taps, v)
+		}
+	}
+	// SSD extra feature layers.
+	for _, ch := range []int{512, 256, 256, 128} {
+		v = b.relu6(b.bn(b.convNB(v, ch/2, 1, 1, 0)))
+		v = b.relu6(b.bn(b.convNB(v, ch, 3, 2, 1)))
+		taps = append(taps, v)
+	}
+	// Per-scale heads: location + confidence, then decode chains.
+	var locs, confs []*graph.Value
+	for _, t := range taps {
+		anchors := 6
+		loc := b.conv2d(t, anchors*4, 3, 1, 1)
+		loc = b.apply(ops.NewFlatten(1), loc)
+		locs = append(locs, loc)
+		conf := b.conv2d(t, anchors*21, 3, 1, 1)
+		conf = b.apply(ops.NewFlatten(1), conf)
+		confs = append(confs, conf)
+	}
+	loc := b.concat(1, locs...)
+	conf := b.concat(1, confs...)
+	nBox := loc.Shape[1] / 4
+	loc = b.apply(ops.NewReshape(1, nBox, 4), loc)
+	conf = b.apply(ops.NewReshape(1, nBox, 21), conf)
+	conf = b.apply(ops.NewSoftmax(-1), conf)
+	// Box decode: centers and sizes against anchors.
+	xy := b.apply(ops.NewSlice([]int{2}, []int{0}, []int{2}), loc)
+	wh := b.apply(ops.NewSlice([]int{2}, []int{2}, []int{4}), loc)
+	xy = b.apply(ops.NewMul(), xy, b.w(1, nBox, 2))
+	xy = b.apply(ops.NewAdd(), xy, b.w(1, nBox, 2))
+	wh = b.apply(ops.NewExp(), wh)
+	wh = b.apply(ops.NewMul(), wh, b.w(1, nBox, 2))
+	boxes := b.concat(2, xy, wh)
+	b.g.MarkOutput(boxes, conf)
+	return b.g
+}
+
+// YOLOV4 (416×416): CSPDarknet-53 backbone (Mish activations decomposed),
+// SPP, PANet neck with upsampling/concatenation, and three detection heads.
+// ~35 GFLOPs.
+func YOLOV4() *graph.Graph {
+	b := newBuilder("YOLO-V4")
+	x := b.g.AddInput("image", tensor.Of(1, 3, 416, 416))
+
+	convMish := func(v *graph.Value, ch, k, s int) *graph.Value {
+		return b.mish(b.bn(b.convNB(v, ch, k, s, k/2)))
+	}
+	convLeaky := func(v *graph.Value, ch, k, s int) *graph.Value {
+		return b.leaky(b.bn(b.convNB(v, ch, k, s, k/2)))
+	}
+
+	// CSP block: split via 1x1 convs, residual stack, merge.
+	csp := func(v *graph.Value, ch, blocks int) *graph.Value {
+		v = convMish(v, ch, 3, 2) // downsample
+		route := convMish(v, ch/2, 1, 1)
+		main := convMish(v, ch/2, 1, 1)
+		for i := 0; i < blocks; i++ {
+			r := convMish(main, ch/2, 1, 1)
+			r = convMish(r, ch/2, 3, 1)
+			main = b.apply(ops.NewAdd(), main, r)
+		}
+		main = convMish(main, ch/2, 1, 1)
+		v = b.concat(1, main, route)
+		return convMish(v, ch, 1, 1)
+	}
+
+	v := convMish(x, 32, 3, 1)
+	v = csp(v, 64, 1)
+	v = csp(v, 128, 2)
+	c3 := csp(v, 256, 8)
+	c4 := csp(c3, 512, 8)
+	c5 := csp(c4, 1024, 4)
+
+	// SPP.
+	p := convLeaky(convLeaky(convLeaky(c5, 512, 1, 1), 1024, 3, 1), 512, 1, 1)
+	pool := func(v *graph.Value, k int) *graph.Value {
+		return b.apply(ops.NewMaxPool(ops.PoolAttrs{Kernel: []int{k}, Strides: []int{1}, Pads: []int{k / 2}}), v)
+	}
+	spp := b.concat(1, pool(p, 5), pool(p, 9), pool(p, 13), p)
+	p5 := convLeaky(convLeaky(convLeaky(spp, 512, 1, 1), 1024, 3, 1), 512, 1, 1)
+
+	// PANet top-down.
+	up := func(v *graph.Value) *graph.Value { return b.apply(ops.NewUpsample(2), v) }
+	fuse := func(big, lateral *graph.Value, ch int) *graph.Value {
+		l := convLeaky(lateral, ch, 1, 1)
+		m := b.concat(1, l, up(convLeaky(big, ch, 1, 1)))
+		for i := 0; i < 2; i++ {
+			m = convLeaky(m, ch, 1, 1)
+			m = convLeaky(m, ch*2, 3, 1)
+		}
+		return convLeaky(m, ch, 1, 1)
+	}
+	p4 := fuse(p5, c4, 256)
+	p3 := fuse(p4, c3, 128)
+
+	// Bottom-up + heads (3 scales × (conv3x3 + conv1x1 head)).
+	head := func(v *graph.Value, ch int) *graph.Value {
+		h := convLeaky(v, ch*2, 3, 1)
+		return b.conv2d(h, 255, 1, 1, 0)
+	}
+	o3 := head(p3, 128)
+	d4 := b.concat(1, convLeaky(p3, 256, 3, 2), p4)
+	d4 = convLeaky(convLeaky(d4, 256, 1, 1), 512, 3, 1)
+	o4 := head(d4, 256)
+	d5 := b.concat(1, convLeaky(d4, 512, 3, 2), p5)
+	d5 = convLeaky(convLeaky(d5, 512, 1, 1), 1024, 3, 1)
+	o5 := head(d5, 512)
+	b.g.MarkOutput(o3, o4, o5)
+	return b.g
+}
+
+// UNet (256×256): the encoder/decoder segmentation CNN with skip
+// connections, transposed-convolution upsampling, and per-conv
+// normalization. ~15 GFLOPs at this resolution.
+func UNet() *graph.Graph {
+	b := newBuilder("U-Net")
+	x := b.g.AddInput("image", tensor.Of(1, 3, 256, 256))
+	block := func(v *graph.Value, ch int) *graph.Value {
+		v = b.relu(b.bn(b.convNB(v, ch, 3, 1, 1)))
+		v = b.relu(b.bn(b.convNB(v, ch, 3, 1, 1)))
+		return v
+	}
+	var skips []*graph.Value
+	v := x
+	for _, ch := range []int{32, 64, 128, 256} {
+		v = block(v, ch)
+		skips = append(skips, v)
+		v = b.maxpool2(v)
+	}
+	v = block(v, 512)
+	for i := len(skips) - 1; i >= 0; i-- {
+		ch := skips[i].Shape[1]
+		w := b.w(v.Shape[1], ch, 2, 2)
+		v = b.apply(ops.NewConvTranspose(ops.ConvAttrs{Strides: []int{2}}), v, w)
+		v = b.concat(1, skips[i], v)
+		v = block(v, ch)
+	}
+	v = b.conv2d(v, 2, 1, 1, 0)
+	v = b.apply(ops.NewSoftmax(1), v)
+	b.g.MarkOutput(v)
+	return b.g
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

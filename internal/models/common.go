@@ -1,0 +1,166 @@
+package models
+
+import (
+	"fmt"
+
+	"dnnfusion/internal/graph"
+	"dnnfusion/internal/ops"
+	"dnnfusion/internal/tensor"
+)
+
+// builder wraps a graph with weight-naming and layer helpers shared by the
+// model constructors.
+type builder struct {
+	g  *graph.Graph
+	nw int
+}
+
+func newBuilder(name string) *builder {
+	return &builder{g: graph.New(name)}
+}
+
+// w declares a shape-only weight.
+func (b *builder) w(dims ...int) *graph.Value {
+	b.nw++
+	return b.g.AddWeightShape(fmt.Sprintf("w%d", b.nw), tensor.Of(dims...))
+}
+
+func (b *builder) apply(op ops.Operator, ins ...*graph.Value) *graph.Value {
+	return b.g.Apply1(op, ins...)
+}
+
+// conv2d adds a Conv with bias folded into the operator inputs.
+func (b *builder) conv2d(x *graph.Value, outCh, k, stride, pad int) *graph.Value {
+	inCh := x.Shape[1]
+	w := b.w(outCh, inCh, k, k)
+	bias := b.w(outCh)
+	return b.apply(ops.NewConv(ops.ConvAttrs{Strides: []int{stride}, Pads: []int{pad}}), x, w, bias)
+}
+
+// convNB is conv2d without bias (BN supplies the shift).
+func (b *builder) convNB(x *graph.Value, outCh, k, stride, pad int) *graph.Value {
+	inCh := x.Shape[1]
+	w := b.w(outCh, inCh, k, k)
+	return b.apply(ops.NewConv(ops.ConvAttrs{Strides: []int{stride}, Pads: []int{pad}}), x, w)
+}
+
+// dwconv is a depthwise conv (groups == channels), no bias.
+func (b *builder) dwconv(x *graph.Value, k, stride, pad int) *graph.Value {
+	ch := x.Shape[1]
+	w := b.w(ch, 1, k, k)
+	return b.apply(ops.NewConv(ops.ConvAttrs{Strides: []int{stride}, Pads: []int{pad}, Groups: ch}), x, w)
+}
+
+// bn adds inference-mode batch normalization over the channel dim.
+func (b *builder) bn(x *graph.Value) *graph.Value {
+	c := x.Shape[1]
+	return b.apply(ops.NewBatchNormalization(1e-5), x, b.w(c), b.w(c), b.w(c), b.w(c))
+}
+
+func (b *builder) relu(x *graph.Value) *graph.Value  { return b.apply(ops.NewRelu(), x) }
+func (b *builder) relu6(x *graph.Value) *graph.Value { return b.apply(ops.NewClip(0, 6), x) }
+func (b *builder) leaky(x *graph.Value) *graph.Value { return b.apply(ops.NewLeakyRelu(0.1), x) }
+
+// swish decomposes x*sigmoid(x) as exports do (2 ops).
+func (b *builder) swish(x *graph.Value) *graph.Value {
+	return b.apply(ops.NewMul(), x, b.apply(ops.NewSigmoid(), x))
+}
+
+// mish decomposes x*tanh(softplus(x)) (3 ops).
+func (b *builder) mish(x *graph.Value) *graph.Value {
+	sp := b.apply(ops.NewSoftplus(), x)
+	return b.apply(ops.NewMul(), x, b.apply(ops.NewTanh(), sp))
+}
+
+// geluErf decomposes 0.5x(1+erf(x/√2)) (5 ops, BERT exports).
+func (b *builder) geluErf(x *graph.Value) *graph.Value {
+	v := b.apply(ops.NewMulConst(0.7071068), x)
+	v = b.apply(ops.NewErf(), v)
+	v = b.apply(ops.NewAddConst(1), v)
+	v = b.apply(ops.NewMul(), x, v)
+	return b.apply(ops.NewMulConst(0.5), v)
+}
+
+// geluTanh decomposes the tanh approximation (8 ops, GPT-2 exports).
+func (b *builder) geluTanh(x *graph.Value) *graph.Value {
+	x3 := b.apply(ops.NewPowConst(3), x)
+	v := b.apply(ops.NewMulConst(0.044715), x3)
+	v = b.apply(ops.NewAdd(), x, v)
+	v = b.apply(ops.NewMulConst(0.7978846), v)
+	v = b.apply(ops.NewTanh(), v)
+	v = b.apply(ops.NewAddConst(1), v)
+	v = b.apply(ops.NewMul(), x, v)
+	return b.apply(ops.NewMulConst(0.5), v)
+}
+
+// layerNorm emits the decomposed LayerNormalization the paper cites for
+// TinyBERT (Sub + Pow + ReduceMean + Add + Sqrt + Div + Mul + Add): 9 ops.
+func (b *builder) layerNorm(x *graph.Value) *graph.Value {
+	lastAxis := x.Shape.Rank() - 1
+	h := x.Shape[lastAxis]
+	mean := b.apply(ops.NewReduce(ops.ReduceMean, true, lastAxis), x)
+	centered := b.apply(ops.NewSub(), x, mean)
+	sq := b.apply(ops.NewPowConst(2), centered)
+	variance := b.apply(ops.NewReduce(ops.ReduceMean, true, lastAxis), sq)
+	veps := b.apply(ops.NewAddConst(1e-5), variance)
+	std := b.apply(ops.NewSqrt(), veps)
+	norm := b.apply(ops.NewDiv(), centered, std)
+	scaled := b.apply(ops.NewMul(), norm, b.w(h))
+	return b.apply(ops.NewAdd(), scaled, b.w(h))
+}
+
+// noNorm is MobileBERT's normalization-free replacement: Mul + Add.
+func (b *builder) noNorm(x *graph.Value) *graph.Value {
+	h := x.Shape[x.Shape.Rank()-1]
+	return b.apply(ops.NewAdd(), b.apply(ops.NewMul(), x, b.w(h)), b.w(h))
+}
+
+// linear is MatMul + bias Add over the last dimension.
+func (b *builder) linear(x *graph.Value, out int) *graph.Value {
+	in := x.Shape[x.Shape.Rank()-1]
+	v := b.apply(ops.NewMatMul(), x, b.w(in, out))
+	return b.apply(ops.NewAdd(), v, b.w(out))
+}
+
+func (b *builder) maxpool2(x *graph.Value) *graph.Value {
+	return b.apply(ops.NewMaxPool(ops.PoolAttrs{Kernel: []int{2}, Strides: []int{2}}), x)
+}
+
+func (b *builder) concat(axis int, xs ...*graph.Value) *graph.Value {
+	return b.apply(ops.NewConcat(axis), xs...)
+}
+
+// exportCruft models the redundancy real exporters leave behind: Cast and
+// Identity chains plus cancelling Transpose and Reshape pairs. Graph
+// rewriting (§4.2) eliminates it, which is where the paper's "18% fewer
+// fused layers after rewriting on GPT-2" comes from.
+func (b *builder) exportCruft(x *graph.Value, casts, identities, transposePairs, reshapePairs int) *graph.Value {
+	v := x
+	for i := 0; i < casts; i++ {
+		v = b.apply(ops.NewCast(), v)
+	}
+	for i := 0; i < identities; i++ {
+		v = b.apply(ops.NewIdentity(), v)
+	}
+	if v.Shape.Rank() >= 2 {
+		perm := make([]int, v.Shape.Rank())
+		for i := range perm {
+			perm[i] = i
+		}
+		// Swap the last two dims and back.
+		n := len(perm)
+		swapped := append([]int(nil), perm...)
+		swapped[n-1], swapped[n-2] = perm[n-2], perm[n-1]
+		for i := 0; i < transposePairs; i++ {
+			v = b.apply(ops.NewTranspose(swapped...), v)
+			v = b.apply(ops.NewTranspose(swapped...), v)
+		}
+	}
+	for i := 0; i < reshapePairs; i++ {
+		flat := v.Shape.NumElements()
+		orig := v.Shape.Clone()
+		v = b.apply(ops.NewReshape(flat), v)
+		v = b.apply(ops.NewReshape(orig...), v)
+	}
+	return v
+}

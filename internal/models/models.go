@@ -1,0 +1,83 @@
+// Package models builds the 15 DNN computational graphs of the paper's
+// evaluation (Table 5): four task families of 2-D CNNs, two 3-D CNNs, two
+// R-CNNs, and six transformers. Graphs are structurally faithful — the same
+// operator decompositions a mobile ONNX export contains, including the
+// LayerNorm/GELU/Swish/Mish expansions and the export redundancy (cast /
+// identity / cancelling transpose and reshape pairs) that give graph
+// rewriting its real-world opportunities — but carry shape-only weights:
+// the evaluation simulates inference, it never needs the gigabytes of
+// parameter data.
+package models
+
+import (
+	"fmt"
+	"sort"
+
+	"dnnfusion/internal/graph"
+)
+
+// Spec describes one evaluation model.
+type Spec struct {
+	Name  string
+	Type  string // "2D CNN", "3D CNN", "R-CNN", "Transformer"
+	Task  string
+	Build func() *graph.Graph
+}
+
+// All returns the 15 models in Table 5 order.
+func All() []Spec {
+	return []Spec{
+		{"EfficientNet-B0", "2D CNN", "Image classification", EfficientNetB0},
+		{"VGG-16", "2D CNN", "Image classification", VGG16},
+		{"MobileNetV1-SSD", "2D CNN", "Object detection", MobileNetV1SSD},
+		{"YOLO-V4", "2D CNN", "Object detection", YOLOV4},
+		{"C3D", "3D CNN", "Action recognition", C3D},
+		{"S3D", "3D CNN", "Action recognition", S3D},
+		{"U-Net", "2D CNN", "Image segmentation", UNet},
+		{"Faster R-CNN", "R-CNN", "Image segmentation", FasterRCNN},
+		{"Mask R-CNN", "R-CNN", "Image segmentation", MaskRCNN},
+		{"TinyBERT", "Transformer", "NLP", TinyBERT},
+		{"DistilBERT", "Transformer", "NLP", DistilBERT},
+		{"ALBERT", "Transformer", "NLP", ALBERT},
+		{"BERT-base", "Transformer", "NLP", BERTBase},
+		{"MobileBERT", "Transformer", "NLP", MobileBERT},
+		{"GPT-2", "Transformer", "NLP", GPT2},
+	}
+}
+
+// Build constructs a model by name.
+func Build(name string) (*graph.Graph, error) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s.Build(), nil
+		}
+	}
+	return nil, fmt.Errorf("models: unknown model %q (have %v)", name, Names())
+}
+
+// Names lists the model names in evaluation order.
+func Names() []string {
+	specs := All()
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// Lookup returns the spec for a name.
+func Lookup(name string) (Spec, bool) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// sortedNames is used by tests for deterministic iteration.
+func sortedNames() []string {
+	n := Names()
+	sort.Strings(n)
+	return n
+}

@@ -1,0 +1,150 @@
+package models
+
+import (
+	"testing"
+
+	"dnnfusion/internal/ecg"
+)
+
+// expectations holds the sanity ranges for each model's structure, anchored
+// to Table 5/6 magnitudes (see EXPERIMENTS.md for the measured values).
+var expectations = map[string]struct {
+	minLayers, maxLayers int
+	minCIL, maxCIL       int
+	minGFLOPs, maxGFLOPs float64
+}{
+	"EfficientNet-B0": {250, 420, 60, 100, 0.3, 2},
+	"VGG-16":          {40, 70, 14, 20, 20, 45},
+	"MobileNetV1-SSD": {140, 280, 25, 60, 1, 8},
+	"YOLO-V4":         {300, 520, 90, 130, 20, 60},
+	"C3D":             {25, 32, 10, 12, 50, 110},
+	"S3D":             {220, 360, 60, 95, 30, 160},
+	"U-Net":           {60, 160, 20, 40, 8, 80},
+	"Faster R-CNN":    {2200, 4200, 60, 220, 40, 150},
+	"Mask R-CNN":      {2400, 4600, 65, 240, 50, 300},
+	"TinyBERT":        {280, 460, 28, 45, 1, 8},
+	"DistilBERT":      {380, 560, 40, 70, 20, 55},
+	"ALBERT":          {780, 1100, 80, 120, 40, 100},
+	"BERT-base":       {820, 1150, 85, 130, 40, 100},
+	"MobileBERT":      {1900, 2900, 330, 520, 5, 40},
+	"GPT-2":           {1300, 2700, 60, 110, 30, 110},
+}
+
+func TestAllModelsBuildAndValidate(t *testing.T) {
+	for _, spec := range All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			g := spec.Build()
+			if err := g.Validate(); err != nil {
+				t.Fatalf("%s invalid: %v", spec.Name, err)
+			}
+			if len(g.Outputs) == 0 {
+				t.Fatalf("%s has no outputs", spec.Name)
+			}
+			e := ecg.Build(g)
+			s := e.ComputeStats()
+			exp, ok := expectations[spec.Name]
+			if !ok {
+				t.Fatalf("no expectations for %s", spec.Name)
+			}
+			if s.Total < exp.minLayers || s.Total > exp.maxLayers {
+				t.Errorf("%s layers = %d, want [%d, %d]", spec.Name, s.Total, exp.minLayers, exp.maxLayers)
+			}
+			if s.CIL < exp.minCIL || s.CIL > exp.maxCIL {
+				t.Errorf("%s CIL = %d, want [%d, %d]", spec.Name, s.CIL, exp.minCIL, exp.maxCIL)
+			}
+			gflops := float64(s.FLOPs) / 1e9
+			if gflops < exp.minGFLOPs || gflops > exp.maxGFLOPs {
+				t.Errorf("%s GFLOPs = %.2f, want [%.1f, %.1f]", spec.Name, gflops, exp.minGFLOPs, exp.maxGFLOPs)
+			}
+			if s.MIL <= s.CIL && spec.Type != "3D CNN" && spec.Name != "VGG-16" {
+				t.Errorf("%s should be MIL-dominated: CIL=%d MIL=%d", spec.Name, s.CIL, s.MIL)
+			}
+		})
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	if len(All()) != 15 {
+		t.Fatalf("model count = %d, want 15", len(All()))
+	}
+	if _, err := Build("VGG-16"); err != nil {
+		t.Errorf("Build(VGG-16): %v", err)
+	}
+	if _, err := Build("nope"); err == nil {
+		t.Error("Build of unknown model should fail")
+	}
+	if _, ok := Lookup("GPT-2"); !ok {
+		t.Error("Lookup(GPT-2) failed")
+	}
+	if len(sortedNames()) != 15 {
+		t.Error("sortedNames wrong length")
+	}
+}
+
+func TestDeepModelsAreDeeper(t *testing.T) {
+	// The paper's premise (Table 1): newer models trade width for depth.
+	layers := func(name string) int {
+		g, err := Build(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(g.Nodes)
+	}
+	vgg := layers("VGG-16")
+	distil := layers("DistilBERT")
+	mobile := layers("MobileBERT")
+	gpt := layers("GPT-2")
+	if !(vgg < distil && distil < mobile) {
+		t.Errorf("depth ordering broken: VGG %d, DistilBERT %d, MobileBERT %d", vgg, distil, mobile)
+	}
+	if gpt < mobile/2 {
+		t.Errorf("GPT-2 (%d) should be among the deepest (MobileBERT %d)", gpt, mobile)
+	}
+}
+
+func TestALBERTSharesWeights(t *testing.T) {
+	albert := ALBERT()
+	bert := BERTBase()
+	albertWeights, bertWeights := 0, 0
+	for _, v := range albert.Values {
+		if v.Kind.String() == "weight" {
+			albertWeights++
+		}
+	}
+	for _, v := range bert.Values {
+		if v.Kind.String() == "weight" {
+			bertWeights++
+		}
+	}
+	if albertWeights >= bertWeights/2 {
+		t.Errorf("ALBERT weight count %d should be well below BERT's %d (parameter sharing)",
+			albertWeights, bertWeights)
+	}
+}
+
+func TestTransformersContainPaperPatterns(t *testing.T) {
+	// The TinyBERT pattern the paper cites: Sub + Pow + ReduceMean + Add +
+	// Sqrt (decomposed LayerNorm) must be present.
+	g := TinyBERT()
+	counts := map[string]int{}
+	for _, n := range g.Nodes {
+		counts[n.Op.Type()]++
+	}
+	for _, op := range []string{"Sub", "Pow", "ReduceMean", "Sqrt", "Softmax", "Erf", "Gather"} {
+		if counts[op] == 0 {
+			t.Errorf("TinyBERT missing %s (paper's decomposition)", op)
+		}
+	}
+	// GPT-2's MatMul + Reshape + Transpose + Add pattern.
+	g2 := GPT2()
+	c2 := map[string]int{}
+	for _, n := range g2.Nodes {
+		c2[n.Op.Type()]++
+	}
+	for _, op := range []string{"MatMul", "Reshape", "Transpose", "Add", "Split", "Tanh"} {
+		if c2[op] == 0 {
+			t.Errorf("GPT-2 missing %s", op)
+		}
+	}
+}

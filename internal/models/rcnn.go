@@ -1,0 +1,171 @@
+package models
+
+import (
+	"dnnfusion/internal/graph"
+	"dnnfusion/internal/ops"
+	"dnnfusion/internal/tensor"
+)
+
+// The two-stage detectors. Their defining property for this paper is the
+// enormous memory-intensive layer count: anchor decoding, proposal
+// selection, and per-proposal ROI processing are exported as thousands of
+// small data-movement and elementwise operators around a modest number of
+// convolutions — exactly the graphs no fixed-pattern fuser handles and no
+// baseline framework can run on mobile (the '-' rows of Tables 5 and 6).
+
+const (
+	rcnnProposalGroups = 200 // unrolled per-proposal processing chains
+	rcnnClasses        = 21
+)
+
+// resnet50FPN builds the shared backbone + feature pyramid, returning the
+// pyramid levels.
+func (b *builder) resnet50FPN(x *graph.Value) []*graph.Value {
+	convBNRelu := func(v *graph.Value, ch, k, s int) *graph.Value {
+		return b.relu(b.bn(b.convNB(v, ch, k, s, k/2)))
+	}
+	bottleneck := func(v *graph.Value, mid, out, stride int) *graph.Value {
+		id := v
+		r := convBNRelu(v, mid, 1, 1)
+		r = convBNRelu(r, mid, 3, stride)
+		r = b.bn(b.convNB(r, out, 1, 1, 0))
+		if v.Shape[1] != out || stride != 1 {
+			id = b.bn(b.convNB(v, out, 1, stride, 0))
+		}
+		return b.relu(b.apply(ops.NewAdd(), r, id))
+	}
+	v := convBNRelu(x, 64, 7, 2)
+	v = b.maxpool2(v)
+	stage := func(v *graph.Value, mid, out, blocks, stride int) *graph.Value {
+		v = bottleneck(v, mid, out, stride)
+		for i := 1; i < blocks; i++ {
+			v = bottleneck(v, mid, out, 1)
+		}
+		return v
+	}
+	c2 := stage(v, 64, 256, 3, 1)
+	c3 := stage(c2, 128, 512, 4, 2)
+	c4 := stage(c3, 256, 1024, 6, 2)
+	c5 := stage(c4, 512, 2048, 3, 2)
+
+	// FPN: lateral 1x1 + top-down upsample-add + output 3x3.
+	lat := func(v *graph.Value) *graph.Value { return b.convNB(v, 256, 1, 1, 0) }
+	p5 := lat(c5)
+	p4 := b.apply(ops.NewAdd(), lat(c4), b.apply(ops.NewUpsample(2), p5))
+	p3 := b.apply(ops.NewAdd(), lat(c3), b.apply(ops.NewUpsample(2), p4))
+	p2 := b.apply(ops.NewAdd(), lat(c2), b.apply(ops.NewUpsample(2), p3))
+	outConv := func(v *graph.Value) *graph.Value { return b.convNB(v, 256, 3, 1, 1) }
+	return []*graph.Value{outConv(p2), outConv(p3), outConv(p4), outConv(p5)}
+}
+
+// rpnAndDecode runs the region proposal head on each pyramid level and
+// unrolls the anchor box decoding chains.
+func (b *builder) rpnAndDecode(levels []*graph.Value) {
+	for _, p := range levels {
+		h := b.relu(b.convNB(p, 256, 3, 1, 1))
+		logits := b.conv2d(h, 3, 1, 1, 0)   // 3 anchors
+		deltas := b.conv2d(h, 3*4, 1, 1, 0) //
+		score := b.apply(ops.NewSigmoid(), b.apply(ops.NewFlatten(1), logits))
+		d := b.apply(ops.NewFlatten(1), deltas)
+		n := d.Shape[1] / 4
+		d = b.apply(ops.NewReshape(1, n, 4), d)
+		xy := b.apply(ops.NewSlice([]int{2}, []int{0}, []int{2}), d)
+		wh := b.apply(ops.NewSlice([]int{2}, []int{2}, []int{4}), d)
+		xy = b.apply(ops.NewMul(), xy, b.w(1, n, 2))
+		xy = b.apply(ops.NewAdd(), xy, b.w(1, n, 2))
+		wh = b.apply(ops.NewExp(), wh)
+		wh = b.apply(ops.NewMul(), wh, b.w(1, n, 2))
+		boxes := b.concat(2, xy, wh)
+		boxes = b.apply(ops.NewClip(0, 640), boxes)
+		_ = score
+		b.g.MarkOutput(boxes, score)
+	}
+}
+
+// roiChains unrolls per-proposal-group ROI feature extraction over the
+// finest pyramid level: gather 7×7 locations, normalize, and stack. Each
+// group is ~14 small memory-bound operators — the layer-count explosion of
+// Table 5.
+func (b *builder) roiChains(level *graph.Value, groups int) *graph.Value {
+	c := level.Shape[1]
+	flat := b.apply(ops.NewReshape(c, -1), level)
+	var feats []*graph.Value
+	for i := 0; i < groups; i++ {
+		idx := b.w(49)                            // 7*7 sampling locations for this proposal
+		f := b.apply(ops.NewGather(1), flat, idx) // [c, 49]
+		f = b.apply(ops.NewReshape(1, c, 7, 7), f)
+		// Bilinear-style mixing of the gathered samples.
+		s1 := b.apply(ops.NewSlice([]int{3}, []int{0}, []int{6}), f)
+		s2 := b.apply(ops.NewSlice([]int{3}, []int{1}, []int{7}), f)
+		m1 := b.apply(ops.NewMulConst(0.5), s1)
+		m2 := b.apply(ops.NewMulConst(0.5), s2)
+		mix := b.apply(ops.NewAdd(), m1, m2)
+		f = b.concat(3, mix, b.apply(ops.NewSlice([]int{3}, []int{6}, []int{7}), f))
+		// Normalize the group's features.
+		sc := b.apply(ops.NewMul(), f, b.w(1, c, 1, 1))
+		sc = b.apply(ops.NewAdd(), sc, b.w(1, c, 1, 1))
+		feats = append(feats, sc)
+	}
+	return b.concat(0, feats...)
+}
+
+// detectionHead runs the shared FC head and per-class box decode.
+func (b *builder) detectionHead(roi *graph.Value) (*graph.Value, *graph.Value) {
+	v := b.apply(ops.NewFlatten(1), roi)
+	v = b.relu(b.linear(v, 1024))
+	v = b.relu(b.linear(v, 1024))
+	cls := b.apply(ops.NewSoftmax(-1), b.linear(v, rcnnClasses))
+	box := b.linear(v, rcnnClasses*4)
+	box = b.apply(ops.NewReshape(-1, rcnnClasses, 4), box)
+	xy := b.apply(ops.NewSlice([]int{2}, []int{0}, []int{2}), box)
+	wh := b.apply(ops.NewSlice([]int{2}, []int{2}, []int{4}), box)
+	wh = b.apply(ops.NewExp(), wh)
+	boxes := b.concat(2, xy, wh)
+	boxes = b.apply(ops.NewClip(0, 640), boxes)
+	return cls, boxes
+}
+
+// FasterRCNN (480×640 input): ResNet-50-FPN backbone, RPN with unrolled
+// anchor decoding, 150 unrolled ROI chains, and the detection head.
+// ~47 GFLOPs, thousands of memory-intensive layers.
+func FasterRCNN() *graph.Graph {
+	b := newBuilder("Faster R-CNN")
+	x := b.g.AddInput("image", tensor.Of(1, 3, 480, 640))
+	levels := b.resnet50FPN(x)
+	b.rpnAndDecode(levels)
+	roi := b.roiChains(levels[0], rcnnProposalGroups)
+	cls, boxes := b.detectionHead(roi)
+	b.g.MarkOutput(cls, boxes)
+	return b.g
+}
+
+// MaskRCNN adds the mask branch: four convolutions, a transposed
+// convolution, the per-class mask sigmoid, and per-proposal mask
+// post-processing chains. ~184 GFLOPs.
+func MaskRCNN() *graph.Graph {
+	b := newBuilder("Mask R-CNN")
+	x := b.g.AddInput("image", tensor.Of(1, 3, 480, 640))
+	levels := b.resnet50FPN(x)
+	b.rpnAndDecode(levels)
+	roi := b.roiChains(levels[0], rcnnProposalGroups)
+	cls, boxes := b.detectionHead(roi)
+
+	// Mask head over the pooled features.
+	m := roi
+	for i := 0; i < 4; i++ {
+		m = b.relu(b.convNB(m, 256, 3, 1, 1))
+	}
+	w := b.w(256, 256, 2, 2)
+	m = b.relu(b.apply(ops.NewConvTranspose(ops.ConvAttrs{Strides: []int{2}}), m, w))
+	m = b.apply(ops.NewSigmoid(), b.conv2d(m, rcnnClasses, 1, 1, 0))
+	// Per-proposal mask selection chains.
+	var masks []*graph.Value
+	for i := 0; i < rcnnProposalGroups; i++ {
+		s := b.apply(ops.NewSlice([]int{0}, []int{i}, []int{i + 1}), m)
+		s = b.apply(ops.NewMulConst(1), s) // score weighting placeholder
+		masks = append(masks, s)
+	}
+	mm := b.concat(0, masks...)
+	b.g.MarkOutput(cls, boxes, mm)
+	return b.g
+}

@@ -1,0 +1,238 @@
+package models
+
+import (
+	"dnnfusion/internal/graph"
+	"dnnfusion/internal/ops"
+	"dnnfusion/internal/tensor"
+)
+
+// tfConfig parameterizes the transformer family. All six NLP models share
+// the same decomposed export structure (the LayerNorm and GELU expansions
+// the paper cites, the attention reshape/transpose ribbon, and per-block
+// export cruft) and differ in depth, width, normalization, and head/FFN
+// arrangement.
+type tfConfig struct {
+	name   string
+	blocks int
+	hidden int
+	heads  int
+	seq    int
+	ffn    int
+
+	geluTanh  bool // GPT-2's tanh approximation vs the erf form
+	noNorm    bool // MobileBERT's NoNorm (Mul+Add) instead of LayerNorm
+	causal    bool // GPT-2's causal mask chain
+	mergedQKV bool // GPT-2's single QKV projection + Split
+
+	bottleneck int // MobileBERT: intra-block bottleneck width (0 = off)
+	ffnStacks  int // MobileBERT: stacked FFNs per block (default 1)
+
+	shareBlockWeights bool // ALBERT: one parameter set reused by all blocks
+	embedFactor       int  // ALBERT: factorized embedding width (0 = hidden)
+	tokenTypes        bool // BERT-family segment embeddings
+
+	// Export cruft per block (casts, identities, transpose pairs,
+	// reshape pairs) — see builder.exportCruft.
+	casts, ids, tPairs, rPairs int
+}
+
+// sharedWeights caches ALBERT's reused parameters by shape.
+type sharedWeights struct {
+	b     *builder
+	cache map[string]*graph.Value
+	on    bool
+}
+
+func (s *sharedWeights) get(dims ...int) *graph.Value {
+	if !s.on {
+		return s.b.w(dims...)
+	}
+	key := tensor.Of(dims...).String()
+	if v, ok := s.cache[key]; ok {
+		return v
+	}
+	v := s.b.w(dims...)
+	s.cache[key] = v
+	return v
+}
+
+func buildTransformer(cfg tfConfig) *graph.Graph {
+	b := newBuilder(cfg.name)
+	sw := &sharedWeights{b: b, cache: map[string]*graph.Value{}, on: cfg.shareBlockWeights}
+
+	norm := func(x *graph.Value) *graph.Value {
+		if cfg.noNorm {
+			return b.noNorm(x)
+		}
+		return b.layerNorm(x)
+	}
+	gelu := func(x *graph.Value) *graph.Value {
+		if cfg.geluTanh {
+			return b.geluTanh(x)
+		}
+		return b.geluErf(x)
+	}
+	linearShared := func(x *graph.Value, out int) *graph.Value {
+		in := x.Shape[x.Shape.Rank()-1]
+		v := b.apply(ops.NewMatMul(), x, sw.get(in, out))
+		return b.apply(ops.NewAdd(), v, sw.get(out))
+	}
+
+	// Embeddings: token (+ position, + segment) gathers, sum, norm.
+	ids := b.g.AddInput("input_ids", tensor.Of(cfg.seq))
+	embedW := cfg.hidden
+	if cfg.embedFactor > 0 {
+		embedW = cfg.embedFactor
+	}
+	tok := b.apply(ops.NewGather(0), b.w(30522, embedW), ids)
+	pos := b.apply(ops.NewGather(0), b.w(512, embedW), b.w(cfg.seq))
+	v := b.apply(ops.NewAdd(), tok, pos)
+	if cfg.tokenTypes {
+		seg := b.apply(ops.NewGather(0), b.w(2, embedW), b.w(cfg.seq))
+		v = b.apply(ops.NewAdd(), v, seg)
+	}
+	if cfg.embedFactor > 0 {
+		v = linearShared(v, cfg.hidden) // ALBERT factorized projection
+	}
+	v = b.layerNorm(v)
+
+	dh := cfg.hidden / cfg.heads
+	attention := func(x *graph.Value, width int) *graph.Value {
+		heads := cfg.heads
+		var q, k, val *graph.Value
+		if cfg.mergedQKV {
+			qkv := linearShared(x, 3*width)
+			parts, err := b.g.Apply(ops.NewSplit(1, width, width, width), qkv)
+			if err != nil {
+				panic(err)
+			}
+			q, k, val = parts[0], parts[1], parts[2]
+		} else {
+			q = linearShared(x, width)
+			k = linearShared(x, width)
+			val = linearShared(x, width)
+		}
+		dhw := width / heads
+		shape := func(t *graph.Value) *graph.Value {
+			t = b.apply(ops.NewReshape(cfg.seq, heads, dhw), t)
+			return b.apply(ops.NewTranspose(1, 0, 2), t)
+		}
+		q, k, val = shape(q), shape(k), shape(val)
+		kt := b.apply(ops.NewTranspose(0, 2, 1), k)
+		scores := b.apply(ops.NewMatMul(), q, kt) // [heads, seq, seq]
+		scores = b.apply(ops.NewMulConst(1.0/float32(intSqrt(dhw))), scores)
+		if cfg.causal {
+			// Causal mask chain as exports decompose it.
+			mask := b.w(1, cfg.seq, cfg.seq)
+			inv := b.apply(ops.NewSub(), b.w(1, cfg.seq, cfg.seq), mask)
+			neg := b.apply(ops.NewMulConst(-1e4), inv)
+			masked := b.apply(ops.NewMul(), scores, mask)
+			scores = b.apply(ops.NewAdd(), masked, neg)
+		} else {
+			scores = b.apply(ops.NewAdd(), scores, b.w(1, cfg.seq, cfg.seq))
+		}
+		att := b.apply(ops.NewSoftmax(-1), scores)
+		ctx := b.apply(ops.NewMatMul(), att, val) // [heads, seq, dhw]
+		ctx = b.apply(ops.NewTranspose(1, 0, 2), ctx)
+		ctx = b.apply(ops.NewReshape(cfg.seq, width), ctx)
+		return linearShared(ctx, width)
+	}
+	_ = dh
+
+	for blk := 0; blk < cfg.blocks; blk++ {
+		x := v
+		width := cfg.hidden
+		if cfg.bottleneck > 0 {
+			// MobileBERT: project into the bottleneck.
+			x = norm(linearShared(x, cfg.bottleneck))
+			width = cfg.bottleneck
+		}
+		attOut := attention(x, width)
+		x = norm(b.apply(ops.NewAdd(), attOut, x))
+
+		stacks := cfg.ffnStacks
+		if stacks == 0 {
+			stacks = 1
+		}
+		for s := 0; s < stacks; s++ {
+			h := gelu(linearShared(x, cfg.ffn))
+			h = linearShared(h, width)
+			x = norm(b.apply(ops.NewAdd(), h, x))
+		}
+		if cfg.bottleneck > 0 {
+			x = norm(linearShared(x, cfg.hidden))
+			x = b.apply(ops.NewAdd(), x, v)
+		}
+		v = b.exportCruft(x, cfg.casts, cfg.ids, cfg.tPairs, cfg.rPairs)
+	}
+
+	v = b.layerNorm(v)
+	logits := linearShared(v, cfg.hidden)
+	logits = b.apply(ops.NewTanh(), logits)
+	b.g.MarkOutput(logits)
+	return b.g
+}
+
+func intSqrt(n int) int {
+	i := 1
+	for i*i < n {
+		i++
+	}
+	return i
+}
+
+// TinyBERT: 4 layers, hidden 312 (distilled BERT). ~4 GFLOPs at seq 128.
+func TinyBERT() *graph.Graph {
+	return buildTransformer(tfConfig{
+		name: "TinyBERT", blocks: 4, hidden: 312, heads: 12, seq: 128, ffn: 1200,
+		tokenTypes: true,
+		casts:      12, ids: 6, tPairs: 4, rPairs: 3,
+	})
+}
+
+// DistilBERT: 6 layers, hidden 768. ~35 GFLOPs at seq 384.
+func DistilBERT() *graph.Graph {
+	return buildTransformer(tfConfig{
+		name: "DistilBERT", blocks: 6, hidden: 768, heads: 12, seq: 384, ffn: 3072,
+		casts: 8, ids: 3, tPairs: 2, rPairs: 2,
+	})
+}
+
+// ALBERT: 12 layers sharing one parameter set, factorized embeddings.
+func ALBERT() *graph.Graph {
+	return buildTransformer(tfConfig{
+		name: "ALBERT", blocks: 12, hidden: 768, heads: 12, seq: 384, ffn: 3072,
+		shareBlockWeights: true, embedFactor: 128, tokenTypes: true,
+		casts: 8, ids: 4, tPairs: 3, rPairs: 3,
+	})
+}
+
+// BERTBase: 12 layers, hidden 768. ~67 GFLOPs at seq 384.
+func BERTBase() *graph.Graph {
+	return buildTransformer(tfConfig{
+		name: "BERT-base", blocks: 12, hidden: 768, heads: 12, seq: 384, ffn: 3072,
+		tokenTypes: true,
+		casts:      10, ids: 5, tPairs: 3, rPairs: 3,
+	})
+}
+
+// MobileBERT: 24 thin blocks with bottlenecks, NoNorm, and 4 stacked FFNs —
+// the paper's flagship deep-and-thin model.
+func MobileBERT() *graph.Graph {
+	return buildTransformer(tfConfig{
+		name: "MobileBERT", blocks: 24, hidden: 512, heads: 4, seq: 384, ffn: 512,
+		noNorm: true, bottleneck: 128, ffnStacks: 4, tokenTypes: true,
+		casts: 10, ids: 5, tPairs: 3, rPairs: 3,
+	})
+}
+
+// GPT2: 12 decoder blocks, merged QKV, causal masking, tanh GELU, and the
+// heaviest export cruft (the original GPT-2 exports carry ~200 glue
+// operators per block).
+func GPT2() *graph.Graph {
+	return buildTransformer(tfConfig{
+		name: "GPT-2", blocks: 12, hidden: 768, heads: 12, seq: 320, ffn: 3072,
+		geluTanh: true, causal: true, mergedQKV: true,
+		casts: 24, ids: 12, tPairs: 8, rPairs: 8,
+	})
+}

@@ -1,0 +1,118 @@
+package models
+
+import (
+	"dnnfusion/internal/graph"
+	"dnnfusion/internal/ops"
+	"dnnfusion/internal/tensor"
+)
+
+// conv3d adds a 3-D convolution (bias folded in).
+func (b *builder) conv3d(x *graph.Value, outCh, kt, k, st, s, pt, p int) *graph.Value {
+	inCh := x.Shape[1]
+	w := b.w(outCh, inCh, kt, k, k)
+	bias := b.w(outCh)
+	return b.apply(ops.NewConv(ops.ConvAttrs{
+		Strides: []int{st, s, s}, Pads: []int{pt, p, p},
+	}), x, w, bias)
+}
+
+// conv3dNB is conv3d without bias.
+func (b *builder) conv3dNB(x *graph.Value, outCh, kt, k, st, s, pt, p int) *graph.Value {
+	inCh := x.Shape[1]
+	w := b.w(outCh, inCh, kt, k, k)
+	return b.apply(ops.NewConv(ops.ConvAttrs{
+		Strides: []int{st, s, s}, Pads: []int{pt, p, p},
+	}), x, w)
+}
+
+func (b *builder) maxpool3d(x *graph.Value, kt, k int) *graph.Value {
+	return b.apply(ops.NewMaxPool(ops.PoolAttrs{
+		Kernel:  []int{kt, k, k},
+		Strides: []int{kt, k, k},
+	}), x)
+}
+
+// C3D (16×112×112 clips, UCF-101): 8 3-D convolutions, 5 pools, 2 FC
+// layers — 27 layers total as in Table 5. ~77 GFLOPs.
+func C3D() *graph.Graph {
+	b := newBuilder("C3D")
+	x := b.g.AddInput("clip", tensor.Of(1, 3, 16, 112, 112))
+	v := b.relu(b.conv3d(x, 64, 3, 3, 1, 1, 1, 1))
+	v = b.maxpool3d(v, 1, 2)
+	v = b.relu(b.conv3d(v, 128, 3, 3, 1, 1, 1, 1))
+	v = b.maxpool3d(v, 2, 2)
+	v = b.relu(b.conv3d(v, 256, 3, 3, 1, 1, 1, 1))
+	v = b.relu(b.conv3d(v, 256, 3, 3, 1, 1, 1, 1))
+	v = b.maxpool3d(v, 2, 2)
+	v = b.relu(b.conv3d(v, 512, 3, 3, 1, 1, 1, 1))
+	v = b.relu(b.conv3d(v, 512, 3, 3, 1, 1, 1, 1))
+	v = b.maxpool3d(v, 2, 2)
+	v = b.relu(b.conv3d(v, 512, 3, 3, 1, 1, 1, 1))
+	v = b.relu(b.conv3d(v, 512, 3, 3, 1, 1, 1, 1))
+	v = b.maxpool3d(v, 1, 2)
+	v = b.apply(ops.NewFlatten(1), v)
+	v = b.relu(b.linear(v, 4096))
+	v = b.relu(b.linear(v, 4096))
+	v = b.linear(v, 101)
+	v = b.apply(ops.NewSoftmax(-1), v)
+	b.g.MarkOutput(v)
+	return b.g
+}
+
+// sepConv3d is S3D's separable spatio-temporal convolution: a spatial
+// 1×k×k conv followed by a temporal k×1×1 conv, each with BN+ReLU, plus the
+// feature-gating (sigmoid over pooled features) S3D-G applies.
+func (b *builder) sepConv3d(x *graph.Value, outCh, k, s int) *graph.Value {
+	v := b.relu(b.bn(b.conv3dNB(x, outCh, 1, k, 1, s, 0, k/2)))
+	v = b.relu(b.bn(b.conv3dNB(v, outCh, k, 1, 1, 1, k/2, 0)))
+	return v
+}
+
+func (b *builder) gate(x *graph.Value) *graph.Value {
+	g := b.apply(ops.NewGlobalAveragePool(), x)
+	g = b.apply(ops.NewSigmoid(), b.conv3dNB(g, x.Shape[1], 1, 1, 1, 1, 0, 0))
+	return b.apply(ops.NewMul(), x, g)
+}
+
+// S3D (32×224×224 clips): the separable Inception video network with
+// feature gating. ~80 GFLOPs.
+func S3D() *graph.Graph {
+	b := newBuilder("S3D")
+	x := b.g.AddInput("clip", tensor.Of(1, 3, 32, 224, 224))
+	v := b.sepConv3d(x, 64, 7, 2)
+	v = b.maxpool3d(v, 2, 2)
+	v = b.relu(b.bn(b.conv3dNB(v, 64, 1, 1, 1, 1, 0, 0)))
+	v = b.sepConv3d(v, 192, 3, 1)
+	v = b.maxpool3d(v, 1, 2)
+
+	// Inception blocks: (1x1), (1x1 → sep3x3), (1x1 → sep3x3), (pool → 1x1).
+	inception := func(v *graph.Value, c1, c3r, c3, c5r, c5, cp int) *graph.Value {
+		b1 := b.relu(b.bn(b.conv3dNB(v, c1, 1, 1, 1, 1, 0, 0)))
+		b2 := b.relu(b.bn(b.conv3dNB(v, c3r, 1, 1, 1, 1, 0, 0)))
+		b2 = b.sepConv3d(b2, c3, 3, 1)
+		b3 := b.relu(b.bn(b.conv3dNB(v, c5r, 1, 1, 1, 1, 0, 0)))
+		b3 = b.sepConv3d(b3, c5, 3, 1)
+		b4 := b.apply(ops.NewMaxPool(ops.PoolAttrs{Kernel: []int{3}, Strides: []int{1}, Pads: []int{1}}), v)
+		b4 = b.relu(b.bn(b.conv3dNB(b4, cp, 1, 1, 1, 1, 0, 0)))
+		return b.gate(b.concat(1, b1, b2, b3, b4))
+	}
+
+	v = inception(v, 64, 96, 128, 16, 32, 32)
+	v = inception(v, 128, 128, 192, 32, 96, 64)
+	v = b.maxpool3d(v, 2, 2)
+	v = inception(v, 192, 96, 208, 16, 48, 64)
+	v = inception(v, 160, 112, 224, 24, 64, 64)
+	v = inception(v, 128, 128, 256, 24, 64, 64)
+	v = inception(v, 112, 144, 288, 32, 64, 64)
+	v = inception(v, 256, 160, 320, 32, 128, 128)
+	v = b.maxpool3d(v, 2, 2)
+	v = inception(v, 256, 160, 320, 32, 128, 128)
+	v = inception(v, 384, 192, 384, 48, 128, 128)
+
+	v = b.apply(ops.NewGlobalAveragePool(), v)
+	v = b.apply(ops.NewFlatten(1), v)
+	v = b.linear(v, 101)
+	v = b.apply(ops.NewSoftmax(-1), v)
+	b.g.MarkOutput(v)
+	return b.g
+}

@@ -1,0 +1,84 @@
+package ops
+
+// CatalogEntry describes one operator's canonical classification, mirroring
+// the paper's Table 2.
+type CatalogEntry struct {
+	Name    string
+	Mapping MappingType
+	// Representative marks the example operators the paper highlights.
+	Representative bool
+	// Make builds a default instance of the operator for testing and for
+	// rendering Table 2 from live metadata rather than a hardcoded list.
+	Make func() Operator
+}
+
+// Catalog returns the full operator classification, grouped as in Table 2.
+// Every entry's Mapping is cross-checked against the live operator's
+// Mapping(nil) in tests, so the table cannot drift from the implementation.
+func Catalog() []CatalogEntry {
+	e := func(name string, rep bool, mk func() Operator) CatalogEntry {
+		return CatalogEntry{Name: name, Mapping: mk().Mapping(nil), Representative: rep, Make: mk}
+	}
+	return []CatalogEntry{
+		// One-to-One.
+		e("Add", true, NewAdd),
+		e("Sub", false, NewSub),
+		e("Mul", false, NewMul),
+		e("Div", false, NewDiv),
+		e("Asin", false, NewAsin),
+		e("BatchNormalization", false, func() Operator { return NewBatchNormalization(1e-5) }),
+		e("BitShift", false, func() Operator { return NewBitShift(1) }),
+		e("Cast", false, NewCast),
+		e("Ceil", false, NewCeil),
+		e("Clip", false, func() Operator { return NewClip(0, 6) }),
+		e("Concat", false, func() Operator { return NewConcat(1) }),
+		e("Cos", false, NewCos),
+		e("Erf", false, NewErf),
+		e("Exp", false, NewExp),
+		e("Greater", false, NewGreater),
+		e("LeakyRelu", false, func() Operator { return NewLeakyRelu(0.1) }),
+		e("Log", false, NewLog),
+		e("Not", false, NewNot),
+		e("PRelu", false, NewPRelu),
+		e("Reciprocal", false, NewReciprocal),
+		e("Relu", true, NewRelu),
+		e("Round", false, NewRound),
+		e("Sigmoid", false, NewSigmoid),
+		e("Sin", false, NewSin),
+		e("Slice", false, func() Operator { return NewSlice([]int{0}, []int{0}, []int{1}) }),
+		e("Split", false, func() Operator { return NewSplit(0, 1, 1) }),
+		e("Sqrt", false, NewSqrt),
+		e("Square", false, NewSquare),
+		e("Tanh", false, NewTanh),
+		e("Where", false, NewWhere),
+		// One-to-Many.
+		e("Expand", true, func() Operator { return NewExpand(2, 2) }),
+		e("Gather", false, func() Operator { return NewGather(0) }),
+		e("Resize", false, func() Operator { return NewResize(1, 1, 2, 2) }),
+		e("Upsample", false, func() Operator { return NewUpsample(2) }),
+		// Many-to-Many.
+		e("AveragePool", false, func() Operator { return NewAveragePool(PoolAttrs{Kernel: []int{2}}) }),
+		e("Conv", true, func() Operator { return NewConv(ConvAttrs{}) }),
+		e("ConvTranspose", false, func() Operator { return NewConvTranspose(ConvAttrs{}) }),
+		e("CumSum", false, func() Operator { return NewCumSum(0) }),
+		e("Einsum", false, func() Operator { return NewEinsum("ab,bc->ac") }),
+		e("Gemm", true, func() Operator { return NewGemm(1, 1, false, false) }),
+		e("GlobalAveragePool", false, NewGlobalAveragePool),
+		e("InstanceNormalization", false, func() Operator { return NewInstanceNormalization(1e-5) }),
+		e("MatMul", false, NewMatMul),
+		e("MaxPool", false, func() Operator { return NewMaxPool(PoolAttrs{Kernel: []int{2}}) }),
+		e("ReduceMean", false, func() Operator { return NewReduce(ReduceMean, false, -1) }),
+		e("ReduceProd", false, func() Operator { return NewReduce(ReduceProd, false, -1) }),
+		e("ReduceSum", false, func() Operator { return NewReduce(ReduceSum, false, -1) }),
+		e("Softmax", false, func() Operator { return NewSoftmax(-1) }),
+		// Reorganize.
+		e("Flatten", false, func() Operator { return NewFlatten(1) }),
+		e("Reshape", true, func() Operator { return NewReshape(-1) }),
+		e("Squeeze", false, func() Operator { return NewSqueeze() }),
+		e("Unsqueeze", false, func() Operator { return NewUnsqueeze(0) }),
+		// Shuffle.
+		e("DepthToSpace", false, func() Operator { return NewDepthToSpace(2) }),
+		e("SpaceToDepth", false, func() Operator { return NewSpaceToDepth(2) }),
+		e("Transpose", true, func() Operator { return NewTranspose(1, 0) }),
+	}
+}

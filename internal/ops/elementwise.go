@@ -1,0 +1,369 @@
+package ops
+
+import (
+	"fmt"
+	"math"
+
+	"dnnfusion/internal/tensor"
+)
+
+// pointwise is the shared implementation of elementwise operators: the
+// output element at idx is fn applied to the broadcast-aligned input
+// elements. With equal input/output shapes this is the paper's One-to-One
+// class; when any input is expanded by broadcasting it is classified
+// One-to-Many ("Elementwise w/ broadcast" in Table 2).
+type pointwise struct {
+	name    string
+	arity   int
+	fn      func(args []float32) float32
+	props   Properties
+	attrKey string
+	// flopsPerElem is usually 1 (the paper's Table 4 convention).
+	flopsPerElem int64
+}
+
+func (p *pointwise) Type() string           { return p.name }
+func (p *pointwise) NumOutputs() int        { return 1 }
+func (p *pointwise) Properties() Properties { return p.props }
+func (p *pointwise) AttrKey() string        { return p.attrKey }
+
+func (p *pointwise) InferShapes(in []tensor.Shape) ([]tensor.Shape, error) {
+	if len(in) != p.arity {
+		return nil, errInputs(p.name, fmt.Sprint(p.arity), len(in))
+	}
+	out, err := tensor.BroadcastAll(in...)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", p.name, err)
+	}
+	return []tensor.Shape{out}, nil
+}
+
+func (p *pointwise) Mapping(in []tensor.Shape) MappingType {
+	if in == nil {
+		return OneToOne
+	}
+	out, err := tensor.BroadcastAll(in...)
+	if err != nil {
+		return OneToOne
+	}
+	for _, s := range in {
+		if tensor.IsBroadcastExpansion(s, out) {
+			return OneToMany
+		}
+	}
+	return OneToOne
+}
+
+func (p *pointwise) FLOPs(in []tensor.Shape) int64 {
+	out, err := tensor.BroadcastAll(in...)
+	if err != nil {
+		return 0
+	}
+	return p.flopsPerElem * int64(out.NumElements())
+}
+
+func (p *pointwise) Virtualize(ins []Source, outNo int) (Source, error) {
+	if outNo != 0 {
+		return nil, fmt.Errorf("%s: output %d out of range", p.name, outNo)
+	}
+	if len(ins) != p.arity {
+		return nil, errInputs(p.name, fmt.Sprint(p.arity), len(ins))
+	}
+	shapes := make([]tensor.Shape, len(ins))
+	for i, s := range ins {
+		shapes[i] = s.Shape()
+	}
+	out, err := tensor.BroadcastAll(shapes...)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", p.name, err)
+	}
+	src := &pointwiseSource{
+		shape: out,
+		ins:   ins,
+		fn:    p.fn,
+		args:  make([]float32, len(ins)),
+		bufs:  make([][]int, len(ins)),
+	}
+	for i := range ins {
+		src.bufs[i] = make([]int, ins[i].Shape().Rank())
+	}
+	return src, nil
+}
+
+// ScalarFunc exposes the elementwise function for code generation.
+func (p *pointwise) ScalarFunc() func(args []float32) float32 { return p.fn }
+
+// Arity returns the number of inputs of the pointwise operator.
+func (p *pointwise) Arity() int { return p.arity }
+
+// Pointwise is implemented by elementwise operators; the code generator uses
+// it when composing One-to-One operators into fused scalar expressions.
+type Pointwise interface {
+	ScalarFunc() func(args []float32) float32
+	Arity() int
+}
+
+type pointwiseSource struct {
+	shape tensor.Shape
+	ins   []Source
+	fn    func(args []float32) float32
+	args  []float32
+	bufs  [][]int
+}
+
+func (s *pointwiseSource) Shape() tensor.Shape { return s.shape }
+
+func (s *pointwiseSource) Load(idx []int) float32 {
+	for i, in := range s.ins {
+		b := tensor.BroadcastIndex(idx, in.Shape(), s.bufs[i])
+		s.args[i] = in.Load(b)
+	}
+	return s.fn(s.args)
+}
+
+// --- Unary operators -------------------------------------------------------
+
+func newUnary(name string, f func(float32) float32, props Properties) Operator {
+	return &pointwise{
+		name:         name,
+		arity:        1,
+		fn:           func(a []float32) float32 { return f(a[0]) },
+		props:        props,
+		flopsPerElem: 1,
+	}
+}
+
+func f64(f func(float64) float64) func(float32) float32 {
+	return func(x float32) float32 { return float32(f(float64(x))) }
+}
+
+var linear = Properties{Linear: true}
+
+// Unary elementwise operator constructors (One-to-One in Table 2).
+func NewRelu() Operator {
+	return newUnary("Relu", func(x float32) float32 { return maxf(x, 0) }, Properties{})
+}
+func NewAbs() Operator {
+	return newUnary("Abs", func(x float32) float32 { return absf(x) }, Properties{})
+}
+func NewNeg() Operator   { return newUnary("Neg", func(x float32) float32 { return -x }, linear) }
+func NewExp() Operator   { return newUnary("Exp", f64(math.Exp), Properties{}) }
+func NewLog() Operator   { return newUnary("Log", f64(math.Log), Properties{}) }
+func NewSqrt() Operator  { return newUnary("Sqrt", f64(math.Sqrt), Properties{}) }
+func NewErf() Operator   { return newUnary("Erf", f64(math.Erf), Properties{}) }
+func NewSin() Operator   { return newUnary("Sin", f64(math.Sin), Properties{}) }
+func NewCos() Operator   { return newUnary("Cos", f64(math.Cos), Properties{}) }
+func NewAsin() Operator  { return newUnary("Asin", f64(math.Asin), Properties{}) }
+func NewTanh() Operator  { return newUnary("Tanh", f64(math.Tanh), Properties{}) }
+func NewCeil() Operator  { return newUnary("Ceil", f64(math.Ceil), Properties{}) }
+func NewFloor() Operator { return newUnary("Floor", f64(math.Floor), Properties{}) }
+func NewRound() Operator { return newUnary("Round", f64(math.RoundToEven), Properties{}) }
+func NewSquare() Operator {
+	return newUnary("Square", func(x float32) float32 { return x * x }, Properties{})
+}
+func NewReciprocal() Operator {
+	return newUnary("Reciprocal", func(x float32) float32 { return 1 / x }, Properties{})
+}
+func NewSigmoid() Operator {
+	return newUnary("Sigmoid", func(x float32) float32 {
+		return float32(1 / (1 + math.Exp(-float64(x))))
+	}, Properties{})
+}
+func NewSoftplus() Operator {
+	return newUnary("Softplus", func(x float32) float32 {
+		return float32(math.Log1p(math.Exp(float64(x))))
+	}, Properties{})
+}
+func NewNot() Operator {
+	return newUnary("Not", func(x float32) float32 {
+		if x == 0 {
+			return 1
+		}
+		return 0
+	}, Properties{})
+}
+
+// NewIdentity returns the no-op operator (used when rewrites eliminate work).
+func NewIdentity() Operator {
+	op := newUnary("Identity", func(x float32) float32 { return x }, linear).(*pointwise)
+	op.flopsPerElem = 0
+	return op
+}
+
+// NewCast models ONNX Cast; with a single float32 dtype it is an identity
+// but is kept as a distinct One-to-One operator as in Table 2.
+func NewCast() Operator {
+	op := newUnary("Cast", func(x float32) float32 { return x }, linear).(*pointwise)
+	op.flopsPerElem = 0
+	return op
+}
+
+// NewLeakyRelu returns LeakyRelu with the given negative slope.
+func NewLeakyRelu(alpha float32) Operator {
+	op := newUnary("LeakyRelu", func(x float32) float32 {
+		if x < 0 {
+			return alpha * x
+		}
+		return x
+	}, Properties{}).(*pointwise)
+	op.attrKey = fmt.Sprintf("alpha=%g", alpha)
+	return op
+}
+
+// NewClip clamps elements into [min, max].
+func NewClip(min, max float32) Operator {
+	op := newUnary("Clip", func(x float32) float32 {
+		return minf(maxf(x, min), max)
+	}, Properties{}).(*pointwise)
+	op.attrKey = fmt.Sprintf("min=%g,max=%g", min, max)
+	return op
+}
+
+// NewBitShift shifts the integer value of each element left (positive k) or
+// right (negative k) by |k| bits; on float data this is an exact multiply or
+// divide by 2^|k|. Left shift is linear, which is what licenses the paper's
+// ReduceSum(BitShift(A)) → BitShift(ReduceSum(A)) commutation.
+func NewBitShift(k int) Operator {
+	scale := float32(1)
+	for i := 0; i < k; i++ {
+		scale *= 2
+	}
+	for i := 0; i > k; i-- {
+		scale /= 2
+	}
+	op := newUnary("BitShift", func(x float32) float32 { return x * scale }, linear).(*pointwise)
+	op.attrKey = fmt.Sprintf("k=%d", k)
+	return op
+}
+
+// NewPowConst raises each element to a constant power (Pow with a scalar
+// exponent, the form transformer LayerNorm decompositions use).
+func NewPowConst(p float32) Operator {
+	op := newUnary("Pow", func(x float32) float32 {
+		if p == 2 {
+			return x * x
+		}
+		return float32(math.Pow(float64(x), float64(p)))
+	}, Properties{}).(*pointwise)
+	op.attrKey = fmt.Sprintf("p=%g", p)
+	return op
+}
+
+// NewAddConst adds a scalar constant elementwise (e.g. the "+1" produced by
+// the distributive rewrite A + A⊙B → A⊙(B+1)).
+func NewAddConst(c float32) Operator {
+	op := newUnary("AddConst", func(x float32) float32 { return x + c }, linear).(*pointwise)
+	op.attrKey = fmt.Sprintf("c=%g", c)
+	return op
+}
+
+// NewMulConst multiplies by a scalar constant elementwise.
+func NewMulConst(c float32) Operator {
+	op := newUnary("MulConst", func(x float32) float32 { return x * c }, linear).(*pointwise)
+	op.attrKey = fmt.Sprintf("c=%g", c)
+	return op
+}
+
+// --- Binary and ternary operators ------------------------------------------
+
+func newBinary(name string, f func(a, b float32) float32, props Properties) Operator {
+	return &pointwise{
+		name:         name,
+		arity:        2,
+		fn:           func(a []float32) float32 { return f(a[0], a[1]) },
+		props:        props,
+		flopsPerElem: 1,
+	}
+}
+
+var (
+	addProps = Properties{Associative: true, Commutative: true, Linear: true}
+	mulProps = Properties{Associative: true, Commutative: true, Distributive: true}
+)
+
+func NewAdd() Operator {
+	return newBinary("Add", func(a, b float32) float32 { return a + b }, addProps)
+}
+func NewSub() Operator {
+	return newBinary("Sub", func(a, b float32) float32 { return a - b }, Properties{Linear: true})
+}
+func NewMul() Operator {
+	return newBinary("Mul", func(a, b float32) float32 { return a * b }, mulProps)
+}
+func NewDiv() Operator {
+	return newBinary("Div", func(a, b float32) float32 { return a / b }, Properties{})
+}
+func NewMin() Operator {
+	return newBinary("Min", minf, Properties{Associative: true, Commutative: true})
+}
+func NewMax() Operator {
+	return newBinary("Max", maxf, Properties{Associative: true, Commutative: true})
+}
+func NewPow() Operator {
+	return newBinary("PowT", func(a, b float32) float32 {
+		return float32(math.Pow(float64(a), float64(b)))
+	}, Properties{})
+}
+func NewGreater() Operator {
+	return newBinary("Greater", func(a, b float32) float32 {
+		if a > b {
+			return 1
+		}
+		return 0
+	}, Properties{})
+}
+func NewEqual() Operator {
+	return newBinary("Equal", func(a, b float32) float32 {
+		if a == b {
+			return 1
+		}
+		return 0
+	}, Properties{Commutative: true})
+}
+
+// NewPRelu is the parametric Relu: x when x>=0, slope*x otherwise, with the
+// slope tensor broadcast against x.
+func NewPRelu() Operator {
+	return newBinary("PRelu", func(x, s float32) float32 {
+		if x < 0 {
+			return s * x
+		}
+		return x
+	}, Properties{})
+}
+
+// NewWhere selects elementwise between two tensors by a 0/1 condition.
+func NewWhere() Operator {
+	return &pointwise{
+		name:  "Where",
+		arity: 3,
+		fn: func(a []float32) float32 {
+			if a[0] != 0 {
+				return a[1]
+			}
+			return a[2]
+		},
+		flopsPerElem: 1,
+	}
+}
+
+func maxf(a, b float32) float32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minf(a, b float32) float32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func absf(a float32) float32 {
+	if a < 0 {
+		return -a
+	}
+	return a
+}

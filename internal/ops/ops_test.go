@@ -1,0 +1,424 @@
+package ops
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dnnfusion/internal/tensor"
+)
+
+func mustEval1(t *testing.T, op Operator, ins ...*tensor.Tensor) *tensor.Tensor {
+	t.Helper()
+	out, err := Eval1(op, ins...)
+	if err != nil {
+		t.Fatalf("%s eval: %v", op.Type(), err)
+	}
+	return out
+}
+
+func TestUnaryValues(t *testing.T) {
+	x := tensor.FromSlice([]float32{-2, -0.5, 0, 1, 4}, 5)
+	cases := []struct {
+		op   Operator
+		want []float32
+	}{
+		{NewRelu(), []float32{0, 0, 0, 1, 4}},
+		{NewAbs(), []float32{2, 0.5, 0, 1, 4}},
+		{NewNeg(), []float32{2, 0.5, 0, -1, -4}},
+		{NewSquare(), []float32{4, 0.25, 0, 1, 16}},
+		{NewLeakyRelu(0.1), []float32{-0.2, -0.05, 0, 1, 4}},
+		{NewClip(-1, 2), []float32{-1, -0.5, 0, 1, 2}},
+		{NewCeil(), []float32{-2, 0, 0, 1, 4}},
+		{NewFloor(), []float32{-2, -1, 0, 1, 4}},
+		{NewNot(), []float32{0, 0, 1, 0, 0}},
+		{NewIdentity(), []float32{-2, -0.5, 0, 1, 4}},
+		{NewCast(), []float32{-2, -0.5, 0, 1, 4}},
+		{NewBitShift(2), []float32{-8, -2, 0, 4, 16}},
+		{NewBitShift(-1), []float32{-1, -0.25, 0, 0.5, 2}},
+		{NewAddConst(3), []float32{1, 2.5, 3, 4, 7}},
+		{NewMulConst(2), []float32{-4, -1, 0, 2, 8}},
+		{NewPowConst(2), []float32{4, 0.25, 0, 1, 16}},
+	}
+	for _, c := range cases {
+		got := mustEval1(t, c.op, x)
+		want := tensor.FromSlice(c.want, 5)
+		if !tensor.AllClose(got, want, 1e-6) {
+			t.Errorf("%s(%v) = %v, want %v", c.op.Type(), x.Data(), got.Data(), c.want)
+		}
+	}
+}
+
+func TestTranscendentalValues(t *testing.T) {
+	x := tensor.FromSlice([]float32{0.25, 1, 2}, 3)
+	checks := []struct {
+		op Operator
+		f  func(float64) float64
+	}{
+		{NewExp(), math.Exp},
+		{NewLog(), math.Log},
+		{NewSqrt(), math.Sqrt},
+		{NewSin(), math.Sin},
+		{NewCos(), math.Cos},
+		{NewTanh(), math.Tanh},
+		{NewErf(), math.Erf},
+		{NewReciprocal(), func(v float64) float64 { return 1 / v }},
+		{NewSigmoid(), func(v float64) float64 { return 1 / (1 + math.Exp(-v)) }},
+		{NewSoftplus(), func(v float64) float64 { return math.Log1p(math.Exp(v)) }},
+	}
+	for _, c := range checks {
+		got := mustEval1(t, c.op, x)
+		for i, v := range x.Data() {
+			want := float32(c.f(float64(v)))
+			if math.Abs(float64(got.Data()[i]-want)) > 1e-5 {
+				t.Errorf("%s(%v) = %v, want %v", c.op.Type(), v, got.Data()[i], want)
+			}
+		}
+	}
+}
+
+func TestBinaryValues(t *testing.T) {
+	a := tensor.FromSlice([]float32{1, 2, 3, 4}, 4)
+	b := tensor.FromSlice([]float32{4, 3, 2, 2}, 4)
+	cases := []struct {
+		op   Operator
+		want []float32
+	}{
+		{NewAdd(), []float32{5, 5, 5, 6}},
+		{NewSub(), []float32{-3, -1, 1, 2}},
+		{NewMul(), []float32{4, 6, 6, 8}},
+		{NewDiv(), []float32{0.25, 2.0 / 3, 1.5, 2}},
+		{NewMin(), []float32{1, 2, 2, 2}},
+		{NewMax(), []float32{4, 3, 3, 4}},
+		{NewGreater(), []float32{0, 0, 1, 1}},
+		{NewEqual(), []float32{0, 0, 0, 0}},
+		{NewPow(), []float32{1, 8, 9, 16}},
+	}
+	for _, c := range cases {
+		got := mustEval1(t, c.op, a, b)
+		want := tensor.FromSlice(c.want, 4)
+		if !tensor.AllClose(got, want, 1e-5) {
+			t.Errorf("%s = %v, want %v", c.op.Type(), got.Data(), c.want)
+		}
+	}
+}
+
+func TestBroadcastAddAndMapping(t *testing.T) {
+	a := tensor.FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := tensor.FromSlice([]float32{10, 20, 30}, 3)
+	got := mustEval1(t, NewAdd(), a, b)
+	want := tensor.FromSlice([]float32{11, 22, 33, 14, 25, 36}, 2, 3)
+	if !tensor.AllClose(got, want, 0) {
+		t.Errorf("broadcast Add = %v, want %v", got.Data(), want.Data())
+	}
+	// Same-shape Add is One-to-One; broadcast Add is One-to-Many (Table 2).
+	add := NewAdd()
+	if m := add.Mapping([]tensor.Shape{tensor.Of(2, 3), tensor.Of(2, 3)}); m != OneToOne {
+		t.Errorf("same-shape Add mapping = %v, want One-to-One", m)
+	}
+	if m := add.Mapping([]tensor.Shape{tensor.Of(2, 3), tensor.Of(3)}); m != OneToMany {
+		t.Errorf("broadcast Add mapping = %v, want One-to-Many", m)
+	}
+}
+
+func TestWhere(t *testing.T) {
+	cond := tensor.FromSlice([]float32{1, 0, 1}, 3)
+	a := tensor.FromSlice([]float32{10, 20, 30}, 3)
+	b := tensor.FromSlice([]float32{-1, -2, -3}, 3)
+	got := mustEval1(t, NewWhere(), cond, a, b)
+	want := tensor.FromSlice([]float32{10, -2, 30}, 3)
+	if !tensor.AllClose(got, want, 0) {
+		t.Errorf("Where = %v, want %v", got.Data(), want.Data())
+	}
+}
+
+func TestPRelu(t *testing.T) {
+	x := tensor.FromSlice([]float32{-2, 3}, 2)
+	slope := tensor.FromSlice([]float32{0.5}, 1)
+	got := mustEval1(t, NewPRelu(), x, slope)
+	want := tensor.FromSlice([]float32{-1, 3}, 2)
+	if !tensor.AllClose(got, want, 0) {
+		t.Errorf("PRelu = %v, want %v", got.Data(), want.Data())
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	x := tensor.FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	got := mustEval1(t, NewTranspose(1, 0), x)
+	if !got.Shape().Equal(tensor.Of(3, 2)) {
+		t.Fatalf("Transpose shape = %v", got.Shape())
+	}
+	want := tensor.FromSlice([]float32{1, 4, 2, 5, 3, 6}, 3, 2)
+	if !tensor.AllClose(got, want, 0) {
+		t.Errorf("Transpose = %v, want %v", got.Data(), want.Data())
+	}
+	if p := TransposePerm(NewTranspose(1, 0)); len(p) != 2 || p[0] != 1 {
+		t.Errorf("TransposePerm = %v", p)
+	}
+}
+
+func TestTransposeInverseProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		x := tensor.New(2, 3, 4).Rand(seed)
+		perm := []int{2, 0, 1}
+		inv := []int{1, 2, 0}
+		y := mustEval1(t, NewTranspose(perm...), x)
+		z := mustEval1(t, NewTranspose(inv...), y)
+		return tensor.AllClose(x, z, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReshapeFamily(t *testing.T) {
+	x := tensor.FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	r := mustEval1(t, NewReshape(3, -1), x)
+	if !r.Shape().Equal(tensor.Of(3, 2)) {
+		t.Fatalf("Reshape shape = %v", r.Shape())
+	}
+	// Reshape preserves row-major order (unlike Transpose).
+	want := tensor.FromSlice([]float32{1, 2, 3, 4, 5, 6}, 3, 2)
+	if !tensor.AllClose(r, want, 0) {
+		t.Errorf("Reshape = %v, want row-major order preserved", r.Data())
+	}
+	fl := mustEval1(t, NewFlatten(1), tensor.New(2, 3, 4))
+	if !fl.Shape().Equal(tensor.Of(2, 12)) {
+		t.Errorf("Flatten shape = %v", fl.Shape())
+	}
+	sq := mustEval1(t, NewSqueeze(), tensor.New(1, 3, 1, 2))
+	if !sq.Shape().Equal(tensor.Of(3, 2)) {
+		t.Errorf("Squeeze shape = %v", sq.Shape())
+	}
+	us := mustEval1(t, NewUnsqueeze(0, 2), tensor.New(3, 2))
+	if !us.Shape().Equal(tensor.Of(1, 3, 1, 2)) {
+		t.Errorf("Unsqueeze shape = %v", us.Shape())
+	}
+}
+
+func TestSliceSplitConcat(t *testing.T) {
+	x := tensor.FromSlice([]float32{1, 2, 3, 4, 5, 6, 7, 8}, 2, 4)
+	sl := mustEval1(t, NewSlice([]int{1}, []int{1}, []int{3}), x)
+	want := tensor.FromSlice([]float32{2, 3, 6, 7}, 2, 2)
+	if !tensor.AllClose(sl, want, 0) {
+		t.Errorf("Slice = %v, want %v", sl.Data(), want.Data())
+	}
+
+	outs, err := Eval(NewSplit(1, 1, 3), []*tensor.Tensor{x})
+	if err != nil {
+		t.Fatalf("Split: %v", err)
+	}
+	if !outs[0].Shape().Equal(tensor.Of(2, 1)) || !outs[1].Shape().Equal(tensor.Of(2, 3)) {
+		t.Fatalf("Split shapes = %v, %v", outs[0].Shape(), outs[1].Shape())
+	}
+	if outs[1].At(1, 2) != 8 {
+		t.Errorf("Split[1][1,2] = %v, want 8", outs[1].At(1, 2))
+	}
+
+	cc := mustEval1(t, NewConcat(1), outs[0], outs[1])
+	if !tensor.AllClose(cc, x, 0) {
+		t.Errorf("Concat(Split(x)) != x: %v", cc.Data())
+	}
+}
+
+// Property: Split followed by Concat along the same axis is the identity.
+func TestSplitConcatRoundTripProperty(t *testing.T) {
+	f := func(seed uint64, axisRaw uint8) bool {
+		x := tensor.New(4, 6).Rand(seed)
+		axis := int(axisRaw % 2)
+		n := x.Shape()[axis]
+		split := NewSplit(axis, 1, n-1)
+		parts, err := Eval(split, []*tensor.Tensor{x})
+		if err != nil {
+			return false
+		}
+		back, err := Eval1(NewConcat(axis), parts...)
+		if err != nil {
+			return false
+		}
+		return tensor.AllClose(back, x, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpand(t *testing.T) {
+	x := tensor.FromSlice([]float32{1, 2}, 2, 1)
+	got := mustEval1(t, NewExpand(2, 3), x)
+	want := tensor.FromSlice([]float32{1, 1, 1, 2, 2, 2}, 2, 3)
+	if !tensor.AllClose(got, want, 0) {
+		t.Errorf("Expand = %v, want %v", got.Data(), want.Data())
+	}
+	if NewExpand(2, 3).Mapping(nil) != OneToMany {
+		t.Error("Expand mapping should be One-to-Many")
+	}
+}
+
+func TestGather(t *testing.T) {
+	data := tensor.FromSlice([]float32{10, 11, 20, 21, 30, 31}, 3, 2)
+	idx := tensor.FromSlice([]float32{2, 0}, 2)
+	got := mustEval1(t, NewGather(0), data, idx)
+	want := tensor.FromSlice([]float32{30, 31, 10, 11}, 2, 2)
+	if !tensor.AllClose(got, want, 0) {
+		t.Errorf("Gather = %v, want %v", got.Data(), want.Data())
+	}
+	// Gather along axis 1.
+	got2 := mustEval1(t, NewGather(1), data, tensor.FromSlice([]float32{1}, 1))
+	if !got2.Shape().Equal(tensor.Of(3, 1)) || got2.At(2, 0) != 31 {
+		t.Errorf("Gather axis1 = %v %v", got2.Shape(), got2.Data())
+	}
+}
+
+func TestResizeUpsample(t *testing.T) {
+	x := tensor.FromSlice([]float32{1, 2, 3, 4}, 1, 1, 2, 2)
+	got := mustEval1(t, NewUpsample(2), x)
+	if !got.Shape().Equal(tensor.Of(1, 1, 4, 4)) {
+		t.Fatalf("Upsample shape = %v", got.Shape())
+	}
+	if got.At(0, 0, 0, 1) != 1 || got.At(0, 0, 3, 3) != 4 || got.At(0, 0, 1, 2) != 2 {
+		t.Errorf("Upsample nearest values wrong: %v", got.Data())
+	}
+}
+
+func TestDepthToSpaceInverse(t *testing.T) {
+	x := tensor.New(1, 8, 2, 3).Rand(7)
+	d2s := mustEval1(t, NewDepthToSpace(2), x)
+	if !d2s.Shape().Equal(tensor.Of(1, 2, 4, 6)) {
+		t.Fatalf("DepthToSpace shape = %v", d2s.Shape())
+	}
+	back := mustEval1(t, NewSpaceToDepth(2), d2s)
+	if !tensor.AllClose(back, x, 0) {
+		t.Error("SpaceToDepth(DepthToSpace(x)) != x")
+	}
+}
+
+func TestCatalogConsistency(t *testing.T) {
+	byGroup := map[MappingType]int{}
+	for _, entry := range Catalog() {
+		op := entry.Make()
+		if got := op.Mapping(nil); got != entry.Mapping {
+			t.Errorf("%s: catalog mapping %v, live mapping %v", entry.Name, entry.Mapping, got)
+		}
+		if op.Type() != entry.Name && entry.Name != "Gemm" { // Gemm alias kept
+			if op.Type() != entry.Name {
+				t.Errorf("catalog name %q != op type %q", entry.Name, op.Type())
+			}
+		}
+		byGroup[entry.Mapping]++
+	}
+	// Paper Table 2 has entries in all five classes.
+	for _, m := range AllMappingTypes() {
+		if byGroup[m] == 0 {
+			t.Errorf("no catalog entries with mapping %v", m)
+		}
+	}
+	if byGroup[OneToOne] < 20 {
+		t.Errorf("One-to-One group too small: %d", byGroup[OneToOne])
+	}
+}
+
+func TestMovementOpsHaveZeroFLOPs(t *testing.T) {
+	shapes := []tensor.Shape{tensor.Of(2, 4)}
+	for _, op := range []Operator{
+		NewReshape(4, 2), NewFlatten(1), NewTranspose(1, 0),
+		NewSlice([]int{0}, []int{0}, []int{1}), NewConcat(0),
+	} {
+		if f := op.FLOPs(shapes); f != 0 {
+			t.Errorf("%s FLOPs = %d, want 0 (pure data movement)", op.Type(), f)
+		}
+	}
+}
+
+func TestKeyStability(t *testing.T) {
+	a := Key(NewConv(ConvAttrs{Strides: []int{2}, Pads: []int{1}}))
+	b := Key(NewConv(ConvAttrs{Strides: []int{2}, Pads: []int{1}}))
+	c := Key(NewConv(ConvAttrs{Strides: []int{1}, Pads: []int{1}}))
+	if a != b {
+		t.Errorf("identical ops have different keys: %q vs %q", a, b)
+	}
+	if a == c {
+		t.Errorf("different ops share key %q", a)
+	}
+}
+
+// Property: for every catalog op with a simple unary/binary signature, the
+// materialized eval shape matches InferShapes.
+func TestEvalShapeMatchesInference(t *testing.T) {
+	x := tensor.New(2, 4).Rand(3)
+	y := tensor.New(2, 4).Rand(4)
+	for _, entry := range Catalog() {
+		op := entry.Make()
+		var ins []*tensor.Tensor
+		switch {
+		case op.Type() == "Gather" || op.Type() == "Where" || op.Type() == "Conv" ||
+			op.Type() == "ConvTranspose" || op.Type() == "BatchNormalization" ||
+			op.Type() == "InstanceNormalization" || op.Type() == "AveragePool" ||
+			op.Type() == "MaxPool" || op.Type() == "GlobalAveragePool" ||
+			op.Type() == "Upsample" || op.Type() == "Resize" || op.Type() == "DepthToSpace" ||
+			op.Type() == "SpaceToDepth":
+			continue // exercised in dedicated tests with proper shapes
+		case isPointwiseArity(op, 2) || op.Type() == "MatMul" || op.Type() == "Gemm" || op.Type() == "Einsum":
+			if op.Type() == "Einsum" {
+				ins = []*tensor.Tensor{tensor.New(2, 4).Rand(1), tensor.New(4, 3).Rand(2)}
+			} else if op.Type() == "MatMul" || op.Type() == "Gemm" {
+				ins = []*tensor.Tensor{tensor.New(2, 4).Rand(1), tensor.New(4, 3).Rand(2)}
+			} else {
+				ins = []*tensor.Tensor{x, y}
+			}
+		case op.Type() == "Expand":
+			ins = []*tensor.Tensor{tensor.New(2, 1).Rand(5)}
+		default:
+			ins = []*tensor.Tensor{x}
+		}
+		shapes := make([]tensor.Shape, len(ins))
+		for i := range ins {
+			shapes[i] = ins[i].Shape()
+		}
+		want, err := op.InferShapes(shapes)
+		if err != nil {
+			t.Errorf("%s InferShapes(%v): %v", op.Type(), shapes, err)
+			continue
+		}
+		outs, err := Eval(op, ins)
+		if err != nil {
+			t.Errorf("%s Eval: %v", op.Type(), err)
+			continue
+		}
+		for i := range outs {
+			if !outs[i].Shape().Equal(want[i]) {
+				t.Errorf("%s output %d shape %v, inferred %v", op.Type(), i, outs[i].Shape(), want[i])
+			}
+		}
+	}
+}
+
+func isPointwiseArity(op Operator, n int) bool {
+	p, ok := op.(Pointwise)
+	return ok && p.Arity() == n
+}
+
+func TestShapeInferenceErrors(t *testing.T) {
+	cases := []struct {
+		op Operator
+		in []tensor.Shape
+	}{
+		{NewAdd(), []tensor.Shape{tensor.Of(2, 3), tensor.Of(2, 4)}},
+		{NewAdd(), []tensor.Shape{tensor.Of(2)}},
+		{NewMatMul(), []tensor.Shape{tensor.Of(2, 3), tensor.Of(4, 5)}},
+		{NewTranspose(0, 1, 2), []tensor.Shape{tensor.Of(2, 3)}},
+		{NewTranspose(0, 0), []tensor.Shape{tensor.Of(2, 3)}},
+		{NewConcat(0), []tensor.Shape{tensor.Of(2, 3), tensor.Of(2, 4)}},
+		{NewSplit(0, 1, 2), []tensor.Shape{tensor.Of(4, 3)}},
+		{NewReshape(5, 5), []tensor.Shape{tensor.Of(2, 3)}},
+		{NewSqueeze(0), []tensor.Shape{tensor.Of(2, 3)}},
+		{NewSlice([]int{0}, []int{3}, []int{2}), []tensor.Shape{tensor.Of(4)}},
+		{NewGather(5), []tensor.Shape{tensor.Of(2, 3), tensor.Of(1)}},
+		{NewConv(ConvAttrs{}), []tensor.Shape{tensor.Of(1, 3, 8, 8), tensor.Of(4, 2, 3, 3)}},
+	}
+	for _, c := range cases {
+		if _, err := c.op.InferShapes(c.in); err == nil {
+			t.Errorf("%s.InferShapes(%v) succeeded, want error", c.op.Type(), c.in)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package ops
+
+import (
+	"fmt"
+	"math"
+
+	"dnnfusion/internal/tensor"
+)
+
+// PoolAttrs configures MaxPool and AveragePool; semantics match ConvAttrs.
+type PoolAttrs struct {
+	Kernel  []int
+	Strides []int
+	Pads    []int
+}
+
+// NewMaxPool returns the N-dimensional max pooling operator
+// (Many-to-Many per Table 2).
+func NewMaxPool(attrs PoolAttrs) Operator { return &pool{attrs: attrs, avg: false} }
+
+// NewAveragePool returns the N-dimensional average pooling operator with
+// count_include_pad=false semantics (padding excluded from the divisor).
+func NewAveragePool(attrs PoolAttrs) Operator { return &pool{attrs: attrs, avg: true} }
+
+// NewGlobalAveragePool averages over all spatial dimensions, keeping them as
+// size-1 dims ([N, C, S..] → [N, C, 1..]).
+func NewGlobalAveragePool() Operator { return &pool{global: true, avg: true} }
+
+type pool struct {
+	attrs  PoolAttrs
+	avg    bool
+	global bool
+}
+
+func (p *pool) Type() string {
+	switch {
+	case p.global:
+		return "GlobalAveragePool"
+	case p.avg:
+		return "AveragePool"
+	default:
+		return "MaxPool"
+	}
+}
+func (p *pool) NumOutputs() int { return 1 }
+func (p *pool) AttrKey() string {
+	if p.global {
+		return ""
+	}
+	return fmt.Sprintf("k=%v,s=%v,p=%v", p.attrs.Kernel, p.attrs.Strides, p.attrs.Pads)
+}
+func (p *pool) Properties() Properties {
+	if p.avg {
+		return Properties{Linear: true}
+	}
+	return Properties{}
+}
+func (p *pool) Mapping(in []tensor.Shape) MappingType { return ManyToMany }
+
+func (p *pool) resolved(x tensor.Shape) (kernel, strides, pads []int, err error) {
+	spatial := x.Rank() - 2
+	if spatial < 1 {
+		return nil, nil, nil, fmt.Errorf("%s: input %v must have spatial dims", p.Type(), x)
+	}
+	if p.global {
+		kernel = append([]int(nil), x[2:]...)
+		strides = make([]int, spatial)
+		pads = make([]int, spatial)
+		for i := range strides {
+			strides[i] = 1
+		}
+		return kernel, strides, pads, nil
+	}
+	a := ConvAttrs{Strides: p.attrs.Strides, Pads: p.attrs.Pads}.normalized(spatial)
+	kernel = ConvAttrs{Strides: p.attrs.Kernel}.normalized(spatial).Strides
+	return kernel, a.Strides, a.Pads, nil
+}
+
+func (p *pool) outShape(in []tensor.Shape) (tensor.Shape, error) {
+	if len(in) != 1 {
+		return nil, errInputs(p.Type(), "1", len(in))
+	}
+	x := in[0]
+	kernel, strides, pads, err := p.resolved(x)
+	if err != nil {
+		return nil, err
+	}
+	out := tensor.Shape{x[0], x[1]}
+	for i := 0; i < x.Rank()-2; i++ {
+		s := (x[2+i]+2*pads[i]-kernel[i])/strides[i] + 1
+		if s <= 0 {
+			return nil, fmt.Errorf("%s: non-positive output dim for %v", p.Type(), x)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func (p *pool) InferShapes(in []tensor.Shape) ([]tensor.Shape, error) {
+	out, err := p.outShape(in)
+	if err != nil {
+		return nil, err
+	}
+	return []tensor.Shape{out}, nil
+}
+
+func (p *pool) FLOPs(in []tensor.Shape) int64 {
+	out, err := p.outShape(in)
+	if err != nil {
+		return 0
+	}
+	kernel, _, _, _ := p.resolved(in[0])
+	k := int64(1)
+	for _, d := range kernel {
+		k *= int64(d)
+	}
+	return int64(out.NumElements()) * k
+}
+
+func (p *pool) Virtualize(ins []Source, outNo int) (Source, error) {
+	if outNo != 0 || len(ins) != 1 {
+		return nil, errInputs(p.Type(), "1", len(ins))
+	}
+	x := ins[0].Shape()
+	out, err := p.outShape([]tensor.Shape{x})
+	if err != nil {
+		return nil, err
+	}
+	kernel, strides, pads, _ := p.resolved(x)
+	return &poolSource{
+		shape:   out,
+		in:      ins[0],
+		avg:     p.avg,
+		kernel:  kernel,
+		strides: strides,
+		pads:    pads,
+		buf:     make([]int, x.Rank()),
+	}, nil
+}
+
+type poolSource struct {
+	shape   tensor.Shape
+	in      Source
+	avg     bool
+	kernel  []int
+	strides []int
+	pads    []int
+	buf     []int
+}
+
+func (s *poolSource) Shape() tensor.Shape { return s.shape }
+
+func (s *poolSource) Load(idx []int) float32 {
+	xShape := s.in.Shape()
+	spatial := xShape.Rank() - 2
+	s.buf[0], s.buf[1] = idx[0], idx[1]
+	total := 1
+	for _, k := range s.kernel {
+		total *= k
+	}
+	acc := math.Inf(-1)
+	sum, count := 0.0, 0
+	for kp := 0; kp < total; kp++ {
+		rem := kp
+		ok := true
+		for i := spatial - 1; i >= 0; i-- {
+			k := rem % s.kernel[i]
+			rem /= s.kernel[i]
+			pos := idx[2+i]*s.strides[i] - s.pads[i] + k
+			if pos < 0 || pos >= xShape[2+i] {
+				ok = false
+				break
+			}
+			s.buf[2+i] = pos
+		}
+		if !ok {
+			continue
+		}
+		v := float64(s.in.Load(s.buf))
+		sum += v
+		count++
+		acc = math.Max(acc, v)
+	}
+	if s.avg {
+		if count == 0 {
+			return 0
+		}
+		return float32(sum / float64(count))
+	}
+	return float32(acc)
+}

@@ -1,0 +1,337 @@
+package ops
+
+import (
+	"fmt"
+	"math"
+
+	"dnnfusion/internal/tensor"
+)
+
+// ReduceKind selects the reduction performed by a Reduce operator.
+type ReduceKind int
+
+const (
+	ReduceSum ReduceKind = iota
+	ReduceMean
+	ReduceProd
+	ReduceMax
+	ReduceMin
+)
+
+var reduceNames = [...]string{"ReduceSum", "ReduceMean", "ReduceProd", "ReduceMax", "ReduceMin"}
+
+func (k ReduceKind) String() string { return reduceNames[k] }
+
+// NewReduce reduces along the given axes (Many-to-Many per Table 2). With
+// keepDims the reduced axes remain as size-1 dimensions. Sum and Mean are
+// linear, which licenses the paper's commutative-family rewrites
+// (e.g. ReduceProd(Exp(A)) → Exp(ReduceSum(A))).
+func NewReduce(kind ReduceKind, keepDims bool, axes ...int) Operator {
+	return &reduce{kind: kind, keepDims: keepDims, axes: append([]int(nil), axes...)}
+}
+
+type reduce struct {
+	kind     ReduceKind
+	keepDims bool
+	axes     []int
+}
+
+func (r *reduce) Type() string    { return r.kind.String() }
+func (r *reduce) NumOutputs() int { return 1 }
+func (r *reduce) AttrKey() string {
+	return fmt.Sprintf("axes=%v,keep=%t", r.axes, r.keepDims)
+}
+func (r *reduce) Properties() Properties {
+	if r.kind == ReduceSum || r.kind == ReduceMean {
+		return Properties{Linear: true}
+	}
+	return Properties{}
+}
+func (r *reduce) Mapping(in []tensor.Shape) MappingType { return ManyToMany }
+
+// Axes returns the reduction axes (for rewrite-rule inspection).
+func (r *reduce) Axes() []int { return r.axes }
+
+// Kind returns the reduction kind.
+func (r *reduce) Kind() ReduceKind { return r.kind }
+
+// ReduceInfo extracts the reduction parameters of a Reduce operator; ok is
+// false for other operators. The rewriter uses it to rebuild equivalent
+// reductions (e.g. ReduceProd(Exp(A)) → Exp(ReduceSum(A))).
+func ReduceInfo(op Operator) (kind ReduceKind, keepDims bool, axes []int, ok bool) {
+	r, isReduce := op.(*reduce)
+	if !isReduce {
+		return 0, false, nil, false
+	}
+	return r.kind, r.keepDims, append([]int(nil), r.axes...), true
+}
+
+func (r *reduce) resolveAxes(rank int) (map[int]bool, error) {
+	red := make(map[int]bool)
+	if len(r.axes) == 0 {
+		for i := 0; i < rank; i++ {
+			red[i] = true
+		}
+		return red, nil
+	}
+	for _, a := range r.axes {
+		na, ok := tensor.NormalizeAxis(a, rank)
+		if !ok {
+			return nil, fmt.Errorf("%s: axis %d out of range for rank %d", r.Type(), a, rank)
+		}
+		red[na] = true
+	}
+	return red, nil
+}
+
+func (r *reduce) InferShapes(in []tensor.Shape) ([]tensor.Shape, error) {
+	if len(in) != 1 {
+		return nil, errInputs(r.Type(), "1", len(in))
+	}
+	red, err := r.resolveAxes(in[0].Rank())
+	if err != nil {
+		return nil, err
+	}
+	out := make(tensor.Shape, 0, in[0].Rank())
+	for i, d := range in[0] {
+		if red[i] {
+			if r.keepDims {
+				out = append(out, 1)
+			}
+		} else {
+			out = append(out, d)
+		}
+	}
+	return []tensor.Shape{out}, nil
+}
+
+func (r *reduce) FLOPs(in []tensor.Shape) int64 {
+	// One combine per input element (the paper's m*n convention for a
+	// reduction over an m×n input).
+	return int64(in[0].NumElements())
+}
+
+func (r *reduce) Virtualize(ins []Source, outNo int) (Source, error) {
+	if outNo != 0 {
+		return nil, fmt.Errorf("%s: output %d out of range", r.Type(), outNo)
+	}
+	if len(ins) != 1 {
+		return nil, errInputs(r.Type(), "1", len(ins))
+	}
+	inShape := ins[0].Shape()
+	red, err := r.resolveAxes(inShape.Rank())
+	if err != nil {
+		return nil, err
+	}
+	outs, err := r.InferShapes([]tensor.Shape{inShape})
+	if err != nil {
+		return nil, err
+	}
+	redAxes := make([]int, 0, len(red))
+	for i := 0; i < inShape.Rank(); i++ {
+		if red[i] {
+			redAxes = append(redAxes, i)
+		}
+	}
+	return &reduceSource{
+		op:      r,
+		shape:   outs[0],
+		in:      ins[0],
+		inShape: inShape,
+		red:     red,
+		redAxes: redAxes,
+		buf:     make([]int, inShape.Rank()),
+	}, nil
+}
+
+type reduceSource struct {
+	op      *reduce
+	shape   tensor.Shape
+	in      Source
+	inShape tensor.Shape
+	red     map[int]bool
+	redAxes []int
+	buf     []int
+}
+
+func (s *reduceSource) Shape() tensor.Shape { return s.shape }
+
+func (s *reduceSource) Load(outIdx []int) float32 {
+	// Scatter the kept output indices into the input index buffer.
+	j := 0
+	for i := 0; i < s.inShape.Rank(); i++ {
+		if s.red[i] {
+			s.buf[i] = 0
+			if s.op.keepDims {
+				j++
+			}
+		} else {
+			s.buf[i] = outIdx[j]
+			j++
+		}
+	}
+	count := 1
+	for _, a := range s.redAxes {
+		count *= s.inShape[a]
+	}
+	var acc float64
+	switch s.op.kind {
+	case ReduceProd:
+		acc = 1
+	case ReduceMax:
+		acc = math.Inf(-1)
+	case ReduceMin:
+		acc = math.Inf(1)
+	}
+	for n := 0; n < count; n++ {
+		// Decode n into the reduced axes of the input index.
+		rem := n
+		for i := len(s.redAxes) - 1; i >= 0; i-- {
+			a := s.redAxes[i]
+			s.buf[a] = rem % s.inShape[a]
+			rem /= s.inShape[a]
+		}
+		v := float64(s.in.Load(s.buf))
+		switch s.op.kind {
+		case ReduceSum, ReduceMean:
+			acc += v
+		case ReduceProd:
+			acc *= v
+		case ReduceMax:
+			acc = math.Max(acc, v)
+		case ReduceMin:
+			acc = math.Min(acc, v)
+		}
+	}
+	if s.op.kind == ReduceMean {
+		acc /= float64(count)
+	}
+	return float32(acc)
+}
+
+// NewCumSum computes the inclusive cumulative sum along axis (Many-to-Many).
+func NewCumSum(axis int) Operator { return &cumsum{axis: axis} }
+
+type cumsum struct{ axis int }
+
+func (c *cumsum) Type() string                          { return "CumSum" }
+func (c *cumsum) NumOutputs() int                       { return 1 }
+func (c *cumsum) AttrKey() string                       { return fmt.Sprintf("axis=%d", c.axis) }
+func (c *cumsum) Properties() Properties                { return Properties{Linear: true} }
+func (c *cumsum) Mapping(in []tensor.Shape) MappingType { return ManyToMany }
+func (c *cumsum) FLOPs(in []tensor.Shape) int64         { return int64(in[0].NumElements()) }
+func (c *cumsum) InferShapes(in []tensor.Shape) ([]tensor.Shape, error) {
+	if len(in) != 1 {
+		return nil, errInputs("CumSum", "1", len(in))
+	}
+	if _, ok := tensor.NormalizeAxis(c.axis, in[0].Rank()); !ok {
+		return nil, fmt.Errorf("CumSum: axis %d out of range for %v", c.axis, in[0])
+	}
+	return []tensor.Shape{in[0].Clone()}, nil
+}
+
+func (c *cumsum) Virtualize(ins []Source, outNo int) (Source, error) {
+	if outNo != 0 || len(ins) != 1 {
+		return nil, errInputs("CumSum", "1", len(ins))
+	}
+	ax, ok := tensor.NormalizeAxis(c.axis, ins[0].Shape().Rank())
+	if !ok {
+		return nil, fmt.Errorf("CumSum: axis %d out of range for %v", c.axis, ins[0].Shape())
+	}
+	return &cumsumSource{in: ins[0], axis: ax, buf: make([]int, ins[0].Shape().Rank())}, nil
+}
+
+type cumsumSource struct {
+	in   Source
+	axis int
+	buf  []int
+}
+
+func (s *cumsumSource) Shape() tensor.Shape { return s.in.Shape() }
+
+func (s *cumsumSource) Load(idx []int) float32 {
+	copy(s.buf, idx)
+	var acc float64
+	for i := 0; i <= idx[s.axis]; i++ {
+		s.buf[s.axis] = i
+		acc += float64(s.in.Load(s.buf))
+	}
+	return float32(acc)
+}
+
+// NewSoftmax computes softmax along axis with the usual max-subtraction for
+// numerical stability (Many-to-Many).
+func NewSoftmax(axis int) Operator { return &softmax{axis: axis, log: false} }
+
+// NewLogSoftmax computes log-softmax along axis.
+func NewLogSoftmax(axis int) Operator { return &softmax{axis: axis, log: true} }
+
+type softmax struct {
+	axis int
+	log  bool
+}
+
+func (s *softmax) Type() string {
+	if s.log {
+		return "LogSoftmax"
+	}
+	return "Softmax"
+}
+func (s *softmax) NumOutputs() int                       { return 1 }
+func (s *softmax) AttrKey() string                       { return fmt.Sprintf("axis=%d", s.axis) }
+func (s *softmax) Properties() Properties                { return Properties{} }
+func (s *softmax) Mapping(in []tensor.Shape) MappingType { return ManyToMany }
+func (s *softmax) FLOPs(in []tensor.Shape) int64 {
+	// max pass + sub/exp + sum pass + div: ~4 ops per element.
+	return 4 * int64(in[0].NumElements())
+}
+
+func (s *softmax) InferShapes(in []tensor.Shape) ([]tensor.Shape, error) {
+	if len(in) != 1 {
+		return nil, errInputs(s.Type(), "1", len(in))
+	}
+	if _, ok := tensor.NormalizeAxis(s.axis, in[0].Rank()); !ok {
+		return nil, fmt.Errorf("%s: axis %d out of range for %v", s.Type(), s.axis, in[0])
+	}
+	return []tensor.Shape{in[0].Clone()}, nil
+}
+
+func (s *softmax) Virtualize(ins []Source, outNo int) (Source, error) {
+	if outNo != 0 || len(ins) != 1 {
+		return nil, errInputs(s.Type(), "1", len(ins))
+	}
+	ax, ok := tensor.NormalizeAxis(s.axis, ins[0].Shape().Rank())
+	if !ok {
+		return nil, fmt.Errorf("%s: axis %d out of range for %v", s.Type(), s.axis, ins[0].Shape())
+	}
+	return &softmaxSource{in: ins[0], axis: ax, log: s.log, buf: make([]int, ins[0].Shape().Rank())}, nil
+}
+
+type softmaxSource struct {
+	in   Source
+	axis int
+	log  bool
+	buf  []int
+}
+
+func (s *softmaxSource) Shape() tensor.Shape { return s.in.Shape() }
+
+func (s *softmaxSource) Load(idx []int) float32 {
+	n := s.in.Shape()[s.axis]
+	copy(s.buf, idx)
+	maxV := math.Inf(-1)
+	for i := 0; i < n; i++ {
+		s.buf[s.axis] = i
+		maxV = math.Max(maxV, float64(s.in.Load(s.buf)))
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		s.buf[s.axis] = i
+		sum += math.Exp(float64(s.in.Load(s.buf)) - maxV)
+	}
+	x := float64(s.in.Load(idx)) - maxV
+	if s.log {
+		return float32(x - math.Log(sum))
+	}
+	return float32(math.Exp(x) / sum)
+}

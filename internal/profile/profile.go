@@ -1,0 +1,140 @@
+// Package profile implements DNNFusion's profiling result database (§4.3):
+// latencies of operator combinations collected offline and keyed by
+// operator types, attributes, and shapes. Yellow (fuse_depend) decisions in
+// the fusion planner consult it; a hit avoids a measurement, which is what
+// collapses the "Profiling" bar of Figure 9b. The database persists as JSON
+// so it accumulates across models and compilations (the paper reports ~22K
+// entries after compiling all 15 models).
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+
+	"dnnfusion/internal/graph"
+)
+
+// DB is a latency database. Safe for concurrent use.
+type DB struct {
+	mu      sync.Mutex
+	entries map[string]float64
+
+	// Hits/Misses count lookups; Measurements counts inserts that came
+	// from fresh measurements (not a bulk load).
+	Hits         int
+	Misses       int
+	Measurements int
+}
+
+// New returns an empty database.
+func New() *DB { return &DB{entries: map[string]float64{}} }
+
+// Len returns the number of stored entries.
+func (db *DB) Len() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return len(db.entries)
+}
+
+// Lookup returns the stored latency for key.
+func (db *DB) Lookup(key string) (float64, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	v, ok := db.entries[key]
+	if ok {
+		db.Hits++
+	} else {
+		db.Misses++
+	}
+	return v, ok
+}
+
+// Insert stores a measured latency.
+func (db *DB) Insert(key string, latencyMs float64) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.entries[key]; !ok {
+		db.Measurements++
+	}
+	db.entries[key] = latencyMs
+}
+
+// ResetStats clears the hit/miss/measurement counters but keeps entries.
+func (db *DB) ResetStats() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.Hits, db.Misses, db.Measurements = 0, 0, 0
+}
+
+// KeyFor canonicalizes a candidate fusion-block node list: operator types,
+// attributes, and input/output shapes, independent of value names, so the
+// same combination measured in one model is reused in another.
+func KeyFor(nodes []*graph.Node) string {
+	parts := make([]string, 0, len(nodes))
+	for _, n := range nodes {
+		var sb strings.Builder
+		sb.WriteString(n.Op.Type())
+		if a := n.Op.AttrKey(); a != "" {
+			sb.WriteString("[" + a + "]")
+		}
+		sb.WriteString("(")
+		for i, in := range n.Inputs {
+			if i > 0 {
+				sb.WriteString(",")
+			}
+			sb.WriteString(in.Shape.String())
+		}
+		sb.WriteString(")->")
+		for i, out := range n.Outputs {
+			if i > 0 {
+				sb.WriteString(",")
+			}
+			sb.WriteString(out.Shape.String())
+		}
+		parts = append(parts, sb.String())
+	}
+	sort.Strings(parts) // combination identity, not schedule identity
+	return strings.Join(parts, ";")
+}
+
+// fileFormat is the on-disk representation.
+type fileFormat struct {
+	Version int                `json:"version"`
+	Entries map[string]float64 `json:"entries"`
+}
+
+// Save writes the database as JSON.
+func (db *DB) Save(path string) error {
+	db.mu.Lock()
+	ff := fileFormat{Version: 1, Entries: make(map[string]float64, len(db.entries))}
+	for k, v := range db.entries {
+		ff.Entries[k] = v
+	}
+	db.mu.Unlock()
+	data, err := json.MarshalIndent(ff, "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Load reads a database written by Save.
+func Load(path string) (*DB, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var ff fileFormat
+	if err := json.Unmarshal(data, &ff); err != nil {
+		return nil, fmt.Errorf("profile: %s: %w", path, err)
+	}
+	db := New()
+	for k, v := range ff.Entries {
+		db.entries[k] = v
+	}
+	return db, nil
+}

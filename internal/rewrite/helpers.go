@@ -1,0 +1,175 @@
+package rewrite
+
+import (
+	"fmt"
+
+	"dnnfusion/internal/graph"
+	"dnnfusion/internal/ops"
+	"dnnfusion/internal/tensor"
+)
+
+// Matching helpers shared by the rule files.
+
+// producer returns the node producing v, or nil for inputs/weights.
+func producer(v *graph.Value) *graph.Node { return v.Producer }
+
+// singleUse reports whether v is consumed exactly once and is not a graph
+// output — the condition under which rewriting may consume it destructively.
+func singleUse(v *graph.Value) bool {
+	return len(v.Consumers) == 1 && v.Kind != graph.Output
+}
+
+// opIs reports whether n applies an operator of the given type.
+func opIs(n *graph.Node, t string) bool { return n != nil && n.Op.Type() == t }
+
+// unaryArg returns the single input of a unary node.
+func unaryArg(n *graph.Node) *graph.Value { return n.Inputs[0] }
+
+// elems returns the element count of a value.
+func elems(v *graph.Value) int64 { return int64(v.Shape.NumElements()) }
+
+// out0 returns the node's first output value.
+func out0(n *graph.Node) *graph.Value { return n.Outputs[0] }
+
+// nodeFLOPs computes the FLOPs of n for its concrete shapes.
+func nodeFLOPs(n *graph.Node) int64 {
+	shapes := make([]tensor.Shape, len(n.Inputs))
+	for i, in := range n.Inputs {
+		shapes[i] = in.Shape
+	}
+	return n.Op.FLOPs(shapes)
+}
+
+// plannedFLOPs computes what op would cost over the given inputs without
+// adding it to the graph, letting rules price replacements exactly.
+func plannedFLOPs(op ops.Operator, inputs ...*graph.Value) int64 {
+	shapes := make([]tensor.Shape, len(inputs))
+	for i, in := range inputs {
+		shapes[i] = in.Shape
+	}
+	return op.FLOPs(shapes)
+}
+
+// replaceWith rewires all uses of the root node's output to newOut.
+func replaceWith(c *Ctx, root *graph.Node, newOut *graph.Value) error {
+	return c.G.ReplaceAllUses(out0(root), newOut)
+}
+
+// factorChain flattens a tree of single-use binary nodes of type opType
+// (Mul or Add) rooted at n into its leaf operands — the
+// associative-commutative normalization the paper's matcher needs. The root
+// node itself is not required to be single-use. Returns nil if n is not an
+// opType node. Depth is capped to keep matching linear.
+func factorChain(n *graph.Node, opType string, maxDepth int) []*graph.Value {
+	if !opIs(n, opType) {
+		return nil
+	}
+	var leaves []*graph.Value
+	var walk func(v *graph.Value, depth int)
+	walk = func(v *graph.Value, depth int) {
+		p := producer(v)
+		if depth < maxDepth && p != nil && opIs(p, opType) && singleUse(v) {
+			walk(p.Inputs[0], depth+1)
+			walk(p.Inputs[1], depth+1)
+			return
+		}
+		leaves = append(leaves, v)
+	}
+	walk(n.Inputs[0], 1)
+	walk(n.Inputs[1], 1)
+	return leaves
+}
+
+// rebuildChain folds values into a left-leaning chain of binary mkOp nodes
+// and returns the final value. A single value is returned unchanged.
+func rebuildChain(c *Ctx, mkOp func() ops.Operator, values []*graph.Value) (*graph.Value, error) {
+	if len(values) == 0 {
+		return nil, fmt.Errorf("rewrite: empty chain")
+	}
+	acc := values[0]
+	for _, v := range values[1:] {
+		outs, err := c.G.Apply(mkOp(), acc, v)
+		if err != nil {
+			return nil, err
+		}
+		acc = outs[0]
+	}
+	return acc, nil
+}
+
+// chainFLOPs prices the left-leaning chain rebuildChain would create.
+func chainFLOPs(mkOp func() ops.Operator, values []*graph.Value) int64 {
+	if len(values) < 2 {
+		return 0
+	}
+	var total int64
+	accShape := values[0].Shape
+	for _, v := range values[1:] {
+		op := mkOp()
+		total += op.FLOPs([]tensor.Shape{accShape, v.Shape})
+		outShapes, err := op.InferShapes([]tensor.Shape{accShape, v.Shape})
+		if err != nil {
+			return total
+		}
+		accShape = outShapes[0]
+	}
+	return total
+}
+
+// chainNodes collects the single-use interior nodes of a factor chain so
+// their FLOPs can be credited as removed.
+func chainNodes(n *graph.Node, opType string, maxDepth int) []*graph.Node {
+	var nodes []*graph.Node
+	var walk func(n *graph.Node, depth int)
+	walk = func(n *graph.Node, depth int) {
+		nodes = append(nodes, n)
+		if depth >= maxDepth {
+			return
+		}
+		for _, in := range n.Inputs {
+			p := producer(in)
+			if p != nil && opIs(p, opType) && singleUse(in) {
+				walk(p, depth+1)
+			}
+		}
+	}
+	walk(n, 1)
+	return nodes
+}
+
+// sumFLOPs totals nodeFLOPs over nodes.
+func sumFLOPs(nodes []*graph.Node) int64 {
+	var total int64
+	for _, n := range nodes {
+		total += nodeFLOPs(n)
+	}
+	return total
+}
+
+// newConst materializes a compile-time constant in the graph.
+func (c *Ctx) newConst(t *tensor.Tensor) *graph.Value {
+	c.nextConst++
+	return c.G.AddConstant(fmt.Sprintf("rewrite_const_%d", c.nextConst), t)
+}
+
+// isUnaryOf reports whether v is produced by a single-use node of the given
+// operator type, returning that node. Despite the name it applies to any
+// arity; unaryArg is only meaningful when the matched operator is unary.
+func isUnaryOf(v *graph.Value, t string) (*graph.Node, bool) {
+	p := producer(v)
+	if p != nil && opIs(p, t) && singleUse(v) {
+		return p, true
+	}
+	return nil, false
+}
+
+// homogeneousUnary reports whether the node applies an elementwise function
+// with f(x+y) == f(x)+f(y) (so it commutes with ReduceSum/ReduceMean):
+// Neg, BitShift, MulConst, Identity, Cast.
+func homogeneousUnary(n *graph.Node) bool {
+	switch n.Op.Type() {
+	case "Neg", "BitShift", "MulConst", "Identity", "Cast":
+		return true
+	}
+	return false
+}

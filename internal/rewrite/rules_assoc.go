@@ -1,0 +1,382 @@
+package rewrite
+
+import (
+	"dnnfusion/internal/graph"
+	"dnnfusion/internal/ops"
+	"dnnfusion/internal/tensor"
+)
+
+// Associative-family rules (Table 4, first block). The matcher flattens
+// chains of single-use Mul nodes into factor lists — the AC-normalization
+// that makes associative/commutative matching tractable inside a partition —
+// and rewrites pairs of factors.
+
+// mulChainRoot matches only the root of a Mul chain so nested Mul nodes do
+// not produce overlapping applications.
+func mulChainRoot(n *graph.Node) bool {
+	if !opIs(n, "Mul") {
+		return false
+	}
+	out := out0(n)
+	if out.Kind == graph.Output {
+		return true
+	}
+	for _, c := range out.Consumers {
+		if opIs(c, "Mul") && len(out.Consumers) == 1 {
+			return false
+		}
+	}
+	return true
+}
+
+const maxChainDepth = 6
+
+// factorRewrite describes replacing a set of factor positions with a new
+// factor built at apply time.
+type factorRewrite struct {
+	remove   []int // indices into the factor list
+	newShape tensor.Shape
+	build    func(c *Ctx) (*graph.Value, error)
+	// extraRemoved are single-use producer nodes consumed by the rewrite
+	// (e.g. the Abs nodes of an Abs·Abs merge).
+	extraRemoved []*graph.Node
+	addedFLOPs   int64
+	addedBytes   int64
+}
+
+// applyFactorRewrite rebuilds the Mul chain with the rewrite applied.
+func applyFactorRewrite(rule string, cat Category, c *Ctx, root *graph.Node,
+	leaves []*graph.Value, interior []*graph.Node, fr *factorRewrite) *Application {
+
+	removedNodes := append(append([]*graph.Node(nil), interior...), fr.extraRemoved...)
+	removedFLOPs := sumFLOPs(removedNodes)
+	var removedBytes int64
+	for _, n := range removedNodes {
+		for _, o := range n.Outputs {
+			removedBytes += o.Shape.Bytes()
+		}
+	}
+
+	isRemoved := make(map[int]bool, len(fr.remove))
+	for _, i := range fr.remove {
+		isRemoved[i] = true
+	}
+	newShapes := []tensor.Shape{fr.newShape}
+	for i, l := range leaves {
+		if !isRemoved[i] {
+			newShapes = append(newShapes, l.Shape)
+		}
+	}
+	addedFLOPs := fr.addedFLOPs + chainFLOPsShapes(ops.NewMul, newShapes)
+	addedBytes := fr.addedBytes + chainBytesShapes(ops.NewMul, newShapes)
+
+	return &Application{
+		Rule:       rule,
+		Cat:        cat,
+		Root:       root,
+		DeltaFLOPs: removedFLOPs - addedFLOPs,
+		DeltaBytes: removedBytes - addedBytes,
+		apply: func(c *Ctx) error {
+			newLeaf, err := fr.build(c)
+			if err != nil {
+				return err
+			}
+			factors := []*graph.Value{newLeaf}
+			for i, l := range leaves {
+				if !isRemoved[i] {
+					factors = append(factors, l)
+				}
+			}
+			out, err := rebuildChain(c, ops.NewMul, factors)
+			if err != nil {
+				return err
+			}
+			return replaceWith(c, root, out)
+		},
+	}
+}
+
+// chainFLOPsShapes prices a left-leaning chain over the given shapes.
+func chainFLOPsShapes(mk func() ops.Operator, shapes []tensor.Shape) int64 {
+	if len(shapes) < 2 {
+		return 0
+	}
+	var total int64
+	acc := shapes[0]
+	for _, s := range shapes[1:] {
+		op := mk()
+		total += op.FLOPs([]tensor.Shape{acc, s})
+		outs, err := op.InferShapes([]tensor.Shape{acc, s})
+		if err != nil {
+			return total
+		}
+		acc = outs[0]
+	}
+	return total
+}
+
+// chainBytesShapes totals the intermediate bytes the chain would allocate.
+func chainBytesShapes(mk func() ops.Operator, shapes []tensor.Shape) int64 {
+	if len(shapes) < 2 {
+		return 0
+	}
+	var total int64
+	acc := shapes[0]
+	for _, s := range shapes[1:] {
+		op := mk()
+		outs, err := op.InferShapes([]tensor.Shape{acc, s})
+		if err != nil {
+			return total
+		}
+		acc = outs[0]
+		total += acc.Bytes()
+	}
+	return total
+}
+
+// ruleMulDupFactor: X ⊙ A ⊙ X → Square(X) ⊙ A. This is the paper's
+// (A⊙ReduceSum(B))⊙(ReduceSum(B)⊙C) → A⊙Square(ReduceSum(B))⊙C: the shared
+// factor is squared once at its own (often reduced) size instead of
+// participating in two full-size multiplies.
+func ruleMulDupFactor() *Rule {
+	return &Rule{
+		Name: "assoc-mul-dup-factor",
+		Cat:  Associative,
+		Forms: []string{
+			"X⊙A⊙X → Square(X)⊙A",
+			"(A⊙ReduceSum(B))⊙(ReduceSum(B)⊙C) → A⊙Square(ReduceSum(B))⊙C",
+			"(A⊙GEMM(B,W))⊙(GEMM(B,W)⊙C) → A⊙Square(GEMM(B,W))⊙C",
+		},
+		Match: func(c *Ctx, n *graph.Node) []*Application {
+			if !mulChainRoot(n) {
+				return nil
+			}
+			leaves := factorChain(n, "Mul", maxChainDepth)
+			if len(leaves) < 3 {
+				// x⊙x alone only renames Mul to Square; require a
+				// third factor so a full-size multiply is removed.
+				return nil
+			}
+			interior := chainNodes(n, "Mul", maxChainDepth)
+			for i := 0; i < len(leaves); i++ {
+				for j := i + 1; j < len(leaves); j++ {
+					if leaves[i] != leaves[j] {
+						continue
+					}
+					x := leaves[i]
+					sq := ops.NewSquare()
+					fr := &factorRewrite{
+						remove:     []int{i, j},
+						newShape:   x.Shape,
+						addedFLOPs: plannedFLOPs(sq, x),
+						addedBytes: x.Shape.Bytes(),
+						build: func(c *Ctx) (*graph.Value, error) {
+							outs, err := c.G.Apply(sq, x)
+							if err != nil {
+								return nil, err
+							}
+							return outs[0], nil
+						},
+					}
+					return []*Application{applyFactorRewrite("assoc-mul-dup-factor", Associative, c, n, leaves, interior, fr)}
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// ruleMulSqrtPair: (A⊙√B)⊙(√B⊙C) → A⊙B⊙C when the two square roots are
+// distinct single-use nodes over the same operand (fast-math: assumes the
+// operand of √ is non-negative, as DNN compilers do).
+func ruleMulSqrtPair() *Rule {
+	return &Rule{
+		Name:  "assoc-mul-sqrt-pair",
+		Cat:   Associative,
+		Forms: []string{"(A⊙√B)⊙(√B⊙C) → A⊙B⊙C"},
+		Match: func(c *Ctx, n *graph.Node) []*Application {
+			if !mulChainRoot(n) {
+				return nil
+			}
+			leaves := factorChain(n, "Mul", maxChainDepth)
+			interior := chainNodes(n, "Mul", maxChainDepth)
+			for i := 0; i < len(leaves); i++ {
+				si, ok := isUnaryOf(leaves[i], "Sqrt")
+				if !ok {
+					continue
+				}
+				for j := i + 1; j < len(leaves); j++ {
+					sj, ok := isUnaryOf(leaves[j], "Sqrt")
+					if !ok || si == sj || unaryArg(si) != unaryArg(sj) {
+						continue
+					}
+					b := unaryArg(si)
+					fr := &factorRewrite{
+						remove:       []int{i, j},
+						newShape:     b.Shape,
+						extraRemoved: []*graph.Node{si, sj},
+						build: func(c *Ctx) (*graph.Value, error) {
+							return b, nil
+						},
+					}
+					return []*Application{applyFactorRewrite("assoc-mul-sqrt-pair", Associative, c, n, leaves, interior, fr)}
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// ruleMulAbsPair: Abs(A)⊙B⊙Abs(C) → Abs(A⊙C)⊙B (paper Table 4 row 3,
+// combining the commutative swap with associativity).
+func ruleMulAbsPair() *Rule {
+	return &Rule{
+		Name:  "assoc-mul-abs-pair",
+		Cat:   Associative,
+		Forms: []string{"Abs(A)⊙B⊙Abs(C) → Abs(A⊙C)⊙B", "Abs(A)⊙Abs(C) → Abs(A⊙C)"},
+		Match: func(c *Ctx, n *graph.Node) []*Application {
+			if !mulChainRoot(n) {
+				return nil
+			}
+			leaves := factorChain(n, "Mul", maxChainDepth)
+			interior := chainNodes(n, "Mul", maxChainDepth)
+			for i := 0; i < len(leaves); i++ {
+				ai, ok := isUnaryOf(leaves[i], "Abs")
+				if !ok {
+					continue
+				}
+				for j := i + 1; j < len(leaves); j++ {
+					aj, ok := isUnaryOf(leaves[j], "Abs")
+					if !ok || ai == aj {
+						continue
+					}
+					x, y := unaryArg(ai), unaryArg(aj)
+					merged, err := tensor.BroadcastShapes(x.Shape, y.Shape)
+					if err != nil {
+						continue
+					}
+					mul, abs := ops.NewMul(), ops.NewAbs()
+					fr := &factorRewrite{
+						remove:       []int{i, j},
+						newShape:     merged,
+						extraRemoved: []*graph.Node{ai, aj},
+						addedFLOPs:   plannedFLOPs(mul, x, y) + int64(merged.NumElements()),
+						addedBytes:   2 * merged.Bytes(),
+						build: func(c *Ctx) (*graph.Value, error) {
+							prod, err := c.G.Apply(mul, x, y)
+							if err != nil {
+								return nil, err
+							}
+							outs, err := c.G.Apply(abs, prod[0])
+							if err != nil {
+								return nil, err
+							}
+							return outs[0], nil
+						},
+					}
+					return []*Application{applyFactorRewrite("assoc-mul-abs-pair", Associative, c, n, leaves, interior, fr)}
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// ruleMulRecipPair: Recip(A)⊙Recip(B) → Recip(A⊙B); together with the
+// dup-factor rule this derives the paper's Recip(A)⊙Recip(A⊙B) →
+// Square(Recip(A))⊙Recip(B) family (both normal forms cost 4mn → 3mn here).
+func ruleMulRecipPair() *Rule {
+	return &Rule{
+		Name:  "assoc-mul-recip-pair",
+		Cat:   Associative,
+		Forms: []string{"Recip(A)⊙Recip(B) → Recip(A⊙B)", "Recip(A)⊙Recip(A⊙B) → Recip(Square(A)⊙B)"},
+		Match: func(c *Ctx, n *graph.Node) []*Application {
+			if !mulChainRoot(n) {
+				return nil
+			}
+			leaves := factorChain(n, "Mul", maxChainDepth)
+			interior := chainNodes(n, "Mul", maxChainDepth)
+			for i := 0; i < len(leaves); i++ {
+				ri, ok := isUnaryOf(leaves[i], "Reciprocal")
+				if !ok {
+					continue
+				}
+				for j := i + 1; j < len(leaves); j++ {
+					rj, ok := isUnaryOf(leaves[j], "Reciprocal")
+					if !ok || ri == rj {
+						continue
+					}
+					x, y := unaryArg(ri), unaryArg(rj)
+					merged, err := tensor.BroadcastShapes(x.Shape, y.Shape)
+					if err != nil {
+						continue
+					}
+					mul, recip := ops.NewMul(), ops.NewReciprocal()
+					fr := &factorRewrite{
+						remove:       []int{i, j},
+						newShape:     merged,
+						extraRemoved: []*graph.Node{ri, rj},
+						addedFLOPs:   plannedFLOPs(mul, x, y) + int64(merged.NumElements()),
+						addedBytes:   2 * merged.Bytes(),
+						build: func(c *Ctx) (*graph.Value, error) {
+							prod, err := c.G.Apply(mul, x, y)
+							if err != nil {
+								return nil, err
+							}
+							outs, err := c.G.Apply(recip, prod[0])
+							if err != nil {
+								return nil, err
+							}
+							return outs[0], nil
+						},
+					}
+					return []*Application{applyFactorRewrite("assoc-mul-recip-pair", Associative, c, n, leaves, interior, fr)}
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// ruleMulConstFold: constant factors of a Mul chain are multiplied at
+// compile time (associativity + commutativity moving constants together).
+func ruleMulConstFold() *Rule {
+	return &Rule{
+		Name:  "assoc-mul-const-fold",
+		Cat:   Associative,
+		Forms: []string{"A⊙c1⊙c2 → A⊙(c1·c2)", "A⊙c1⊙B⊙c2 → A⊙B⊙(c1·c2)"},
+		Match: func(c *Ctx, n *graph.Node) []*Application {
+			if !mulChainRoot(n) {
+				return nil
+			}
+			leaves := factorChain(n, "Mul", maxChainDepth)
+			interior := chainNodes(n, "Mul", maxChainDepth)
+			var consts []int
+			for i, l := range leaves {
+				if l.IsConst() {
+					consts = append(consts, i)
+				}
+			}
+			if len(consts) < 2 {
+				return nil
+			}
+			a, b := leaves[consts[0]], leaves[consts[1]]
+			merged, err := tensor.BroadcastShapes(a.Shape, b.Shape)
+			if err != nil {
+				return nil
+			}
+			fr := &factorRewrite{
+				remove:   []int{consts[0], consts[1]},
+				newShape: merged,
+				build: func(c *Ctx) (*graph.Value, error) {
+					prod, err := ops.Eval1(ops.NewMul(), a.Data, b.Data)
+					if err != nil {
+						return nil, err
+					}
+					return c.newConst(prod), nil
+				},
+			}
+			return []*Application{applyFactorRewrite("assoc-mul-const-fold", Associative, c, n, leaves, interior, fr)}
+		},
+	}
+}

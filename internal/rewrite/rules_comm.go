@@ -1,0 +1,251 @@
+package rewrite
+
+import (
+	"dnnfusion/internal/graph"
+	"dnnfusion/internal/ops"
+)
+
+// Commutative-family rules (Table 4, third block, and Figure 2c):
+// reordering operators across reductions and data shuffles to shrink the
+// tensor an operator is applied to.
+
+// ruleReduceHomogeneousCommute: ReduceSum(f(A)) → f(ReduceSum(A)) for
+// homogeneous elementwise f (BitShift, Neg, MulConst, ...). The paper's
+// headline example is ReduceSum(BitShift(A)) → BitShift(ReduceSum(A)):
+// f moves from the m×n input to the reduced output.
+func ruleReduceHomogeneousCommute() *Rule {
+	forms := []string{}
+	for _, u := range []string{"BitShift", "Neg", "MulConst", "Cast", "Identity"} {
+		forms = append(forms,
+			"ReduceSum("+u+"(A)) → "+u+"(ReduceSum(A))",
+			"ReduceMean("+u+"(A)) → "+u+"(ReduceMean(A))")
+	}
+	return &Rule{
+		Name:  "comm-reduce-homogeneous",
+		Cat:   Commutative,
+		Forms: forms,
+		Match: func(c *Ctx, n *graph.Node) []*Application {
+			kind, _, _, ok := ops.ReduceInfo(n.Op)
+			if !ok || (kind != ops.ReduceSum && kind != ops.ReduceMean) {
+				return nil
+			}
+			in := n.Inputs[0]
+			u := producer(in)
+			if u == nil || !singleUse(in) || !homogeneousUnary(u) {
+				return nil
+			}
+			a := unaryArg(u)
+			reduceOp := n.Op
+			unaryOp := u.Op
+			// f now runs on the reduced tensor instead of the full input.
+			delta := elems(a) - elems(out0(n))
+			app := &Application{
+				Rule:       "comm-reduce-homogeneous",
+				Cat:        Commutative,
+				Root:       n,
+				DeltaFLOPs: delta,
+				DeltaBytes: out0(u).Shape.Bytes() - out0(n).Shape.Bytes(),
+				apply: func(c *Ctx) error {
+					red, err := c.G.Apply(reduceOp, a)
+					if err != nil {
+						return err
+					}
+					out, err := c.G.Apply(unaryOp, red[0])
+					if err != nil {
+						return err
+					}
+					return replaceWith(c, n, out[0])
+				},
+			}
+			return []*Application{app}
+		},
+	}
+}
+
+// ruleReduceProdExp: ReduceProd(Exp(A)) → Exp(ReduceSum(A)) (Table 4 last
+// row): the exponential moves to the reduced tensor.
+func ruleReduceProdExp() *Rule {
+	return &Rule{
+		Name:  "comm-reduceprod-exp",
+		Cat:   Commutative,
+		Forms: []string{"ReduceProd(Exp(A)) → Exp(ReduceSum(A))"},
+		Match: func(c *Ctx, n *graph.Node) []*Application {
+			kind, keep, axes, ok := ops.ReduceInfo(n.Op)
+			if !ok || kind != ops.ReduceProd {
+				return nil
+			}
+			expNode, isExp := isUnaryOf(n.Inputs[0], "Exp")
+			if !isExp {
+				return nil
+			}
+			a := unaryArg(expNode)
+			app := &Application{
+				Rule:       "comm-reduceprod-exp",
+				Cat:        Commutative,
+				Root:       n,
+				DeltaFLOPs: elems(a) - elems(out0(n)),
+				DeltaBytes: out0(expNode).Shape.Bytes() - out0(n).Shape.Bytes(),
+				apply: func(c *Ctx) error {
+					red, err := c.G.Apply(ops.NewReduce(ops.ReduceSum, keep, axes...), a)
+					if err != nil {
+						return err
+					}
+					out, err := c.G.Apply(ops.NewExp(), red[0])
+					if err != nil {
+						return err
+					}
+					return replaceWith(c, n, out[0])
+				},
+			}
+			return []*Application{app}
+		},
+	}
+}
+
+// ruleTransposeIntoMatMul: MatMul(A, Transpose(B)) → MatMulᵀ(A, B) when the
+// transpose swaps only the last two dimensions — the attention Q·Kᵀ
+// pattern. The transpose's materialization disappears into the
+// contraction's index order (a data-movement elimination in the spirit of
+// Figure 5, applied at the operator level).
+func ruleTransposeIntoMatMul() *Rule {
+	// lastTwoSwap reports whether perm swaps exactly the trailing pair.
+	lastTwoSwap := func(perm []int) bool {
+		n := len(perm)
+		if n < 2 {
+			return false
+		}
+		for i := 0; i < n-2; i++ {
+			if perm[i] != i {
+				return false
+			}
+		}
+		return perm[n-2] == n-1 && perm[n-1] == n-2
+	}
+	return &Rule{
+		Name: "comm-transpose-into-matmul",
+		Cat:  Commutative,
+		Forms: []string{
+			"MatMul(A, Transpose(B)) → MatMul[transB](A, B)",
+			"MatMul(Transpose(A), B) → MatMul[transA](A, B)",
+			"MatMul(Transpose(A), Transpose(B)) → MatMul[transA,transB](A, B)",
+		},
+		Match: func(c *Ctx, n *graph.Node) []*Application {
+			transA, transB, isMM := ops.MatMulTrans(n.Op)
+			if !isMM {
+				return nil
+			}
+			var removed []*graph.Node
+			var removedBytes int64
+			ins := []*graph.Value{n.Inputs[0], n.Inputs[1]}
+			newTransA, newTransB := transA, transB
+			if !transA {
+				if tn, ok := isUnaryOf(ins[0], "Transpose"); ok && lastTwoSwap(ops.TransposePerm(tn.Op)) {
+					removed = append(removed, tn)
+					removedBytes += out0(tn).Shape.Bytes()
+					ins[0] = unaryArg(tn)
+					newTransA = true
+				}
+			}
+			if !transB {
+				if tn, ok := isUnaryOf(ins[1], "Transpose"); ok && lastTwoSwap(ops.TransposePerm(tn.Op)) {
+					removed = append(removed, tn)
+					removedBytes += out0(tn).Shape.Bytes()
+					ins[1] = unaryArg(tn)
+					newTransB = true
+				}
+			}
+			if len(removed) == 0 {
+				return nil
+			}
+			a, b := ins[0], ins[1]
+			app := &Application{
+				Rule:       "comm-transpose-into-matmul",
+				Cat:        Commutative,
+				Root:       n,
+				DeltaFLOPs: 0,
+				DeltaBytes: removedBytes,
+				apply: func(c *Ctx) error {
+					outs, err := c.G.Apply(ops.NewMatMulT(newTransA, newTransB), a, b)
+					if err != nil {
+						return err
+					}
+					return replaceWith(c, n, outs[0])
+				},
+			}
+			return []*Application{app}
+		},
+	}
+}
+
+// ruleTransposeSink: Transpose(f(Transpose(A))) → f'(A) or
+// f'(Transpose'(A)) for unary elementwise f — elementwise operators commute
+// with shuffles, letting adjacent transposes compose (and often cancel).
+func ruleTransposeSink() *Rule {
+	return &Rule{
+		Name: "comm-transpose-sink",
+		Cat:  Commutative,
+		Forms: []string{
+			"Transpose(f(Transpose(A))) → f(A) when the permutations cancel",
+			"Transpose(f(Transpose(A))) → f(Transpose∘Transpose(A)) otherwise",
+		},
+		Match: func(c *Ctx, n *graph.Node) []*Application {
+			outerPerm := ops.TransposePerm(n.Op)
+			if outerPerm == nil {
+				return nil
+			}
+			u := producer(n.Inputs[0])
+			if u == nil || !singleUse(n.Inputs[0]) {
+				return nil
+			}
+			pw, isPW := u.Op.(ops.Pointwise)
+			if !isPW || pw.Arity() != 1 {
+				return nil
+			}
+			inner, isT := isUnaryOf(unaryArg(u), "Transpose")
+			if !isT {
+				return nil
+			}
+			innerPerm := ops.TransposePerm(inner.Op)
+			a := unaryArg(inner)
+			// Composite permutation: out[i] = mid[outerPerm[i]],
+			// mid[j] = a[innerPerm[j]] → out[i] = a[innerPerm[outerPerm[i]]].
+			composed := make([]int, len(outerPerm))
+			identity := true
+			for i := range outerPerm {
+				composed[i] = innerPerm[outerPerm[i]]
+				if composed[i] != i {
+					identity = false
+				}
+			}
+			unaryOp := u.Op
+			removedBytes := out0(inner).Shape.Bytes() + out0(u).Shape.Bytes() + out0(n).Shape.Bytes()
+			addedBytes := out0(n).Shape.Bytes() // the relocated unary's output
+			if !identity {
+				addedBytes += a.Shape.Bytes()
+			}
+			app := &Application{
+				Rule:       "comm-transpose-sink",
+				Cat:        Commutative,
+				Root:       n,
+				DeltaFLOPs: 0,
+				DeltaBytes: removedBytes - addedBytes,
+				apply: func(c *Ctx) error {
+					src := a
+					if !identity {
+						tr, err := c.G.Apply(ops.NewTranspose(composed...), a)
+						if err != nil {
+							return err
+						}
+						src = tr[0]
+					}
+					out, err := c.G.Apply(unaryOp, src)
+					if err != nil {
+						return err
+					}
+					return replaceWith(c, n, out[0])
+				},
+			}
+			return []*Application{app}
+		},
+	}
+}

@@ -1,0 +1,336 @@
+package rewrite
+
+import (
+	"dnnfusion/internal/graph"
+	"dnnfusion/internal/ops"
+	"dnnfusion/internal/tensor"
+)
+
+// Distributive-family rules (Table 4, second block, and Figure 2b).
+
+func valueShapes(vs []*graph.Value) []tensor.Shape {
+	out := make([]tensor.Shape, len(vs))
+	for i, v := range vs {
+		out[i] = v.Shape
+	}
+	return out
+}
+
+// ruleAddFactorCommon: X⊙A + X⊙B → X⊙(A+B), flattening single-use Add
+// chains to find the shared factor; also handles the implicit-one form
+// X + X⊙B → X⊙(B+1) (no FLOPs gain, but X is loaded once — the paper's §
+// case).
+func ruleAddFactorCommon() *Rule {
+	return &Rule{
+		Name: "dist-add-factor-common",
+		Cat:  Distributive,
+		Forms: []string{
+			"A⊙C + A⊙B → A⊙(C+B)",
+			"A + A⊙B → A⊙(B+1)",
+			"A·B⊙C + (A·B)⊙D → A·B⊙(C+D)",
+		},
+		Match: func(c *Ctx, n *graph.Node) []*Application {
+			if !addChainRoot(n) {
+				return nil
+			}
+			leaves := factorChain(n, "Add", maxChainDepth)
+			interior := chainNodes(n, "Add", maxChainDepth)
+			type fact struct {
+				mul          *graph.Node // nil for the implicit-one form
+				shared, rest *graph.Value
+			}
+			facts := make([][]fact, len(leaves))
+			for li, l := range leaves {
+				if m, ok := isUnaryOf(l, "Mul"); ok {
+					a, b := m.Inputs[0], m.Inputs[1]
+					facts[li] = append(facts[li], fact{m, a, b}, fact{m, b, a})
+				}
+				facts[li] = append(facts[li], fact{nil, l, nil})
+			}
+			for i := 0; i < len(leaves); i++ {
+				for j := i + 1; j < len(leaves); j++ {
+					for _, fi := range facts[i] {
+						for _, fj := range facts[j] {
+							if fi.shared != fj.shared || (fi.mul == nil && fj.mul == nil) {
+								continue
+							}
+							if app := buildAddFactorApp(n, leaves, interior, i, j, fi.mul, fj.mul, fi.shared, fi.rest, fj.rest); app != nil {
+								return []*Application{app}
+							}
+						}
+					}
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// addChainRoot mirrors mulChainRoot for Add chains.
+func addChainRoot(n *graph.Node) bool {
+	if !opIs(n, "Add") {
+		return false
+	}
+	out := out0(n)
+	if out.Kind == graph.Output {
+		return true
+	}
+	if len(out.Consumers) == 1 && opIs(out.Consumers[0], "Add") {
+		return false
+	}
+	return true
+}
+
+func buildAddFactorApp(root *graph.Node, leaves []*graph.Value, interior []*graph.Node,
+	i, j int, mulI, mulJ *graph.Node, shared, restI, restJ *graph.Value) *Application {
+
+	removed := append([]*graph.Node(nil), interior...)
+	if mulI != nil {
+		removed = append(removed, mulI)
+	}
+	if mulJ != nil {
+		removed = append(removed, mulJ)
+	}
+	removedFLOPs := sumFLOPs(removed)
+	var removedBytes int64
+	for _, n := range removed {
+		removedBytes += out0(n).Shape.Bytes()
+	}
+
+	// Replacement: shared ⊙ inner, inner = restI + restJ (or rest + 1).
+	var innerOp ops.Operator
+	var innerIns []*graph.Value
+	implicitOne := false
+	switch {
+	case restI != nil && restJ != nil:
+		innerOp = ops.NewAdd()
+		innerIns = []*graph.Value{restI, restJ}
+	case restI != nil:
+		innerOp, innerIns, implicitOne = ops.NewAddConst(1), []*graph.Value{restI}, true
+	default:
+		innerOp, innerIns, implicitOne = ops.NewAddConst(1), []*graph.Value{restJ}, true
+	}
+	innerShapes, err := innerOp.InferShapes(valueShapes(innerIns))
+	if err != nil {
+		return nil
+	}
+	mul := ops.NewMul()
+	mulIn := []tensor.Shape{shared.Shape, innerShapes[0]}
+	prodShape, err := mul.InferShapes(mulIn)
+	if err != nil {
+		return nil
+	}
+
+	var keep []*graph.Value
+	for k, l := range leaves {
+		if k != i && k != j {
+			keep = append(keep, l)
+		}
+	}
+	tailShapes := append([]tensor.Shape{prodShape[0]}, valueShapes(keep)...)
+
+	addedFLOPs := plannedFLOPs(innerOp, innerIns...) + mul.FLOPs(mulIn) +
+		chainFLOPsShapes(ops.NewAdd, tailShapes)
+	addedBytes := innerShapes[0].Bytes() + prodShape[0].Bytes() +
+		chainBytesShapes(ops.NewAdd, tailShapes)
+
+	app := &Application{
+		Rule:       "dist-add-factor-common",
+		Cat:        Distributive,
+		Root:       root,
+		DeltaFLOPs: removedFLOPs - addedFLOPs,
+		DeltaBytes: removedBytes - addedBytes,
+		apply: func(c *Ctx) error {
+			inner, err := c.G.Apply(innerOp, innerIns...)
+			if err != nil {
+				return err
+			}
+			prod, err := c.G.Apply(mul, shared, inner[0])
+			if err != nil {
+				return err
+			}
+			out, err := rebuildChain(c, ops.NewAdd, append([]*graph.Value{prod[0]}, keep...))
+			if err != nil {
+				return err
+			}
+			return replaceWith(c, root, out)
+		},
+	}
+	if implicitOne && app.DeltaFLOPs == 0 && app.DeltaBytes == 0 {
+		// A + A⊙B → A⊙(B+1): FLOPs and bytes unchanged but A is loaded
+		// once instead of twice (the paper applies it; see Table 4 §).
+		app.DeltaBytes = 1
+	}
+	return app
+}
+
+// ruleLinearOpCommon: MatMul(A,C) + MatMul(B,C) → MatMul(A+B, C) and the
+// shared-left / Conv variants (Figure 2b right: two GEMMs merged through
+// distributivity). The contraction is performed once.
+func ruleLinearOpCommon() *Rule {
+	return &Rule{
+		Name: "dist-contraction-common",
+		Cat:  Distributive,
+		Forms: []string{
+			"GEMM(A,C) + GEMM(B,C) → GEMM(A+B, C)",
+			"GEMM(A,B) + GEMM(A,C) → GEMM(A, B+C)",
+			"Conv(X1,W) + Conv(X2,W) → Conv(X1+X2, W)",
+		},
+		Match: func(c *Ctx, n *graph.Node) []*Application {
+			if !opIs(n, "Add") {
+				return nil
+			}
+			l, r := n.Inputs[0], n.Inputs[1]
+			pl, pr := producer(l), producer(r)
+			if pl == nil || pr == nil || pl == pr || !singleUse(l) || !singleUse(r) {
+				return nil
+			}
+			if pl.Op.Type() != pr.Op.Type() {
+				return nil
+			}
+			switch pl.Op.Type() {
+			case "MatMul":
+			case "Conv":
+				if pl.Op.AttrKey() != pr.Op.AttrKey() || len(pl.Inputs) != len(pr.Inputs) {
+					return nil
+				}
+			default:
+				return nil
+			}
+			// Find the shared operand slot.
+			for slot := 0; slot < 2; slot++ {
+				other := 1 - slot
+				if pl.Inputs[slot] != pr.Inputs[slot] {
+					continue
+				}
+				if !pl.Inputs[other].Shape.Equal(pr.Inputs[other].Shape) {
+					continue
+				}
+				if pl.Op.Type() == "Conv" && slot != 1 {
+					continue // only a shared weight slot is linear for Conv
+				}
+				if pl.Op.Type() == "Conv" && len(pl.Inputs) == 3 {
+					// A shared bias would be double-counted in
+					// Conv(X1+X2, W, b); restrict to bias-free convs.
+					continue
+				}
+				shared := pl.Inputs[slot]
+				a, b := pl.Inputs[other], pr.Inputs[other]
+				op := pl.Op
+				removed := sumFLOPs([]*graph.Node{pl, pr, n})
+				add := ops.NewAdd()
+				sumFL := plannedFLOPs(add, a, b)
+				var newIns []*graph.Value
+				_ = newIns
+				var opFL int64
+				if slot == 0 {
+					opFL = op.FLOPs([]tensor.Shape{shared.Shape, a.Shape})
+				} else {
+					opFL = op.FLOPs(valueShapes(append([]*graph.Value{a}, pl.Inputs[1:]...)))
+				}
+				added := sumFL + opFL
+				slotCopy, conv := slot, pl.Op.Type() == "Conv"
+				app := &Application{
+					Rule:       "dist-contraction-common",
+					Cat:        Distributive,
+					Root:       n,
+					DeltaFLOPs: removed - added,
+					DeltaBytes: out0(pl).Shape.Bytes(),
+					apply: func(c *Ctx) error {
+						sum, err := c.G.Apply(add, a, b)
+						if err != nil {
+							return err
+						}
+						var ins []*graph.Value
+						if slotCopy == 0 {
+							ins = []*graph.Value{shared, sum[0]}
+						} else {
+							ins = []*graph.Value{sum[0], shared}
+						}
+						if conv && len(pl.Inputs) == 3 {
+							ins = append(ins, pl.Inputs[2])
+						}
+						out, err := c.G.Apply(op, ins...)
+						if err != nil {
+							return err
+						}
+						return replaceWith(c, n, out[0])
+					},
+				}
+				return []*Application{app}
+			}
+			return nil
+		},
+	}
+}
+
+// ruleSquareMinusFactor: Square(S) − S⊙C → S⊙(S−C) and the Add variant
+// (Table 4: Square(A+B) − (A+B)⊙C → (A+B)⊙(A+B−C) with S = A+B).
+func ruleSquareMinusFactor() *Rule {
+	match := func(c *Ctx, n *graph.Node, opType string, mkInner func() ops.Operator) []*Application {
+		if !opIs(n, opType) {
+			return nil
+		}
+		sq, ok := isUnaryOf(n.Inputs[0], "Square")
+		if !ok {
+			return nil
+		}
+		mulNode, ok := isUnaryOf(n.Inputs[1], "Mul")
+		if !ok {
+			return nil
+		}
+		s := unaryArg(sq)
+		var other *graph.Value
+		switch {
+		case mulNode.Inputs[0] == s:
+			other = mulNode.Inputs[1]
+		case mulNode.Inputs[1] == s:
+			other = mulNode.Inputs[0]
+		default:
+			return nil
+		}
+		removed := sumFLOPs([]*graph.Node{sq, mulNode, n})
+		removedBytes := out0(sq).Shape.Bytes() + out0(mulNode).Shape.Bytes()
+		inner := mkInner()
+		innerFL := plannedFLOPs(inner, s, other)
+		innerShape, err := inner.InferShapes([]tensor.Shape{s.Shape, other.Shape})
+		if err != nil {
+			return nil
+		}
+		mul := ops.NewMul()
+		mulFL := mul.FLOPs([]tensor.Shape{s.Shape, innerShape[0]})
+		app := &Application{
+			Rule:       "dist-square-minus-factor",
+			Cat:        Distributive,
+			Root:       n,
+			DeltaFLOPs: removed - innerFL - mulFL,
+			DeltaBytes: removedBytes - innerShape[0].Bytes() - out0(n).Shape.Bytes(),
+			apply: func(c *Ctx) error {
+				iv, err := c.G.Apply(inner, s, other)
+				if err != nil {
+					return err
+				}
+				out, err := c.G.Apply(mul, s, iv[0])
+				if err != nil {
+					return err
+				}
+				return replaceWith(c, n, out[0])
+			},
+		}
+		return []*Application{app}
+	}
+	return &Rule{
+		Name: "dist-square-minus-factor",
+		Cat:  Distributive,
+		Forms: []string{
+			"Square(A+B) − (A+B)⊙C → (A+B)⊙(A+B−C)",
+			"Square(S) + S⊙C → S⊙(S+C)",
+		},
+		Match: func(c *Ctx, n *graph.Node) []*Application {
+			if apps := match(c, n, "Sub", ops.NewSub); apps != nil {
+				return apps
+			}
+			return match(c, n, "Add", ops.NewAdd)
+		},
+	}
+}

@@ -1,0 +1,177 @@
+package rewrite
+
+import (
+	"fmt"
+	"math"
+
+	"dnnfusion/internal/graph"
+	"dnnfusion/internal/ops"
+	"dnnfusion/internal/tensor"
+)
+
+// Folding rules: compile-time evaluation of constant subgraphs and the
+// classic Conv+BatchNormalization weight folding.
+
+// constFoldLimit bounds the FLOPs a compile-time evaluation may spend so
+// rewriting stays light-weight.
+const constFoldLimit = 1 << 22
+
+// ruleConstFold evaluates operators whose inputs are all compile-time
+// constants, replacing them with weight values.
+func ruleConstFold() *Rule {
+	return &Rule{
+		Name:  "fold-constants",
+		Cat:   Folding,
+		Forms: []string{"op(c1, ..., ck) → eval(op)(c1, ..., ck) for constant ci"},
+		Match: func(c *Ctx, n *graph.Node) []*Application {
+			if len(n.Inputs) == 0 {
+				return nil
+			}
+			var removedBytes int64
+			for _, in := range n.Inputs {
+				if !in.IsConst() {
+					return nil
+				}
+			}
+			for _, out := range n.Outputs {
+				if out.Kind == graph.Output {
+					return nil // keep graph outputs producer-backed
+				}
+				removedBytes += out.Shape.Bytes()
+			}
+			fl := nodeFLOPs(n)
+			if fl > constFoldLimit {
+				return nil
+			}
+			app := &Application{
+				Rule:       "fold-constants",
+				Cat:        Folding,
+				Root:       n,
+				DeltaFLOPs: fl,
+				DeltaBytes: removedBytes,
+				apply: func(c *Ctx) error {
+					ins := make([]*tensor.Tensor, len(n.Inputs))
+					for i, in := range n.Inputs {
+						ins[i] = in.Data
+					}
+					outs, err := ops.Eval(n.Op, ins)
+					if err != nil {
+						return err
+					}
+					for o, out := range n.Outputs {
+						cv := c.newConst(outs[o])
+						if err := c.G.ReplaceAllUses(out, cv); err != nil {
+							return err
+						}
+					}
+					return nil
+				},
+			}
+			return []*Application{app}
+		},
+	}
+}
+
+// ruleConvBatchNormFold: BatchNormalization(Conv(X, W, b)) → Conv(X, W', b')
+// with W'ₘ = Wₘ·sₘ and b' = (b − mean)·s + bias, s = scale/√(var+eps). The
+// BatchNorm disappears entirely; this is the folding every mobile framework
+// performs and the paper's rewriter subsumes.
+func ruleConvBatchNormFold() *Rule {
+	return &Rule{
+		Name:  "fold-conv-batchnorm",
+		Cat:   Folding,
+		Forms: []string{"BatchNorm(Conv(X, W, b)) → Conv(X, W·s, (b−μ)·s + β)"},
+		Match: func(c *Ctx, n *graph.Node) []*Application {
+			eps, isBN := ops.BatchNormEps(n.Op)
+			if !isBN {
+				return nil
+			}
+			convNode, ok := isUnaryOf(n.Inputs[0], "Conv")
+			if !ok {
+				return nil
+			}
+			w := convNode.Inputs[1]
+			if w.Kind != graph.Weight {
+				return nil
+			}
+			var bias *graph.Value
+			if len(convNode.Inputs) == 3 {
+				bias = convNode.Inputs[2]
+				if bias.Kind != graph.Weight {
+					return nil
+				}
+			}
+			numeric := w.Data != nil && (bias == nil || bias.Data != nil)
+			for _, p := range n.Inputs[1:] {
+				if p.Kind != graph.Weight {
+					return nil
+				}
+				if p.Data == nil {
+					numeric = false
+				}
+			}
+			scale, beta, mean, variance := n.Inputs[1], n.Inputs[2], n.Inputs[3], n.Inputs[4]
+			convOp := convNode.Op
+			x := convNode.Inputs[0]
+			app := &Application{
+				Rule:       "fold-conv-batchnorm",
+				Cat:        Folding,
+				Root:       n,
+				DeltaFLOPs: nodeFLOPs(n),
+				DeltaBytes: out0(convNode).Shape.Bytes(),
+				apply: func(c *Ctx) error {
+					m := w.Shape[0]
+					if !numeric {
+						// Shape-only weights: fold symbolically by
+						// replacing Conv+BN with one Conv over fresh
+						// placeholder parameters (computed at deploy
+						// time in the paper's system).
+						c.nextConst++
+						wV := c.G.AddWeightShape(fmt.Sprintf("rewrite_const_%d", c.nextConst), w.Shape)
+						c.nextConst++
+						bV := c.G.AddWeightShape(fmt.Sprintf("rewrite_const_%d", c.nextConst), tensor.Of(m))
+						outs, err := c.G.Apply(convOp, x, wV, bV)
+						if err != nil {
+							return err
+						}
+						return replaceWith(c, n, outs[0])
+					}
+					s := make([]float32, m)
+					for i := 0; i < m; i++ {
+						s[i] = scale.Data.At(i) / float32(math.Sqrt(float64(variance.Data.At(i))+float64(eps)))
+					}
+					// W'ₘ = Wₘ·sₘ over the output-channel dimension.
+					wNew := w.Data.Clone()
+					perOut := w.Shape.NumElements() / m
+					for i := 0; i < m; i++ {
+						for k := 0; k < perOut; k++ {
+							off := i*perOut + k
+							wNew.SetOffset(off, wNew.AtOffset(off)*s[i])
+						}
+					}
+					bNew := tensor.New(m)
+					for i := 0; i < m; i++ {
+						b0 := float32(0)
+						if bias != nil {
+							b0 = bias.Data.At(i)
+						}
+						bNew.Set((b0-mean.Data.At(i))*s[i]+beta.Data.At(i), i)
+					}
+					wV := c.newConst(wNew)
+					bV := c.newConst(bNew)
+					outs, err := c.G.Apply(convOp, x, wV, bV)
+					if err != nil {
+						return err
+					}
+					return replaceWith(c, n, outs[0])
+				},
+			}
+			// Pricing: BN removed; conv cost changes only by the bias add
+			// when the original conv had none.
+			if bias == nil {
+				app.DeltaFLOPs -= int64(out0(convNode).Shape.NumElements())
+			}
+			return []*Application{app}
+		},
+	}
+}

@@ -1,0 +1,258 @@
+package rewrite
+
+import (
+	"dnnfusion/internal/graph"
+	"dnnfusion/internal/ops"
+)
+
+// Simplification rules: inverse-pair elimination and data-movement
+// composition — the tensor-level analogue of classical strength reduction
+// (§4.2) plus the data-based rewriting of Figure 5.
+
+// ruleInversePairs eliminates f(g(A)) when f∘g is the identity (or Abs).
+func ruleInversePairs() *Rule {
+	type pair struct {
+		outer, inner string
+		absResult    bool // Sqrt(Square(A)) → Abs(A)
+	}
+	pairs := []pair{
+		{"Exp", "Log", false},
+		{"Log", "Exp", false},
+		{"Neg", "Neg", false},
+		{"Reciprocal", "Reciprocal", false},
+		{"Not", "Not", false},
+		{"Square", "Sqrt", false}, // fast-math: assumes A >= 0
+		{"Sqrt", "Square", true},
+	}
+	forms := make([]string, 0, len(pairs))
+	for _, p := range pairs {
+		res := "A"
+		if p.absResult {
+			res = "Abs(A)"
+		}
+		forms = append(forms, p.outer+"("+p.inner+"(A)) → "+res)
+	}
+	return &Rule{
+		Name:  "simplify-inverse-pair",
+		Cat:   Simplification,
+		Forms: forms,
+		Match: func(c *Ctx, n *graph.Node) []*Application {
+			for _, p := range pairs {
+				if !opIs(n, p.outer) {
+					continue
+				}
+				inner, ok := isUnaryOf(n.Inputs[0], p.inner)
+				if !ok {
+					continue
+				}
+				a := unaryArg(inner)
+				removed := sumFLOPs([]*graph.Node{n, inner})
+				removedBytes := out0(inner).Shape.Bytes() + out0(n).Shape.Bytes()
+				abs := p.absResult
+				app := &Application{
+					Rule:       "simplify-inverse-pair",
+					Cat:        Simplification,
+					Root:       n,
+					DeltaFLOPs: removed,
+					DeltaBytes: removedBytes,
+					apply: func(c *Ctx) error {
+						res := a
+						if abs {
+							outs, err := c.G.Apply(ops.NewAbs(), a)
+							if err != nil {
+								return err
+							}
+							res = outs[0]
+						}
+						return replaceWith(c, n, res)
+					},
+				}
+				if abs {
+					app.DeltaFLOPs -= elems(a)
+					app.DeltaBytes -= a.Shape.Bytes()
+				}
+				return []*Application{app}
+			}
+			return nil
+		},
+	}
+}
+
+// isReorganize reports whether the node's operator is Reorganize-class.
+func isReorganize(n *graph.Node) bool {
+	switch n.Op.Type() {
+	case "Reshape", "Flatten", "Squeeze", "Unsqueeze":
+		return true
+	}
+	return false
+}
+
+// ruleReorganizeCompose: chains of Reshape/Flatten/Squeeze/Unsqueeze
+// collapse into a single Reshape (or disappear when the shape round-trips) —
+// Figure 5's "data transportation" elimination.
+func ruleReorganizeCompose() *Rule {
+	return &Rule{
+		Name: "simplify-reorganize-compose",
+		Cat:  Simplification,
+		Forms: []string{
+			"Reshape(Reshape(A)) → Reshape(A)",
+			"Reshape_s(A: s) → A",
+			"Squeeze(Unsqueeze(A)) → A",
+		},
+		Match: func(c *Ctx, n *graph.Node) []*Application {
+			if !isReorganize(n) {
+				return nil
+			}
+			in := n.Inputs[0]
+			outShape := out0(n).Shape
+
+			// Identity reorganize: output shape equals input shape.
+			if in.Shape.Equal(outShape) {
+				return []*Application{{
+					Rule:       "simplify-reorganize-compose",
+					Cat:        Simplification,
+					Root:       n,
+					DeltaBytes: outShape.Bytes(),
+					apply: func(c *Ctx) error {
+						return replaceWith(c, n, in)
+					},
+				}}
+			}
+
+			inner := producer(in)
+			if inner == nil || !singleUse(in) || !isReorganize(inner) {
+				return nil
+			}
+			a := inner.Inputs[0]
+			app := &Application{
+				Rule:       "simplify-reorganize-compose",
+				Cat:        Simplification,
+				Root:       n,
+				DeltaBytes: out0(inner).Shape.Bytes(),
+				apply: func(c *Ctx) error {
+					if a.Shape.Equal(outShape) {
+						return replaceWith(c, n, a)
+					}
+					outs, err := c.G.Apply(ops.NewReshape(outShape...), a)
+					if err != nil {
+						return err
+					}
+					return replaceWith(c, n, outs[0])
+				},
+			}
+			return []*Application{app}
+		},
+	}
+}
+
+// ruleTransposeCompose: Transpose(Transpose(A)) composes into one Transpose
+// or cancels entirely.
+func ruleTransposeCompose() *Rule {
+	return &Rule{
+		Name: "simplify-transpose-compose",
+		Cat:  Simplification,
+		Forms: []string{
+			"Transpose_p(Transpose_q(A)) → Transpose_{q∘p}(A)",
+			"Transpose_p(Transpose_p⁻¹(A)) → A",
+		},
+		Match: func(c *Ctx, n *graph.Node) []*Application {
+			outerPerm := ops.TransposePerm(n.Op)
+			if outerPerm == nil {
+				return nil
+			}
+			inner, ok := isUnaryOf(n.Inputs[0], "Transpose")
+			if !ok {
+				return nil
+			}
+			innerPerm := ops.TransposePerm(inner.Op)
+			a := unaryArg(inner)
+			composed := make([]int, len(outerPerm))
+			identity := true
+			for i := range outerPerm {
+				composed[i] = innerPerm[outerPerm[i]]
+				if composed[i] != i {
+					identity = false
+				}
+			}
+			delta := out0(inner).Shape.Bytes()
+			if identity {
+				delta += out0(n).Shape.Bytes()
+			}
+			app := &Application{
+				Rule:       "simplify-transpose-compose",
+				Cat:        Simplification,
+				Root:       n,
+				DeltaBytes: delta,
+				apply: func(c *Ctx) error {
+					if identity {
+						return replaceWith(c, n, a)
+					}
+					outs, err := c.G.Apply(ops.NewTranspose(composed...), a)
+					if err != nil {
+						return err
+					}
+					return replaceWith(c, n, outs[0])
+				},
+			}
+			return []*Application{app}
+		},
+	}
+}
+
+// ruleIdentityElim removes Identity and (same-type) Cast operators —
+// exported graphs are littered with them and they cost a full tensor copy
+// each when executed as kernels.
+func ruleIdentityElim() *Rule {
+	return &Rule{
+		Name:  "simplify-identity-elim",
+		Cat:   Simplification,
+		Forms: []string{"Identity(A) → A", "Cast(A) → A (same dtype)"},
+		Match: func(c *Ctx, n *graph.Node) []*Application {
+			if !opIs(n, "Identity") && !opIs(n, "Cast") {
+				return nil
+			}
+			in := n.Inputs[0]
+			return []*Application{{
+				Rule:       "simplify-identity-elim",
+				Cat:        Simplification,
+				Root:       n,
+				DeltaBytes: out0(n).Shape.Bytes(),
+				apply: func(c *Ctx) error {
+					return replaceWith(c, n, in)
+				},
+			}}
+		},
+	}
+}
+
+// ruleAddDup: A + A → BitShift(A, 1) (a multiply-free doubling; zero FLOPs
+// delta but one fewer full-size load, mirroring the paper's ‡ note that
+// commutativity-driven rewrites pay off by enabling later rules).
+func ruleAddDup() *Rule {
+	return &Rule{
+		Name:  "simplify-add-dup",
+		Cat:   Simplification,
+		Forms: []string{"A + A → BitShift(A, 1)"},
+		Match: func(c *Ctx, n *graph.Node) []*Application {
+			if !opIs(n, "Add") || n.Inputs[0] != n.Inputs[1] {
+				return nil
+			}
+			a := n.Inputs[0]
+			app := &Application{
+				Rule:       "simplify-add-dup",
+				Cat:        Simplification,
+				Root:       n,
+				DeltaFLOPs: 0,
+				DeltaBytes: 1, // loads A once instead of twice
+				apply: func(c *Ctx) error {
+					outs, err := c.G.Apply(ops.NewBitShift(1), a)
+					if err != nil {
+						return err
+					}
+					return replaceWith(c, n, outs[0])
+				},
+			}
+			return []*Application{app}
+		},
+	}
+}

@@ -1,0 +1,132 @@
+// Package tensor provides the dense tensor substrate used throughout the
+// DNNFusion reproduction: shapes, row-major strides, NumPy-style
+// broadcasting, and float32 tensors with reference indexing.
+//
+// All operator semantics in internal/ops, the fusion code generator in
+// internal/codegen, and the model builders in internal/models are defined in
+// terms of this package. Only float32 data is supported; boolean results are
+// encoded as 0/1 and integer-valued tensors (indices, shifts) are stored as
+// whole-number float32 values, which is exact below 2^24.
+package tensor
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Shape is the dimensions of a tensor, outermost first.
+// A nil or empty Shape denotes a scalar.
+type Shape []int
+
+// NumElements returns the total number of elements, 1 for a scalar.
+func (s Shape) NumElements() int {
+	n := 1
+	for _, d := range s {
+		n *= d
+	}
+	return n
+}
+
+// Rank returns the number of dimensions.
+func (s Shape) Rank() int { return len(s) }
+
+// Equal reports whether s and o have identical dimensions.
+func (s Shape) Equal(o Shape) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of s.
+func (s Shape) Clone() Shape {
+	if s == nil {
+		return nil
+	}
+	c := make(Shape, len(s))
+	copy(c, s)
+	return c
+}
+
+// Valid reports whether every dimension is positive.
+func (s Shape) Valid() bool {
+	for _, d := range s {
+		if d <= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Strides returns row-major strides for s. A scalar returns an empty slice.
+func (s Shape) Strides() []int {
+	st := make([]int, len(s))
+	acc := 1
+	for i := len(s) - 1; i >= 0; i-- {
+		st[i] = acc
+		acc *= s[i]
+	}
+	return st
+}
+
+// Bytes returns the size in bytes of a float32 tensor of this shape.
+func (s Shape) Bytes() int64 { return int64(s.NumElements()) * 4 }
+
+func (s Shape) String() string {
+	parts := make([]string, len(s))
+	for i, d := range s {
+		parts[i] = fmt.Sprint(d)
+	}
+	return "[" + strings.Join(parts, "x") + "]"
+}
+
+// Of is a convenience constructor: tensor.Of(1, 3, 224, 224).
+func Of(dims ...int) Shape { return Shape(dims) }
+
+// Ravel converts a multi-dimensional index into a flat row-major offset.
+// The index must have the same rank as the shape and be in range.
+func (s Shape) Ravel(idx []int) int {
+	off := 0
+	for i, d := range s {
+		off = off*d + idx[i]
+	}
+	return off
+}
+
+// Unravel converts a flat row-major offset into a multi-dimensional index,
+// writing into dst (which must have rank(s) entries) and returning it.
+func (s Shape) Unravel(off int, dst []int) []int {
+	for i := len(s) - 1; i >= 0; i-- {
+		dst[i] = off % s[i]
+		off /= s[i]
+	}
+	return dst
+}
+
+// Iterate calls fn for every index of the shape in row-major order.
+// The index slice is reused between calls; fn must not retain it.
+func (s Shape) Iterate(fn func(idx []int)) {
+	n := s.NumElements()
+	idx := make([]int, len(s))
+	for off := 0; off < n; off++ {
+		s.Unravel(off, idx)
+		fn(idx)
+	}
+}
+
+// Normalize resolves a possibly negative axis (Python-style) against rank r.
+// It returns the normalized axis and whether it was in range.
+func NormalizeAxis(axis, rank int) (int, bool) {
+	if axis < 0 {
+		axis += rank
+	}
+	if axis < 0 || axis >= rank {
+		return 0, false
+	}
+	return axis, true
+}

@@ -1,0 +1,177 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tensor is a dense row-major float32 tensor.
+type Tensor struct {
+	shape   Shape
+	strides []int
+	data    []float32
+}
+
+// New allocates a zero-filled tensor of the given shape.
+func New(dims ...int) *Tensor {
+	s := Shape(dims)
+	if !s.Valid() {
+		panic(fmt.Sprintf("tensor: invalid shape %v", s))
+	}
+	return &Tensor{shape: s.Clone(), strides: s.Strides(), data: make([]float32, s.NumElements())}
+}
+
+// NewOf allocates a zero-filled tensor with shape s.
+func NewOf(s Shape) *Tensor { return New(s...) }
+
+// FromSlice wraps data (not copied) in a tensor of the given shape.
+// The data length must equal the shape's element count.
+func FromSlice(data []float32, dims ...int) *Tensor {
+	s := Shape(dims)
+	if len(data) != s.NumElements() {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v (%d elements)",
+			len(data), s, s.NumElements()))
+	}
+	return &Tensor{shape: s.Clone(), strides: s.Strides(), data: data}
+}
+
+// Scalar returns a rank-0 tensor holding v.
+func Scalar(v float32) *Tensor {
+	t := New()
+	t.data[0] = v
+	return t
+}
+
+// Full returns a tensor of the given shape with every element set to v.
+func Full(v float32, dims ...int) *Tensor {
+	t := New(dims...)
+	for i := range t.data {
+		t.data[i] = v
+	}
+	return t
+}
+
+// Shape returns the tensor's shape. Callers must not mutate it.
+func (t *Tensor) Shape() Shape { return t.shape }
+
+// Data returns the backing slice in row-major order.
+func (t *Tensor) Data() []float32 { return t.data }
+
+// NumElements returns the number of elements.
+func (t *Tensor) NumElements() int { return len(t.data) }
+
+// Bytes returns the storage size in bytes.
+func (t *Tensor) Bytes() int64 { return int64(len(t.data)) * 4 }
+
+// At returns the element at the given multi-dimensional index.
+func (t *Tensor) At(idx ...int) float32 { return t.data[t.offset(idx)] }
+
+// Set stores v at the given multi-dimensional index.
+func (t *Tensor) Set(v float32, idx ...int) { t.data[t.offset(idx)] = v }
+
+// AtOffset returns the element at a flat row-major offset.
+func (t *Tensor) AtOffset(off int) float32 { return t.data[off] }
+
+// SetOffset stores v at a flat row-major offset.
+func (t *Tensor) SetOffset(off int, v float32) { t.data[off] = v }
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: index rank %d does not match shape %v", len(idx), t.shape))
+	}
+	off := 0
+	for i, v := range idx {
+		if v < 0 || v >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.shape))
+		}
+		off += v * t.strides[i]
+	}
+	return off
+}
+
+// Clone returns a deep copy of t.
+func (t *Tensor) Clone() *Tensor {
+	c := NewOf(t.shape)
+	copy(c.data, t.data)
+	return c
+}
+
+// Reshape returns a tensor sharing t's data with a new shape of equal
+// element count.
+func (t *Tensor) Reshape(dims ...int) *Tensor {
+	s := Shape(dims)
+	if s.NumElements() != len(t.data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v to %v", t.shape, s))
+	}
+	return &Tensor{shape: s.Clone(), strides: s.Strides(), data: t.data}
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.data {
+		t.data[i] = v
+	}
+}
+
+// Rand fills the tensor with deterministic pseudo-random values in (-1, 1)
+// derived from seed, and returns t. It uses a simple xorshift generator so
+// model weights are reproducible without importing math/rand in hot paths.
+func (t *Tensor) Rand(seed uint64) *Tensor {
+	x := seed*2862933555777941757 + 3037000493
+	if x == 0 {
+		x = 0x9E3779B97F4A7C15
+	}
+	for i := range t.data {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		// Map to (-1, 1) with 24 bits of mantissa.
+		t.data[i] = float32(int64(x>>40)-1<<23) / (1 << 23)
+	}
+	return t
+}
+
+// AllClose reports whether a and b have the same shape and all elements are
+// within tol of each other (absolute or relative, whichever is looser).
+func AllClose(a, b *Tensor, tol float64) bool {
+	if !a.shape.Equal(b.shape) {
+		return false
+	}
+	for i := range a.data {
+		x, y := float64(a.data[i]), float64(b.data[i])
+		if math.IsNaN(x) != math.IsNaN(y) {
+			return false
+		}
+		if math.IsNaN(x) {
+			continue
+		}
+		diff := math.Abs(x - y)
+		if diff > tol && diff > tol*math.Max(math.Abs(x), math.Abs(y)) {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxAbsDiff returns the maximum absolute element difference between a and b,
+// which must have equal shapes.
+func MaxAbsDiff(a, b *Tensor) float64 {
+	if !a.shape.Equal(b.shape) {
+		panic(fmt.Sprintf("tensor: shape mismatch %v vs %v", a.shape, b.shape))
+	}
+	var m float64
+	for i := range a.data {
+		d := math.Abs(float64(a.data[i]) - float64(b.data[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func (t *Tensor) String() string {
+	if len(t.data) <= 16 {
+		return fmt.Sprintf("Tensor%v%v", t.shape, t.data)
+	}
+	return fmt.Sprintf("Tensor%v[%v %v %v ...]", t.shape, t.data[0], t.data[1], t.data[2])
+}

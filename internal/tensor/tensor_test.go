@@ -1,0 +1,264 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestShapeBasics(t *testing.T) {
+	s := Of(2, 3, 4)
+	if got := s.NumElements(); got != 24 {
+		t.Errorf("NumElements = %d, want 24", got)
+	}
+	if got := s.Rank(); got != 3 {
+		t.Errorf("Rank = %d, want 3", got)
+	}
+	if !s.Equal(Of(2, 3, 4)) {
+		t.Error("Equal returned false for identical shapes")
+	}
+	if s.Equal(Of(2, 3)) || s.Equal(Of(2, 3, 5)) {
+		t.Error("Equal returned true for different shapes")
+	}
+	if got := s.String(); got != "[2x3x4]" {
+		t.Errorf("String = %q", got)
+	}
+	if got := s.Bytes(); got != 96 {
+		t.Errorf("Bytes = %d, want 96", got)
+	}
+}
+
+func TestScalarShape(t *testing.T) {
+	var s Shape
+	if s.NumElements() != 1 {
+		t.Errorf("scalar NumElements = %d, want 1", s.NumElements())
+	}
+	sc := Scalar(3)
+	if sc.At() != 3 {
+		t.Errorf("Scalar At = %v, want 3", sc.At())
+	}
+}
+
+func TestStrides(t *testing.T) {
+	s := Of(2, 3, 4)
+	st := s.Strides()
+	want := []int{12, 4, 1}
+	for i := range want {
+		if st[i] != want[i] {
+			t.Fatalf("Strides = %v, want %v", st, want)
+		}
+	}
+}
+
+func TestRavelUnravelRoundTrip(t *testing.T) {
+	s := Of(3, 4, 5)
+	idx := make([]int, 3)
+	for off := 0; off < s.NumElements(); off++ {
+		s.Unravel(off, idx)
+		if got := s.Ravel(idx); got != off {
+			t.Fatalf("Ravel(Unravel(%d)) = %d", off, got)
+		}
+	}
+}
+
+func TestIterateOrder(t *testing.T) {
+	s := Of(2, 2)
+	var seen [][2]int
+	s.Iterate(func(idx []int) { seen = append(seen, [2]int{idx[0], idx[1]}) })
+	want := [][2]int{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	if len(seen) != len(want) {
+		t.Fatalf("Iterate visited %d indices, want %d", len(seen), len(want))
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("Iterate order %v, want %v", seen, want)
+		}
+	}
+}
+
+func TestAtSet(t *testing.T) {
+	x := New(2, 3)
+	x.Set(7, 1, 2)
+	if got := x.At(1, 2); got != 7 {
+		t.Errorf("At(1,2) = %v, want 7", got)
+	}
+	if got := x.AtOffset(5); got != 7 {
+		t.Errorf("AtOffset(5) = %v, want 7", got)
+	}
+}
+
+func TestIndexPanics(t *testing.T) {
+	x := New(2, 3)
+	for _, idx := range [][]int{{2, 0}, {0, 3}, {-1, 0}, {0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("At(%v) did not panic", idx)
+				}
+			}()
+			x.At(idx...)
+		}()
+	}
+}
+
+func TestFromSliceAndReshape(t *testing.T) {
+	x := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	y := x.Reshape(3, 2)
+	if y.At(2, 1) != 6 {
+		t.Errorf("Reshape view At(2,1) = %v, want 6", y.At(2, 1))
+	}
+	y.Set(9, 0, 0)
+	if x.At(0, 0) != 9 {
+		t.Error("Reshape should share underlying data")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Reshape to wrong size did not panic")
+			}
+		}()
+		x.Reshape(4, 2)
+	}()
+}
+
+func TestCloneIndependence(t *testing.T) {
+	x := Full(2, 2, 2)
+	y := x.Clone()
+	y.Set(5, 0, 0)
+	if x.At(0, 0) != 2 {
+		t.Error("Clone shares data with original")
+	}
+}
+
+func TestRandDeterministic(t *testing.T) {
+	a := New(100).Rand(42)
+	b := New(100).Rand(42)
+	c := New(100).Rand(43)
+	if MaxAbsDiff(a, b) != 0 {
+		t.Error("Rand with same seed differs")
+	}
+	if MaxAbsDiff(a, c) == 0 {
+		t.Error("Rand with different seeds identical")
+	}
+	for i, v := range a.Data() {
+		if v < -1 || v >= 1 {
+			t.Fatalf("Rand value %v at %d outside (-1,1)", v, i)
+		}
+	}
+}
+
+func TestBroadcastShapes(t *testing.T) {
+	cases := []struct {
+		a, b, want Shape
+		err        bool
+	}{
+		{Of(2, 3), Of(2, 3), Of(2, 3), false},
+		{Of(2, 3), Of(3), Of(2, 3), false},
+		{Of(2, 1), Of(1, 3), Of(2, 3), false},
+		{Of(4, 1, 5), Of(3, 1), Of(4, 3, 5), false},
+		{nil, Of(2, 2), Of(2, 2), false},
+		{Of(2, 3), Of(2, 4), nil, true},
+	}
+	for _, c := range cases {
+		got, err := BroadcastShapes(c.a, c.b)
+		if c.err {
+			if err == nil {
+				t.Errorf("BroadcastShapes(%v,%v) expected error", c.a, c.b)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("BroadcastShapes(%v,%v) error: %v", c.a, c.b, err)
+			continue
+		}
+		if !got.Equal(c.want) {
+			t.Errorf("BroadcastShapes(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestBroadcastIndex(t *testing.T) {
+	in := Of(1, 3)
+	dst := make([]int, 2)
+	got := BroadcastIndex([]int{5, 2}, in, dst)
+	if got[0] != 0 || got[1] != 2 {
+		t.Errorf("BroadcastIndex = %v, want [0 2]", got)
+	}
+	// Lower-rank input aligns right.
+	in2 := Of(4)
+	dst2 := make([]int, 1)
+	got2 := BroadcastIndex([]int{7, 3}, in2, dst2)
+	if got2[0] != 3 {
+		t.Errorf("BroadcastIndex lower rank = %v, want [3]", got2)
+	}
+}
+
+func TestAllClose(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3}, 3)
+	b := FromSlice([]float32{1, 2, 3.0000001}, 3)
+	if !AllClose(a, b, 1e-4) {
+		t.Error("AllClose rejected nearly equal tensors")
+	}
+	c := FromSlice([]float32{1, 2, 4}, 3)
+	if AllClose(a, c, 1e-4) {
+		t.Error("AllClose accepted differing tensors")
+	}
+	d := FromSlice([]float32{1, 2}, 2)
+	if AllClose(a, d, 1e-4) {
+		t.Error("AllClose accepted different shapes")
+	}
+}
+
+// Property: broadcasting is commutative and idempotent against the result.
+func TestBroadcastProperties(t *testing.T) {
+	gen := func(dims []uint8) Shape {
+		s := make(Shape, 0, 3)
+		for _, d := range dims {
+			s = append(s, int(d%3)+1)
+			if len(s) == 3 {
+				break
+			}
+		}
+		return s
+	}
+	f := func(da, db []uint8) bool {
+		a, b := gen(da), gen(db)
+		ab, err1 := BroadcastShapes(a, b)
+		ba, err2 := BroadcastShapes(b, a)
+		if (err1 == nil) != (err2 == nil) {
+			return false
+		}
+		if err1 != nil {
+			return true
+		}
+		if !ab.Equal(ba) {
+			return false
+		}
+		// Broadcasting the result with either input is a fixed point.
+		again, err := BroadcastShapes(ab, a)
+		return err == nil && again.Equal(ab)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Ravel is a bijection between indices and [0, NumElements).
+func TestRavelBijectionProperty(t *testing.T) {
+	f := func(d1, d2, d3 uint8) bool {
+		s := Of(int(d1%4)+1, int(d2%4)+1, int(d3%4)+1)
+		seen := make(map[int]bool)
+		idx := make([]int, 3)
+		for off := 0; off < s.NumElements(); off++ {
+			s.Unravel(off, idx)
+			r := s.Ravel(idx)
+			if r != off || seen[r] {
+				return false
+			}
+			seen[r] = true
+		}
+		return len(seen) == s.NumElements()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

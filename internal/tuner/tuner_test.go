@@ -1,0 +1,94 @@
+package tuner
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dnnfusion/internal/device"
+)
+
+func task() Task {
+	return Task{M: 256, N: 256, K: 512, Device: device.Snapdragon865CPU()}
+}
+
+func TestFitnessBounds(t *testing.T) {
+	f := func(mi, ni, ki, ui uint8, vec bool) bool {
+		p := Params{
+			TileM:     tileChoices[int(mi)%len(tileChoices)],
+			TileN:     tileChoices[int(ni)%len(tileChoices)],
+			TileK:     tileChoices[int(ki)%len(tileChoices)],
+			Unroll:    unrollChoices[int(ui)%len(unrollChoices)],
+			Vectorize: vec,
+		}
+		s := Fitness(task(), p)
+		return s > 0 && s <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+	if Fitness(task(), Params{}) != 0 {
+		t.Error("zero tiles must score 0")
+	}
+}
+
+func TestFitnessDeterministic(t *testing.T) {
+	p := Params{TileM: 16, TileN: 16, TileK: 32, Unroll: 4, Vectorize: true}
+	if Fitness(task(), p) != Fitness(task(), p) {
+		t.Error("fitness not deterministic")
+	}
+}
+
+func TestGAImprovesOverGenerations(t *testing.T) {
+	res := TuneGA(task(), GAOptions{Seed: 7})
+	if res.Score <= 0 {
+		t.Fatal("GA found nothing")
+	}
+	first, last := res.History[0], res.History[len(res.History)-1]
+	if last < first {
+		t.Errorf("best-so-far regressed: %v -> %v", first, last)
+	}
+	if res.Trials != 16*12 {
+		t.Errorf("trials = %d, want population*generations", res.Trials)
+	}
+}
+
+func TestGABeatsRandomAtEqualBudget(t *testing.T) {
+	// Averaged over seeds, GA should match or beat random search with the
+	// same trial budget — the premise of the paper's fast tuning claim.
+	var gaWins int
+	const seeds = 7
+	for s := uint64(1); s <= seeds; s++ {
+		ga := TuneGA(task(), GAOptions{Seed: s})
+		rnd := TuneRandom(task(), ga.Trials, s)
+		if ga.Score >= rnd.Score {
+			gaWins++
+		}
+	}
+	if gaWins < seeds/2+1 {
+		t.Errorf("GA won only %d/%d seed matchups", gaWins, seeds)
+	}
+}
+
+func TestGAReproducible(t *testing.T) {
+	a := TuneGA(task(), GAOptions{Seed: 3})
+	b := TuneGA(task(), GAOptions{Seed: 3})
+	if a.Best != b.Best || a.Score != b.Score {
+		t.Error("same seed produced different tuning results")
+	}
+}
+
+func TestRandomSearchMonotoneInBudget(t *testing.T) {
+	small := TuneRandom(task(), 16, 5)
+	big := TuneRandom(task(), 512, 5)
+	if big.Score < small.Score {
+		t.Errorf("more random trials found a worse result: %v < %v", big.Score, small.Score)
+	}
+}
+
+func TestGoodTilesBeatDegenerateTiles(t *testing.T) {
+	good := Fitness(task(), Params{TileM: 32, TileN: 32, TileK: 64, Unroll: 4, Vectorize: true})
+	degenerate := Fitness(task(), Params{TileM: 1, TileN: 1, TileK: 1, Unroll: 1, Vectorize: false})
+	if good <= degenerate {
+		t.Errorf("fitness surface inverted: good %v <= degenerate %v", good, degenerate)
+	}
+}
