@@ -10,8 +10,12 @@
 package dnnfusion_test
 
 import (
+	"context"
 	"io"
+	"math"
 	"testing"
+
+	"dnnfusion"
 
 	"dnnfusion/internal/baseline"
 	"dnnfusion/internal/bench"
@@ -232,6 +236,43 @@ func BenchmarkTunerRandom(b *testing.B) {
 		res := tuner.TuneRandom(t, 192, uint64(i+1))
 		b.ReportMetric(res.Score, "fitness")
 	}
+}
+
+// BenchmarkRunnerParallel is the serving-path smoke benchmark: one Model,
+// one Runner per benchmark goroutine (raise parallelism with -cpu), every
+// output checked against the reference interpreter to 1e-4. Under -race
+// this doubles as proof that concurrent runners share no per-run state.
+func BenchmarkRunnerParallel(b *testing.B) {
+	g := buildPublicMLP(b)
+	model, err := dnnfusion.Compile(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inputs := map[string]*dnnfusion.Tensor{"x": dnnfusion.Rand(4, 16)}
+	want, err := dnnfusion.InterpretNamed(g, inputs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	outName := model.OutputNames()[0]
+	ctx := context.Background()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		runner := model.NewRunner()
+		for pb.Next() {
+			got, err := runner.Run(ctx, inputs)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			out := got[outName]
+			for i := range want[outName].Data() {
+				if math.Abs(float64(out.Data()[i]-want[outName].Data()[i])) > 1e-4 {
+					b.Errorf("parallel runner diverges from interpreter at %d", i)
+					return
+				}
+			}
+		}
+	})
 }
 
 // BenchmarkFullEvaluation regenerates every experiment, as cmd/dnnf-bench

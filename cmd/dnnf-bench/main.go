@@ -6,17 +6,72 @@
 //	dnnf-bench -e all
 //	dnnf-bench -e table5
 //	dnnf-bench -e fig7 -e fig9b
+//	dnnf-bench -json BENCH.json   # machine-readable per-model baseline
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
+	"dnnfusion/internal/baseline"
 	"dnnfusion/internal/bench"
 	"dnnfusion/internal/profile"
 )
+
+// jsonModel is one model's headline numbers in the -json baseline: fusion
+// counts from Table 5 and DNNFusion's simulated Snapdragon 865 latencies
+// from Table 6. Successive PRs diff these files to track the perf
+// trajectory.
+type jsonModel struct {
+	Name         string  `json:"name"`
+	Operators    int     `json:"operators"`
+	FusedKernels int     `json:"fused_kernels"`
+	FusionRate   float64 `json:"fusion_rate"`
+	IRSMB        float64 `json:"irs_mb"`
+	IRSAfterMB   float64 `json:"irs_after_mb"`
+	CPUMs        float64 `json:"dnnf_cpu_ms"`
+	GPUMs        float64 `json:"dnnf_gpu_ms"`
+}
+
+func writeJSONBaseline(c *bench.Context, path string) error {
+	byModel := map[string]*jsonModel{}
+	var order []string
+	for _, r := range c.Table5() {
+		m := &jsonModel{
+			Name:         r.Model,
+			Operators:    r.Total,
+			FusedKernels: r.Fused[baseline.DNNF],
+			IRSMB:        r.IRSMB,
+			IRSAfterMB:   r.IRSAfterMB,
+		}
+		if m.FusedKernels > 0 {
+			m.FusionRate = float64(m.Operators) / float64(m.FusedKernels)
+		}
+		byModel[r.Model] = m
+		order = append(order, r.Model)
+	}
+	for _, r := range c.Table6() {
+		if m, ok := byModel[r.Model]; ok {
+			m.CPUMs = r.CPU[baseline.DNNF]
+			m.GPUMs = r.GPU[baseline.DNNF]
+		}
+	}
+	summary := struct {
+		Schema string      `json:"schema"`
+		Models []jsonModel `json:"models"`
+	}{Schema: "dnnf-bench/v1"}
+	for _, name := range order {
+		summary.Models = append(summary.Models, *byModel[name])
+	}
+	data, err := json.MarshalIndent(summary, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
 
 type list []string
 
@@ -27,6 +82,7 @@ func main() {
 	var experiments list
 	flag.Var(&experiments, "e", "experiment id (table1..table6, fig6..fig10, ablations, all); repeatable")
 	dbPath := flag.String("db", "", "profiling database path: loaded if present, saved on exit (accumulates across runs, §4.3)")
+	jsonPath := flag.String("json", "", "write a machine-readable per-model baseline (fusion counts, latency) to this path and exit")
 	flag.Parse()
 	if len(experiments) == 0 {
 		experiments = list{"all"}
@@ -45,6 +101,16 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "saved profiling database: %d entries\n", c.ProfileDB.Len())
 		}()
+	}
+	// After -db so a baseline generated with a profiling database reflects
+	// the profiled fusion decisions, not a cold one.
+	if *jsonPath != "" {
+		if err := writeJSONBaseline(c, *jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote baseline %s\n", *jsonPath)
+		return
 	}
 	w := os.Stdout
 	for _, e := range experiments {

@@ -47,19 +47,22 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := dnnfusion.DefaultOptions()
-	opts.GraphRewrite = !*noRewrite
-	opts.Fusion = !*noFusion
-	opts.Device = dev
-	compiled, err := dnnfusion.Compile(g, opts)
+	opts := []dnnfusion.Option{dnnfusion.WithDevice(dev)}
+	if *noRewrite {
+		opts = append(opts, dnnfusion.WithoutRewrite())
+	}
+	if *noFusion {
+		opts = append(opts, dnnfusion.WithoutFusion())
+	}
+	m, err := dnnfusion.Compile(g, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Printf("%s: %d operators, %.1f GFLOPs, %.0f MB intermediates\n",
 		*model, len(g.Nodes), float64(g.FLOPs())/1e9, float64(g.IntermediateBytes())/1e6)
-	st := compiled.Stats
-	if opts.GraphRewrite {
+	st := m.Stats
+	if !*noRewrite {
 		fmt.Printf("rewriting: %d applications in %.1f ms (%d -> %d ops, %d -> %d FLOPs)\n",
 			st.RewriteApplied, st.RewriteMs,
 			st.RewriteStats.NodesBefore, st.RewriteStats.NodesAfter,
@@ -69,13 +72,13 @@ func main() {
 		}
 	}
 	fmt.Printf("fusion: %d kernels in %.1f ms; %d green, %d yellow, %d broken (table %d / constraint %d / cycle %d / profile %d)\n",
-		compiled.FusedLayerCount(), st.FusionMs,
-		compiled.Plan.GreenFusions, compiled.Plan.YellowFusions,
-		compiled.Plan.BrokenByTable+compiled.Plan.BrokenByConstraint+compiled.Plan.BrokenByCycle+compiled.Plan.BrokenByProfile,
-		compiled.Plan.BrokenByTable, compiled.Plan.BrokenByConstraint,
-		compiled.Plan.BrokenByCycle, compiled.Plan.BrokenByProfile)
+		m.FusedLayerCount(), st.FusionMs,
+		m.Plan.GreenFusions, m.Plan.YellowFusions,
+		m.Plan.BrokenByTable+m.Plan.BrokenByConstraint+m.Plan.BrokenByCycle+m.Plan.BrokenByProfile,
+		m.Plan.BrokenByTable, m.Plan.BrokenByConstraint,
+		m.Plan.BrokenByCycle, m.Plan.BrokenByProfile)
 
-	ks := compiled.Kernels
+	ks := m.Kernels
 	sort.Slice(ks, func(i, j int) bool { return ks[i].OpCount > ks[j].OpCount })
 	fmt.Printf("\nlargest %d kernels:\n", *top)
 	for i := 0; i < *top && i < len(ks); i++ {
@@ -87,11 +90,11 @@ func main() {
 		}
 	}
 
-	cpuRep, err := compiled.Simulate(dev)
+	cpuRep, err := m.Simulate(dev)
 	if err != nil {
 		log.Fatal(err)
 	}
-	gpuRep, err := compiled.Simulate(gpuDev)
+	gpuRep, err := m.Simulate(gpuDev)
 	if err != nil {
 		log.Fatal(err)
 	}

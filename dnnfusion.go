@@ -8,21 +8,38 @@
 //
 // # Quick start
 //
+// Build a graph, compile it once into an immutable Model, then serve it
+// through per-goroutine Runners with inputs and outputs addressed by name:
+//
 //	g := dnnfusion.NewGraph("mymodel")
 //	x := g.AddInput("x", dnnfusion.ShapeOf(1, 64))
 //	w := g.AddWeight("w", dnnfusion.Rand(64, 64))
 //	h := g.Apply1(dnnfusion.MatMul(), x, w)
-//	g.MarkOutput(g.Apply1(dnnfusion.Relu(), h))
+//	g.MarkOutputAs("y", g.Apply1(dnnfusion.Relu(), h))
 //
-//	compiled, err := dnnfusion.Compile(g, dnnfusion.DefaultOptions())
-//	outs, err := compiled.RunInputs(input)             // numeric execution
-//	report, err := compiled.Simulate(dnnfusion.SnapdragonCPU()) // device model
+//	model, err := dnnfusion.Compile(g)                 // full pipeline
+//	runner := model.NewRunner()                        // one per goroutine
+//	outs, err := runner.Run(ctx, map[string]*dnnfusion.Tensor{
+//		"x": dnnfusion.Rand(1, 64),
+//	})
+//	_ = outs["y"]
+//	report, err := model.Simulate(dnnfusion.SnapdragonCPU()) // device model
+//
+// Compile takes functional options — WithDevice, WithProfileDB,
+// WithKernelCache for deployment, WithoutRewrite / WithoutFusion /
+// WithoutBlockOpt / WithSeedPolicy for the paper's ablations. A Model is
+// safe for concurrent use; a Runner owns per-session state and belongs to
+// one goroutine at a time. Failures wrap the package's typed errors
+// (ErrUnknownInput, ErrShapeMismatch, ErrCompile, ...) for errors.Is/As
+// dispatch — see errors.go.
 //
 // See the examples/ directory for runnable programs and cmd/dnnf-bench for
 // the full evaluation harness.
 package dnnfusion
 
 import (
+	"fmt"
+
 	"dnnfusion/internal/core"
 	"dnnfusion/internal/device"
 	"dnnfusion/internal/engine"
@@ -49,10 +66,6 @@ type (
 	// MappingType is the paper's operator classification (Table 2).
 	MappingType = ops.MappingType
 
-	// Options configures the compilation pipeline.
-	Options = core.Options
-	// Compiled is a compiled model: run it numerically or simulate it.
-	Compiled = core.Compiled
 	// Report is a simulated-inference report (latency, memory, cache).
 	Report = engine.Report
 	// Device is a simulated mobile CPU or GPU.
@@ -61,6 +74,20 @@ type (
 	ProfileDB = profile.DB
 	// SeedPolicy selects the fusion planner's seed heuristic.
 	SeedPolicy = fusion.SeedPolicy
+)
+
+// Deprecated aliases from the pre-Model API, kept so downstream code
+// migrates one call site at a time rather than all at once.
+type (
+	// Options is the internal flat option struct.
+	//
+	// Deprecated: use Compile's functional options (WithDevice,
+	// WithoutFusion, ...); Options remains only for CompileOptions.
+	Options = core.Options
+	// Compiled is the former name of Model.
+	//
+	// Deprecated: use Model.
+	Compiled = Model
 )
 
 // NewGraph creates an empty computational graph.
@@ -72,23 +99,38 @@ func ShapeOf(dims ...int) Shape { return tensor.Of(dims...) }
 // NewTensor allocates a zero tensor.
 func NewTensor(dims ...int) *Tensor { return tensor.New(dims...) }
 
-// Rand allocates a tensor with deterministic pseudo-random values.
-func Rand(dims ...int) *Tensor { return tensor.New(dims...).Rand(uint64(len(dims)) + 42) }
+// Rand allocates a tensor with deterministic pseudo-random values. The seed
+// is an FNV-1a hash of the dimensions, so differently shaped tensors get
+// different (but reproducible) contents — including transposed shapes like
+// Rand(32, 64) versus Rand(64, 32).
+func Rand(dims ...int) *Tensor {
+	var h uint64 = 14695981039346656037
+	for _, d := range dims {
+		h ^= uint64(d)
+		h *= 1099511628211
+	}
+	return tensor.New(dims...).Rand(h)
+}
 
 // FromSlice wraps data in a tensor of the given shape.
 func FromSlice(data []float32, dims ...int) *Tensor { return tensor.FromSlice(data, dims...) }
 
-// Compile runs the DNNFusion pipeline over g (the input graph is cloned,
-// never mutated).
-func Compile(g *Graph, opts Options) (*Compiled, error) { return core.Compile(g, opts) }
+// CompileOptions compiles with the flat Options struct of the pre-Model
+// API.
+//
+// Deprecated: use Compile with functional options.
+func CompileOptions(g *Graph, opts Options) (*Model, error) {
+	return Compile(g, func(o *core.Options) { *o = opts })
+}
 
-// DefaultOptions is the full pipeline: graph rewriting, profile-driven
-// fusion, and the intra-/inter-block optimizations.
+// DefaultOptions is the full pipeline as a flat Options struct.
+//
+// Deprecated: Compile with no options is the full pipeline.
 func DefaultOptions() Options { return core.Defaults() }
 
-// NewProfileDB creates an empty profiling database; assign it to
-// Options.ProfileDB (with Options.Device) to enable profile-driven yellow
-// decisions that persist across compilations.
+// NewProfileDB creates an empty profiling database; compile with
+// WithProfileDB (and WithDevice) to enable profile-driven yellow decisions
+// that persist across compilations.
 func NewProfileDB() *ProfileDB { return profile.New() }
 
 // LoadProfileDB reads a database saved with (*ProfileDB).Save.
@@ -103,15 +145,50 @@ func SnapdragonGPU() *Device { return device.Adreno650() }
 func Phones() []device.Phone { return device.Phones() }
 
 // BuildModel constructs one of the paper's 15 evaluation models by name
-// (see ModelNames).
-func BuildModel(name string) (*Graph, error) { return models.Build(name) }
+// (see ModelNames). An unrecognized name wraps ErrUnknownModel.
+func BuildModel(name string) (*Graph, error) {
+	g, err := models.Build(name)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrUnknownModel, err)
+	}
+	return g, nil
+}
 
 // ModelNames lists the evaluation models in Table 5 order.
 func ModelNames() []string { return models.Names() }
 
-// Interpret executes a graph with the reference (unfused) operator
-// implementations — the semantic ground truth fused execution is tested
-// against.
+// InterpretNamed executes a graph with the reference (unfused) operator
+// implementations, with inputs and outputs addressed by name exactly like
+// Runner.Run — the semantic ground truth fused execution is tested against.
+func InterpretNamed(g *Graph, inputs map[string]*Tensor) (map[string]*Tensor, error) {
+	byName, err := inputsByName(g)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(g.Inputs))
+	for i, in := range g.Inputs {
+		names[i] = in.Name
+	}
+	feeds := make(map[*graph.Value]*tensor.Tensor, len(inputs))
+	if err := resolveNamedFeeds(inputs, byName, names, feeds); err != nil {
+		return nil, err
+	}
+	outs, err := graph.InterpretOutputs(g, feeds)
+	if err != nil {
+		return nil, err
+	}
+	results := make(map[string]*Tensor, len(outs))
+	for i, name := range outputNamesOf(g) {
+		results[name] = outs[i]
+	}
+	return results, nil
+}
+
+// Interpret executes a graph with the reference implementations, feeds
+// keyed by the graph's own *Value edges.
+//
+// Deprecated: pointer-keyed feeds couple callers to the graph internals;
+// use InterpretNamed.
 func Interpret(g *Graph, feeds map[*Value]*Tensor) ([]*Tensor, error) {
 	return graph.InterpretOutputs(g, feeds)
 }

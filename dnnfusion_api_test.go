@@ -1,8 +1,10 @@
 // Public-API tests: the facade a downstream user sees, exercised the way
-// the README documents it.
+// the README documents it — Compile with functional options into a Model,
+// serve through named-I/O Runners, simulate on the device model.
 package dnnfusion_test
 
 import (
+	"context"
 	"math"
 	"path/filepath"
 	"testing"
@@ -10,7 +12,7 @@ import (
 	"dnnfusion"
 )
 
-func buildPublicMLP(t *testing.T) *dnnfusion.Graph {
+func buildPublicMLP(t testing.TB) *dnnfusion.Graph {
 	t.Helper()
 	g := dnnfusion.NewGraph("api-mlp")
 	x := g.AddInput("x", dnnfusion.ShapeOf(4, 16))
@@ -26,36 +28,75 @@ func buildPublicMLP(t *testing.T) *dnnfusion.Graph {
 
 func TestPublicCompileRunSimulate(t *testing.T) {
 	g := buildPublicMLP(t)
-	compiled, err := dnnfusion.Compile(g, dnnfusion.DefaultOptions())
+	model, err := dnnfusion.Compile(g)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if compiled.FusedLayerCount() >= len(g.Nodes) {
-		t.Errorf("no fusion: %d kernels for %d ops", compiled.FusedLayerCount(), len(g.Nodes))
+	if model.FusedLayerCount() >= len(g.Nodes) {
+		t.Errorf("no fusion: %d kernels for %d ops", model.FusedLayerCount(), len(g.Nodes))
+	}
+	if got := model.InputNames(); len(got) != 1 || got[0] != "x" {
+		t.Errorf("input names = %v, want [x]", got)
+	}
+	if got := model.OutputNames(); len(got) != 1 {
+		t.Errorf("output names = %v, want one", got)
 	}
 
 	input := dnnfusion.Rand(4, 16)
-	got, err := compiled.RunInputs(input)
+	feeds := map[string]*dnnfusion.Tensor{"x": input}
+	got, err := model.NewRunner().Run(context.Background(), feeds)
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := dnnfusion.Interpret(g, map[*dnnfusion.Value]*dnnfusion.Tensor{g.Inputs[0]: input})
+	want, err := dnnfusion.InterpretNamed(g, feeds)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i := range want[0].Data() {
-		if math.Abs(float64(got[0].Data()[i]-want[0].Data()[i])) > 1e-4 {
+	outName := model.OutputNames()[0]
+	for i := range want[outName].Data() {
+		if math.Abs(float64(got[outName].Data()[i]-want[outName].Data()[i])) > 1e-4 {
 			t.Fatalf("public API execution diverges at %d", i)
 		}
 	}
 
 	for _, dev := range []*dnnfusion.Device{dnnfusion.SnapdragonCPU(), dnnfusion.SnapdragonGPU()} {
-		rep, err := compiled.Simulate(dev)
+		rep, err := model.Simulate(dev)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if rep.LatencyMs <= 0 || rep.Kernels != compiled.FusedLayerCount() {
+		if rep.LatencyMs <= 0 || rep.Kernels != model.FusedLayerCount() {
 			t.Errorf("%s: bad report %+v", dev, rep)
+		}
+	}
+}
+
+// TestDeprecatedShims pins the migration contract: the pre-Model entry
+// points (CompileOptions with the flat struct, pointer-keyed Run, and
+// positional RunInputs) keep working and agree with the named-I/O path.
+func TestDeprecatedShims(t *testing.T) {
+	g := buildPublicMLP(t)
+	model, err := dnnfusion.CompileOptions(g, dnnfusion.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := dnnfusion.Rand(4, 16)
+
+	positional, err := model.RunInputs(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pointerKeyed, err := model.Run(map[*dnnfusion.Value]*dnnfusion.Tensor{model.G.Inputs[0]: input})
+	if err != nil {
+		t.Fatal(err)
+	}
+	named, err := model.NewRunner().Run(context.Background(), map[string]*dnnfusion.Tensor{"x": input})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := named[model.OutputNames()[0]]
+	for i := range out.Data() {
+		if positional[0].Data()[i] != out.Data()[i] || pointerKeyed[0].Data()[i] != out.Data()[i] {
+			t.Fatalf("deprecated shims diverge from named path at %d", i)
 		}
 	}
 }
@@ -83,10 +124,9 @@ func TestPublicModelZoo(t *testing.T) {
 func TestPublicProfileDBRoundTrip(t *testing.T) {
 	db := dnnfusion.NewProfileDB()
 	g := buildPublicMLP(t)
-	opts := dnnfusion.DefaultOptions()
-	opts.Device = dnnfusion.SnapdragonCPU()
-	opts.ProfileDB = db
-	if _, err := dnnfusion.Compile(g, opts); err != nil {
+	if _, err := dnnfusion.Compile(g,
+		dnnfusion.WithDevice(dnnfusion.SnapdragonCPU()),
+		dnnfusion.WithProfileDB(db)); err != nil {
 		t.Fatal(err)
 	}
 	path := filepath.Join(t.TempDir(), "db.json")
@@ -104,11 +144,12 @@ func TestPublicProfileDBRoundTrip(t *testing.T) {
 
 func TestPublicOptionsAblation(t *testing.T) {
 	g := buildPublicMLP(t)
-	full, err := dnnfusion.Compile(g, dnnfusion.DefaultOptions())
+	full, err := dnnfusion.Compile(g)
 	if err != nil {
 		t.Fatal(err)
 	}
-	none, err := dnnfusion.Compile(g, dnnfusion.Options{})
+	none, err := dnnfusion.Compile(g,
+		dnnfusion.WithoutRewrite(), dnnfusion.WithoutFusion(), dnnfusion.WithoutBlockOpt())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,5 +162,28 @@ func TestPublicOptionsAblation(t *testing.T) {
 	rn, _ := none.Simulate(cpu)
 	if rf.LatencyMs >= rn.LatencyMs {
 		t.Errorf("full pipeline not faster: %v >= %v", rf.LatencyMs, rn.LatencyMs)
+	}
+}
+
+// TestRandShapeSeeding pins the Rand fix: same-rank tensors of different
+// shapes must not share contents, and the values stay reproducible.
+func TestRandShapeSeeding(t *testing.T) {
+	a := dnnfusion.Rand(32, 64)
+	b := dnnfusion.Rand(64, 32)
+	same := true
+	for i := range a.Data() {
+		if a.Data()[i] != b.Data()[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("Rand(32,64) and Rand(64,32) produced identical data")
+	}
+	again := dnnfusion.Rand(32, 64)
+	for i := range a.Data() {
+		if a.Data()[i] != again.Data()[i] {
+			t.Fatal("Rand is not reproducible for a fixed shape")
+		}
 	}
 }

@@ -1,0 +1,55 @@
+package dnnfusion
+
+import (
+	"errors"
+	"fmt"
+)
+
+// The package's error taxonomy. Every error returned by the public API
+// wraps exactly one of these sentinels, so callers dispatch with errors.Is
+// (and errors.As for the structured kinds) instead of matching message
+// strings:
+//
+//	out, err := runner.Run(ctx, inputs)
+//	switch {
+//	case errors.Is(err, dnnfusion.ErrShapeMismatch):
+//		var se *dnnfusion.ShapeError
+//		errors.As(err, &se) // se.Input, se.Want, se.Got
+//	case errors.Is(err, dnnfusion.ErrUnknownInput):
+//		// caller fed a tensor the model has no input for
+//	}
+var (
+	// ErrUnknownModel reports a model-zoo name BuildModel does not know.
+	ErrUnknownModel = errors.New("dnnfusion: unknown model")
+	// ErrInvalidGraph reports a structurally broken graph handed to
+	// Compile: cycles, inconsistent links, uninferable shapes, or
+	// colliding input names.
+	ErrInvalidGraph = errors.New("dnnfusion: invalid graph")
+	// ErrCompile reports a failure inside the compilation pipeline
+	// (rewriting, fusion planning, or code generation) on a graph that
+	// passed validation.
+	ErrCompile = errors.New("dnnfusion: compilation failed")
+	// ErrUnknownInput reports a feed name the model has no input for.
+	ErrUnknownInput = errors.New("dnnfusion: unknown input")
+	// ErrMissingInput reports a model input the feeds did not supply.
+	ErrMissingInput = errors.New("dnnfusion: missing input")
+	// ErrShapeMismatch reports a feed whose shape differs from the
+	// model's declared input shape. The concrete error is a *ShapeError.
+	ErrShapeMismatch = errors.New("dnnfusion: shape mismatch")
+)
+
+// ShapeError carries the details of a shape mismatch between a named model
+// input and the tensor fed for it. It matches errors.Is(err,
+// ErrShapeMismatch) and is extracted with errors.As.
+type ShapeError struct {
+	// Input is the model input name the bad tensor was fed for.
+	Input string
+	// Want is the shape the model declared; Got is the shape fed.
+	Want, Got Shape
+}
+
+func (e *ShapeError) Error() string {
+	return fmt.Sprintf("%v: input %q wants shape %v, got %v", ErrShapeMismatch, e.Input, e.Want, e.Got)
+}
+
+func (e *ShapeError) Unwrap() error { return ErrShapeMismatch }

@@ -19,9 +19,7 @@ func main() {
 	fmt.Printf("YOLO-V4: %d operators, %.1f GFLOPs, %.0f MB intermediates\n",
 		len(g.Nodes), float64(g.FLOPs())/1e9, float64(g.IntermediateBytes())/1e6)
 
-	opts := dnnfusion.DefaultOptions()
-	opts.Device = dnnfusion.SnapdragonCPU()
-	compiled, err := dnnfusion.Compile(g, opts)
+	compiled, err := dnnfusion.Compile(g, dnnfusion.WithDevice(dnnfusion.SnapdragonCPU()))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -18,11 +18,12 @@ func main() {
 			log.Fatal(err)
 		}
 
-		fused, err := dnnfusion.Compile(g, dnnfusion.DefaultOptions())
+		fused, err := dnnfusion.Compile(g)
 		if err != nil {
 			log.Fatal(err)
 		}
-		unfused, err := dnnfusion.Compile(g, dnnfusion.Options{})
+		unfused, err := dnnfusion.Compile(g,
+			dnnfusion.WithoutRewrite(), dnnfusion.WithoutFusion(), dnnfusion.WithoutBlockOpt())
 		if err != nil {
 			log.Fatal(err)
 		}

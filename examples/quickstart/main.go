@@ -1,11 +1,14 @@
-// Quickstart: build a small MLP, compile it with DNNFusion, check the fused
-// execution against the reference interpreter, and inspect the fusion plan,
-// the generated kernel source, and the simulated mobile latency.
+// Quickstart: build a small MLP, compile it once into a Model, serve it
+// through named-I/O Runners (including several in parallel), check the
+// fused execution against the reference interpreter, and inspect the fusion
+// plan, the generated kernel source, and the simulated mobile latency.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"sync"
 
 	"dnnfusion"
 )
@@ -22,46 +25,70 @@ func main() {
 	w2 := g.AddWeight("w2", dnnfusion.Rand(64, 10))
 	out := g.Apply1(dnnfusion.MatMul(), h, w2)
 	out = g.Apply1(dnnfusion.Softmax(-1), out)
-	g.MarkOutput(out)
+	g.MarkOutputAs("probs", out)
 
-	// 2. Compile with the full pipeline.
-	compiled, err := dnnfusion.Compile(g, dnnfusion.DefaultOptions())
+	// 2. Compile once with the full pipeline. The Model is immutable and
+	// safe to share across goroutines.
+	model, err := dnnfusion.Compile(g)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("operators: %d  ->  fused kernels: %d\n", len(g.Nodes), compiled.FusedLayerCount())
-	for _, k := range compiled.Kernels {
+	fmt.Printf("model %q: inputs %v -> outputs %v\n", model.Name(), model.InputNames(), model.OutputNames())
+	fmt.Printf("operators: %d  ->  fused kernels: %d\n", len(g.Nodes), model.FusedLayerCount())
+	for _, k := range model.Kernels {
 		fmt.Printf("  kernel %s: %d ops, %d FLOPs, layout %s\n", k.Name, k.OpCount, k.FLOPs, k.Layout)
 	}
 
-	// 3. Run it and verify against the unfused reference.
+	// 3. Serve it: one Runner per goroutine, inputs and outputs by name.
+	ctx := context.Background()
 	input := dnnfusion.Rand(8, 32)
-	got, err := compiled.RunInputs(input)
+	outName := model.OutputNames()[0]
+
+	runner := model.NewRunner()
+	got, err := runner.Run(ctx, map[string]*dnnfusion.Tensor{"x": input})
 	if err != nil {
 		log.Fatal(err)
 	}
-	want, err := dnnfusion.Interpret(g, map[*dnnfusion.Value]*dnnfusion.Tensor{g.Inputs[0]: input})
+
+	// 4. Verify against the unfused reference interpreter.
+	want, err := dnnfusion.InterpretNamed(g, map[string]*dnnfusion.Tensor{"x": input})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("fused output[0][0..3]     = %.4f %.4f %.4f\n",
-		got[0].At(0, 0), got[0].At(0, 1), got[0].At(0, 2))
+		got[outName].At(0, 0), got[outName].At(0, 1), got[outName].At(0, 2))
 	fmt.Printf("reference output[0][0..3] = %.4f %.4f %.4f\n",
-		want[0].At(0, 0), want[0].At(0, 1), want[0].At(0, 2))
+		want[outName].At(0, 0), want[outName].At(0, 1), want[outName].At(0, 2))
 
-	// 4. Show the generated source of the biggest fused kernel.
+	// 5. Parallel serving: four goroutines, each with its own Runner over
+	// the one shared Model.
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			r := model.NewRunner()
+			if _, err := r.Run(ctx, map[string]*dnnfusion.Tensor{"x": input}); err != nil {
+				log.Printf("runner %d: %v", id, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	fmt.Println("4 concurrent runners served over one compiled model")
+
+	// 6. Show the generated source of the biggest fused kernel.
 	var biggest int
-	for i, k := range compiled.Kernels {
-		if k.OpCount > compiled.Kernels[biggest].OpCount {
+	for i, k := range model.Kernels {
+		if k.OpCount > model.Kernels[biggest].OpCount {
 			biggest = i
 		}
 	}
 	fmt.Println("\ngenerated CPU kernel for the largest block:")
-	fmt.Println(compiled.Kernels[biggest].SourceCPU)
+	fmt.Println(model.Kernels[biggest].SourceCPU)
 
-	// 5. Simulate one inference on the phone.
+	// 7. Simulate one inference on the phone.
 	for _, dev := range []*dnnfusion.Device{dnnfusion.SnapdragonCPU(), dnnfusion.SnapdragonGPU()} {
-		rep, err := compiled.Simulate(dev)
+		rep, err := model.Simulate(dev)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -33,32 +34,33 @@ func main() {
 			d[i] = d[i]*0.45 + 0.55
 		}
 	}
-	feeds := map[*dnnfusion.Value]*dnnfusion.Tensor{g.Inputs[0]: feedA, g.Inputs[1]: feedB}
-	before, err := dnnfusion.Interpret(g, feeds)
+	inputs := map[string]*dnnfusion.Tensor{"A": feedA, "B": feedB}
+	before, err := dnnfusion.InterpretNamed(g, inputs)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Compile with rewriting only (no fusion), then run.
-	opts := dnnfusion.Options{GraphRewrite: true}
-	compiled, err := dnnfusion.Compile(g, opts)
+	// Compile with rewriting only (no fusion, no block optimizations),
+	// then serve one inference through a Runner.
+	model, err := dnnfusion.Compile(g, dnnfusion.WithoutFusion(), dnnfusion.WithoutBlockOpt())
 	if err != nil {
 		log.Fatal(err)
 	}
-	st := compiled.Stats.RewriteStats
+	st := model.Stats.RewriteStats
 	fmt.Printf("after rewriting:  %d ops, %d FLOPs (%d rules applied)\n",
 		st.NodesAfter, st.FLOPsAfter, st.Applied)
 	for rule, n := range st.ByRule {
 		fmt.Printf("  %-28s x%d\n", rule, n)
 	}
 
-	after, err := compiled.RunInputs(feedA, feedB)
+	after, err := model.NewRunner().Run(context.Background(), inputs)
 	if err != nil {
 		log.Fatal(err)
 	}
+	outName := model.OutputNames()[0]
 	var maxDiff float64
-	for i := range before[0].Data() {
-		d := float64(before[0].Data()[i] - after[0].Data()[i])
+	for i := range before[outName].Data() {
+		d := float64(before[outName].Data()[i] - after[outName].Data()[i])
 		if d < 0 {
 			d = -d
 		}
@@ -70,5 +72,5 @@ func main() {
 
 	// The rewritten graph in Graphviz form, for the curious.
 	fmt.Println("\nrewritten graph (DOT):")
-	fmt.Println(compiled.G.DOT())
+	fmt.Println(model.G.DOT())
 }

@@ -27,25 +27,23 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		opts := dnnfusion.DefaultOptions()
-		opts.Device = cpu
-		opts.ProfileDB = db
-		compiled, err := dnnfusion.Compile(g, opts)
+		model, err := dnnfusion.Compile(g,
+			dnnfusion.WithDevice(cpu), dnnfusion.WithProfileDB(db))
 		if err != nil {
 			log.Fatal(err)
 		}
-		cpuRep, err := compiled.Simulate(cpu)
+		cpuRep, err := model.Simulate(cpu)
 		if err != nil {
 			log.Fatal(err)
 		}
-		gpuRep, err := compiled.Simulate(gpu)
+		gpuRep, err := model.Simulate(gpu)
 		if err != nil {
 			log.Fatal(err)
 		}
-		rate := float64(len(g.Nodes)) / float64(compiled.FusedLayerCount())
+		rate := float64(len(g.Nodes)) / float64(model.FusedLayerCount())
 		fmt.Printf("%-12s %7d %9d %8d %8.1fx %9.0f %9.0f\n",
-			name, len(g.Nodes), compiled.Stats.RewriteApplied,
-			compiled.FusedLayerCount(), rate, cpuRep.LatencyMs, gpuRep.LatencyMs)
+			name, len(g.Nodes), model.Stats.RewriteApplied,
+			model.FusedLayerCount(), rate, cpuRep.LatencyMs, gpuRep.LatencyMs)
 	}
 	fmt.Printf("\nprofiling database: %d entries accumulated across the six models\n", db.Len())
 	fmt.Println("(deep, memory-intensive transformers fuse 5-10x — the paper's headline result)")

@@ -1,0 +1,3 @@
+module dnnfusion
+
+go 1.24

@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -68,7 +69,9 @@ type CompileStats struct {
 	KernelCacheHits int
 }
 
-// Compiled is a ready-to-run model.
+// Compiled is a ready-to-run model. After Compile returns it is immutable:
+// any number of goroutines may execute it concurrently through per-goroutine
+// sessions (NewSession), and Simulate is safe to call concurrently as well.
 type Compiled struct {
 	G       *graph.Graph
 	E       *ecg.ECG
@@ -76,6 +79,8 @@ type Compiled struct {
 	Kernels []*codegen.Kernel
 	Opts    Options
 	Stats   CompileStats
+
+	exec *engine.Executor
 }
 
 // Compile clones g and runs the configured pipeline over the clone (the
@@ -125,8 +130,17 @@ func Compile(g *graph.Graph, opts Options) (*Compiled, error) {
 	if opts.Cache != nil {
 		c.Stats.KernelCacheHits = opts.Cache.Hits - cacheHitsBefore
 	}
+	c.exec, err = engine.NewExecutor(e, c.Plan, kernels)
+	if err != nil {
+		return nil, err
+	}
 	return c, nil
 }
+
+// NewSession creates an independent execution session over the compiled
+// kernels. The Compiled artifact is shared and immutable; each session owns
+// its per-run state, so create one session per serving goroutine.
+func (c *Compiled) NewSession() *engine.Session { return c.exec.NewSession() }
 
 // latencyFunc resolves yellow fusion decisions: profile-database lookup
 // first, then a "measurement" on the device cost model (standing in for the
@@ -191,13 +205,20 @@ func EstimateBlockLatency(dev *device.Device, nodes []*graph.Node) float64 {
 }
 
 // Run executes the compiled model numerically. Feeds are keyed by the
-// compiled graph's input values (c.G.Inputs); most callers want RunInputs.
+// compiled graph's input values (c.G.Inputs).
+//
+// Deprecated: pointer-keyed feeds couple callers to compiler internals.
+// Use the root package's Model/Runner named-I/O API (or NewSession for
+// in-module callers); Run remains as a thin shim over a one-shot session.
 func (c *Compiled) Run(feeds map[*graph.Value]*tensor.Tensor) ([]*tensor.Tensor, error) {
-	return engine.Run(c.E, c.Plan, feeds)
+	return c.NewSession().Run(context.Background(), feeds)
 }
 
 // RunInputs executes the compiled model with inputs given positionally, in
 // the graph's input declaration order.
+//
+// Deprecated: use the root package's Model/Runner named-I/O API; RunInputs
+// remains as a thin shim over a one-shot session.
 func (c *Compiled) RunInputs(inputs ...*tensor.Tensor) ([]*tensor.Tensor, error) {
 	if len(inputs) != len(c.G.Inputs) {
 		return nil, fmt.Errorf("core: %d inputs supplied, model has %d", len(inputs), len(c.G.Inputs))
@@ -206,7 +227,7 @@ func (c *Compiled) RunInputs(inputs ...*tensor.Tensor) ([]*tensor.Tensor, error)
 	for i, in := range c.G.Inputs {
 		feeds[in] = inputs[i]
 	}
-	return engine.Run(c.E, c.Plan, feeds)
+	return c.NewSession().Run(context.Background(), feeds)
 }
 
 // Simulate prices one inference on the device.

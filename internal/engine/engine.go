@@ -1,8 +1,12 @@
 // Package engine executes fusion plans. It has two paths:
 //
-//   - Run: numeric execution of the compiled kernels (pull model), used by
-//     the correctness tests and the examples; it matches the reference
-//     interpreter bit-for-bit up to float tolerance.
+//   - Executor/Session: numeric execution of the compiled kernels (pull
+//     model). An Executor is the immutable runtime artifact — kernels
+//     compiled once, blocks pre-scheduled — and each Session owns the
+//     per-goroutine value environment, so many sessions can serve
+//     inference concurrently over one Executor. Run is the convenience
+//     one-shot form; both match the reference interpreter bit-for-bit up
+//     to float tolerance.
 //   - Simulate: analytic execution on a device profile, producing latency,
 //     memory-access, cache-miss, utilization and peak-memory reports — the
 //     quantities Snapdragon Profiler supplied in the paper's evaluation.
@@ -12,6 +16,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"dnnfusion/internal/codegen"
@@ -177,39 +182,13 @@ func scheduleBlocks(plan *fusion.Plan, g *graph.Graph) ([]*fusion.Block, error) 
 // Run executes the plan numerically: each block becomes one fused kernel,
 // interior values are never materialized. Outputs are returned in graph
 // output order.
+//
+// Run compiles the kernels and schedules the blocks on every call; hot
+// paths should build an Executor once and run Sessions over it instead.
 func Run(e *ecg.ECG, plan *fusion.Plan, feeds map[*graph.Value]*tensor.Tensor) ([]*tensor.Tensor, error) {
-	kernels, err := codegen.CompilePlan(e, plan, nil)
+	x, err := NewExecutor(e, plan, nil)
 	if err != nil {
 		return nil, err
 	}
-	order, err := scheduleBlocks(plan, e.G)
-	if err != nil {
-		return nil, err
-	}
-	kernelOf := make(map[*fusion.Block]*codegen.Kernel, len(kernels))
-	for i, b := range plan.Blocks {
-		kernelOf[b] = kernels[i]
-	}
-	env := map[*graph.Value]*tensor.Tensor{}
-	for v, t := range feeds {
-		env[v] = t
-	}
-	for _, b := range order {
-		outs, err := kernelOf[b].Execute(env)
-		if err != nil {
-			return nil, err
-		}
-		for v, t := range outs {
-			env[v] = t
-		}
-	}
-	results := make([]*tensor.Tensor, len(e.G.Outputs))
-	for i, out := range e.G.Outputs {
-		t, ok := env[out]
-		if !ok {
-			return nil, fmt.Errorf("engine: output %v not produced", out)
-		}
-		results[i] = t
-	}
-	return results, nil
+	return x.NewSession().Run(context.Background(), feeds)
 }

@@ -1,0 +1,114 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+
+	"dnnfusion/internal/codegen"
+	"dnnfusion/internal/ecg"
+	"dnnfusion/internal/fusion"
+	"dnnfusion/internal/graph"
+	"dnnfusion/internal/tensor"
+)
+
+// Executor is the immutable runtime form of a compiled plan: every block's
+// kernel is compiled exactly once and the block schedule is fixed up front,
+// so execution never touches shared mutable state. One Executor serves any
+// number of concurrent Sessions.
+type Executor struct {
+	e     *ecg.ECG
+	plan  *fusion.Plan
+	order []*fusion.Block
+	// kernels is indexed in schedule (order) position, not plan position.
+	kernels []*codegen.Kernel
+}
+
+// NewExecutor schedules the plan's blocks and pairs them with their compiled
+// kernels. kernels must be the result of codegen.CompilePlan over the same
+// plan (one kernel per block, in plan.Blocks order); pass nil to compile
+// them here.
+func NewExecutor(e *ecg.ECG, plan *fusion.Plan, kernels []*codegen.Kernel) (*Executor, error) {
+	if kernels == nil {
+		var err error
+		kernels, err = codegen.CompilePlan(e, plan, nil)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(kernels) != len(plan.Blocks) {
+		return nil, fmt.Errorf("engine: %d kernels for %d blocks", len(kernels), len(plan.Blocks))
+	}
+	order, err := scheduleBlocks(plan, e.G)
+	if err != nil {
+		return nil, err
+	}
+	kernelOf := make(map[*fusion.Block]*codegen.Kernel, len(kernels))
+	for i, b := range plan.Blocks {
+		kernelOf[b] = kernels[i]
+	}
+	scheduled := make([]*codegen.Kernel, len(order))
+	for i, b := range order {
+		scheduled[i] = kernelOf[b]
+	}
+	return &Executor{e: e, plan: plan, order: order, kernels: scheduled}, nil
+}
+
+// Graph returns the compiled graph the executor runs.
+func (x *Executor) Graph() *graph.Graph { return x.e.G }
+
+// NewSession creates an independent execution session. Sessions hold the
+// per-run value environment, so each one may be driven by only one goroutine
+// at a time; create one session per serving goroutine.
+func (x *Executor) NewSession() *Session {
+	return &Session{
+		x:   x,
+		env: make(map[*graph.Value]*tensor.Tensor, len(x.e.G.Values)),
+	}
+}
+
+// Session is the per-goroutine execution state over a shared Executor. The
+// environment map is retained across runs to avoid rehashing the value set
+// on every inference.
+type Session struct {
+	x   *Executor
+	env map[*graph.Value]*tensor.Tensor
+}
+
+// Run executes the plan for one set of feeds (keyed by the compiled graph's
+// input values) and returns outputs in graph output order. Cancellation is
+// checked between kernels, so a canceled context aborts mid-inference with
+// ctx.Err().
+func (s *Session) Run(ctx context.Context, feeds map[*graph.Value]*tensor.Tensor) ([]*tensor.Tensor, error) {
+	clear(s.env)
+	for v, t := range feeds {
+		s.env[v] = t
+	}
+	for i, k := range s.x.kernels {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("engine: canceled before kernel %d/%d: %w", i+1, len(s.x.kernels), err)
+			}
+		}
+		outs, err := k.Execute(s.env)
+		if err != nil {
+			return nil, err
+		}
+		for v, t := range outs {
+			s.env[v] = t
+		}
+	}
+	g := s.x.e.G
+	results := make([]*tensor.Tensor, len(g.Outputs))
+	for i, out := range g.Outputs {
+		t, ok := s.env[out]
+		if !ok {
+			return nil, fmt.Errorf("engine: output %v not produced", out)
+		}
+		results[i] = t
+	}
+	// Drop the environment's tensor references (the caller owns the
+	// results) so an idle session doesn't pin a whole inference's worth of
+	// intermediates; the map keeps its capacity for the next run.
+	clear(s.env)
+	return results, nil
+}

@@ -162,6 +162,18 @@ func (g *Graph) MarkOutput(vs ...*Value) {
 	}
 }
 
+// MarkOutputAs renames v and declares it a model output, giving the value
+// a stable public name for the serving API's named I/O (by default outputs
+// carry generated internal names like "Softmax_4_out0"). Inputs and
+// weights keep their declared names — renaming an input here would break
+// its name-keyed feeds — so for those only the marking applies.
+func (g *Graph) MarkOutputAs(name string, v *Value) {
+	if v.Producer != nil {
+		v.Name = name
+	}
+	g.MarkOutput(v)
+}
+
 // TopoSort returns the nodes in a dependency-respecting order. It panics if
 // the graph contains a cycle (Validate reports it as an error instead).
 func (g *Graph) TopoSort() []*Node {

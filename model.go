@@ -1,0 +1,216 @@
+package dnnfusion
+
+import (
+	"context"
+	"fmt"
+
+	"dnnfusion/internal/core"
+	"dnnfusion/internal/engine"
+	"dnnfusion/internal/graph"
+	"dnnfusion/internal/tensor"
+)
+
+// Model is a compiled, immutable inference artifact. Compile it once, then
+// serve it from any number of goroutines: the hot path is NewRunner — each
+// runner owns its per-session execution state, so N runners over one Model
+// run inference in parallel with no shared mutable state.
+//
+// Inputs and outputs are addressed by the names given when the graph was
+// built (AddInput names for inputs, the marked value's name for outputs),
+// decoupling callers from the compiler's internal graph representation.
+//
+// Model embeds the internal compiled form, so compiler introspection
+// (Kernels, Plan, Stats, Simulate, FusedLayerCount) remains available.
+type Model struct {
+	*core.Compiled
+
+	inputs     map[string]*graph.Value
+	inputNames []string
+	outputs    []namedValue
+}
+
+type namedValue struct {
+	name string
+	v    *graph.Value
+}
+
+// Compile runs the DNNFusion pipeline over g (the input graph is cloned,
+// never mutated) and returns a concurrency-safe Model. With no options it
+// runs the full pipeline; see Option for ablations and deployment knobs.
+//
+// Errors wrap ErrInvalidGraph (g failed validation or has colliding input
+// names) or ErrCompile (a pipeline stage failed).
+func Compile(g *Graph, opts ...Option) (*Model, error) {
+	if g == nil {
+		return nil, fmt.Errorf("%w: nil graph", ErrInvalidGraph)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidGraph, err)
+	}
+	if _, err := inputsByName(g); err != nil {
+		return nil, err
+	}
+	cfg := core.Defaults()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	c, err := core.Compile(g, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCompile, err)
+	}
+	// The clone preserves input names, so this cannot fail post-compile.
+	byName, err := inputsByName(c.G)
+	if err != nil {
+		return nil, err
+	}
+	m := &Model{Compiled: c, inputs: byName}
+	for _, in := range c.G.Inputs {
+		m.inputNames = append(m.inputNames, in.Name)
+	}
+	// Output names come from the caller's original graph: rewriting may
+	// rebuild producer nodes (renaming their values), but it preserves
+	// output positions, so position i of the compiled graph is output i of
+	// the original.
+	for i, name := range outputNamesOf(g) {
+		m.outputs = append(m.outputs, namedValue{name: name, v: c.G.Outputs[i]})
+	}
+	return m, nil
+}
+
+// inputsByName indexes a graph's inputs by their declared names, rejecting
+// collisions: the named-I/O API needs every input to be addressable.
+func inputsByName(g *Graph) (map[string]*graph.Value, error) {
+	byName := make(map[string]*graph.Value, len(g.Inputs))
+	for _, in := range g.Inputs {
+		if _, dup := byName[in.Name]; dup {
+			return nil, fmt.Errorf("%w: duplicate input name %q", ErrInvalidGraph, in.Name)
+		}
+		byName[in.Name] = in
+	}
+	return byName, nil
+}
+
+// resolveNamedFeeds validates name-keyed inputs against the graph's input
+// index and writes the resolved pointer-keyed feeds into dst (cleared
+// first). Both the Runner hot path and the reference interpreter share this
+// exact validation, so their error behavior cannot drift apart.
+func resolveNamedFeeds(inputs map[string]*Tensor, byName map[string]*graph.Value, names []string, dst map[*graph.Value]*tensor.Tensor) error {
+	clear(dst)
+	for name, t := range inputs {
+		v, ok := byName[name]
+		if !ok {
+			return fmt.Errorf("%w: %q (model inputs: %v)", ErrUnknownInput, name, names)
+		}
+		if t == nil {
+			return fmt.Errorf("%w: %q fed a nil tensor", ErrMissingInput, name)
+		}
+		if !t.Shape().Equal(v.Shape) {
+			return &ShapeError{Input: name, Want: v.Shape.Clone(), Got: t.Shape()}
+		}
+		dst[v] = t
+	}
+	for _, name := range names {
+		if _, ok := inputs[name]; !ok {
+			return fmt.Errorf("%w: %q", ErrMissingInput, name)
+		}
+	}
+	return nil
+}
+
+// outputNamesOf assigns the public name of every graph output: the marked
+// value's own name, with positional fallbacks for unnamed or colliding
+// entries. Fallbacks never collide with explicit names (or each other), so
+// every output keeps a distinct key in the result maps.
+func outputNamesOf(g *Graph) []string {
+	names := make([]string, len(g.Outputs))
+	used := make(map[string]bool, len(g.Outputs))
+	// First claim the explicit, first-occurrence names ...
+	for i, out := range g.Outputs {
+		if out.Name != "" && !used[out.Name] {
+			used[out.Name] = true
+			names[i] = out.Name
+		}
+	}
+	// ... then fill the unnamed and colliding slots with positional
+	// fallbacks that dodge everything already claimed.
+	for i, name := range names {
+		if name != "" {
+			continue
+		}
+		fallback := fmt.Sprintf("output%d", i)
+		for n := 0; used[fallback]; n++ {
+			fallback = fmt.Sprintf("output%d_%d", i, n)
+		}
+		used[fallback] = true
+		names[i] = fallback
+	}
+	return names
+}
+
+// Name returns the model (graph) name.
+func (m *Model) Name() string { return m.Compiled.G.Name }
+
+// InputNames lists the model's input names in declaration order.
+func (m *Model) InputNames() []string { return append([]string(nil), m.inputNames...) }
+
+// OutputNames lists the model's output names in declaration order.
+func (m *Model) OutputNames() []string {
+	out := make([]string, len(m.outputs))
+	for i, nv := range m.outputs {
+		out[i] = nv.name
+	}
+	return out
+}
+
+// InputShape returns the declared shape of the named input.
+func (m *Model) InputShape(name string) (Shape, error) {
+	v, ok := m.inputs[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q (model inputs: %v)", ErrUnknownInput, name, m.inputNames)
+	}
+	return v.Shape.Clone(), nil
+}
+
+// NewRunner creates an independent inference session over the model. The
+// Model is shared and read-only; the Runner owns per-session scratch, so
+// use one Runner per goroutine (a Runner itself is not safe for concurrent
+// use, but any number of Runners run in parallel over one Model).
+func (m *Model) NewRunner() *Runner {
+	return &Runner{
+		m:     m,
+		sess:  m.Compiled.NewSession(),
+		feeds: make(map[*graph.Value]*tensor.Tensor, len(m.inputs)),
+	}
+}
+
+// Runner is a single-goroutine inference session over a shared Model.
+type Runner struct {
+	m     *Model
+	sess  *engine.Session
+	feeds map[*graph.Value]*tensor.Tensor
+}
+
+// Model returns the compiled model this runner serves.
+func (r *Runner) Model() *Model { return r.m }
+
+// Run executes one inference. inputs maps input names to tensors; every
+// model input must be present with its declared shape. The result maps
+// output names to tensors owned by the caller.
+//
+// Errors wrap ErrUnknownInput, ErrMissingInput, or ErrShapeMismatch (as a
+// *ShapeError); a canceled ctx aborts between fused kernels with an error
+// matching ctx.Err().
+func (r *Runner) Run(ctx context.Context, inputs map[string]*Tensor) (map[string]*Tensor, error) {
+	if err := resolveNamedFeeds(inputs, r.m.inputs, r.m.inputNames, r.feeds); err != nil {
+		return nil, err
+	}
+	outs, err := r.sess.Run(ctx, r.feeds)
+	if err != nil {
+		return nil, err
+	}
+	results := make(map[string]*Tensor, len(outs))
+	for i, nv := range r.m.outputs {
+		results[nv.name] = outs[i]
+	}
+	return results, nil
+}
