@@ -10,14 +10,20 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
+
+	"dnnfusion"
 
 	"dnnfusion/internal/baseline"
 	"dnnfusion/internal/bench"
+	"dnnfusion/internal/models"
 	"dnnfusion/internal/profile"
 )
 
@@ -34,6 +40,62 @@ type jsonModel struct {
 	IRSAfterMB   float64 `json:"irs_after_mb"`
 	CPUMs        float64 `json:"dnnf_cpu_ms"`
 	GPUMs        float64 `json:"dnnf_gpu_ms"`
+}
+
+// jsonExec is one runnable micro-model's measured serving-path numbers: a
+// warmed Runner over the planned arena, timed and alloc-counted for real
+// (not simulated). allocs_per_op and bytes_per_op are the zero-allocation
+// headline; ns_per_op tracks hot-path latency across PRs.
+type jsonExec struct {
+	Name             string  `json:"name"`
+	Operators        int     `json:"operators"`
+	FusedKernels     int     `json:"fused_kernels"`
+	PlannedPeakBytes int64   `json:"planned_peak_bytes"`
+	NsPerOp          int64   `json:"ns_per_op"`
+	BytesPerOp       int64   `json:"bytes_per_op"`
+	AllocsPerOp      float64 `json:"allocs_per_op"`
+}
+
+// measureExec compiles g, warms a Runner (first Run binds the arena), and
+// measures steady-state ns/op, bytes/op, and allocs/op over real inference.
+func measureExec(g *dnnfusion.Graph) (jsonExec, error) {
+	model, err := dnnfusion.Compile(g)
+	if err != nil {
+		return jsonExec{}, err
+	}
+	inputs := map[string]*dnnfusion.Tensor{}
+	for _, name := range model.InputNames() {
+		shape, err := model.InputShape(name)
+		if err != nil {
+			return jsonExec{}, err
+		}
+		inputs[name] = dnnfusion.Rand(shape...)
+	}
+	runner := model.NewRunner()
+	ctx := context.Background()
+	if _, err := runner.Run(ctx, inputs); err != nil {
+		return jsonExec{}, err
+	}
+	const iters = 200
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if _, err := runner.Run(ctx, inputs); err != nil {
+			return jsonExec{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return jsonExec{
+		Name:             g.Name,
+		Operators:        len(g.Nodes),
+		FusedKernels:     model.FusedLayerCount(),
+		PlannedPeakBytes: model.PlannedPeakBytes(),
+		NsPerOp:          elapsed.Nanoseconds() / iters,
+		BytesPerOp:       int64(after.TotalAlloc-before.TotalAlloc) / iters,
+		AllocsPerOp:      float64(after.Mallocs-before.Mallocs) / iters,
+	}, nil
 }
 
 func writeJSONBaseline(c *bench.Context, path string) error {
@@ -62,9 +124,20 @@ func writeJSONBaseline(c *bench.Context, path string) error {
 	summary := struct {
 		Schema string      `json:"schema"`
 		Models []jsonModel `json:"models"`
-	}{Schema: "dnnf-bench/v1"}
+		Exec   []jsonExec  `json:"exec"`
+	}{Schema: "dnnf-bench/v2"}
 	for _, name := range order {
 		summary.Models = append(summary.Models, *byModel[name])
+	}
+	// The exec models are shared with the allocation regression tests
+	// (internal/models/micro.go), so the gated number and the recorded
+	// number come from the same graphs.
+	for _, spec := range models.MicroModels() {
+		e, err := measureExec(spec.Build())
+		if err != nil {
+			return fmt.Errorf("exec %s: %w", spec.Name, err)
+		}
+		summary.Exec = append(summary.Exec, e)
 	}
 	data, err := json.MarshalIndent(summary, "", "  ")
 	if err != nil {

@@ -1,0 +1,162 @@
+// Allocation regression suite for the planned-arena execution path: a
+// warmed Runner must serve inference with zero steady-state heap
+// allocations, outputs must follow the documented double-buffer ownership
+// contract, and Release must drop the arena. BenchmarkRunnerAllocs reports
+// allocs/op so the number is visible in every -benchmem run (and feeds the
+// exec section of dnnf-bench -json).
+package dnnfusion_test
+
+import (
+	"context"
+	"testing"
+
+	"dnnfusion"
+
+	"dnnfusion/internal/models"
+)
+
+// The fused CNN under test is models.MicroCNN — the same graph whose
+// serving-path numbers dnnf-bench -json records in its exec section, so
+// the gated measurement and the recorded baseline cannot drift apart.
+func buildAllocCNN(tb testing.TB) *dnnfusion.Graph {
+	tb.Helper()
+	return models.MicroCNN()
+}
+
+func compileAllocCNN(tb testing.TB) (*dnnfusion.Model, map[string]*dnnfusion.Tensor) {
+	tb.Helper()
+	g := buildAllocCNN(tb)
+	model, err := dnnfusion.Compile(g)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if model.FusedLayerCount() >= len(g.Nodes) {
+		tb.Fatalf("alloc CNN did not fuse: %d kernels for %d ops", model.FusedLayerCount(), len(g.Nodes))
+	}
+	return model, map[string]*dnnfusion.Tensor{"image": dnnfusion.Rand(1, 3, 8, 8)}
+}
+
+// TestRunnerZeroAllocSteadyState is the acceptance gate: a warmed
+// Runner.Run on a fused CNN performs zero steady-state heap allocations.
+func TestRunnerZeroAllocSteadyState(t *testing.T) {
+	model, inputs := compileAllocCNN(t)
+	runner := model.NewRunner()
+	ctx := context.Background()
+	if _, err := runner.Run(ctx, inputs); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := runner.Run(ctx, inputs); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warmed Runner.Run allocates %.0f times per inference, want 0", allocs)
+	}
+	if model.PlannedPeakBytes() <= 0 {
+		t.Errorf("PlannedPeakBytes = %d, want > 0", model.PlannedPeakBytes())
+	}
+}
+
+// TestSessionRunZeroAllocSteadyState proves the same property one layer
+// down, through the Compiled session API the Runner wraps.
+func TestSessionRunZeroAllocSteadyState(t *testing.T) {
+	model, inputs := compileAllocCNN(t)
+	sess := model.NewSession()
+	feeds := map[*dnnfusion.Value]*dnnfusion.Tensor{model.G.Inputs[0]: inputs["image"]}
+	ctx := context.Background()
+	if _, err := sess.Run(ctx, feeds); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := sess.Run(ctx, feeds); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warmed Session.Run allocates %.0f times per inference, want 0", allocs)
+	}
+}
+
+// TestRunnerOutputsSurviveNextRun pins the public ownership contract:
+// copy-out means the outputs of one Run remain valid and unchanged after
+// the next Run on the same runner, even though no allocation happened.
+func TestRunnerOutputsSurviveNextRun(t *testing.T) {
+	model, inputs := compileAllocCNN(t)
+	runner := model.NewRunner()
+	ctx := context.Background()
+
+	first, err := runner.Run(ctx, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]float32(nil), first["probs"].Data()...)
+
+	alt := dnnfusion.NewTensor(1, 3, 8, 8)
+	alt.Fill(0.25)
+	second, err := runner.Run(ctx, map[string]*dnnfusion.Tensor{"image": alt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first["probs"] == second["probs"] {
+		t.Fatal("consecutive Runs returned the same output tensor")
+	}
+	for i, v := range first["probs"].Data() {
+		if v != want[i] {
+			t.Fatalf("output changed after the next Run at %d: %g != %g", i, v, want[i])
+		}
+	}
+	// Interpreter agreement: the zero-alloc path must stay numerically
+	// identical to the reference semantics.
+	ref, err := dnnfusion.InterpretNamed(buildAllocCNN(t), inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range ref["probs"].Data() {
+		if d := float64(v - want[i]); d > 1e-4 || d < -1e-4 {
+			t.Fatalf("arena output diverges from interpreter at %d", i)
+		}
+	}
+}
+
+// TestRunnerRelease pins the idle-memory contract at the public layer.
+func TestRunnerRelease(t *testing.T) {
+	model, inputs := compileAllocCNN(t)
+	runner := model.NewRunner()
+	ctx := context.Background()
+	first, err := runner.Run(ctx, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep := append([]float32(nil), first["probs"].Data()...)
+	runner.Release()
+	again, err := runner.Run(ctx, inputs) // rebinds transparently
+	if err != nil {
+		t.Fatalf("run after Release: %v", err)
+	}
+	for i, v := range again["probs"].Data() {
+		if v != keep[i] {
+			t.Fatalf("post-Release run diverges at %d", i)
+		}
+	}
+}
+
+// BenchmarkRunnerAllocs is the perf-trajectory benchmark for the serving
+// hot path: run with -benchmem (ReportAllocs makes it unconditional) to see
+// ns/op, B/op, and allocs/op for a warmed Runner on the fused CNN. The
+// same measurement backs the exec section of dnnf-bench -json.
+func BenchmarkRunnerAllocs(b *testing.B) {
+	model, inputs := compileAllocCNN(b)
+	runner := model.NewRunner()
+	ctx := context.Background()
+	if _, err := runner.Run(ctx, inputs); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := runner.Run(ctx, inputs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -219,12 +219,33 @@ func preferredLayout(opType string) Layout {
 	}
 }
 
-// Execute runs the fused kernel in the pull model: block outputs are
-// materialized by composing the member operators' Sources; interior values
-// never exist in memory — precisely the intermediate-result elimination
-// that fusion buys. env must hold every exterior input (weights may be
-// omitted; their constant data is used directly).
-func (k *Kernel) Execute(env map[*graph.Value]*tensor.Tensor) (map[*graph.Value]*tensor.Tensor, error) {
+// BoundKernel is a kernel bound to concrete input tensors and destination
+// buffers: the Source tree is composed once at bind time (per session), so
+// ExecuteInto evaluates the fused block without building closures, maps, or
+// result tensors — the steady-state hot path performs zero heap
+// allocations. A BoundKernel reuses internal scratch and belongs to one
+// goroutine at a time; distinct sessions bind their own.
+type BoundKernel struct {
+	k    *Kernel
+	outs []boundOutput
+}
+
+type boundOutput struct {
+	src ops.Source
+	dst *tensor.Tensor
+	idx []int // unravel scratch, len == rank of dst
+}
+
+// Bind composes the kernel's Source tree over stable exterior inputs and
+// pairs each block output with its destination tensor. resolve supplies the
+// tensor backing every exterior input — the planned-arena executor resolves
+// weights to their constant data and everything else to arena-slot views
+// that stay valid across runs. dsts must parallel k.Outputs and have the
+// outputs' shapes.
+func (k *Kernel) Bind(resolve func(v *graph.Value) (*tensor.Tensor, error), dsts []*tensor.Tensor) (*BoundKernel, error) {
+	if len(dsts) != len(k.Outputs) {
+		return nil, fmt.Errorf("codegen: %s: %d destinations for %d outputs", k.Name, len(dsts), len(k.Outputs))
+	}
 	srcOf := map[*graph.Value]ops.Source{}
 	var build func(v *graph.Value) (ops.Source, error)
 	build = func(v *graph.Value) (ops.Source, error) {
@@ -232,13 +253,9 @@ func (k *Kernel) Execute(env map[*graph.Value]*tensor.Tensor) (map[*graph.Value]
 			return s, nil
 		}
 		if v.Producer == nil || !k.Block.Contains(v.Producer) {
-			t, ok := env[v]
-			if !ok {
-				if v.Data != nil {
-					t = v.Data
-				} else {
-					return nil, fmt.Errorf("codegen: %s: missing exterior input %v", k.Name, v)
-				}
+			t, err := resolve(v)
+			if err != nil {
+				return nil, fmt.Errorf("codegen: %s: %w", k.Name, err)
 			}
 			if !t.Shape().Equal(v.Shape) {
 				return nil, fmt.Errorf("codegen: %s: input %v fed with shape %v", k.Name, v, t.Shape())
@@ -263,13 +280,60 @@ func (k *Kernel) Execute(env map[*graph.Value]*tensor.Tensor) (map[*graph.Value]
 		srcOf[v] = s
 		return s, nil
 	}
-	out := make(map[*graph.Value]*tensor.Tensor, len(k.Outputs))
-	for _, o := range k.Outputs {
+	bk := &BoundKernel{k: k, outs: make([]boundOutput, len(k.Outputs))}
+	for i, o := range k.Outputs {
 		s, err := build(o)
 		if err != nil {
 			return nil, err
 		}
-		out[o] = ops.Materialize(s)
+		if !dsts[i].Shape().Equal(o.Shape) {
+			return nil, fmt.Errorf("codegen: %s: destination %d has shape %v, output is %v",
+				k.Name, i, dsts[i].Shape(), o.Shape)
+		}
+		bk.outs[i] = boundOutput{src: s, dst: dsts[i], idx: make([]int, o.Shape.Rank())}
+	}
+	return bk, nil
+}
+
+// ExecuteInto evaluates the fused block, writing every block output into
+// its bound destination. Interior values never exist in memory — precisely
+// the intermediate-result elimination that fusion buys — and nothing is
+// allocated.
+func (b *BoundKernel) ExecuteInto() {
+	for i := range b.outs {
+		o := &b.outs[i]
+		ops.MaterializeInto(o.src, o.dst, o.idx)
+	}
+}
+
+// Execute runs the fused kernel in the pull model, materializing block
+// outputs into fresh tensors. env must hold every exterior input (weights
+// may be omitted; their constant data is used directly). It is the
+// bind-per-call convenience form of Bind/ExecuteInto; hot paths bind once
+// and execute into planned destinations instead.
+func (k *Kernel) Execute(env map[*graph.Value]*tensor.Tensor) (map[*graph.Value]*tensor.Tensor, error) {
+	resolve := func(v *graph.Value) (*tensor.Tensor, error) {
+		t, ok := env[v]
+		if !ok {
+			if v.Data != nil {
+				return v.Data, nil
+			}
+			return nil, fmt.Errorf("missing exterior input %v", v)
+		}
+		return t, nil
+	}
+	dsts := make([]*tensor.Tensor, len(k.Outputs))
+	for i, o := range k.Outputs {
+		dsts[i] = tensor.NewOf(o.Shape)
+	}
+	bk, err := k.Bind(resolve, dsts)
+	if err != nil {
+		return nil, err
+	}
+	bk.ExecuteInto()
+	out := make(map[*graph.Value]*tensor.Tensor, len(k.Outputs))
+	for i, o := range k.Outputs {
+		out[o] = dsts[i]
 	}
 	return out, nil
 }

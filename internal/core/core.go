@@ -139,8 +139,15 @@ func Compile(g *graph.Graph, opts Options) (*Compiled, error) {
 
 // NewSession creates an independent execution session over the compiled
 // kernels. The Compiled artifact is shared and immutable; each session owns
-// its per-run state, so create one session per serving goroutine.
+// its per-run state (a planned arena plus bound kernels), so create one
+// session per serving goroutine.
 func (c *Compiled) NewSession() *engine.Session { return c.exec.NewSession() }
+
+// PlannedPeakBytes is the activation arena size every bound session
+// allocates: the peak of the compile-time liveness analysis under buffer
+// reuse. It excludes weights (see G.ParamBytes) and the double-buffered
+// output copies.
+func (c *Compiled) PlannedPeakBytes() int64 { return c.exec.PlannedPeakBytes() }
 
 // latencyFunc resolves yellow fusion decisions: profile-database lookup
 // first, then a "measurement" on the device cost model (standing in for the

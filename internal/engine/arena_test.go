@@ -1,0 +1,241 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"dnnfusion/internal/fusion"
+	"dnnfusion/internal/graph"
+	"dnnfusion/internal/tensor"
+)
+
+// Arena execution test suite: allocation-count assertions, aliasing and
+// ownership of copied-out results, Release semantics, and shared-Executor
+// race coverage. These pin the zero-allocation contract of the planned
+// arena, so they are deliberately strict — a single stray allocation on the
+// hot path fails them.
+
+func buildArenaExecutor(t *testing.T) (*graph.Graph, *Executor) {
+	t.Helper()
+	g, e := buildMLP(t)
+	plan := fusion.GeneratePlan(e, fusion.Options{})
+	x, err := NewExecutor(e, plan, nil)
+	if err != nil {
+		t.Fatalf("executor: %v", err)
+	}
+	return g, x
+}
+
+// TestSessionZeroAllocSteadyState proves the tentpole claim at the engine
+// layer: a warmed Session.Run performs zero heap allocations.
+func TestSessionZeroAllocSteadyState(t *testing.T) {
+	g, x := buildArenaExecutor(t)
+	s := x.NewSession()
+	in := feeds(g, 7)
+	ctx := context.Background()
+	// Warm: first Run binds the arena and kernels.
+	if _, err := s.Run(ctx, in); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := s.Run(ctx, in); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warmed Session.Run allocates %.0f times per inference, want 0", allocs)
+	}
+}
+
+// TestSessionOutputsSurviveNextRun pins the copy-out/double-buffer
+// contract: the outputs of one Run must remain valid and unchanged after
+// the next Run on the same session.
+func TestSessionOutputsSurviveNextRun(t *testing.T) {
+	g, x := buildArenaExecutor(t)
+	s := x.NewSession()
+	ctx := context.Background()
+
+	first, err := s.Run(ctx, feeds(g, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := make([]*tensor.Tensor, len(first))
+	for i, o := range first {
+		snapshot[i] = o.Clone()
+	}
+
+	second, err := s.Run(ctx, feeds(g, 2)) // different inputs
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range first {
+		if first[i] == second[i] {
+			t.Fatalf("output %d: Run returned the same tensor twice in a row", i)
+		}
+		if !tensor.AllClose(first[i], snapshot[i], 0) {
+			t.Errorf("output %d changed after the next Run (max diff %g)",
+				i, tensor.MaxAbsDiff(first[i], snapshot[i]))
+		}
+		if tensor.AllClose(second[i], snapshot[i], 0) {
+			t.Errorf("output %d: second run with different inputs produced identical data", i)
+		}
+	}
+}
+
+// TestSessionOutputsAreNotArenaViews ensures copy-out really copies, in
+// both directions: scribbling on the arena's output slot must not change an
+// already-returned output, and a caller scribbling on a returned output
+// must not corrupt subsequent inference.
+func TestSessionOutputsAreNotArenaViews(t *testing.T) {
+	g, x := buildArenaExecutor(t)
+	s := x.NewSession()
+	ctx := context.Background()
+	in := feeds(g, 3)
+
+	out, err := s.Run(ctx, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := out[0].Clone()
+
+	// Direction 1: the returned tensor must not alias the arena slot. The
+	// test has package access, so scribble directly on the slot and check
+	// the returned copy is untouched.
+	slot := s.slots[g.Outputs[0]]
+	if slot == nil {
+		t.Fatal("output has no arena slot")
+	}
+	if &slot.Data()[0] == &out[0].Data()[0] {
+		t.Fatal("returned output aliases its arena slot")
+	}
+	slot.Fill(-98765)
+	if !tensor.AllClose(out[0], want, 0) {
+		t.Error("scribbling on the arena slot changed a returned output")
+	}
+
+	// Direction 2: a caller scribbling on its copy must not corrupt the
+	// arena or subsequent runs.
+	out[0].Fill(-12345)
+	again, err := s.Run(ctx, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AllClose(again[0], want, 1e-6) {
+		t.Error("mutating a returned output corrupted subsequent inference")
+	}
+}
+
+// TestSessionRelease pins the idle-memory contract: a bound session pins
+// exactly PlannedPeakBytes of arena; Release drops the slab and the session
+// transparently rebinds (and still computes correctly) on the next Run.
+func TestSessionRelease(t *testing.T) {
+	g, x := buildArenaExecutor(t)
+	if x.PlannedPeakBytes() <= 0 {
+		t.Fatalf("PlannedPeakBytes = %d, want > 0", x.PlannedPeakBytes())
+	}
+	s := x.NewSession()
+	ctx := context.Background()
+	in := feeds(g, 4)
+
+	before, err := s.Run(ctx, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep := before[0].Clone()
+
+	if got := int64(len(s.arena)) * 4; got != x.PlannedPeakBytes() {
+		t.Errorf("bound session pins %d bytes of arena, want PlannedPeakBytes = %d",
+			got, x.PlannedPeakBytes())
+	}
+
+	s.Release()
+	if s.arena != nil || s.programs != nil || s.bound {
+		t.Error("Release did not drop the slab and bound programs")
+	}
+	// Earlier outputs are copies: they survive Release.
+	if !tensor.AllClose(before[0], keep, 0) {
+		t.Error("Release invalidated previously returned outputs")
+	}
+
+	after, err := s.Run(ctx, in) // rebinds transparently
+	if err != nil {
+		t.Fatalf("run after Release: %v", err)
+	}
+	if !tensor.AllClose(after[0], keep, 1e-6) {
+		t.Error("post-Release run diverges from pre-Release run")
+	}
+}
+
+// TestSessionRejectsNonInputFeeds pins the planned-arena feeding contract:
+// only graph inputs may be fed.
+func TestSessionRejectsNonInputFeeds(t *testing.T) {
+	g, x := buildArenaExecutor(t)
+	s := x.NewSession()
+	in := feeds(g, 5)
+	for _, v := range g.Values {
+		if v.Kind == graph.Weight {
+			in[v] = tensor.NewOf(v.Shape)
+			break
+		}
+	}
+	if _, err := s.Run(context.Background(), in); err == nil {
+		t.Error("feeding a weight under planned-arena execution should fail")
+	}
+}
+
+// TestSessionsShareNothing is the race gate: 8 goroutines, each with its
+// own session over one shared Executor, run distinct inputs concurrently.
+// Under -race this proves per-session arenas share nothing through the
+// common Executor; the result check proves they do not corrupt each other.
+func TestSessionsShareNothing(t *testing.T) {
+	g, x := buildArenaExecutor(t)
+	const goroutines = 8
+	const iterations = 20
+
+	// Ground truth per goroutine, computed sequentially on a throwaway
+	// session (sessions are single-goroutine; one per worker below).
+	wants := make([][]*tensor.Tensor, goroutines)
+	ins := make([]map[*graph.Value]*tensor.Tensor, goroutines)
+	ref := x.NewSession()
+	for i := 0; i < goroutines; i++ {
+		ins[i] = feeds(g, uint64(100+i))
+		out, err := ref.Run(context.Background(), ins[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants[i] = make([]*tensor.Tensor, len(out))
+		for j, o := range out {
+			wants[i][j] = o.Clone()
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := x.NewSession()
+			for iter := 0; iter < iterations; iter++ {
+				out, err := s.Run(context.Background(), ins[i])
+				if err != nil {
+					errs <- err
+					return
+				}
+				for j := range out {
+					if !tensor.AllClose(out[j], wants[i][j], 1e-6) {
+						errs <- fmt.Errorf("goroutine %d iter %d: output %d diverged", i, iter, j)
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

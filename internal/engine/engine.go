@@ -11,8 +11,12 @@
 //     memory-access, cache-miss, utilization and peak-memory reports — the
 //     quantities Snapdragon Profiler supplied in the paper's evaluation.
 //
-// The engine also contains the liveness-based memory planner that computes
-// peak memory consumption under buffer reuse.
+// The engine also contains the liveness-based memory planner. It is not
+// just a price: PlanArena assigns every materialized value a stable arena
+// slot at compile time, each Session executes out of one arena sized to the
+// planned peak, and PlanMemory (the Figure 8 memory-consumption quantity)
+// is derived from the same plan, so simulated and executed peak memory
+// cannot drift apart.
 package engine
 
 import (

@@ -12,8 +12,9 @@ import (
 )
 
 // Executor is the immutable runtime form of a compiled plan: every block's
-// kernel is compiled exactly once and the block schedule is fixed up front,
-// so execution never touches shared mutable state. One Executor serves any
+// kernel is compiled exactly once, the block schedule is fixed up front, and
+// the memory plan assigns every materialized value a stable arena slot, so
+// execution never touches shared mutable state. One Executor serves any
 // number of concurrent Sessions.
 type Executor struct {
 	e     *ecg.ECG
@@ -21,12 +22,15 @@ type Executor struct {
 	order []*fusion.Block
 	// kernels is indexed in schedule (order) position, not plan position.
 	kernels []*codegen.Kernel
+	// memplan maps every graph input and block output to its (offset,
+	// size) slot in the per-session arena.
+	memplan *MemPlan
 }
 
-// NewExecutor schedules the plan's blocks and pairs them with their compiled
-// kernels. kernels must be the result of codegen.CompilePlan over the same
-// plan (one kernel per block, in plan.Blocks order); pass nil to compile
-// them here.
+// NewExecutor schedules the plan's blocks, pairs them with their compiled
+// kernels, and computes the arena memory plan. kernels must be the result of
+// codegen.CompilePlan over the same plan (one kernel per block, in
+// plan.Blocks order); pass nil to compile them here.
 func NewExecutor(e *ecg.ECG, plan *fusion.Plan, kernels []*codegen.Kernel) (*Executor, error) {
 	if kernels == nil {
 		var err error
@@ -50,65 +54,182 @@ func NewExecutor(e *ecg.ECG, plan *fusion.Plan, kernels []*codegen.Kernel) (*Exe
 	for i, b := range order {
 		scheduled[i] = kernelOf[b]
 	}
-	return &Executor{e: e, plan: plan, order: order, kernels: scheduled}, nil
+	return &Executor{
+		e:       e,
+		plan:    plan,
+		order:   order,
+		kernels: scheduled,
+		memplan: PlanArena(plan, order, e.G),
+	}, nil
 }
 
 // Graph returns the compiled graph the executor runs.
 func (x *Executor) Graph() *graph.Graph { return x.e.G }
 
-// NewSession creates an independent execution session. Sessions hold the
-// per-run value environment, so each one may be driven by only one goroutine
-// at a time; create one session per serving goroutine.
+// MemPlan returns the executor's arena memory plan.
+func (x *Executor) MemPlan() *MemPlan { return x.memplan }
+
+// PlannedPeakBytes is the arena size every bound session allocates — the
+// planned peak activation memory under liveness-driven buffer reuse.
+func (x *Executor) PlannedPeakBytes() int64 { return x.memplan.PeakBytes() }
+
+// NewSession creates an independent execution session. A session owns its
+// arena and bound kernels, so each one may be driven by only one goroutine
+// at a time; create one session per serving goroutine. Creation is cheap:
+// the arena is allocated and the kernels bound lazily on first Run.
 func (x *Executor) NewSession() *Session {
-	return &Session{
-		x:   x,
-		env: make(map[*graph.Value]*tensor.Tensor, len(x.e.G.Values)),
-	}
+	return &Session{x: x}
 }
 
-// Session is the per-goroutine execution state over a shared Executor. The
-// environment map is retained across runs to avoid rehashing the value set
-// on every inference.
+// Session is the per-goroutine execution state over a shared Executor: one
+// arena sized to the memory plan's peak, tensor headers aliasing its slots,
+// and the kernels bound to those slots. After the first Run a session's
+// steady-state hot path performs zero heap allocations; in exchange an idle
+// bound session intentionally pins exactly PlannedPeakBytes() of arena (plus
+// two copies of the output set) — call Release to drop that memory and
+// rebind on the next Run.
+//
+// Output tensors are handed to the caller from a double buffer: the set
+// returned by one Run remains valid and unchanged through the next Run and
+// is reused by the one after that. Callers that retain outputs across more
+// than one subsequent Run on the same session must Clone them.
 type Session struct {
-	x   *Executor
-	env map[*graph.Value]*tensor.Tensor
+	x *Executor
+
+	bound    bool
+	arena    []float32
+	slots    map[*graph.Value]*tensor.Tensor
+	programs []*codegen.BoundKernel
+	// ring double-buffers the copied-out graph outputs.
+	ring   [2][]*tensor.Tensor
+	parity int
+}
+
+// bind allocates the arena, creates the slot views, composes every kernel's
+// Source tree over them, and preallocates the output double buffer. All
+// per-session allocation happens here, once.
+func (s *Session) bind() error {
+	mp := s.x.memplan
+	g := s.x.e.G
+	s.arena = make([]float32, mp.ArenaElems)
+	s.slots = make(map[*graph.Value]*tensor.Tensor, mp.NumSlots())
+	mp.Each(func(v *graph.Value, slot Slot) {
+		s.slots[v] = tensor.ViewOf(s.arena[slot.Offset:slot.Offset+slot.Elems], v.Shape)
+	})
+	resolve := func(v *graph.Value) (*tensor.Tensor, error) {
+		if v.Kind == graph.Weight {
+			if v.Data == nil {
+				return nil, fmt.Errorf("weight %v has no data (built with AddWeightShape?)", v)
+			}
+			return v.Data, nil
+		}
+		t, ok := s.slots[v]
+		if !ok {
+			return nil, fmt.Errorf("no planned slot for exterior input %v", v)
+		}
+		return t, nil
+	}
+	s.programs = make([]*codegen.BoundKernel, len(s.x.kernels))
+	for i, k := range s.x.kernels {
+		dsts := make([]*tensor.Tensor, len(k.Outputs))
+		for j, o := range k.Outputs {
+			dst, ok := s.slots[o]
+			if !ok {
+				return fmt.Errorf("engine: no planned slot for block output %v", o)
+			}
+			dsts[j] = dst
+		}
+		bk, err := k.Bind(resolve, dsts)
+		if err != nil {
+			return err
+		}
+		s.programs[i] = bk
+	}
+	for r := range s.ring {
+		s.ring[r] = make([]*tensor.Tensor, len(g.Outputs))
+		for i, out := range g.Outputs {
+			s.ring[r][i] = tensor.NewOf(out.Shape)
+			if _, ok := s.slots[out]; !ok && out.Data != nil {
+				// Rewriting can alias a graph output to a constant; its
+				// data never changes, so fill both ring copies once here
+				// and skip it in the per-Run copy-out.
+				copy(s.ring[r][i].Data(), out.Data.Data())
+			}
+		}
+	}
+	s.parity = 0
+	s.bound = true
+	return nil
+}
+
+// Release drops the session's arena, bound kernels, and output buffers, so
+// an idle session pins no inference memory. The session remains usable: the
+// next Run rebinds (and re-allocates) transparently. Outputs returned by
+// earlier Runs stay valid — they are copies, not arena views.
+func (s *Session) Release() {
+	s.bound = false
+	s.arena = nil
+	s.slots = nil
+	s.programs = nil
+	s.ring = [2][]*tensor.Tensor{}
+	s.parity = 0
 }
 
 // Run executes the plan for one set of feeds (keyed by the compiled graph's
-// input values) and returns outputs in graph output order. Cancellation is
-// checked between kernels, so a canceled context aborts mid-inference with
+// input values) and returns outputs in graph output order. Input data is
+// copied into the arena, so the caller may reuse or mutate fed tensors as
+// soon as Run returns; outputs are copied out of the arena and follow the
+// double-buffer contract documented on Session. Cancellation is checked
+// between kernels, so a canceled context aborts mid-inference with
 // ctx.Err().
+//
+// Every graph input must be fed with its declared shape. Feeding any other
+// value (weights, intermediates) is an error: under planned-arena execution
+// non-input values have fixed backing that a feed cannot override.
 func (s *Session) Run(ctx context.Context, feeds map[*graph.Value]*tensor.Tensor) ([]*tensor.Tensor, error) {
-	clear(s.env)
-	for v, t := range feeds {
-		s.env[v] = t
-	}
-	for i, k := range s.x.kernels {
-		if ctx != nil {
-			if err := ctx.Err(); err != nil {
-				return nil, fmt.Errorf("engine: canceled before kernel %d/%d: %w", i+1, len(s.x.kernels), err)
-			}
-		}
-		outs, err := k.Execute(s.env)
-		if err != nil {
+	if !s.bound {
+		if err := s.bind(); err != nil {
 			return nil, err
-		}
-		for v, t := range outs {
-			s.env[v] = t
 		}
 	}
 	g := s.x.e.G
-	results := make([]*tensor.Tensor, len(g.Outputs))
-	for i, out := range g.Outputs {
-		t, ok := s.env[out]
+	for _, in := range g.Inputs {
+		t, ok := feeds[in]
 		if !ok {
-			return nil, fmt.Errorf("engine: output %v not produced", out)
+			return nil, fmt.Errorf("engine: missing input %v", in)
 		}
-		results[i] = t
+		if !t.Shape().Equal(in.Shape) {
+			return nil, fmt.Errorf("engine: input %v fed with shape %v, want %v", in, t.Shape(), in.Shape)
+		}
+		copy(s.slots[in].Data(), t.Data())
 	}
-	// Drop the environment's tensor references (the caller owns the
-	// results) so an idle session doesn't pin a whole inference's worth of
-	// intermediates; the map keeps its capacity for the next run.
-	clear(s.env)
-	return results, nil
+	if len(feeds) > len(g.Inputs) {
+		for v := range feeds {
+			if v.Kind != graph.Input {
+				return nil, fmt.Errorf("engine: cannot feed non-input value %v under planned-arena execution", v)
+			}
+		}
+	}
+	for i, bk := range s.programs {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("engine: canceled before kernel %d/%d: %w", i+1, len(s.programs), err)
+			}
+		}
+		bk.ExecuteInto()
+	}
+	out := s.ring[s.parity]
+	for i, o := range g.Outputs {
+		slot, ok := s.slots[o]
+		if !ok {
+			// Constant-aliased outputs were copied once at bind time.
+			if o.Data != nil {
+				continue
+			}
+			return nil, fmt.Errorf("engine: output %v not produced", o)
+		}
+		copy(out[i].Data(), slot.Data())
+	}
+	s.parity = 1 - s.parity
+	return out, nil
 }

@@ -1,17 +1,44 @@
 package engine
 
 import (
+	"fmt"
+
 	"dnnfusion/internal/fusion"
 	"dnnfusion/internal/graph"
 )
 
-// PlanMemory computes the peak activation memory (bytes) of executing the
-// blocks in the given order with liveness-driven buffer reuse: each block
-// output gets a buffer (reusing a freed one when it fits), and buffers are
-// freed once their last consuming block has run. Weights are excluded (the
-// caller adds ParamBytes). This is the memory-consumption (MC) quantity of
-// Figure 8: fusion shrinks it by eliminating materialized intermediates.
-func PlanMemory(plan *fusion.Plan, order []*fusion.Block, g *graph.Graph) int64 {
+// Slot is a planned placement of one materialized value inside a session's
+// arena: Offset and Elems are in float32 elements. The byte extent is
+// [4*Offset, 4*(Offset+Elems)).
+type Slot struct {
+	Offset int
+	Elems  int
+}
+
+// MemPlan is the executable form of the liveness analysis: every value that
+// crosses a fusion-block boundary (graph inputs and block outputs; interior
+// values are never materialized) is assigned a stable slot in a single
+// arena, computed once at compile time. Two simultaneously-live values never
+// overlap; values whose live ranges are disjoint may share bytes — that
+// reuse is exactly the memory-consumption saving of Figure 8, now executed
+// rather than only priced. A MemPlan is immutable after PlanArena and safe
+// to share across any number of sessions, each of which allocates its own
+// arena of ArenaElems floats.
+type MemPlan struct {
+	// ArenaElems is the planned arena size in float32 elements; its byte
+	// form equals the peak the pricing-only PlanMemory reported.
+	ArenaElems int
+
+	slots   map[*graph.Value]Slot
+	ordered []*graph.Value // deterministic slot-assignment order
+}
+
+// PlanArena runs the liveness-driven buffer-reuse analysis over the blocks
+// in execution order and assigns every materialized value its arena slot.
+// Weights are excluded (their constant data lives on the graph). The
+// algorithm is deterministic: the same plan and order always produce the
+// same slot table.
+func PlanArena(plan *fusion.Plan, order []*fusion.Block, g *graph.Graph) *MemPlan {
 	// Remaining consumer-block counts per materialized value.
 	remaining := map[*graph.Value]int{}
 	consumersOf := func(v *graph.Value) map[*fusion.Block]bool {
@@ -25,42 +52,51 @@ func PlanMemory(plan *fusion.Plan, order []*fusion.Block, g *graph.Graph) int64 
 		return blocks
 	}
 
+	// Membership in g.Outputs is the authoritative "is a graph output"
+	// test: rewriting can alias an output to a value of any Kind (e.g. an
+	// identity-eliminated output becomes the graph input itself), and such
+	// slots must survive until copy-out exactly like Kind==Output ones.
+	isOutput := make(map[*graph.Value]bool, len(g.Outputs))
+	for _, out := range g.Outputs {
+		isOutput[out] = true
+	}
+
 	type buffer struct {
-		size int64
-		free bool
+		offset int
+		elems  int
+		free   bool
 	}
 	var buffers []*buffer
 	bufferOf := map[*graph.Value]*buffer{}
-	var current, peak int64
+	mp := &MemPlan{slots: map[*graph.Value]Slot{}}
 
-	alloc := func(size int64) *buffer {
+	alloc := func(v *graph.Value) *buffer {
+		elems := v.Shape.NumElements()
 		// Best-fit reuse: the smallest free buffer that holds the value,
 		// without more than 2x internal waste.
 		var best *buffer
 		for _, b := range buffers {
-			if b.free && b.size >= size && b.size <= 2*size {
-				if best == nil || b.size < best.size {
+			if b.free && b.elems >= elems && b.elems <= 2*elems {
+				if best == nil || b.elems < best.elems {
 					best = b
 				}
 			}
 		}
-		if best != nil {
-			best.free = false
-			return best
+		if best == nil {
+			best = &buffer{offset: mp.ArenaElems, elems: elems}
+			buffers = append(buffers, best)
+			mp.ArenaElems += elems
 		}
-		b := &buffer{size: size}
-		buffers = append(buffers, b)
-		current += size
-		if current > peak {
-			peak = current
-		}
-		return b
+		best.free = false
+		mp.slots[v] = Slot{Offset: best.offset, Elems: elems}
+		mp.ordered = append(mp.ordered, v)
+		return best
 	}
 	release := func(b *buffer) { b.free = true }
 
 	// Model inputs are live from the start.
 	for _, in := range g.Inputs {
-		bufferOf[in] = alloc(in.Shape.Bytes())
+		bufferOf[in] = alloc(in)
 		remaining[in] = len(consumersOf(in))
 	}
 
@@ -68,7 +104,7 @@ func PlanMemory(plan *fusion.Plan, order []*fusion.Block, g *graph.Graph) int64 
 		for _, out := range blk.Outputs() {
 			cons := consumersOf(out)
 			remaining[out] = len(cons)
-			bufferOf[out] = alloc(out.Shape.Bytes())
+			bufferOf[out] = alloc(out)
 		}
 		for _, in := range blk.Inputs() {
 			if in.Kind == graph.Weight {
@@ -78,12 +114,50 @@ func PlanMemory(plan *fusion.Plan, order []*fusion.Block, g *graph.Graph) int64 
 				continue
 			}
 			remaining[in]--
-			if remaining[in] == 0 && in.Kind != graph.Output {
+			// Graph outputs are never released: their slots must survive
+			// until the session copies them out after the last kernel.
+			if remaining[in] == 0 && !isOutput[in] {
 				if b := bufferOf[in]; b != nil {
 					release(b)
 				}
 			}
 		}
 	}
-	return peak
+	return mp
+}
+
+// PeakBytes is the planned arena size in bytes — the memory-consumption
+// (MC) quantity of Figure 8, and exactly what every idle bound session pins.
+func (p *MemPlan) PeakBytes() int64 { return int64(p.ArenaElems) * 4 }
+
+// NumSlots returns how many values received slots.
+func (p *MemPlan) NumSlots() int { return len(p.slots) }
+
+// SlotOf returns the planned slot of v; ok is false for values that are
+// never materialized (weights and fused-away interiors).
+func (p *MemPlan) SlotOf(v *graph.Value) (Slot, bool) {
+	s, ok := p.slots[v]
+	return s, ok
+}
+
+// Each visits every (value, slot) pair in the deterministic order the
+// planner assigned them.
+func (p *MemPlan) Each(fn func(v *graph.Value, s Slot)) {
+	for _, v := range p.ordered {
+		fn(v, p.slots[v])
+	}
+}
+
+// String summarizes the plan for debugging.
+func (p *MemPlan) String() string {
+	return fmt.Sprintf("memplan{%d slots, %d bytes}", len(p.slots), p.PeakBytes())
+}
+
+// PlanMemory computes the peak activation memory (bytes) of executing the
+// blocks in the given order with liveness-driven buffer reuse. Weights are
+// excluded (the caller adds ParamBytes). Since the slot assigner and this
+// price share one implementation, the peak the simulator reports is by
+// construction the arena size sessions actually allocate.
+func PlanMemory(plan *fusion.Plan, order []*fusion.Block, g *graph.Graph) int64 {
+	return PlanArena(plan, order, g).PeakBytes()
 }

@@ -1,0 +1,262 @@
+package engine
+
+import (
+	"testing"
+
+	"dnnfusion/internal/ecg"
+	"dnnfusion/internal/fusion"
+	"dnnfusion/internal/graph"
+	"dnnfusion/internal/models"
+)
+
+// planFor builds the full fusion plan, schedule, and arena plan for a model
+// graph (weights need no data — only shapes are planned).
+func planFor(t *testing.T, g *graph.Graph) (*fusion.Plan, []*fusion.Block, *MemPlan) {
+	t.Helper()
+	e := ecg.Build(g)
+	plan := fusion.GeneratePlan(e, fusion.Options{})
+	order, err := scheduleBlocks(plan, g)
+	if err != nil {
+		t.Fatalf("schedule: %v", err)
+	}
+	return plan, order, PlanArena(plan, order, g)
+}
+
+// memplanModels is the property-test corpus: one representative per model
+// family of Table 5 (2D CNN, R-CNN, Transformer) plus the heaviest CNN.
+var memplanModels = []string{"EfficientNet-B0", "VGG-16", "Faster R-CNN", "GPT-2"}
+
+func buildZooModel(t *testing.T, name string) *graph.Graph {
+	t.Helper()
+	g, err := models.Build(name)
+	if err != nil {
+		t.Fatalf("build %s: %v", name, err)
+	}
+	return g
+}
+
+// liveRange is the planner-semantics live interval of a slot, in block
+// steps: a value is written at step born (inputs at step 0, block outputs
+// when their block runs) and must survive until step dies inclusive (the
+// last block that reads it, or forever for graph outputs).
+type liveRange struct {
+	v          *graph.Value
+	born, dies int
+}
+
+// liveRanges recomputes liveness independently of the slot assigner, from
+// the schedule alone.
+func liveRanges(plan *fusion.Plan, order []*fusion.Block, g *graph.Graph) []liveRange {
+	stepOf := map[*fusion.Block]int{}
+	for i, b := range order {
+		stepOf[b] = i
+	}
+	isOutput := map[*graph.Value]bool{}
+	for _, out := range g.Outputs {
+		isOutput[out] = true
+	}
+	rangeOf := func(v *graph.Value, born int) liveRange {
+		dies := born
+		if isOutput[v] {
+			dies = len(order) // survives to copy-out
+		}
+		for _, c := range v.Consumers {
+			b := plan.BlockOf(c)
+			if b == nil || (v.Producer != nil && b == plan.BlockOf(v.Producer)) {
+				continue
+			}
+			if s := stepOf[b]; s > dies {
+				dies = s
+			}
+		}
+		return liveRange{v: v, born: born, dies: dies}
+	}
+	var out []liveRange
+	for _, in := range g.Inputs {
+		out = append(out, rangeOf(in, 0))
+	}
+	for i, b := range order {
+		for _, v := range b.Outputs() {
+			out = append(out, rangeOf(v, i))
+		}
+	}
+	return out
+}
+
+// TestMemPlanNoLiveOverlap is the safety property of the slot assigner: no
+// two simultaneously-live values may share arena bytes, for every model in
+// the corpus.
+func TestMemPlanNoLiveOverlap(t *testing.T) {
+	for _, name := range memplanModels {
+		t.Run(name, func(t *testing.T) {
+			g := buildZooModel(t, name)
+			plan, order, mp := planFor(t, g)
+			ranges := liveRanges(plan, order, g)
+			for i := range ranges {
+				a := ranges[i]
+				sa, ok := mp.SlotOf(a.v)
+				if !ok {
+					t.Fatalf("no slot for materialized value %v", a.v)
+				}
+				for j := i + 1; j < len(ranges); j++ {
+					b := ranges[j]
+					if a.born > b.dies || b.born > a.dies {
+						continue // disjoint in time: may share bytes
+					}
+					sb, _ := mp.SlotOf(b.v)
+					if sa.Offset < sb.Offset+sb.Elems && sb.Offset < sa.Offset+sa.Elems {
+						t.Errorf("live values %v [%d,%d) and %v [%d,%d) overlap (steps %d-%d vs %d-%d)",
+							a.v, sa.Offset, sa.Offset+sa.Elems,
+							b.v, sb.Offset, sb.Offset+sb.Elems,
+							a.born, a.dies, b.born, b.dies)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMemPlanSlotsInBounds checks that every slot fits inside the arena.
+func TestMemPlanSlotsInBounds(t *testing.T) {
+	for _, name := range memplanModels {
+		t.Run(name, func(t *testing.T) {
+			g := buildZooModel(t, name)
+			_, _, mp := planFor(t, g)
+			mp.Each(func(v *graph.Value, s Slot) {
+				if s.Offset < 0 || s.Elems != v.Shape.NumElements() || s.Offset+s.Elems > mp.ArenaElems {
+					t.Errorf("slot %+v of %v out of bounds (arena %d elems)", s, v, mp.ArenaElems)
+				}
+			})
+		})
+	}
+}
+
+// pricedPeak is an independent oracle for the planned peak: a standalone
+// replica of the original pricing-only PlanMemory (best-fit reuse of freed
+// buffers with at most 2x waste, graph outputs never freed), sharing no
+// code with PlanArena. If the slot assigner's reuse policy drifts, the two
+// disagree and TestMemPlanPeakMatchesPrice fails.
+func pricedPeak(plan *fusion.Plan, order []*fusion.Block, g *graph.Graph) int64 {
+	remaining := map[*graph.Value]int{}
+	consumersOf := func(v *graph.Value) int {
+		blocks := map[*fusion.Block]bool{}
+		for _, c := range v.Consumers {
+			b := plan.BlockOf(c)
+			if b != nil && (v.Producer == nil || b != plan.BlockOf(v.Producer)) {
+				blocks[b] = true
+			}
+		}
+		return len(blocks)
+	}
+	isOutput := map[*graph.Value]bool{}
+	for _, out := range g.Outputs {
+		isOutput[out] = true
+	}
+	type buffer struct {
+		size int64
+		free bool
+	}
+	var buffers []*buffer
+	bufferOf := map[*graph.Value]*buffer{}
+	var peak int64
+	alloc := func(size int64) *buffer {
+		var best *buffer
+		for _, b := range buffers {
+			if b.free && b.size >= size && b.size <= 2*size {
+				if best == nil || b.size < best.size {
+					best = b
+				}
+			}
+		}
+		if best == nil {
+			best = &buffer{size: size}
+			buffers = append(buffers, best)
+			peak += size
+		}
+		best.free = false
+		return best
+	}
+	for _, in := range g.Inputs {
+		bufferOf[in] = alloc(in.Shape.Bytes())
+		remaining[in] = consumersOf(in)
+	}
+	for _, blk := range order {
+		for _, out := range blk.Outputs() {
+			remaining[out] = consumersOf(out)
+			bufferOf[out] = alloc(out.Shape.Bytes())
+		}
+		for _, in := range blk.Inputs() {
+			if in.Kind == graph.Weight {
+				continue
+			}
+			if _, tracked := remaining[in]; !tracked {
+				continue
+			}
+			remaining[in]--
+			if remaining[in] == 0 && !isOutput[in] {
+				if b := bufferOf[in]; b != nil {
+					b.free = true
+				}
+			}
+		}
+	}
+	return peak
+}
+
+// TestMemPlanPeakMatchesPrice pins plan/price agreement: the arena sessions
+// allocate is byte-for-byte the peak the liveness pricing reports (checked
+// against an independent replica of the pricing algorithm, since PlanMemory
+// itself is now derived from PlanArena), and reuse actually compresses the
+// arena below the no-reuse total.
+func TestMemPlanPeakMatchesPrice(t *testing.T) {
+	for _, name := range memplanModels {
+		t.Run(name, func(t *testing.T) {
+			g := buildZooModel(t, name)
+			plan, order, mp := planFor(t, g)
+			if got, want := mp.PeakBytes(), pricedPeak(plan, order, g); got != want {
+				t.Errorf("PeakBytes = %d, independent priced peak = %d", got, want)
+			}
+			if got, want := PlanMemory(plan, order, g), mp.PeakBytes(); got != want {
+				t.Errorf("PlanMemory = %d, PeakBytes = %d", got, want)
+			}
+			var total int64
+			seen := map[*graph.Value]bool{}
+			mp.Each(func(v *graph.Value, s Slot) {
+				if seen[v] {
+					t.Errorf("value %v assigned twice", v)
+				}
+				seen[v] = true
+				total += int64(s.Elems) * 4
+			})
+			if mp.PeakBytes() >= total {
+				t.Errorf("no buffer reuse: arena %d >= sum of values %d", mp.PeakBytes(), total)
+			}
+		})
+	}
+}
+
+// TestMemPlanDeterministic pins slot stability: planning the same model
+// twice (from scratch) must produce identical slot tables, keyed by value
+// ID, so recompilation cannot shuffle session memory layouts.
+func TestMemPlanDeterministic(t *testing.T) {
+	for _, name := range memplanModels {
+		t.Run(name, func(t *testing.T) {
+			table := func() map[int]Slot {
+				g := buildZooModel(t, name)
+				_, _, mp := planFor(t, g)
+				out := map[int]Slot{}
+				mp.Each(func(v *graph.Value, s Slot) { out[v.ID] = s })
+				return out
+			}
+			a, b := table(), table()
+			if len(a) != len(b) {
+				t.Fatalf("slot counts differ: %d vs %d", len(a), len(b))
+			}
+			for id, sa := range a {
+				if sb, ok := b[id]; !ok || sa != sb {
+					t.Errorf("value #%d: slot %+v vs %+v", id, sa, sb)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,80 @@
+package models
+
+import (
+	"dnnfusion/internal/graph"
+	"dnnfusion/internal/ops"
+	"dnnfusion/internal/tensor"
+)
+
+// Micro models: small graphs with real (deterministic) weight data, unlike
+// the shape-only Table 5 zoo, so they execute numerically in milliseconds.
+// They are the shared substrate of the allocation regression tests and the
+// exec section of dnnf-bench -json — one definition, so the number the test
+// gates and the number the baseline records come from the same model. They
+// are intentionally not part of the Build/Names zoo (which mirrors the
+// paper's 15 models).
+
+// microWeight is a deterministic dense weight; seeds are offset per call
+// site so differently placed weights differ.
+func microWeight(g *graph.Graph, name string, seed uint64, dims ...int) *graph.Value {
+	return g.AddWeight(name, tensor.New(dims...).Rand(seed))
+}
+
+// MicroCNN is a fused conv pipeline: conv → relu → maxpool → reshape →
+// matmul → softmax over a 1×3×8×8 image, input "image", output "probs".
+func MicroCNN() *graph.Graph {
+	g := graph.New("micro-cnn")
+	x := g.AddInput("image", tensor.Of(1, 3, 8, 8))
+	w1 := microWeight(g, "w1", 11, 8, 3, 3, 3)
+	v := g.Apply1(ops.NewConv(ops.ConvAttrs{Strides: []int{1, 1}, Pads: []int{1, 1}, Dilations: []int{1, 1}, Groups: 1}), x, w1)
+	v = g.Apply1(ops.NewRelu(), v)
+	v = g.Apply1(ops.NewMaxPool(ops.PoolAttrs{Kernel: []int{2, 2}, Strides: []int{2, 2}, Pads: []int{0, 0}}), v)
+	v = g.Apply1(ops.NewReshape(1, 8*4*4), v)
+	v = g.Apply1(ops.NewMatMul(), v, microWeight(g, "wfc", 12, 8*4*4, 10))
+	g.MarkOutputAs("probs", g.Apply1(ops.NewSoftmax(-1), v))
+	return g
+}
+
+// MicroMLP is a dense two-layer MLP with elementwise epilogues, input "x",
+// output "y".
+func MicroMLP() *graph.Graph {
+	g := graph.New("micro-mlp")
+	x := g.AddInput("x", tensor.Of(16, 64))
+	v := g.Apply1(ops.NewMatMul(), x, microWeight(g, "w1", 21, 64, 96))
+	v = g.Apply1(ops.NewAdd(), v, microWeight(g, "b1", 22, 96))
+	v = g.Apply1(ops.NewRelu(), v)
+	v = g.Apply1(ops.NewMatMul(), v, microWeight(g, "w2", 23, 96, 32))
+	g.MarkOutputAs("y", g.Apply1(ops.NewSoftmax(-1), v))
+	return g
+}
+
+// MicroAttention is a single attention head (matmul Q/K/V, transposed-key
+// scores, softmax, context), input "tokens", output "context".
+func MicroAttention() *graph.Graph {
+	g := graph.New("micro-attention")
+	x := g.AddInput("tokens", tensor.Of(8, 32))
+	q := g.Apply1(ops.NewMatMul(), x, microWeight(g, "wq", 31, 32, 32))
+	k := g.Apply1(ops.NewMatMul(), x, microWeight(g, "wk", 32, 32, 32))
+	v := g.Apply1(ops.NewMatMul(), x, microWeight(g, "wv", 33, 32, 32))
+	kt := g.Apply1(ops.NewTranspose(1, 0), k)
+	scores := g.Apply1(ops.NewMatMul(), q, kt)
+	probs := g.Apply1(ops.NewSoftmax(-1), scores)
+	g.MarkOutputAs("context", g.Apply1(ops.NewMatMul(), probs, v))
+	return g
+}
+
+// MicroModels returns the executable micro-model constructors in stable
+// report order.
+func MicroModels() []struct {
+	Name  string
+	Build func() *graph.Graph
+} {
+	return []struct {
+		Name  string
+		Build func() *graph.Graph
+	}{
+		{"micro-cnn", MicroCNN},
+		{"micro-mlp", MicroMLP},
+		{"micro-attention", MicroAttention},
+	}
+}

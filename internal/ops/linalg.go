@@ -407,13 +407,16 @@ type einsumSource struct {
 	plan *einsumPlan
 	ins  [2]Source
 	bufs [2][]int
+	// assign holds the current value of every label (indexed by label
+	// byte), replacing a per-Load map so fused Loads are allocation-free.
+	assign [256]int
 }
 
 func (s *einsumSource) Shape() tensor.Shape { return s.plan.outShape }
 
 func (s *einsumSource) Load(idx []int) float32 {
 	p := s.plan
-	assign := make(map[byte]int, len(p.dims))
+	assign := &s.assign
 	for j := 0; j < len(p.outLabels); j++ {
 		assign[p.outLabels[j]] = idx[j]
 	}

@@ -24,6 +24,12 @@ type movement struct {
 	// mapIndex maps an index of output outNo to (input number, input index).
 	// dst is scratch of the selected input's rank.
 	mapIndex func(in []tensor.Shape, outNo int, outIdx []int, dst []int) (int, []int)
+	// bindMapIndex, when set, specializes mapIndex for fixed input shapes.
+	// Virtualize calls it once so shape-dependent work (output-shape
+	// inference, slice-range resolution) happens at bind time and Load is
+	// allocation-free — a precondition for the zero-allocation execution
+	// path.
+	bindMapIndex func(in []tensor.Shape, outNo int) (func(outIdx, dst []int) (int, []int), error)
 	// attrs holds structured attributes for rewrite-rule inspection.
 	attrs map[string]any
 }
@@ -94,14 +100,22 @@ func (m *movement) Virtualize(ins []Source, outNo int) (Source, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", m.name, err)
 	}
-	return &movementSource{
+	src := &movementSource{
 		op:    m,
 		shape: outs[outNo],
 		outNo: outNo,
 		ins:   ins,
 		inSh:  shapes,
 		buf:   make([]int, maxRank),
-	}, nil
+	}
+	if m.bindMapIndex != nil {
+		fn, err := m.bindMapIndex(shapes, outNo)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", m.name, err)
+		}
+		src.mapFn = fn
+	}
+	return src, nil
 }
 
 type movementSource struct {
@@ -111,11 +125,18 @@ type movementSource struct {
 	ins   []Source
 	inSh  []tensor.Shape
 	buf   []int
+	// mapFn is the shape-specialized index transform (see bindMapIndex);
+	// nil falls back to the operator's generic mapIndex.
+	mapFn func(outIdx, dst []int) (int, []int)
 }
 
 func (s *movementSource) Shape() tensor.Shape { return s.shape }
 
 func (s *movementSource) Load(idx []int) float32 {
+	if s.mapFn != nil {
+		sel, inIdx := s.mapFn(idx, s.buf)
+		return s.ins[sel].Load(inIdx)
+	}
 	sel, inIdx := s.op.mapIndex(s.inSh, s.outNo, idx, s.buf)
 	return s.ins[sel].Load(inIdx)
 }
@@ -148,6 +169,18 @@ func reorganize(name, attrKey string, infer func(tensor.Shape) (tensor.Shape, er
 	m.mapIndex = func(inShapes []tensor.Shape, _ int, outIdx []int, dst []int) (int, []int) {
 		out, _ := infer(inShapes[0])
 		return 0, inShapes[0].Unravel(out.Ravel(outIdx), dst[:inShapes[0].Rank()])
+	}
+	// Shape inference per Load allocates; resolve the output shape once per
+	// Source so fused Loads stay allocation-free.
+	m.bindMapIndex = func(inShapes []tensor.Shape, _ int) (func([]int, []int) (int, []int), error) {
+		out, err := infer(inShapes[0])
+		if err != nil {
+			return nil, err
+		}
+		in := inShapes[0]
+		return func(outIdx, dst []int) (int, []int) {
+			return 0, in.Unravel(out.Ravel(outIdx), dst[:in.Rank()])
+		}, nil
 	}
 	return m
 }
@@ -414,6 +447,20 @@ func NewSlice(axes, starts, ends []int) Operator {
 			d[i] = o[i] + starts[i]
 		}
 		return 0, d
+	}
+	// Range resolution per Load allocates; do it once per Source.
+	m.bindMapIndex = func(in []tensor.Shape, _ int) (func([]int, []int) (int, []int), error) {
+		starts, _, err := resolve(in[0])
+		if err != nil {
+			return nil, err
+		}
+		return func(o, dst []int) (int, []int) {
+			d := dst[:len(o)]
+			for i := range o {
+				d[i] = o[i] + starts[i]
+			}
+			return 0, d
+		}, nil
 	}
 	return m
 }

@@ -147,14 +147,27 @@ func Materialize(src Source) *tensor.Tensor {
 		return t.Clone()
 	}
 	out := tensor.NewOf(src.Shape())
-	shape := src.Shape()
-	idx := make([]int, shape.Rank())
-	n := shape.NumElements()
-	for off := 0; off < n; off++ {
-		shape.Unravel(off, idx)
-		out.SetOffset(off, src.Load(idx))
-	}
+	MaterializeInto(src, out, make([]int, src.Shape().Rank()))
 	return out
+}
+
+// MaterializeInto evaluates src into dst, whose shape must equal src's. idx
+// is caller-owned scratch of at least src's rank, so a caller that reuses
+// dst and idx across evaluations (the planned-arena executor) performs no
+// allocation here; Sources themselves must not allocate per Load for that
+// to hold.
+func MaterializeInto(src Source, dst *tensor.Tensor, idx []int) {
+	if t := AsTensor(src); t != nil {
+		copy(dst.Data(), t.Data())
+		return
+	}
+	shape := src.Shape()
+	data := dst.Data()
+	idx = idx[:shape.Rank()]
+	for off := range data {
+		shape.Unravel(off, idx)
+		data[off] = src.Load(idx)
+	}
 }
 
 // Eval runs op on materialized inputs, returning materialized outputs.

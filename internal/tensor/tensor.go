@@ -35,6 +35,13 @@ func FromSlice(data []float32, dims ...int) *Tensor {
 	return &Tensor{shape: s.Clone(), strides: s.Strides(), data: data}
 }
 
+// ViewOf wraps data (not copied) in a tensor of shape s. It is the
+// view-over-slab constructor the planned-arena executor uses: the returned
+// header aliases a slot of a session's arena, so writing through the tensor
+// writes the arena and no per-inference allocation happens. The data length
+// must equal the shape's element count.
+func ViewOf(data []float32, s Shape) *Tensor { return FromSlice(data, s...) }
+
 // Scalar returns a rank-0 tensor holding v.
 func Scalar(v float32) *Tensor {
 	t := New()

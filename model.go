@@ -171,10 +171,21 @@ func (m *Model) InputShape(name string) (Shape, error) {
 	return v.Shape.Clone(), nil
 }
 
+// PlannedPeakBytes is the activation arena size each Runner (session) pins
+// while bound: the peak of the compile-time liveness analysis under buffer
+// reuse. Weights are shared across runners and excluded; see Simulate for
+// the full memory report.
+func (m *Model) PlannedPeakBytes() int64 { return m.Compiled.PlannedPeakBytes() }
+
 // NewRunner creates an independent inference session over the model. The
 // Model is shared and read-only; the Runner owns per-session scratch, so
 // use one Runner per goroutine (a Runner itself is not safe for concurrent
 // use, but any number of Runners run in parallel over one Model).
+//
+// Creation is cheap; the first Run allocates the runner's planned arena
+// (Model.PlannedPeakBytes) and binds the kernels to it, and every Run after
+// that performs zero steady-state heap allocations. An idle warmed Runner
+// therefore pins its arena — call Release to drop it.
 func (m *Model) NewRunner() *Runner {
 	return &Runner{
 		m:     m,
@@ -188,14 +199,33 @@ type Runner struct {
 	m     *Model
 	sess  *engine.Session
 	feeds map[*graph.Value]*tensor.Tensor
+	// rings double-buffers the result maps so the steady-state Run
+	// allocates nothing; parity alternates in lockstep with the session's
+	// output double buffer.
+	rings  [2]map[string]*Tensor
+	parity int
 }
 
 // Model returns the compiled model this runner serves.
 func (r *Runner) Model() *Model { return r.m }
 
+// Release drops the runner's arena and bound kernels. The runner stays
+// usable — the next Run rebinds transparently — but an idle released runner
+// pins no inference memory. Outputs from earlier Runs remain valid.
+func (r *Runner) Release() {
+	r.sess.Release()
+	r.rings = [2]map[string]*Tensor{}
+	r.parity = 0
+}
+
 // Run executes one inference. inputs maps input names to tensors; every
-// model input must be present with its declared shape. The result maps
-// output names to tensors owned by the caller.
+// model input must be present with its declared shape. Input data is copied
+// into the runner's arena, so the caller may reuse fed tensors immediately.
+//
+// The result maps output names to tensors served from a double buffer: the
+// map and tensors returned by one Run remain valid and unchanged through
+// the next Run on this runner, and are reused (overwritten) by the one
+// after that. Callers that retain outputs longer must Clone the tensors.
 //
 // Errors wrap ErrUnknownInput, ErrMissingInput, or ErrShapeMismatch (as a
 // *ShapeError); a canceled ctx aborts between fused kernels with an error
@@ -208,9 +238,14 @@ func (r *Runner) Run(ctx context.Context, inputs map[string]*Tensor) (map[string
 	if err != nil {
 		return nil, err
 	}
-	results := make(map[string]*Tensor, len(outs))
+	results := r.rings[r.parity]
+	if results == nil {
+		results = make(map[string]*Tensor, len(outs))
+		r.rings[r.parity] = results
+	}
 	for i, nv := range r.m.outputs {
 		results[nv.name] = outs[i]
 	}
+	r.parity = 1 - r.parity
 	return results, nil
 }
