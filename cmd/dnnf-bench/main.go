@@ -45,60 +45,99 @@ type jsonModel struct {
 // jsonExec is one runnable micro-model's measured serving-path numbers: a
 // warmed Runner over the planned arena, timed and alloc-counted for real
 // (not simulated). allocs_per_op and bytes_per_op are the zero-allocation
-// headline; ns_per_op tracks hot-path latency across PRs.
+// headline; ns_per_op tracks single-threaded (blocked) hot-path latency
+// across PRs, and ns_per_op_t8 the same kernels split over an 8-lane
+// worker pool (WithThreads(8)).
 type jsonExec struct {
 	Name             string  `json:"name"`
 	Operators        int     `json:"operators"`
 	FusedKernels     int     `json:"fused_kernels"`
 	PlannedPeakBytes int64   `json:"planned_peak_bytes"`
 	NsPerOp          int64   `json:"ns_per_op"`
+	NsPerOpT8        int64   `json:"ns_per_op_t8"`
 	BytesPerOp       int64   `json:"bytes_per_op"`
 	AllocsPerOp      float64 `json:"allocs_per_op"`
 }
 
-// measureExec compiles g, warms a Runner (first Run binds the arena), and
-// measures steady-state ns/op, bytes/op, and allocs/op over real inference.
-func measureExec(g *dnnfusion.Graph) (jsonExec, error) {
-	model, err := dnnfusion.Compile(g)
+// timeRunner measures steady-state ns/op, bytes/op, and allocs/op of a
+// compiled model's warmed Runner, auto-scaling the iteration count until
+// the timed window is long enough to trust (blocked kernels made the micro
+// models fast enough that a fixed count would be noise).
+func timeRunner(g *dnnfusion.Graph, opts ...dnnfusion.Option) (nsPerOp, bytesPerOp int64, allocsPerOp float64, model *dnnfusion.Model, err error) {
+	model, err = dnnfusion.Compile(g, opts...)
 	if err != nil {
-		return jsonExec{}, err
+		return 0, 0, 0, nil, err
 	}
 	inputs := map[string]*dnnfusion.Tensor{}
 	for _, name := range model.InputNames() {
 		shape, err := model.InputShape(name)
 		if err != nil {
-			return jsonExec{}, err
+			return 0, 0, 0, nil, err
 		}
 		inputs[name] = dnnfusion.Rand(shape...)
 	}
 	runner := model.NewRunner()
 	ctx := context.Background()
-	if _, err := runner.Run(ctx, inputs); err != nil {
-		return jsonExec{}, err
-	}
-	const iters = 200
-	var before, after runtime.MemStats
-	runtime.ReadMemStats(&before)
-	start := time.Now()
-	for i := 0; i < iters; i++ {
+	for i := 0; i < 2; i++ { // bind arena, start pool workers
 		if _, err := runner.Run(ctx, inputs); err != nil {
-			return jsonExec{}, err
+			return 0, 0, 0, nil, err
 		}
 	}
-	elapsed := time.Since(start)
-	runtime.ReadMemStats(&after)
+	iters := 50
+	for {
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if _, err := runner.Run(ctx, inputs); err != nil {
+				return 0, 0, 0, nil, err
+			}
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		if elapsed >= 100*time.Millisecond || iters >= 200_000 {
+			return elapsed.Nanoseconds() / int64(iters),
+				int64(after.TotalAlloc-before.TotalAlloc) / int64(iters),
+				float64(after.Mallocs-before.Mallocs) / float64(iters),
+				model, nil
+		}
+		iters *= 4
+	}
+}
+
+// measureExec records one micro model's measured serving-path numbers:
+// blocked single-threaded execution (the BENCH trajectory number) plus the
+// same kernels over an 8-lane worker pool.
+func measureExec(build func() *dnnfusion.Graph) (jsonExec, error) {
+	g := build()
+	ns1, bytes1, allocs1, model, err := timeRunner(g, dnnfusion.WithThreads(1))
+	if err != nil {
+		return jsonExec{}, err
+	}
+	ns8, _, _, _, err := timeRunner(build(), dnnfusion.WithThreads(8))
+	if err != nil {
+		return jsonExec{}, err
+	}
 	return jsonExec{
 		Name:             g.Name,
 		Operators:        len(g.Nodes),
 		FusedKernels:     model.FusedLayerCount(),
 		PlannedPeakBytes: model.PlannedPeakBytes(),
-		NsPerOp:          elapsed.Nanoseconds() / iters,
-		BytesPerOp:       int64(after.TotalAlloc-before.TotalAlloc) / iters,
-		AllocsPerOp:      float64(after.Mallocs-before.Mallocs) / iters,
+		NsPerOp:          ns1,
+		NsPerOpT8:        ns8,
+		BytesPerOp:       bytes1,
+		AllocsPerOp:      allocs1,
 	}, nil
 }
 
-func writeJSONBaseline(c *bench.Context, path string) error {
+// jsonSummary is the -json baseline file (schema dnnf-bench/v2).
+type jsonSummary struct {
+	Schema string      `json:"schema"`
+	Models []jsonModel `json:"models"`
+	Exec   []jsonExec  `json:"exec"`
+}
+
+func buildJSONBaseline(c *bench.Context) (*jsonSummary, error) {
 	byModel := map[string]*jsonModel{}
 	var order []string
 	for _, r := range c.Table5() {
@@ -121,11 +160,7 @@ func writeJSONBaseline(c *bench.Context, path string) error {
 			m.GPUMs = r.GPU[baseline.DNNF]
 		}
 	}
-	summary := struct {
-		Schema string      `json:"schema"`
-		Models []jsonModel `json:"models"`
-		Exec   []jsonExec  `json:"exec"`
-	}{Schema: "dnnf-bench/v2"}
+	summary := &jsonSummary{Schema: "dnnf-bench/v2"}
 	for _, name := range order {
 		summary.Models = append(summary.Models, *byModel[name])
 	}
@@ -133,17 +168,71 @@ func writeJSONBaseline(c *bench.Context, path string) error {
 	// (internal/models/micro.go), so the gated number and the recorded
 	// number come from the same graphs.
 	for _, spec := range models.MicroModels() {
-		e, err := measureExec(spec.Build())
+		e, err := measureExec(spec.Build)
 		if err != nil {
-			return fmt.Errorf("exec %s: %w", spec.Name, err)
+			return nil, fmt.Errorf("exec %s: %w", spec.Name, err)
 		}
 		summary.Exec = append(summary.Exec, e)
 	}
+	return summary, nil
+}
+
+func writeJSONBaseline(summary *jsonSummary, path string) error {
 	data, err := json.MarshalIndent(summary, "", "  ")
 	if err != nil {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// compareBaseline diffs the current measured-exec numbers against a prior
+// -json baseline and reports per-model deltas; ok is false when any model
+// regresses more than 10% in single-threaded measured ns/op. Models
+// present on only one side are reported but never gate.
+func compareBaseline(summary *jsonSummary, baselinePath string, w *os.File) (ok bool, err error) {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return false, err
+	}
+	var base jsonSummary
+	if err := json.Unmarshal(data, &base); err != nil {
+		return false, fmt.Errorf("%s: %w", baselinePath, err)
+	}
+	baseExec := map[string]jsonExec{}
+	for _, e := range base.Exec {
+		baseExec[e.Name] = e
+	}
+	ok = true
+	gated := 0
+	fmt.Fprintf(w, "measured exec vs %s (gate: >10%% ns/op regression)\n", baselinePath)
+	fmt.Fprintf(w, "%-20s %14s %14s %9s %14s\n", "model", "base ns/op", "now ns/op", "delta", "now t8 ns/op")
+	for _, e := range summary.Exec {
+		b, have := baseExec[e.Name]
+		if !have || b.NsPerOp <= 0 {
+			fmt.Fprintf(w, "%-20s %14s %14d %9s %14d  (no usable baseline, not gated)\n", e.Name, "-", e.NsPerOp, "-", e.NsPerOpT8)
+			delete(baseExec, e.Name)
+			continue
+		}
+		gated++
+		delta := float64(e.NsPerOp-b.NsPerOp) / float64(b.NsPerOp) * 100
+		mark := ""
+		if delta > 10 {
+			mark = "  REGRESSION"
+			ok = false
+		}
+		fmt.Fprintf(w, "%-20s %14d %14d %+8.1f%% %14d%s\n", e.Name, b.NsPerOp, e.NsPerOp, delta, e.NsPerOpT8, mark)
+		delete(baseExec, e.Name)
+	}
+	for name := range baseExec {
+		fmt.Fprintf(w, "%-20s  (missing from current run, not gated)\n", name)
+	}
+	if gated == 0 {
+		// A gate that compared nothing must not green-light: seed-era
+		// baselines (schema v1, no exec section) or a wholesale model
+		// rename would otherwise disable the check silently.
+		return false, fmt.Errorf("%s has no exec entries matching the current micro models; nothing was gated", baselinePath)
+	}
+	return ok, nil
 }
 
 type list []string
@@ -156,6 +245,7 @@ func main() {
 	flag.Var(&experiments, "e", "experiment id (table1..table6, fig6..fig10, ablations, all); repeatable")
 	dbPath := flag.String("db", "", "profiling database path: loaded if present, saved on exit (accumulates across runs, §4.3)")
 	jsonPath := flag.String("json", "", "write a machine-readable per-model baseline (fusion counts, latency) to this path and exit")
+	comparePath := flag.String("compare", "", "diff current measured-exec numbers against a prior -json baseline; exits non-zero on a >10% ns/op regression (combine with -json to also record)")
 	flag.Parse()
 	if len(experiments) == 0 {
 		experiments = list{"all"}
@@ -177,12 +267,37 @@ func main() {
 	}
 	// After -db so a baseline generated with a profiling database reflects
 	// the profiled fusion decisions, not a cold one.
-	if *jsonPath != "" {
-		if err := writeJSONBaseline(c, *jsonPath); err != nil {
-			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonPath, err)
+	if *jsonPath != "" || *comparePath != "" {
+		if *comparePath != "" {
+			// Fail before the (slow) measurement pass, not after it.
+			if _, err := os.Stat(*comparePath); err != nil {
+				fmt.Fprintf(os.Stderr, "comparing against %s: %v\n", *comparePath, err)
+				os.Exit(1)
+			}
+		}
+		summary, err := buildJSONBaseline(c)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "building baseline: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "wrote baseline %s\n", *jsonPath)
+		if *jsonPath != "" {
+			if err := writeJSONBaseline(summary, *jsonPath); err != nil {
+				fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonPath, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote baseline %s\n", *jsonPath)
+		}
+		if *comparePath != "" {
+			ok, err := compareBaseline(summary, *comparePath, os.Stdout)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "comparing against %s: %v\n", *comparePath, err)
+				os.Exit(1)
+			}
+			if !ok {
+				fmt.Fprintln(os.Stderr, "measured-exec regression exceeds 10%")
+				os.Exit(1)
+			}
+		}
 		return
 	}
 	w := os.Stdout

@@ -58,6 +58,36 @@ func TestRunnerZeroAllocSteadyState(t *testing.T) {
 	}
 }
 
+// TestRunnerZeroAllocSteadyStateThreaded extends the gate to the parallel
+// executor: with WithThreads(8) on an output large enough to dispatch
+// (micro-elementwise: 262144 elements splits across lanes), the worker
+// pool's wake/claim/done cycle and the per-lane Source trees must add
+// zero steady-state allocations.
+func TestRunnerZeroAllocSteadyStateThreaded(t *testing.T) {
+	model, err := dnnfusion.Compile(models.MicroElementwise(), dnnfusion.WithThreads(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := map[string]*dnnfusion.Tensor{"x": dnnfusion.Rand(32, 32, 256)}
+	runner := model.NewRunner()
+	ctx := context.Background()
+	// Two warmup runs: the first binds arena + per-lane trees, and the
+	// first parallel dispatch lazily starts the pool's workers.
+	for i := 0; i < 2; i++ {
+		if _, err := runner.Run(ctx, inputs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := runner.Run(ctx, inputs); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warmed threaded Runner.Run allocates %.0f times per inference, want 0", allocs)
+	}
+}
+
 // TestSessionRunZeroAllocSteadyState proves the same property one layer
 // down, through the Compiled session API the Runner wraps.
 func TestSessionRunZeroAllocSteadyState(t *testing.T) {

@@ -219,78 +219,179 @@ func preferredLayout(opType string) Layout {
 	}
 }
 
+// Ranger is work that can evaluate any sub-range of an output's row-major
+// index space on a numbered worker lane. Lanes own disjoint scratch, so
+// distinct lanes may run concurrently; a single lane belongs to one
+// goroutine at a time.
+type Ranger interface {
+	RunRange(lane, lo, hi int)
+}
+
+// Parallelizer is the executor-provided parallel-for a BoundKernel splits
+// its output ranges over: For covers [0, total) with grain-sized chunks,
+// calling r.RunRange with distinct lanes in [0, Lanes()), and returns only
+// when every chunk is done. Lane 0 is the calling goroutine.
+type Parallelizer interface {
+	Lanes() int
+	For(total, grain int, r Ranger)
+}
+
+// Parallel chunk sizing: a chunk should carry enough arithmetic to
+// amortize a dispatch (parGrainFLOPs), never fall under parMinGrain output
+// elements, and a single output should never shatter into more than
+// 4×lanes chunks — heavy operators with staged operands re-stage per
+// chunk, so chunk count is kept bounded.
+const (
+	parGrainFLOPs = 32768
+	parMinGrain   = 256
+)
+
 // BoundKernel is a kernel bound to concrete input tensors and destination
-// buffers: the Source tree is composed once at bind time (per session), so
-// ExecuteInto evaluates the fused block without building closures, maps, or
-// result tensors — the steady-state hot path performs zero heap
-// allocations. A BoundKernel reuses internal scratch and belongs to one
-// goroutine at a time; distinct sessions bind their own.
+// buffers: the Source trees are composed once at bind time (per session),
+// so ExecuteInto evaluates the fused block without building closures,
+// maps, or result tensors — the steady-state hot path performs zero heap
+// allocations. When bound with a Parallelizer, one independent Source tree
+// is composed per worker lane (Sources carry scratch, so a tree belongs to
+// one goroutine at a time) and large outputs are split across lanes.
+// A BoundKernel belongs to one driving goroutine at a time; distinct
+// sessions bind their own.
 type BoundKernel struct {
 	k    *Kernel
+	par  Parallelizer
 	outs []boundOutput
 }
 
 type boundOutput struct {
-	src ops.Source
-	dst *tensor.Tensor
-	idx []int // unravel scratch, len == rank of dst
+	// srcs[lane] is lane's independently composed Source tree; idxs[lane]
+	// its unravel scratch for the scalar fallback.
+	srcs  []ops.Source
+	idxs  [][]int
+	dst   *tensor.Tensor
+	elems int
+	grain int
+}
+
+// RunRange evaluates output elements [lo, hi) on the given lane; it
+// implements Ranger so a Parallelizer can drive the output directly.
+func (o *boundOutput) RunRange(lane, lo, hi int) {
+	ops.MaterializeRange(o.srcs[lane], o.dst, o.idxs[lane], lo, hi)
 }
 
 // Bind composes the kernel's Source tree over stable exterior inputs and
-// pairs each block output with its destination tensor. resolve supplies the
-// tensor backing every exterior input — the planned-arena executor resolves
-// weights to their constant data and everything else to arena-slot views
-// that stay valid across runs. dsts must parallel k.Outputs and have the
-// outputs' shapes.
+// pairs each block output with its destination tensor; the bound kernel
+// executes serially. See BindParallel for the multi-lane form.
 func (k *Kernel) Bind(resolve func(v *graph.Value) (*tensor.Tensor, error), dsts []*tensor.Tensor) (*BoundKernel, error) {
+	return k.BindParallel(resolve, dsts, nil)
+}
+
+// BindParallel composes the kernel's Source trees over stable exterior
+// inputs and pairs each block output with its destination tensor. resolve
+// supplies the tensor backing every exterior input — the planned-arena
+// executor resolves weights to their constant data and everything else to
+// arena-slot views that stay valid across runs. dsts must parallel
+// k.Outputs and have the outputs' shapes.
+//
+// With a non-nil Parallelizer, one Source tree per lane is composed so
+// ExecuteInto can evaluate disjoint output ranges concurrently; par must
+// then be the same parallelizer passed to every kernel of the session.
+func (k *Kernel) BindParallel(resolve func(v *graph.Value) (*tensor.Tensor, error), dsts []*tensor.Tensor, par Parallelizer) (*BoundKernel, error) {
 	if len(dsts) != len(k.Outputs) {
 		return nil, fmt.Errorf("codegen: %s: %d destinations for %d outputs", k.Name, len(dsts), len(k.Outputs))
 	}
-	srcOf := map[*graph.Value]ops.Source{}
-	var build func(v *graph.Value) (ops.Source, error)
-	build = func(v *graph.Value) (ops.Source, error) {
-		if s, ok := srcOf[v]; ok {
-			return s, nil
-		}
-		if v.Producer == nil || !k.Block.Contains(v.Producer) {
-			t, err := resolve(v)
-			if err != nil {
-				return nil, fmt.Errorf("codegen: %s: %w", k.Name, err)
-			}
-			if !t.Shape().Equal(v.Shape) {
-				return nil, fmt.Errorf("codegen: %s: input %v fed with shape %v", k.Name, v, t.Shape())
-			}
-			s := ops.AsSource(t)
-			srcOf[v] = s
-			return s, nil
-		}
-		n := v.Producer
-		ins := make([]ops.Source, len(n.Inputs))
-		for i, in := range n.Inputs {
-			s, err := build(in)
-			if err != nil {
-				return nil, err
-			}
-			ins[i] = s
-		}
-		s, err := n.Op.Virtualize(ins, v.ProducerOut)
-		if err != nil {
-			return nil, fmt.Errorf("codegen: %s: %v: %w", k.Name, n, err)
-		}
-		srcOf[v] = s
-		return s, nil
+	lanes := 1
+	if par != nil {
+		lanes = par.Lanes()
+	}
+	if lanes < 1 {
+		lanes = 1
 	}
 	bk := &BoundKernel{k: k, outs: make([]boundOutput, len(k.Outputs))}
+	if lanes > 1 {
+		bk.par = par
+	}
+
+	var totalElems int64
 	for i, o := range k.Outputs {
-		s, err := build(o)
-		if err != nil {
-			return nil, err
-		}
 		if !dsts[i].Shape().Equal(o.Shape) {
 			return nil, fmt.Errorf("codegen: %s: destination %d has shape %v, output is %v",
 				k.Name, i, dsts[i].Shape(), o.Shape)
 		}
-		bk.outs[i] = boundOutput{src: s, dst: dsts[i], idx: make([]int, o.Shape.Rank())}
+		totalElems += int64(o.Shape.NumElements())
+	}
+	flopsPerElem := int64(1)
+	if totalElems > 0 && k.FLOPs > totalElems {
+		flopsPerElem = k.FLOPs / totalElems
+	}
+
+	for lane := 0; lane < lanes; lane++ {
+		srcOf := map[*graph.Value]ops.Source{}
+		var build func(v *graph.Value) (ops.Source, error)
+		build = func(v *graph.Value) (ops.Source, error) {
+			if s, ok := srcOf[v]; ok {
+				return s, nil
+			}
+			if v.Producer == nil || !k.Block.Contains(v.Producer) {
+				t, err := resolve(v)
+				if err != nil {
+					return nil, fmt.Errorf("codegen: %s: %w", k.Name, err)
+				}
+				if !t.Shape().Equal(v.Shape) {
+					return nil, fmt.Errorf("codegen: %s: input %v fed with shape %v", k.Name, v, t.Shape())
+				}
+				s := ops.AsSource(t)
+				srcOf[v] = s
+				return s, nil
+			}
+			n := v.Producer
+			ins := make([]ops.Source, len(n.Inputs))
+			for i, in := range n.Inputs {
+				s, err := build(in)
+				if err != nil {
+					return nil, err
+				}
+				ins[i] = s
+			}
+			s, err := n.Op.Virtualize(ins, v.ProducerOut)
+			if err != nil {
+				return nil, fmt.Errorf("codegen: %s: %v: %w", k.Name, n, err)
+			}
+			srcOf[v] = s
+			return s, nil
+		}
+		for i, o := range k.Outputs {
+			s, err := build(o)
+			if err != nil {
+				return nil, err
+			}
+			bo := &bk.outs[i]
+			if lane == 0 {
+				elems := o.Shape.NumElements()
+				grain := int(parGrainFLOPs / flopsPerElem)
+				if grain < parMinGrain {
+					grain = parMinGrain
+				}
+				if floor := elems / (4 * lanes); grain < floor {
+					grain = floor
+				}
+				if ops.HasStagedOperand(s) {
+					// Staged operands re-stream per LoadBlock call, so
+					// cap this output at one chunk per lane: staging then
+					// happens once per lane per run, concurrently.
+					if floor := (elems + lanes - 1) / lanes; grain < floor {
+						grain = floor
+					}
+				}
+				*bo = boundOutput{
+					srcs:  make([]ops.Source, lanes),
+					idxs:  make([][]int, lanes),
+					dst:   dsts[i],
+					elems: elems,
+					grain: grain,
+				}
+			}
+			bo.srcs[lane] = s
+			bo.idxs[lane] = make([]int, o.Shape.Rank())
+		}
 	}
 	return bk, nil
 }
@@ -298,11 +399,16 @@ func (k *Kernel) Bind(resolve func(v *graph.Value) (*tensor.Tensor, error), dsts
 // ExecuteInto evaluates the fused block, writing every block output into
 // its bound destination. Interior values never exist in memory — precisely
 // the intermediate-result elimination that fusion buys — and nothing is
-// allocated.
+// allocated. Outputs large enough to amortize a dispatch are split across
+// the parallelizer's lanes; everything else runs inline on lane 0.
 func (b *BoundKernel) ExecuteInto() {
 	for i := range b.outs {
 		o := &b.outs[i]
-		ops.MaterializeInto(o.src, o.dst, o.idx)
+		if b.par != nil && o.elems >= 2*o.grain {
+			b.par.For(o.elems, o.grain, o)
+		} else {
+			o.RunRange(0, 0, o.elems)
+		}
 	}
 }
 

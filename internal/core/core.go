@@ -49,6 +49,9 @@ type Options struct {
 	Cache *codegen.Cache
 	// Quality forwards the framework kernel-quality factor to simulation.
 	Quality float64
+	// Threads is the CPU executor's worker-lane count for intra-kernel
+	// parallelism: 0 means GOMAXPROCS, 1 disables it.
+	Threads int
 }
 
 // Defaults is the full DNNFusion pipeline.
@@ -130,7 +133,7 @@ func Compile(g *graph.Graph, opts Options) (*Compiled, error) {
 	if opts.Cache != nil {
 		c.Stats.KernelCacheHits = opts.Cache.Hits - cacheHitsBefore
 	}
-	c.exec, err = engine.NewExecutor(e, c.Plan, kernels)
+	c.exec, err = engine.NewExecutorThreads(e, c.Plan, kernels, opts.Threads)
 	if err != nil {
 		return nil, err
 	}

@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"runtime"
 
 	"dnnfusion/internal/codegen"
 	"dnnfusion/internal/ecg"
@@ -15,7 +16,8 @@ import (
 // kernel is compiled exactly once, the block schedule is fixed up front, and
 // the memory plan assigns every materialized value a stable arena slot, so
 // execution never touches shared mutable state. One Executor serves any
-// number of concurrent Sessions.
+// number of concurrent Sessions; they share its worker pool for
+// intra-kernel parallelism (see Pool for the contention discipline).
 type Executor struct {
 	e     *ecg.ECG
 	plan  *fusion.Plan
@@ -25,13 +27,24 @@ type Executor struct {
 	// memplan maps every graph input and block output to its (offset,
 	// size) slot in the per-session arena.
 	memplan *MemPlan
+	// pool splits kernel output ranges across worker lanes; nil when the
+	// executor runs single-threaded.
+	pool *Pool
 }
 
 // NewExecutor schedules the plan's blocks, pairs them with their compiled
-// kernels, and computes the arena memory plan. kernels must be the result of
-// codegen.CompilePlan over the same plan (one kernel per block, in
-// plan.Blocks order); pass nil to compile them here.
+// kernels, and computes the arena memory plan, with kernel execution
+// parallelized over GOMAXPROCS worker lanes; NewExecutorThreads picks the
+// lane count explicitly. kernels must be the result of codegen.CompilePlan
+// over the same plan (one kernel per block, in plan.Blocks order); pass nil
+// to compile them here.
 func NewExecutor(e *ecg.ECG, plan *fusion.Plan, kernels []*codegen.Kernel) (*Executor, error) {
+	return NewExecutorThreads(e, plan, kernels, 0)
+}
+
+// NewExecutorThreads is NewExecutor with an explicit worker-lane count:
+// n < 1 means GOMAXPROCS, 1 disables intra-kernel parallelism.
+func NewExecutorThreads(e *ecg.ECG, plan *fusion.Plan, kernels []*codegen.Kernel, n int) (*Executor, error) {
 	if kernels == nil {
 		var err error
 		kernels, err = codegen.CompilePlan(e, plan, nil)
@@ -54,13 +67,36 @@ func NewExecutor(e *ecg.ECG, plan *fusion.Plan, kernels []*codegen.Kernel) (*Exe
 	for i, b := range order {
 		scheduled[i] = kernelOf[b]
 	}
-	return &Executor{
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	x := &Executor{
 		e:       e,
 		plan:    plan,
 		order:   order,
 		kernels: scheduled,
 		memplan: PlanArena(plan, order, e.G),
-	}, nil
+	}
+	if n > 1 {
+		x.pool = NewPool(n)
+		// A pool's workers block on their wake channels indefinitely;
+		// retire them when the executor (the only thing that can dispatch
+		// to them) becomes unreachable, so long-lived processes that
+		// compile many models do not accumulate parked goroutines. The
+		// pool itself must not be the cleanup's attachment point — its
+		// workers keep it reachable.
+		runtime.AddCleanup(x, func(p *Pool) { p.Close() }, x.pool)
+	}
+	return x, nil
+}
+
+// Threads returns the executor's worker-lane count (1 when kernel
+// execution is single-threaded).
+func (x *Executor) Threads() int {
+	if x.pool == nil {
+		return 1
+	}
+	return x.pool.Lanes()
 }
 
 // Graph returns the compiled graph the executor runs.
@@ -79,6 +115,15 @@ func (x *Executor) PlannedPeakBytes() int64 { return x.memplan.PeakBytes() }
 // the arena is allocated and the kernels bound lazily on first Run.
 func (x *Executor) NewSession() *Session {
 	return &Session{x: x}
+}
+
+// parallelizer adapts the executor's pool for kernel binding; a nil
+// interface keeps the bound kernels strictly serial.
+func (x *Executor) parallelizer() codegen.Parallelizer {
+	if x.pool == nil {
+		return nil
+	}
+	return x.pool
 }
 
 // Session is the per-goroutine execution state over a shared Executor: one
@@ -139,7 +184,7 @@ func (s *Session) bind() error {
 			}
 			dsts[j] = dst
 		}
-		bk, err := k.Bind(resolve, dsts)
+		bk, err := k.BindParallel(resolve, dsts, s.x.parallelizer())
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,162 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"dnnfusion/internal/codegen"
+)
+
+// Pool is the executor's shared worker pool: a fixed set of lanes that
+// split a kernel's output range into grain-sized chunks claimed off an
+// atomic cursor. One Pool serves every session of an Executor; its
+// background goroutines are started lazily on the first parallel dispatch,
+// so compiled-but-never-run models (the simulation zoo) cost nothing.
+//
+// Lane discipline is what makes parallel execution race-free with stateful
+// Sources: every BoundKernel composes one Source tree per lane, a dispatch
+// assigns each worker a fixed, distinct lane, and the pool runs one
+// dispatch at a time (the dispatch lock), so a lane's scratch is only ever
+// touched by one goroutine per dispatch. Lane 0 always belongs to the
+// calling goroutine, which participates in chunk claiming rather than
+// blocking idle.
+//
+// When the pool is busy serving another session's dispatch, For does not
+// queue: the caller runs its whole range inline on lane 0. Concurrent
+// sessions already provide request-level parallelism; stacking kernel-level
+// parallelism on top would only add convoying.
+//
+// The steady state allocates nothing: dispatch state lives in the Pool,
+// chunks are claimed with an atomic add, and wake/done signals travel over
+// preallocated buffered channels — so warmed Runner.Run stays 0 allocs/op
+// at any thread count.
+type Pool struct {
+	lanes int
+
+	// mu is the dispatch lock: one For at a time owns the workers and the
+	// dispatch fields below.
+	mu      sync.Mutex
+	started bool
+	closed  bool
+	wake    []chan struct{}
+	done    chan struct{}
+
+	// Per-dispatch state, written under mu before the workers are woken
+	// (the wake send publishes it) and never touched by workers after
+	// their done send.
+	r      codegen.Ranger
+	total  int
+	grain  int
+	cursor atomic.Int64
+}
+
+// NewPool returns a pool with the given number of lanes (including the
+// caller's lane 0). lanes < 2 yields a pool whose For always runs inline.
+func NewPool(lanes int) *Pool {
+	if lanes < 1 {
+		lanes = 1
+	}
+	return &Pool{lanes: lanes}
+}
+
+// Lanes returns the number of worker lanes, including the caller's lane 0.
+func (p *Pool) Lanes() int {
+	if p == nil {
+		return 1
+	}
+	return p.lanes
+}
+
+// start spawns the background workers; called once, under mu.
+func (p *Pool) start() {
+	p.done = make(chan struct{}, p.lanes-1)
+	p.wake = make([]chan struct{}, p.lanes-1)
+	for i := range p.wake {
+		ch := make(chan struct{}, 1)
+		p.wake[i] = ch
+		go p.worker(i+1, ch)
+	}
+	p.started = true
+}
+
+func (p *Pool) worker(lane int, wake <-chan struct{}) {
+	for range wake {
+		p.runChunks(lane)
+		p.done <- struct{}{}
+	}
+}
+
+// runChunks claims grain-sized chunks off the shared cursor until the
+// dispatch range is exhausted, evaluating each on this goroutine's lane.
+func (p *Pool) runChunks(lane int) {
+	total, grain := p.total, p.grain
+	for {
+		hi := int(p.cursor.Add(int64(grain)))
+		lo := hi - grain
+		if lo >= total {
+			return
+		}
+		if hi > total {
+			hi = total
+		}
+		p.r.RunRange(lane, lo, hi)
+	}
+}
+
+// For evaluates r over [0, total) in grain-sized chunks across the pool's
+// lanes; it implements codegen.Parallelizer. The calling goroutine
+// participates as lane 0 and For returns only after every chunk has
+// completed (the done receives order all worker writes before the caller's
+// next read). Ranges too small to amortize a dispatch, single-lane pools,
+// and dispatch-lock contention all degrade to an inline lane-0 run.
+func (p *Pool) For(total, grain int, r codegen.Ranger) {
+	if total <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	if p == nil || p.lanes < 2 || total <= grain || !p.mu.TryLock() {
+		r.RunRange(0, 0, total)
+		return
+	}
+	if p.closed {
+		p.mu.Unlock()
+		r.RunRange(0, 0, total)
+		return
+	}
+	if !p.started {
+		p.start()
+	}
+	p.r, p.total, p.grain = r, total, grain
+	p.cursor.Store(0)
+	for _, ch := range p.wake {
+		ch <- struct{}{}
+	}
+	p.runChunks(0)
+	for range p.wake {
+		<-p.done
+	}
+	p.r = nil
+	p.mu.Unlock()
+}
+
+// Close retires the pool's background workers; subsequent dispatches run
+// inline on the caller. The executor arranges for Close to run when it
+// becomes unreachable (runtime.AddCleanup), so compiled-and-dropped models
+// do not leak lanes-1 goroutines per executor for the process lifetime.
+func (p *Pool) Close() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	p.closed = true
+	for _, ch := range p.wake {
+		close(ch) // ends the worker's range loop
+	}
+	p.wake = nil
+}

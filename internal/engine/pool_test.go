@@ -1,0 +1,71 @@
+package engine
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// countRanger records which elements were covered and by which lanes.
+type countRanger struct {
+	covered []atomic.Int32
+	lanes   [16]atomic.Int32
+}
+
+func (r *countRanger) RunRange(lane, lo, hi int) {
+	r.lanes[lane].Add(1)
+	for i := lo; i < hi; i++ {
+		r.covered[i].Add(1)
+	}
+}
+
+func assertCoveredOnce(t *testing.T, r *countRanger) {
+	t.Helper()
+	for i := range r.covered {
+		if got := r.covered[i].Load(); got != 1 {
+			t.Fatalf("element %d covered %d times, want exactly 1", i, got)
+		}
+	}
+}
+
+// TestPoolForCoversRangeOnce pins the dispatch invariant: every element of
+// [0, total) is evaluated exactly once, whatever the grain/total ratio.
+func TestPoolForCoversRangeOnce(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	for _, tc := range []struct{ total, grain int }{
+		{1000, 64}, {1000, 1000}, {1000, 7000}, {3, 1}, {0, 64},
+	} {
+		r := &countRanger{covered: make([]atomic.Int32, tc.total)}
+		p.For(tc.total, tc.grain, r)
+		assertCoveredOnce(t, r)
+	}
+}
+
+// TestPoolCloseRetiresWorkers pins the goroutine-leak fix: Close ends the
+// background workers, and later dispatches still cover the range (inline).
+func TestPoolCloseRetiresWorkers(t *testing.T) {
+	before := runtime.NumGoroutine()
+	p := NewPool(4)
+	r := &countRanger{covered: make([]atomic.Int32, 4096)}
+	p.For(4096, 64, r) // lazy-starts the workers
+	assertCoveredOnce(t, r)
+
+	p.Close()
+	p.Close() // idempotent
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Errorf("%d goroutines still running after Close (had %d before the pool)", n, before)
+	}
+
+	r2 := &countRanger{covered: make([]atomic.Int32, 4096)}
+	p.For(4096, 64, r2) // inline now
+	assertCoveredOnce(t, r2)
+	if got := r2.lanes[0].Load(); got != 1 {
+		t.Errorf("closed pool split work across lanes (%d lane-0 calls), want one inline run", got)
+	}
+}

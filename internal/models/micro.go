@@ -63,6 +63,26 @@ func MicroAttention() *graph.Graph {
 	return g
 }
 
+// MicroElementwise is a deep fused elementwise chain over a 32×32×256
+// activation — a scaled residual gate with suffix-broadcast bias/scale —
+// the workload where blocked flat loops and intra-kernel parallelism pay
+// off purely on dispatch and memory traffic (there is no heavy operator
+// to hide behind). Input "x", output "y".
+func MicroElementwise() *graph.Graph {
+	g := graph.New("micro-elementwise")
+	x := g.AddInput("x", tensor.Of(32, 32, 256))
+	bias := microWeight(g, "bias", 41, 256)
+	scale := microWeight(g, "scale", 42, 256)
+	v := g.Apply1(ops.NewAdd(), x, bias)
+	v = g.Apply1(ops.NewMul(), v, scale)
+	v = g.Apply1(ops.NewSigmoid(), v)
+	v = g.Apply1(ops.NewMulConst(2), v)
+	v = g.Apply1(ops.NewMul(), v, x)
+	v = g.Apply1(ops.NewRelu(), v)
+	g.MarkOutputAs("y", v)
+	return g
+}
+
 // MicroModels returns the executable micro-model constructors in stable
 // report order.
 func MicroModels() []struct {
@@ -76,5 +96,6 @@ func MicroModels() []struct {
 		{"micro-cnn", MicroCNN},
 		{"micro-mlp", MicroMLP},
 		{"micro-attention", MicroAttention},
+		{"micro-elementwise", MicroElementwise},
 	}
 }

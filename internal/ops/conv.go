@@ -128,18 +128,62 @@ func (c *conv) Virtualize(ins []Source, outNo int) (Source, error) {
 		return nil, err
 	}
 	src := &convSource{
-		shape: out,
-		x:     ins[0],
-		w:     ins[1],
-		a:     a,
-		xBuf:  make([]int, shapes[0].Rank()),
-		wBuf:  make([]int, shapes[1].Rank()),
-		bBuf:  make([]int, 1),
+		shape:     out,
+		x:         ins[0],
+		w:         ins[1],
+		a:         a,
+		xShape:    shapes[0],
+		wShape:    shapes[1],
+		spatial:   shapes[0].Rank() - 2,
+		cPerGroup: shapes[0][1] / a.Groups,
+		mPerGroup: shapes[1][0] / a.Groups,
+		xBuf:      make([]int, shapes[0].Rank()),
+		wBuf:      make([]int, shapes[1].Rank()),
+		bBuf:      make([]int, 1),
+	}
+	src.kernel = 1
+	for i := 0; i < src.spatial; i++ {
+		src.kernel *= shapes[1][2+i]
 	}
 	if len(ins) == 3 {
 		src.bias = ins[2]
 	}
-	return src, nil
+	return blockedConv(src), nil
+}
+
+// blockedConv upgrades a conv source to flat inner loops when its operands
+// expose flat data or can be staged into per-session scratch: the
+// multiply-accumulate runs over raw slices with precomputed strides
+// instead of virtual Loads through index buffers. Accumulation order
+// matches the scalar path, so results are bit-for-bit equal.
+func blockedConv(s *convSource) Source {
+	xData, xStage, ok := flatOrStage(s.x, s.xShape.NumElements())
+	if !ok {
+		return s
+	}
+	wData, wStage, ok := flatOrStage(s.w, s.wShape.NumElements())
+	if !ok {
+		return s
+	}
+	blk := &convBlockSource{
+		convSource: *s,
+		xData:      xData,
+		wData:      wData,
+		xStage:     xStage,
+		wStage:     wStage,
+		xStrides:   s.xShape.Strides(),
+		wStrides:   s.wShape.Strides(),
+		idxBuf:     make([]int, s.shape.Rank()),
+	}
+	if s.bias != nil {
+		biasData, biasStage, ok := flatOrStage(s.bias, s.wShape[0])
+		if !ok {
+			return s
+		}
+		blk.biasData = biasData
+		blk.biasStage = biasStage
+	}
+	return blk
 }
 
 type convSource struct {
@@ -147,26 +191,27 @@ type convSource struct {
 	x, w  Source
 	bias  Source
 	a     ConvAttrs
-	xBuf  []int
-	wBuf  []int
-	bBuf  []int
+	// Shapes and derived constants hoisted from Load to Virtualize time.
+	xShape, wShape       tensor.Shape
+	spatial              int
+	cPerGroup, mPerGroup int
+	kernel               int
+	xBuf                 []int
+	wBuf                 []int
+	bBuf                 []int
 }
 
 func (s *convSource) Shape() tensor.Shape { return s.shape }
 
 func (s *convSource) Load(idx []int) float32 {
-	xShape, wShape := s.x.Shape(), s.w.Shape()
-	spatial := xShape.Rank() - 2
+	xShape, wShape := s.xShape, s.wShape
+	spatial := s.spatial
 	n, m := idx[0], idx[1]
-	cPerGroup := xShape[1] / s.a.Groups
-	mPerGroup := wShape[0] / s.a.Groups
-	group := m / mPerGroup
+	cPerGroup := s.cPerGroup
+	group := m / s.mPerGroup
 	s.xBuf[0] = n
 	s.wBuf[0] = m
-	kernel := 1
-	for i := 0; i < spatial; i++ {
-		kernel *= wShape[2+i]
-	}
+	kernel := s.kernel
 	var acc float64
 	for ci := 0; ci < cPerGroup; ci++ {
 		s.xBuf[1] = group*cPerGroup + ci
@@ -194,6 +239,76 @@ func (s *convSource) Load(idx []int) float32 {
 	if s.bias != nil {
 		s.bBuf[0] = m
 		acc += float64(s.bias.Load(s.bBuf))
+	}
+	return float32(acc)
+}
+
+// convBlockSource walks the requested output range with a row-major
+// odometer and computes every element with flat multiply-accumulate loops
+// over the operand slices.
+type convBlockSource struct {
+	convSource
+	xData, wData, biasData    []float32
+	xStage, wStage, biasStage BlockSource
+	xStrides, wStrides        []int
+	idxBuf                    []int
+}
+
+func (s *convBlockSource) LoadBlock(dst []float32, off, n int) {
+	// Staged operands (fused producers) are re-streamed on every call:
+	// inputs change between runs, and a call never outlives one kernel
+	// execution.
+	if s.xStage != nil {
+		s.xStage.LoadBlock(s.xData, 0, len(s.xData))
+	}
+	if s.wStage != nil {
+		s.wStage.LoadBlock(s.wData, 0, len(s.wData))
+	}
+	if s.biasStage != nil {
+		s.biasStage.LoadBlock(s.biasData, 0, len(s.biasData))
+	}
+	idx := s.idxBuf
+	s.shape.Unravel(off, idx)
+	for t := 0; t < n; t++ {
+		dst[t] = s.eval(idx)
+		incIndex(s.shape, idx)
+	}
+}
+
+// eval is convSource.Load with every operand access lowered to flat
+// slices; the ci-outer / kernel-position-inner loop order is identical.
+func (s *convBlockSource) eval(idx []int) float32 {
+	n, m := idx[0], idx[1]
+	group := m / s.mPerGroup
+	xN := n * s.xStrides[0]
+	wM := m * s.wStrides[0]
+	var acc float64
+	for ci := 0; ci < s.cPerGroup; ci++ {
+		xBase := xN + (group*s.cPerGroup+ci)*s.xStrides[1]
+		wBase := wM + ci*s.wStrides[1]
+		for kp := 0; kp < s.kernel; kp++ {
+			rem := kp
+			ok := true
+			xOff, wOff := xBase, wBase
+			for i := s.spatial - 1; i >= 0; i-- {
+				k := rem % s.wShape[2+i]
+				rem /= s.wShape[2+i]
+				pos := idx[2+i]*s.a.Strides[i] - s.a.Pads[i] + k*s.a.Dilations[i]
+				if pos < 0 || pos >= s.xShape[2+i] {
+					ok = false
+					break
+				}
+				xOff += pos * s.xStrides[2+i]
+				wOff += k * s.wStrides[2+i]
+			}
+			if !ok {
+				continue
+			}
+			acc += float64(s.xData[xOff]) * float64(s.wData[wOff])
+		}
+	}
+	if s.biasData != nil {
+		acc += float64(s.biasData[m])
 	}
 	return float32(acc)
 }
@@ -271,13 +386,22 @@ func (c *convT) Virtualize(ins []Source, outNo int) (Source, error) {
 		return nil, err
 	}
 	src := &convTSource{
-		shape: out,
-		x:     ins[0],
-		w:     ins[1],
-		a:     a,
-		xBuf:  make([]int, shapes[0].Rank()),
-		wBuf:  make([]int, shapes[1].Rank()),
-		bBuf:  make([]int, 1),
+		shape:     out,
+		x:         ins[0],
+		w:         ins[1],
+		a:         a,
+		xShape:    shapes[0],
+		wShape:    shapes[1],
+		spatial:   shapes[0].Rank() - 2,
+		mPerGroup: shapes[1][1],
+		cPerGroup: shapes[0][1] / a.Groups,
+		xBuf:      make([]int, shapes[0].Rank()),
+		wBuf:      make([]int, shapes[1].Rank()),
+		bBuf:      make([]int, 1),
+	}
+	src.kernel = 1
+	for i := 0; i < src.spatial; i++ {
+		src.kernel *= shapes[1][2+i]
 	}
 	if len(ins) == 3 {
 		src.bias = ins[2]
@@ -290,26 +414,28 @@ type convTSource struct {
 	x, w  Source
 	bias  Source
 	a     ConvAttrs
-	xBuf  []int
-	wBuf  []int
-	bBuf  []int
+	// Shapes and derived constants hoisted from Load to Virtualize time.
+	xShape, wShape       tensor.Shape
+	spatial              int
+	mPerGroup, cPerGroup int
+	kernel               int
+	xBuf                 []int
+	wBuf                 []int
+	bBuf                 []int
 }
 
 func (s *convTSource) Shape() tensor.Shape { return s.shape }
 
 func (s *convTSource) Load(idx []int) float32 {
-	xShape, wShape := s.x.Shape(), s.w.Shape()
-	spatial := xShape.Rank() - 2
+	xShape, wShape := s.xShape, s.wShape
+	spatial := s.spatial
 	n, m := idx[0], idx[1]
-	mPerGroup := wShape[1]
+	mPerGroup := s.mPerGroup
 	group := m / mPerGroup
-	cPerGroup := xShape[1] / s.a.Groups
+	cPerGroup := s.cPerGroup
 	s.xBuf[0] = n
 	s.wBuf[1] = m % mPerGroup
-	kernel := 1
-	for i := 0; i < spatial; i++ {
-		kernel *= wShape[2+i]
-	}
+	kernel := s.kernel
 	var acc float64
 	for ci := 0; ci < cPerGroup; ci++ {
 		c := group*cPerGroup + ci

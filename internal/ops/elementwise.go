@@ -13,9 +13,15 @@ import (
 // class; when any input is expanded by broadcasting it is classified
 // One-to-Many ("Elementwise w/ broadcast" in Table 2).
 type pointwise struct {
-	name    string
-	arity   int
-	fn      func(args []float32) float32
+	name  string
+	arity int
+	fn    func(args []float32) float32
+	// fn1/fn2 are the direct unary/binary forms of fn, set by
+	// newUnary/newBinary: the blocked inner loop calls them without
+	// staging an args slice per element, which is most of the remaining
+	// per-element cost of a fused elementwise chain.
+	fn1     func(float32) float32
+	fn2     func(a, b float32) float32
 	props   Properties
 	attrKey string
 	// flopsPerElem is usually 1 (the paper's Table 4 convention).
@@ -78,16 +84,175 @@ func (p *pointwise) Virtualize(ins []Source, outNo int) (Source, error) {
 		return nil, fmt.Errorf("%s: %w", p.name, err)
 	}
 	src := &pointwiseSource{
-		shape: out,
-		ins:   ins,
-		fn:    p.fn,
-		args:  make([]float32, len(ins)),
-		bufs:  make([][]int, len(ins)),
+		shape:    out,
+		ins:      ins,
+		inShapes: shapes,
+		fn:       p.fn,
+		args:     make([]float32, len(ins)),
+		bufs:     make([][]int, len(ins)),
 	}
 	for i := range ins {
 		src.bufs[i] = make([]int, ins[i].Shape().Rank())
 	}
-	return src, nil
+	return blockedPointwise(p, src), nil
+}
+
+// blockedPointwise upgrades a pointwise source to its blocked form when
+// every input can stream flat memory: same-shape inputs stream directly,
+// single-element inputs load once per block, and suffix broadcasts (a [C]
+// bias against [N,C]) stream periodically. Any other broadcast pattern
+// (middle-axis expansion) keeps the scalar source.
+func blockedPointwise(p *pointwise, s *pointwiseSource) Source {
+	ins := make([]pwBlockInput, len(s.ins))
+	for i, in := range s.ins {
+		inShape := s.inShapes[i]
+		if inShape.NumElements() == 1 {
+			ins[i] = pwBlockInput{kind: pwScalar, src: in, idx: make([]int, inShape.Rank())}
+			continue
+		}
+		blk, ok := AsBlock(in)
+		if !ok {
+			return s
+		}
+		period, ok := suffixPeriod(inShape, s.shape)
+		if !ok {
+			return s
+		}
+		if period == s.shape.NumElements() {
+			// Streaming input: alias flat backing directly (tensors,
+			// arena views, reshaped weights) so the inner loop reads the
+			// operand in place; only lazy producers stage into a buffer.
+			if data, isFlat := FlatData(in); isFlat {
+				ins[i] = pwBlockInput{kind: pwFlat, data: data}
+				continue
+			}
+			ins[i] = pwBlockInput{kind: pwStream, blk: blk, buf: make([]float32, blockLen)}
+			continue
+		}
+		ins[i] = pwBlockInput{kind: pwPeriod, blk: blk, period: period, buf: make([]float32, blockLen)}
+	}
+	return &pointwiseBlockSource{pointwiseSource: *s, fn1: p.fn1, fn2: p.fn2, blkIns: ins}
+}
+
+type pwInKind uint8
+
+const (
+	pwFlat   pwInKind = iota // flat-backed stream: read the backing in place
+	pwStream                 // blocked producer: stage a stripe, flat order matches
+	pwScalar                 // single-element input, loaded once per block
+	pwPeriod                 // suffix broadcast: input repeats every period
+)
+
+type pwBlockInput struct {
+	kind   pwInKind
+	blk    BlockSource
+	src    Source    // pwScalar only
+	idx    []int     // pwScalar only: all-zero index scratch
+	data   []float32 // pwFlat only: the operand's row-major backing
+	period int
+	val    float32
+	buf    []float32
+	// cur is the current stripe: an alias of data for pwFlat, the staged
+	// buf otherwise. Set per stripe by LoadBlock.
+	cur []float32
+}
+
+// pointwiseBlockSource evaluates a fused elementwise chain over flat
+// blockLen stripes: inputs are staged into per-input buffers (weights,
+// arena views, and blocked producers stream without any index math), then
+// the scalar function runs over the stripe — through the direct
+// unary/binary form when the operator has one, so the common chain spends
+// one call per element instead of staging an args slice. Load keeps the
+// scalar semantics for the reference path.
+type pointwiseBlockSource struct {
+	pointwiseSource
+	fn1    func(float32) float32
+	fn2    func(a, b float32) float32
+	blkIns []pwBlockInput
+}
+
+func (s *pointwiseBlockSource) LoadBlock(dst []float32, off, n int) {
+	for n > 0 {
+		c := n
+		if c > blockLen {
+			c = blockLen
+		}
+		for i := range s.blkIns {
+			in := &s.blkIns[i]
+			switch in.kind {
+			case pwFlat:
+				in.cur = in.data[off : off+c]
+			case pwStream:
+				in.blk.LoadBlock(in.buf[:c], off, c)
+				in.cur = in.buf[:c]
+			case pwScalar:
+				in.val = in.src.Load(in.idx)
+			case pwPeriod:
+				loadPeriodic(in.blk, in.buf[:c], off, in.period)
+				in.cur = in.buf[:c]
+			}
+		}
+		s.evalStripe(dst[:c], c)
+		dst = dst[c:]
+		off += c
+		n -= c
+	}
+}
+
+// evalStripe applies the operator to one staged stripe of c elements.
+func (s *pointwiseBlockSource) evalStripe(dst []float32, c int) {
+	switch {
+	case s.fn1 != nil:
+		in := &s.blkIns[0]
+		if in.kind == pwScalar {
+			v := s.fn1(in.val)
+			for j := 0; j < c; j++ {
+				dst[j] = v
+			}
+			return
+		}
+		buf := in.cur
+		for j := 0; j < c; j++ {
+			dst[j] = s.fn1(buf[j])
+		}
+	case s.fn2 != nil:
+		a, b := &s.blkIns[0], &s.blkIns[1]
+		switch {
+		case a.kind == pwScalar && b.kind == pwScalar:
+			v := s.fn2(a.val, b.val)
+			for j := 0; j < c; j++ {
+				dst[j] = v
+			}
+		case a.kind == pwScalar:
+			av, bb := a.val, b.cur
+			for j := 0; j < c; j++ {
+				dst[j] = s.fn2(av, bb[j])
+			}
+		case b.kind == pwScalar:
+			ab, bv := a.cur, b.val
+			for j := 0; j < c; j++ {
+				dst[j] = s.fn2(ab[j], bv)
+			}
+		default:
+			ab, bb := a.cur, b.cur
+			for j := 0; j < c; j++ {
+				dst[j] = s.fn2(ab[j], bb[j])
+			}
+		}
+	default:
+		args := s.args
+		for j := 0; j < c; j++ {
+			for i := range s.blkIns {
+				in := &s.blkIns[i]
+				if in.kind == pwScalar {
+					args[i] = in.val
+				} else {
+					args[i] = in.cur[j]
+				}
+			}
+			dst[j] = s.fn(args)
+		}
+	}
 }
 
 // ScalarFunc exposes the elementwise function for code generation.
@@ -106,16 +271,19 @@ type Pointwise interface {
 type pointwiseSource struct {
 	shape tensor.Shape
 	ins   []Source
-	fn    func(args []float32) float32
-	args  []float32
-	bufs  [][]int
+	// inShapes are the input shapes hoisted at Virtualize time so Load
+	// never re-queries them.
+	inShapes []tensor.Shape
+	fn       func(args []float32) float32
+	args     []float32
+	bufs     [][]int
 }
 
 func (s *pointwiseSource) Shape() tensor.Shape { return s.shape }
 
 func (s *pointwiseSource) Load(idx []int) float32 {
 	for i, in := range s.ins {
-		b := tensor.BroadcastIndex(idx, in.Shape(), s.bufs[i])
+		b := tensor.BroadcastIndex(idx, s.inShapes[i], s.bufs[i])
 		s.args[i] = in.Load(b)
 	}
 	return s.fn(s.args)
@@ -128,6 +296,7 @@ func newUnary(name string, f func(float32) float32, props Properties) Operator {
 		name:         name,
 		arity:        1,
 		fn:           func(a []float32) float32 { return f(a[0]) },
+		fn1:          f,
 		props:        props,
 		flopsPerElem: 1,
 	}
@@ -271,6 +440,7 @@ func newBinary(name string, f func(a, b float32) float32, props Properties) Oper
 		name:         name,
 		arity:        2,
 		fn:           func(a []float32) float32 { return f(a[0], a[1]) },
+		fn2:          f,
 		props:        props,
 		flopsPerElem: 1,
 	}

@@ -100,22 +100,84 @@ func (m *matmul) Virtualize(ins []Source, outNo int) (Source, error) {
 		return nil, err
 	}
 	out := append(batch.Clone(), mm, nn)
-	return &matmulSource{
+	src := &matmulSource{
 		shape:  out,
 		a:      ins[0],
 		b:      ins[1],
+		aShape: a,
+		bShape: b,
+		ar:     a.Rank(),
+		br:     b.Rank(),
 		k:      kk,
+		m:      mm,
+		n:      nn,
 		transA: m.transA,
 		transB: m.transB,
 		aBuf:   make([]int, a.Rank()),
 		bBuf:   make([]int, b.Rank()),
-	}, nil
+	}
+	return blockedMatMul(src), nil
+}
+
+// blockedMatMul upgrades a matmul source to the tiled flat-loop form when
+// both operands expose flat row-major data (materialized tensors or
+// Reorganize views over them) — the common case at fusion-block
+// boundaries, where operands are weights or planned arena slots — or can
+// be staged into per-session scratch (fused blocked producers). Operands
+// behind genuinely scalar sources keep the pull-model form.
+func blockedMatMul(s *matmulSource) Source {
+	aData, aStage, ok := flatOrStage(s.a, s.m*s.k)
+	if !ok {
+		return s
+	}
+	bData, bStage, ok := flatOrStage(s.b, s.k*s.n)
+	if !ok {
+		return s
+	}
+	out := s.shape
+	outBatch := out[:out.Rank()-2]
+	blk := &matmulBlockSource{
+		matmulSource: *s,
+		aData:        aData,
+		bData:        bData,
+		aStage:       aStage,
+		bStage:       bStage,
+		aRS:          s.aShape[s.ar-1],
+		bRS:          s.bShape[s.br-1],
+		outBatch:     outBatch,
+		aBatchStride: batchStrides(s.aShape, outBatch),
+		bBatchStride: batchStrides(s.bShape, outBatch),
+		batchBuf:     make([]int, outBatch.Rank()),
+		acc:          make([]float64, s.n),
+	}
+	return blk
+}
+
+// batchStrides maps each output batch dimension to the element stride of
+// the corresponding operand dimension (0 when the operand broadcasts it or
+// lacks it).
+func batchStrides(opShape tensor.Shape, outBatch tensor.Shape) []int {
+	strides := opShape.Strides()
+	batchRank := opShape.Rank() - 2
+	out := make([]int, outBatch.Rank())
+	for d := range out {
+		od := d - (outBatch.Rank() - batchRank)
+		if od >= 0 && opShape[od] > 1 {
+			out[d] = strides[od]
+		}
+	}
+	return out
 }
 
 type matmulSource struct {
-	shape          tensor.Shape
-	a, b           Source
-	k              int
+	shape tensor.Shape
+	a, b  Source
+	// Operand shapes and ranks are hoisted to Virtualize time; Load must
+	// never recompute them (it runs once per output element per K step on
+	// the scalar path).
+	aShape, bShape tensor.Shape
+	ar, br         int
+	k, m, n        int
 	transA, transB bool
 	aBuf           []int
 	bBuf           []int
@@ -124,19 +186,18 @@ type matmulSource struct {
 func (s *matmulSource) Shape() tensor.Shape { return s.shape }
 
 func (s *matmulSource) Load(idx []int) float32 {
-	aShape, bShape := s.a.Shape(), s.b.Shape()
-	ar, br, or := aShape.Rank(), bShape.Rank(), len(idx)
+	ar, br, or := s.ar, s.br, len(idx)
 	// Broadcast the batch part of the output index into each input.
 	for i := 0; i < ar-2; i++ {
 		v := idx[or-ar+i]
-		if aShape[i] == 1 {
+		if s.aShape[i] == 1 {
 			v = 0
 		}
 		s.aBuf[i] = v
 	}
 	for i := 0; i < br-2; i++ {
 		v := idx[or-br+i]
-		if bShape[i] == 1 {
+		if s.bShape[i] == 1 {
 			v = 0
 		}
 		s.bBuf[i] = v
@@ -156,6 +217,104 @@ func (s *matmulSource) Load(idx []int) float32 {
 		acc += float64(s.a.Load(s.aBuf)) * float64(s.b.Load(s.bBuf))
 	}
 	return float32(acc)
+}
+
+// matmulBlockSource computes output rows with flat loops over operand
+// memory: one base-offset computation per row, then pure data streaming —
+// no virtual Loads, no index buffers, no per-element shape math.
+// Accumulation order over K is identical to the scalar path, so results
+// are bit-for-bit equal.
+type matmulBlockSource struct {
+	matmulSource
+	// aData/bData are the operands' flat backing, or (when aStage/bStage
+	// is set) per-session scratch the staged operand matrix is streamed
+	// into once per batch per LoadBlock call.
+	aData, bData   []float32
+	aStage, bStage BlockSource
+	// aRS/bRS are the physical row strides (last-dimension sizes).
+	aRS, bRS                   int
+	outBatch                   tensor.Shape
+	aBatchStride, bBatchStride []int
+	batchBuf                   []int
+	acc                        []float64
+}
+
+func (s *matmulBlockSource) LoadBlock(dst []float32, off, n int) {
+	mn := s.m * s.n
+	stagedBatch := -1 // staging never survives a LoadBlock call: inputs change between runs
+	for n > 0 {
+		batch := off / mn
+		rem := off % mn
+		i := rem / s.n
+		jLo := rem % s.n
+		run := s.n - jLo
+		if run > n {
+			run = n
+		}
+		s.outBatch.Unravel(batch, s.batchBuf)
+		aBase, bBase := 0, 0
+		for d, v := range s.batchBuf {
+			aBase += v * s.aBatchStride[d]
+			bBase += v * s.bBatchStride[d]
+		}
+		if batch != stagedBatch {
+			if s.aStage != nil {
+				s.aStage.LoadBlock(s.aData, aBase, len(s.aData))
+			}
+			if s.bStage != nil {
+				s.bStage.LoadBlock(s.bData, bBase, len(s.bData))
+			}
+			stagedBatch = batch
+		}
+		if s.aStage != nil {
+			aBase = 0
+		}
+		if s.bStage != nil {
+			bBase = 0
+		}
+		s.mulRow(dst[:run], aBase, bBase, i, jLo, run)
+		dst = dst[run:]
+		off += run
+		n -= run
+	}
+}
+
+// mulRow fills dst with output elements (i, jLo..jLo+w) of one batch
+// matrix.
+func (s *matmulBlockSource) mulRow(dst []float32, aBase, bBase, i, jLo, w int) {
+	ai, ak := s.aRS, 1
+	if s.transA {
+		ai, ak = 1, s.aRS
+	}
+	aOff := aBase + i*ai
+	if s.transB {
+		// b is (j, k): each output element is a contiguous dot product.
+		for t := 0; t < w; t++ {
+			bOff := bBase + (jLo+t)*s.bRS
+			var acc float64
+			for k := 0; k < s.k; k++ {
+				acc += float64(s.aData[aOff+k*ak]) * float64(s.bData[bOff+k])
+			}
+			dst[t] = float32(acc)
+		}
+		return
+	}
+	// b is (k, j): accumulate the whole row tile streaming b's rows, K
+	// outer — each acc[t] still sums in ascending-k order.
+	acc := s.acc[:w]
+	for t := range acc {
+		acc[t] = 0
+	}
+	for k := 0; k < s.k; k++ {
+		av := float64(s.aData[aOff+k*ak])
+		bRow := s.bData[bBase+k*s.bRS+jLo:]
+		for t := 0; t < w; t++ {
+			acc[t] += av * float64(bRow[t])
+		}
+	}
+	for t := 0; t < w; t++ {
+		dst[t] = float32(acc[t])
+	}
 }
 
 // NewGemm returns the ONNX Gemm operator: alpha*op(A)*op(B) + beta*C where C
@@ -242,13 +401,41 @@ func (g *gemm) Virtualize(ins []Source, outNo int) (Source, error) {
 		a:     ins[0],
 		b:     ins[1],
 		k:     k,
+		n:     n,
 		buf2:  make([]int, 2),
 	}
 	if len(ins) == 3 {
 		src.c = ins[2]
-		src.cBuf = make([]int, ins[2].Shape().Rank())
+		src.cShape = shapes[2]
+		src.cBuf = make([]int, shapes[2].Rank())
 	}
-	return src, nil
+	return blockedGemm(src, shapes), nil
+}
+
+// blockedGemm mirrors blockedMatMul for the rank-2 Gemm: flat tiled loops
+// when A and B are flat-backed or stageable. The C addend is loaded per
+// element through the scalar path (one Load per output element, not per K
+// step).
+func blockedGemm(s *gemmSource, shapes []tensor.Shape) Source {
+	aData, aStage, ok := flatOrStage(s.a, shapes[0].NumElements())
+	if !ok {
+		return s
+	}
+	bData, bStage, ok := flatOrStage(s.b, shapes[1].NumElements())
+	if !ok {
+		return s
+	}
+	return &gemmBlockSource{
+		gemmSource: *s,
+		aData:      aData,
+		bData:      bData,
+		aStage:     aStage,
+		bStage:     bStage,
+		aRS:        shapes[0][1],
+		bRS:        shapes[1][1],
+		idx2:       make([]int, 2),
+		acc:        make([]float64, s.n),
+	}
 }
 
 type gemmSource struct {
@@ -256,9 +443,11 @@ type gemmSource struct {
 	shape tensor.Shape
 	a, b  Source
 	c     Source
-	k     int
-	buf2  []int
-	cBuf  []int
+	// cShape is hoisted at Virtualize time so Load never re-queries it.
+	cShape tensor.Shape
+	k, n   int
+	buf2   []int
+	cBuf   []int
 }
 
 func (s *gemmSource) Shape() tensor.Shape { return s.shape }
@@ -282,10 +471,84 @@ func (s *gemmSource) Load(idx []int) float32 {
 	}
 	acc *= float64(s.op.alpha)
 	if s.c != nil {
-		b := tensor.BroadcastIndex(idx, s.c.Shape(), s.cBuf)
+		b := tensor.BroadcastIndex(idx, s.cShape, s.cBuf)
 		acc += float64(s.op.beta) * float64(s.c.Load(b))
 	}
 	return float32(acc)
+}
+
+// gemmBlockSource is the flat tiled Gemm; accumulation order matches the
+// scalar path bit-for-bit.
+type gemmBlockSource struct {
+	gemmSource
+	aData, bData   []float32
+	aStage, bStage BlockSource
+	aRS, bRS       int
+	idx2           []int
+	acc            []float64
+}
+
+func (s *gemmBlockSource) LoadBlock(dst []float32, off, n int) {
+	// Staged operands are re-streamed on every call: inputs change
+	// between runs, and a call never outlives one kernel execution.
+	if s.aStage != nil {
+		s.aStage.LoadBlock(s.aData, 0, len(s.aData))
+	}
+	if s.bStage != nil {
+		s.bStage.LoadBlock(s.bData, 0, len(s.bData))
+	}
+	for n > 0 {
+		i := off / s.n
+		jLo := off % s.n
+		run := s.n - jLo
+		if run > n {
+			run = n
+		}
+		s.mulRow(dst[:run], i, jLo, run)
+		dst = dst[run:]
+		off += run
+		n -= run
+	}
+}
+
+func (s *gemmBlockSource) mulRow(dst []float32, i, jLo, w int) {
+	ai, ak := s.aRS, 1
+	if s.op.transA {
+		ai, ak = 1, s.aRS
+	}
+	aOff := i * ai
+	alpha := float64(s.op.alpha)
+	acc := s.acc[:w]
+	if s.op.transB {
+		for t := 0; t < w; t++ {
+			bOff := (jLo + t) * s.bRS
+			var a float64
+			for k := 0; k < s.k; k++ {
+				a += float64(s.aData[aOff+k*ak]) * float64(s.bData[bOff+k])
+			}
+			acc[t] = a
+		}
+	} else {
+		for t := range acc {
+			acc[t] = 0
+		}
+		for k := 0; k < s.k; k++ {
+			av := float64(s.aData[aOff+k*ak])
+			bRow := s.bData[k*s.bRS+jLo:]
+			for t := 0; t < w; t++ {
+				acc[t] += av * float64(bRow[t])
+			}
+		}
+	}
+	for t := 0; t < w; t++ {
+		a := acc[t] * alpha
+		if s.c != nil {
+			s.idx2[0], s.idx2[1] = i, jLo+t
+			b := tensor.BroadcastIndex(s.idx2, s.cShape, s.cBuf)
+			a += float64(s.op.beta) * float64(s.c.Load(b))
+		}
+		dst[t] = float32(a)
+	}
 }
 
 // NewEinsum supports the two-operand einsum forms used by transformer
@@ -396,10 +659,15 @@ func (e *einsum) Virtualize(ins []Source, outNo int) (Source, error) {
 	if err != nil {
 		return nil, err
 	}
+	total := 1
+	for _, l := range p.contract {
+		total *= p.dims[l]
+	}
 	return &einsumSource{
-		plan: p,
-		ins:  [2]Source{ins[0], ins[1]},
-		bufs: [2][]int{make([]int, shapes[0].Rank()), make([]int, shapes[1].Rank())},
+		plan:          p,
+		ins:           [2]Source{ins[0], ins[1]},
+		bufs:          [2][]int{make([]int, shapes[0].Rank()), make([]int, shapes[1].Rank())},
+		contractTotal: total,
 	}, nil
 }
 
@@ -407,6 +675,8 @@ type einsumSource struct {
 	plan *einsumPlan
 	ins  [2]Source
 	bufs [2][]int
+	// contractTotal is the contracted iteration count, hoisted from Load.
+	contractTotal int
 	// assign holds the current value of every label (indexed by label
 	// byte), replacing a per-Load map so fused Loads are allocation-free.
 	assign [256]int
@@ -420,10 +690,7 @@ func (s *einsumSource) Load(idx []int) float32 {
 	for j := 0; j < len(p.outLabels); j++ {
 		assign[p.outLabels[j]] = idx[j]
 	}
-	total := 1
-	for _, l := range p.contract {
-		total *= p.dims[l]
-	}
+	total := s.contractTotal
 	var acc float64
 	for n := 0; n < total; n++ {
 		rem := n

@@ -115,7 +115,88 @@ func (m *movement) Virtualize(ins []Source, outNo int) (Source, error) {
 		}
 		src.mapFn = fn
 	}
-	return src, nil
+	return m.blocked(src), nil
+}
+
+// blocked upgrades a movement source to a blocked one when its index map
+// is affine enough to stream contiguous runs: Reorganize ops are flat
+// identities, and Slice shifts whole innermost rows. Shuffle and
+// One-to-Many movement (Transpose, Expand, Resize, ...) stay scalar —
+// their access patterns are genuinely gather-like.
+func (m *movement) blocked(src *movementSource) Source {
+	blk, ok := AsBlock(src.ins[0])
+	if !ok {
+		return src
+	}
+	switch {
+	case m.mapping == Reorganize:
+		// Output flat offset == input flat offset: delegate wholesale.
+		return &reorganizeBlockSource{movementSource: *src, blk: blk}
+	case m.name == "Slice" && src.shape.Rank() >= 1:
+		starts, err := sliceStarts(m, src.inSh[0])
+		if err != nil {
+			return src
+		}
+		return &sliceBlockSource{
+			movementSource: *src,
+			blk:            blk,
+			starts:         starts,
+			idxBuf:         make([]int, src.shape.Rank()),
+		}
+	}
+	return src
+}
+
+// sliceStarts resolves a Slice operator's per-axis start offsets.
+func sliceStarts(m *movement, in tensor.Shape) ([]int, error) {
+	resolve, ok := m.attrs["resolve"].(func(tensor.Shape) ([]int, []int, error))
+	if !ok {
+		return nil, fmt.Errorf("Slice: no resolver")
+	}
+	starts, _, err := resolve(in)
+	return starts, err
+}
+
+// reorganizeBlockSource streams a Reshape/Flatten/Squeeze/Unsqueeze:
+// the flat data is untouched, so blocks pass straight through.
+type reorganizeBlockSource struct {
+	movementSource
+	blk BlockSource
+}
+
+func (s *reorganizeBlockSource) LoadBlock(dst []float32, off, n int) {
+	s.blk.LoadBlock(dst, off, n)
+}
+
+// sliceBlockSource streams a Slice row by row: within an innermost output
+// row the input offsets are contiguous, so each covered row segment is one
+// block load at a shifted base offset.
+type sliceBlockSource struct {
+	movementSource
+	blk    BlockSource
+	starts []int
+	idxBuf []int
+}
+
+func (s *sliceBlockSource) LoadBlock(dst []float32, off, n int) {
+	out := s.shape
+	in := s.inSh[0]
+	rowLen := out[out.Rank()-1]
+	for n > 0 {
+		j := off % rowLen
+		run := rowLen - j
+		if run > n {
+			run = n
+		}
+		out.Unravel(off, s.idxBuf)
+		for i := range s.idxBuf {
+			s.idxBuf[i] += s.starts[i]
+		}
+		s.blk.LoadBlock(dst[:run], in.Ravel(s.idxBuf), run)
+		dst = dst[run:]
+		off += run
+		n -= run
+	}
 }
 
 type movementSource struct {
@@ -432,6 +513,10 @@ func NewSlice(axes, starts, ends []int) Operator {
 		mapping:    OneToOne,
 		attrKey:    fmt.Sprintf("axes=%v,starts=%v,ends=%v", ax, st, en),
 		props:      Properties{Linear: true},
+		// The blocked fast path re-resolves start offsets at bind time.
+		attrs: map[string]any{"resolve": func(s tensor.Shape) ([]int, []int, error) {
+			return resolve(s)
+		}},
 	}
 	m.infer = func(in []tensor.Shape) ([]tensor.Shape, error) {
 		_, sizes, err := resolve(in[0])
@@ -678,24 +763,28 @@ func (g *gather) Virtualize(ins []Source, outNo int) (Source, error) {
 	}
 	ax, _ := tensor.NormalizeAxis(g.axis, shapes[0].Rank())
 	return &gatherSource{
-		shape:  outs[0],
-		data:   ins[0],
-		index:  ins[1],
-		axis:   ax,
-		dBuf:   make([]int, shapes[0].Rank()),
-		iBuf:   make([]int, shapes[1].Rank()),
-		idxLen: shapes[1].Rank(),
+		shape:   outs[0],
+		data:    ins[0],
+		index:   ins[1],
+		axis:    ax,
+		axisDim: shapes[0][ax],
+		dBuf:    make([]int, shapes[0].Rank()),
+		iBuf:    make([]int, shapes[1].Rank()),
+		idxLen:  shapes[1].Rank(),
 	}, nil
 }
 
 type gatherSource struct {
-	shape  tensor.Shape
-	data   Source
-	index  Source
-	axis   int
-	dBuf   []int
-	iBuf   []int
-	idxLen int
+	shape tensor.Shape
+	data  Source
+	index Source
+	axis  int
+	// axisDim is the gathered-axis length, hoisted from Load so negative
+	// indices resolve without re-querying the data source's shape.
+	axisDim int
+	dBuf    []int
+	iBuf    []int
+	idxLen  int
 }
 
 func (s *gatherSource) Shape() tensor.Shape { return s.shape }
@@ -703,9 +792,8 @@ func (s *gatherSource) Shape() tensor.Shape { return s.shape }
 func (s *gatherSource) Load(o []int) float32 {
 	copy(s.iBuf, o[s.axis:s.axis+s.idxLen])
 	gi := int(s.index.Load(s.iBuf))
-	dataShape := s.data.Shape()
 	if gi < 0 {
-		gi += dataShape[s.axis]
+		gi += s.axisDim
 	}
 	copy(s.dBuf[:s.axis], o[:s.axis])
 	s.dBuf[s.axis] = gi

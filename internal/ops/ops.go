@@ -130,6 +130,13 @@ type tensorSource struct{ t *tensor.Tensor }
 func (s tensorSource) Shape() tensor.Shape    { return s.t.Shape() }
 func (s tensorSource) Load(idx []int) float32 { return s.t.At(idx...) }
 
+// LoadBlock copies a contiguous run of the tensor's row-major data;
+// materialized tensors are the leaves every blocked fast path bottoms out
+// in.
+func (s tensorSource) LoadBlock(dst []float32, off, n int) {
+	copy(dst, s.t.Data()[off:off+n])
+}
+
 // AsSource wraps a materialized tensor as a Source.
 func AsSource(t *tensor.Tensor) Source { return tensorSource{t} }
 
@@ -151,11 +158,42 @@ func Materialize(src Source) *tensor.Tensor {
 	return out
 }
 
-// MaterializeInto evaluates src into dst, whose shape must equal src's. idx
-// is caller-owned scratch of at least src's rank, so a caller that reuses
-// dst and idx across evaluations (the planned-arena executor) performs no
-// allocation here; Sources themselves must not allocate per Load for that
-// to hold.
+// MaterializeRange evaluates elements [lo, hi) of src's row-major order
+// into dst.Data()[lo:hi]. It takes the blocked fast path when src exposes
+// one (no per-element Unravel or virtual dispatch), falling back to the
+// scalar tree-walk otherwise. idx is caller-owned scratch of at least src's
+// rank, used only on the scalar fallback. This is the executor's inner
+// loop: the parallel executor covers an output by calling it on disjoint
+// ranges from different workers, each with its own Source tree and idx.
+func MaterializeRange(src Source, dst *tensor.Tensor, idx []int, lo, hi int) {
+	if hi <= lo {
+		return
+	}
+	data := dst.Data()[lo:hi]
+	if t := AsTensor(src); t != nil {
+		copy(data, t.Data()[lo:hi])
+		return
+	}
+	if blk, ok := AsBlock(src); ok {
+		blk.LoadBlock(data, lo, hi-lo)
+		return
+	}
+	shape := src.Shape()
+	idx = idx[:shape.Rank()]
+	shape.Unravel(lo, idx)
+	for i := range data {
+		data[i] = src.Load(idx)
+		incIndex(shape, idx)
+	}
+}
+
+// MaterializeInto evaluates src into dst, whose shape must equal src's,
+// one scalar Load per element. It deliberately ignores blocked fast paths:
+// this is the reference (oracle) evaluation order that LoadBlock
+// implementations are checked against. idx is caller-owned scratch of at
+// least src's rank, so a caller that reuses dst and idx across evaluations
+// performs no allocation here; Sources themselves must not allocate per
+// Load for that to hold.
 func MaterializeInto(src Source, dst *tensor.Tensor, idx []int) {
 	if t := AsTensor(src); t != nil {
 		copy(dst.Data(), t.Data())

@@ -127,15 +127,40 @@ func (p *pool) Virtualize(ins []Source, outNo int) (Source, error) {
 		return nil, err
 	}
 	kernel, strides, pads, _ := p.resolved(x)
-	return &poolSource{
+	src := &poolSource{
 		shape:   out,
 		in:      ins[0],
 		avg:     p.avg,
 		kernel:  kernel,
 		strides: strides,
 		pads:    pads,
+		xShape:  x,
+		spatial: x.Rank() - 2,
 		buf:     make([]int, x.Rank()),
-	}, nil
+	}
+	src.total = 1
+	for _, k := range kernel {
+		src.total *= k
+	}
+	return blockedPool(src), nil
+}
+
+// blockedPool upgrades a pooling source to flat window loops when the
+// input exposes flat data or can be staged into per-session scratch; the
+// window iteration order matches the scalar path, so results are
+// bit-for-bit equal.
+func blockedPool(s *poolSource) Source {
+	xData, xStage, ok := flatOrStage(s.in, s.xShape.NumElements())
+	if !ok {
+		return s
+	}
+	return &poolBlockSource{
+		poolSource: *s,
+		xData:      xData,
+		xStage:     xStage,
+		xStrides:   s.xShape.Strides(),
+		idxBuf:     make([]int, s.shape.Rank()),
+	}
 }
 
 type poolSource struct {
@@ -145,19 +170,20 @@ type poolSource struct {
 	kernel  []int
 	strides []int
 	pads    []int
+	// Shape and window size hoisted from Load to Virtualize time.
+	xShape  tensor.Shape
+	spatial int
+	total   int
 	buf     []int
 }
 
 func (s *poolSource) Shape() tensor.Shape { return s.shape }
 
 func (s *poolSource) Load(idx []int) float32 {
-	xShape := s.in.Shape()
-	spatial := xShape.Rank() - 2
+	xShape := s.xShape
+	spatial := s.spatial
 	s.buf[0], s.buf[1] = idx[0], idx[1]
-	total := 1
-	for _, k := range s.kernel {
-		total *= k
-	}
+	total := s.total
 	acc := math.Inf(-1)
 	sum, count := 0.0, 0
 	for kp := 0; kp < total; kp++ {
@@ -177,6 +203,64 @@ func (s *poolSource) Load(idx []int) float32 {
 			continue
 		}
 		v := float64(s.in.Load(s.buf))
+		sum += v
+		count++
+		acc = math.Max(acc, v)
+	}
+	if s.avg {
+		if count == 0 {
+			return 0
+		}
+		return float32(sum / float64(count))
+	}
+	return float32(acc)
+}
+
+// poolBlockSource walks the requested output range with a row-major
+// odometer and evaluates every window over the flat input slice.
+type poolBlockSource struct {
+	poolSource
+	xData    []float32
+	xStage   BlockSource
+	xStrides []int
+	idxBuf   []int
+}
+
+func (s *poolBlockSource) LoadBlock(dst []float32, off, n int) {
+	if s.xStage != nil {
+		// Re-streamed every call: inputs change between runs.
+		s.xStage.LoadBlock(s.xData, 0, len(s.xData))
+	}
+	idx := s.idxBuf
+	s.shape.Unravel(off, idx)
+	for t := 0; t < n; t++ {
+		dst[t] = s.eval(idx)
+		incIndex(s.shape, idx)
+	}
+}
+
+func (s *poolBlockSource) eval(idx []int) float32 {
+	base := idx[0]*s.xStrides[0] + idx[1]*s.xStrides[1]
+	acc := math.Inf(-1)
+	sum, count := 0.0, 0
+	for kp := 0; kp < s.total; kp++ {
+		rem := kp
+		ok := true
+		xOff := base
+		for i := s.spatial - 1; i >= 0; i-- {
+			k := rem % s.kernel[i]
+			rem /= s.kernel[i]
+			pos := idx[2+i]*s.strides[i] - s.pads[i] + k
+			if pos < 0 || pos >= s.xShape[2+i] {
+				ok = false
+				break
+			}
+			xOff += pos * s.xStrides[2+i]
+		}
+		if !ok {
+			continue
+		}
+		v := float64(s.xData[xOff])
 		sum += v
 		count++
 		acc = math.Max(acc, v)

@@ -133,6 +133,10 @@ func (r *reduce) Virtualize(ins []Source, outNo int) (Source, error) {
 			redAxes = append(redAxes, i)
 		}
 	}
+	count := 1
+	for _, a := range redAxes {
+		count *= inShape[a]
+	}
 	return &reduceSource{
 		op:      r,
 		shape:   outs[0],
@@ -140,6 +144,7 @@ func (r *reduce) Virtualize(ins []Source, outNo int) (Source, error) {
 		inShape: inShape,
 		red:     red,
 		redAxes: redAxes,
+		count:   count,
 		buf:     make([]int, inShape.Rank()),
 	}, nil
 }
@@ -151,7 +156,9 @@ type reduceSource struct {
 	inShape tensor.Shape
 	red     map[int]bool
 	redAxes []int
-	buf     []int
+	// count is the reduced-element count, hoisted from Load.
+	count int
+	buf   []int
 }
 
 func (s *reduceSource) Shape() tensor.Shape { return s.shape }
@@ -170,10 +177,7 @@ func (s *reduceSource) Load(outIdx []int) float32 {
 			j++
 		}
 	}
-	count := 1
-	for _, a := range s.redAxes {
-		count *= s.inShape[a]
-	}
+	count := s.count
 	var acc float64
 	switch s.op.kind {
 	case ReduceProd:
@@ -300,24 +304,89 @@ func (s *softmax) Virtualize(ins []Source, outNo int) (Source, error) {
 	if outNo != 0 || len(ins) != 1 {
 		return nil, errInputs(s.Type(), "1", len(ins))
 	}
-	ax, ok := tensor.NormalizeAxis(s.axis, ins[0].Shape().Rank())
+	inShape := ins[0].Shape()
+	ax, ok := tensor.NormalizeAxis(s.axis, inShape.Rank())
 	if !ok {
-		return nil, fmt.Errorf("%s: axis %d out of range for %v", s.Type(), s.axis, ins[0].Shape())
+		return nil, fmt.Errorf("%s: axis %d out of range for %v", s.Type(), s.axis, inShape)
 	}
-	return &softmaxSource{in: ins[0], axis: ax, log: s.log, buf: make([]int, ins[0].Shape().Rank())}, nil
+	src := &softmaxSource{
+		in: ins[0], shape: inShape, axis: ax, axisDim: inShape[ax],
+		log: s.log, buf: make([]int, inShape.Rank()),
+	}
+	// Row-wise fast path: softmax over the innermost axis of a blocked
+	// input computes each contiguous row's max and sum once instead of
+	// twice per element.
+	if ax == inShape.Rank()-1 && inShape.Rank() >= 1 {
+		if blk, ok := AsBlock(ins[0]); ok {
+			return &softmaxBlockSource{
+				softmaxSource: *src,
+				blk:           blk,
+				rowBuf:        make([]float32, inShape[ax]),
+			}, nil
+		}
+	}
+	return src, nil
 }
 
 type softmaxSource struct {
-	in   Source
-	axis int
-	log  bool
-	buf  []int
+	in    Source
+	shape tensor.Shape
+	axis  int
+	// axisDim is the softmax-axis length, hoisted from Load.
+	axisDim int
+	log     bool
+	buf     []int
 }
 
-func (s *softmaxSource) Shape() tensor.Shape { return s.in.Shape() }
+func (s *softmaxSource) Shape() tensor.Shape { return s.shape }
+
+// softmaxBlockSource streams innermost-axis softmax row by row: each
+// contiguous input row is staged once into rowBuf, its max and exp-sum are
+// computed once, and every covered element of the row is normalized from
+// the staged values — versus the scalar path's two full row passes per
+// element. The max/sum accumulation order matches softmaxSource.Load, so
+// results are bit-for-bit equal.
+type softmaxBlockSource struct {
+	softmaxSource
+	blk    BlockSource
+	rowBuf []float32
+}
+
+func (s *softmaxBlockSource) LoadBlock(dst []float32, off, n int) {
+	d := s.axisDim
+	for n > 0 {
+		j := off % d
+		run := d - j
+		if run > n {
+			run = n
+		}
+		s.blk.LoadBlock(s.rowBuf, off-j, d)
+		maxV := math.Inf(-1)
+		for _, v := range s.rowBuf {
+			maxV = math.Max(maxV, float64(v))
+		}
+		var sum float64
+		for _, v := range s.rowBuf {
+			sum += math.Exp(float64(v) - maxV)
+		}
+		if s.log {
+			logSum := math.Log(sum)
+			for t := 0; t < run; t++ {
+				dst[t] = float32(float64(s.rowBuf[j+t]) - maxV - logSum)
+			}
+		} else {
+			for t := 0; t < run; t++ {
+				dst[t] = float32(math.Exp(float64(s.rowBuf[j+t])-maxV) / sum)
+			}
+		}
+		dst = dst[run:]
+		off += run
+		n -= run
+	}
+}
 
 func (s *softmaxSource) Load(idx []int) float32 {
-	n := s.in.Shape()[s.axis]
+	n := s.axisDim
 	copy(s.buf, idx)
 	maxV := math.Inf(-1)
 	for i := 0; i < n; i++ {

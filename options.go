@@ -55,6 +55,14 @@ func WithBlockLimits(maxOps, maxInputs int) Option {
 // frameworks with weaker kernel implementations (1.0 is DNNFusion's own).
 func WithQuality(q float64) Option { return func(o *core.Options) { o.Quality = q } }
 
+// WithThreads sets the CPU executor's worker-lane count: each kernel's
+// output range is split into grain-sized chunks across n lanes drawn from
+// one worker pool shared by all of the model's runners. n = 0 (the
+// default) uses runtime.GOMAXPROCS; n = 1 disables intra-kernel
+// parallelism entirely. Whatever n, a warmed Runner.Run stays
+// zero-allocation and outputs keep the documented double-buffer contract.
+func WithThreads(n int) Option { return func(o *core.Options) { o.Threads = n } }
+
 // Fusion seed policies for WithSeedPolicy.
 const (
 	// SeedMinIRS starts from the One-to-One operator with the smallest
