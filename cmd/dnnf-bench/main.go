@@ -12,17 +12,21 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"dnnfusion"
+	"dnnfusion/serve"
 
 	"dnnfusion/internal/baseline"
 	"dnnfusion/internal/bench"
+	"dnnfusion/internal/graph"
 	"dnnfusion/internal/models"
 	"dnnfusion/internal/profile"
 )
@@ -96,13 +100,28 @@ func timeRunner(g *dnnfusion.Graph, opts ...dnnfusion.Option) (nsPerOp, bytesPer
 		elapsed := time.Since(start)
 		runtime.ReadMemStats(&after)
 		if elapsed >= 100*time.Millisecond || iters >= 200_000 {
-			return elapsed.Nanoseconds() / int64(iters),
-				int64(after.TotalAlloc-before.TotalAlloc) / int64(iters),
-				float64(after.Mallocs-before.Mallocs) / float64(iters),
-				model, nil
+			nsPerOp = elapsed.Nanoseconds() / int64(iters)
+			bytesPerOp = int64(after.TotalAlloc-before.TotalAlloc) / int64(iters)
+			allocsPerOp = float64(after.Mallocs-before.Mallocs) / float64(iters)
+			break
 		}
 		iters *= 4
 	}
+	// One window is at the mercy of machine drift (shared containers
+	// throttle); re-run the sized window a few times and keep the best, so
+	// the recorded trajectory number is the model's cost, not the noise's.
+	for round := 1; round < 4; round++ {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if _, err := runner.Run(ctx, inputs); err != nil {
+				return 0, 0, 0, nil, err
+			}
+		}
+		if ns := time.Since(start).Nanoseconds() / int64(iters); ns < nsPerOp {
+			nsPerOp = ns
+		}
+	}
+	return nsPerOp, bytesPerOp, allocsPerOp, model, nil
 }
 
 // measureExec records one micro model's measured serving-path numbers:
@@ -130,11 +149,204 @@ func measureExec(build func() *dnnfusion.Graph) (jsonExec, error) {
 	}, nil
 }
 
-// jsonSummary is the -json baseline file (schema dnnf-bench/v2).
+// jsonBatchPoint is one (model, batch size) measurement of the micro-batch
+// scenario: the same model served at batch 1/8/32 through the batching
+// stack. ns_per_request is the measured per-request execution cost of a
+// coalesced batch (BatchRunner.RunBatch wall time divided by batch size,
+// minimum over interleaved windows so machine drift cannot bias one batch
+// size); served_ns_per_request is the end-to-end per-request cost through
+// serve.Host.Run with <batch> concurrent saturating clients (queueing,
+// dispatch, and result delivery included), with served_mean_batch the
+// coalescing the batcher actually achieved during that window.
+type jsonBatchPoint struct {
+	Name               string  `json:"name"`
+	Batch              int     `json:"batch"`
+	NsPerRequest       int64   `json:"ns_per_request"`
+	ServedNsPerRequest int64   `json:"served_ns_per_request"`
+	ServedMeanBatch    float64 `json:"served_mean_batch"`
+}
+
+// jsonSummary is the -json baseline file (schema dnnf-bench/v3). num_cpu
+// and gomaxprocs make threaded numbers (ns_per_op_t8, the micro-batch
+// scenario) self-describing: a t8 column produced on a 1-CPU container
+// cannot show wall-clock parallel gains, and now the file says so itself.
 type jsonSummary struct {
-	Schema string      `json:"schema"`
-	Models []jsonModel `json:"models"`
-	Exec   []jsonExec  `json:"exec"`
+	Schema     string           `json:"schema"`
+	NumCPU     int              `json:"num_cpu"`
+	GoMaxProcs int              `json:"gomaxprocs"`
+	Models     []jsonModel      `json:"models"`
+	Exec       []jsonExec       `json:"exec"`
+	MicroBatch []jsonBatchPoint `json:"micro_batch"`
+}
+
+// batchSizes is the micro-batch scenario's sweep.
+var batchSizes = []int{1, 8, 32}
+
+// measureBatch runs the micro-batch scenario for one micro model: compile
+// batch-capacity variants at each sweep size, measure coalesced execution
+// in interleaved windows (every round touches every batch size, minima
+// reported, so slow machine drift hits all sizes equally), then measure
+// the served path under concurrent clients. Models that do not admit a
+// leading batch axis return no points — they serve through the per-request
+// fallback and have no batched cost to report.
+func measureBatch(build func() *graph.Graph) ([]jsonBatchPoint, error) {
+	g := build()
+	model, err := dnnfusion.Compile(g, dnnfusion.WithThreads(1))
+	if err != nil {
+		return nil, err
+	}
+	maxB := batchSizes[len(batchSizes)-1]
+	runners := make([]*dnnfusion.BatchRunner, len(batchSizes))
+	for i, b := range batchSizes {
+		bm, err := model.CompileBatch(b)
+		if errors.Is(err, dnnfusion.ErrNotBatchable) {
+			return nil, nil // fallback path by design: no batched numbers
+		}
+		if err != nil {
+			// A batchable model failing batch compilation is a regression,
+			// not a fallback — surface it instead of silently dropping the
+			// scenario.
+			return nil, err
+		}
+		runners[i] = bm.NewRunner()
+	}
+	reqs := make([]map[string]*dnnfusion.Tensor, maxB)
+	for i := range reqs {
+		in := map[string]*dnnfusion.Tensor{}
+		for j, name := range model.InputNames() {
+			shape, err := model.InputShape(name)
+			if err != nil {
+				return nil, err
+			}
+			in[name] = dnnfusion.NewTensor(shape...).Rand(uint64(17*i + j + 1))
+		}
+		reqs[i] = in
+	}
+	ctx := context.Background()
+	window := func(br *dnnfusion.BatchRunner, b int) (int64, error) {
+		iters := 0
+		start := time.Now()
+		for elapsed := time.Duration(0); elapsed < 60*time.Millisecond || iters < 2; elapsed = time.Since(start) {
+			if _, err := br.RunBatch(ctx, reqs[:b]); err != nil {
+				return 0, err
+			}
+			iters++
+		}
+		return time.Since(start).Nanoseconds() / int64(iters*b), nil
+	}
+	best := make([]int64, len(batchSizes))
+	for i, b := range batchSizes {
+		// Warm arenas and view rings outside the timed windows.
+		for w := 0; w < 2; w++ {
+			if _, err := runners[i].RunBatch(ctx, reqs[:b]); err != nil {
+				return nil, err
+			}
+		}
+		best[i] = 1 << 62
+	}
+	const rounds = 5
+	for r := 0; r < rounds; r++ {
+		for i, b := range batchSizes {
+			ns, err := window(runners[i], b)
+			if err != nil {
+				return nil, err
+			}
+			if ns < best[i] {
+				best[i] = ns
+			}
+		}
+	}
+	points := make([]jsonBatchPoint, len(batchSizes))
+	for i, b := range batchSizes {
+		served, meanBatch, err := measureServed(model, b, best[i])
+		if err != nil {
+			return nil, err
+		}
+		points[i] = jsonBatchPoint{
+			Name:               g.Name,
+			Batch:              b,
+			NsPerRequest:       best[i],
+			ServedNsPerRequest: served,
+			ServedMeanBatch:    meanBatch,
+		}
+	}
+	return points, nil
+}
+
+// measureServed times the full serving path: <batch> concurrent clients
+// saturating one serve.Host configured with that batch capacity.
+func measureServed(model *dnnfusion.Model, batch int, execNs int64) (nsPerReq int64, meanBatch float64, err error) {
+	reg := serve.NewRegistry()
+	defer reg.Close()
+	// The coalescing window must scale with the model's batch latency, as
+	// a deployment would tune it: a window far below one batch's execution
+	// time fragments saturating traffic into partial batches, and the
+	// padded lanes would be billed to real requests.
+	delay := time.Duration(execNs*int64(batch)/4) * time.Nanosecond
+	if delay < 200*time.Microsecond {
+		delay = 200 * time.Microsecond
+	}
+	h, err := reg.Register("bench", model, serve.Config{
+		MaxBatch: batch,
+		MaxDelay: delay,
+		Prewarm:  true,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	ctx := context.Background()
+	request := func(seed uint64) map[string]*dnnfusion.Tensor {
+		in := map[string]*dnnfusion.Tensor{}
+		for j, name := range model.InputNames() {
+			shape, _ := model.InputShape(name)
+			in[name] = dnnfusion.NewTensor(shape...).Rand(seed + uint64(j))
+		}
+		return in
+	}
+	// Aim each client at ~150ms of execution so the window dwarfs startup.
+	perClient := int(150 * int64(time.Millisecond) / (execNs*int64(batch) + 1))
+	if perClient < 5 {
+		perClient = 5
+	}
+	var wg sync.WaitGroup
+	var firstErr error
+	var mu sync.Mutex
+	// Warm every client path once before timing.
+	res, err := h.Run(ctx, request(99))
+	if err != nil {
+		return 0, 0, err
+	}
+	res.Release()
+	start := time.Now()
+	for c := 0; c < batch; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			req := request(uint64(1000 * (c + 1)))
+			for i := 0; i < perClient; i++ {
+				res, err := h.Run(ctx, req)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				res.Release()
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return 0, 0, firstErr
+	}
+	info, err := h.Info()
+	if err != nil {
+		return 0, 0, err
+	}
+	return elapsed.Nanoseconds() / int64(batch*perClient), info.Stats.MeanBatch, nil
 }
 
 func buildJSONBaseline(c *bench.Context) (*jsonSummary, error) {
@@ -160,7 +372,11 @@ func buildJSONBaseline(c *bench.Context) (*jsonSummary, error) {
 			m.GPUMs = r.GPU[baseline.DNNF]
 		}
 	}
-	summary := &jsonSummary{Schema: "dnnf-bench/v2"}
+	summary := &jsonSummary{
+		Schema:     "dnnf-bench/v3",
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
 	for _, name := range order {
 		summary.Models = append(summary.Models, *byModel[name])
 	}
@@ -173,6 +389,15 @@ func buildJSONBaseline(c *bench.Context) (*jsonSummary, error) {
 			return nil, fmt.Errorf("exec %s: %w", spec.Name, err)
 		}
 		summary.Exec = append(summary.Exec, e)
+	}
+	// The micro-batch scenario: the same models at batch 1/8/32 through
+	// the batching stack (unbatchable models contribute no points).
+	for _, spec := range models.MicroModels() {
+		pts, err := measureBatch(spec.Build)
+		if err != nil {
+			return nil, fmt.Errorf("micro-batch %s: %w", spec.Name, err)
+		}
+		summary.MicroBatch = append(summary.MicroBatch, pts...)
 	}
 	return summary, nil
 }
@@ -204,6 +429,12 @@ func compareBaseline(summary *jsonSummary, baselinePath string, w *os.File) (ok 
 	}
 	ok = true
 	gated := 0
+	fmt.Fprintf(w, "environment: num_cpu=%d gomaxprocs=%d", summary.NumCPU, summary.GoMaxProcs)
+	if base.NumCPU > 0 {
+		fmt.Fprintf(w, "; baseline num_cpu=%d gomaxprocs=%d\n", base.NumCPU, base.GoMaxProcs)
+	} else {
+		fmt.Fprintf(w, "; baseline (schema %s) predates cpu recording\n", base.Schema)
+	}
 	fmt.Fprintf(w, "measured exec vs %s (gate: >10%% ns/op regression)\n", baselinePath)
 	fmt.Fprintf(w, "%-20s %14s %14s %9s %14s\n", "model", "base ns/op", "now ns/op", "delta", "now t8 ns/op")
 	for _, e := range summary.Exec {
@@ -232,7 +463,33 @@ func compareBaseline(summary *jsonSummary, baselinePath string, w *os.File) (ok 
 		// rename would otherwise disable the check silently.
 		return false, fmt.Errorf("%s has no exec entries matching the current micro models; nothing was gated", baselinePath)
 	}
+	printMicroBatch(summary, w)
 	return ok, nil
+}
+
+// printMicroBatch renders the micro-batch scenario with each point's
+// per-request cost relative to the same model's batch-1 point
+// (informational; the regression gate stays on single-request ns/op).
+func printMicroBatch(summary *jsonSummary, w *os.File) {
+	if len(summary.MicroBatch) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\nmicro-batch scenario (per-request cost through the batcher)\n")
+	fmt.Fprintf(w, "%-20s %6s %14s %8s %14s %11s\n", "model", "batch", "exec ns/req", "vs b1", "served ns/req", "mean batch")
+	base1 := map[string]int64{}
+	for _, p := range summary.MicroBatch {
+		if p.Batch == 1 {
+			base1[p.Name] = p.NsPerRequest
+		}
+	}
+	for _, p := range summary.MicroBatch {
+		delta := "-"
+		if b1 := base1[p.Name]; b1 > 0 && p.Batch != 1 {
+			delta = fmt.Sprintf("%+.1f%%", float64(p.NsPerRequest-b1)/float64(b1)*100)
+		}
+		fmt.Fprintf(w, "%-20s %6d %14d %8s %14d %11.2f\n",
+			p.Name, p.Batch, p.NsPerRequest, delta, p.ServedNsPerRequest, p.ServedMeanBatch)
+	}
 }
 
 type list []string

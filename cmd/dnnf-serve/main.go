@@ -1,0 +1,144 @@
+// Command dnnf-serve is the HTTP serving front-end: it hosts the
+// executable micro-model zoo (and optionally the Table 5 simulation zoo)
+// behind a model repository with per-model dynamic request batching.
+//
+// Usage:
+//
+//	dnnf-serve                          # serve the micro zoo on :8080
+//	dnnf-serve -addr :9000 -max-batch 16 -max-delay 1ms
+//	dnnf-serve -models micro-mlp,micro-cnn -prewarm
+//	dnnf-serve -zoo                     # also expose the Table 5 models
+//
+// Endpoints (see serve.Server):
+//
+//	GET  /healthz
+//	GET  /v1/models
+//	GET  /v1/models/{name}
+//	POST /v1/models/{name}:predict     {"inputs": {"x": {"shape": [...], "data": [...]}}}
+//
+// The Table 5 zoo models are shape-only (their weights carry no data), so
+// they serve metadata and simulation but fail :predict; the micro models
+// execute numerically.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"dnnfusion"
+	"dnnfusion/serve"
+
+	"dnnfusion/internal/models"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	modelList := flag.String("models", "", "comma-separated micro-model names to serve (default: all micro models)")
+	zoo := flag.Bool("zoo", false, "also register the Table 5 simulation zoo (metadata only; shape-only weights cannot execute)")
+	maxBatch := flag.Int("max-batch", serve.DefaultMaxBatch, "dynamic batching capacity per model (1 disables)")
+	maxDelay := flag.Duration("max-delay", serve.DefaultMaxDelay, "how long the first request of a batch waits for peers")
+	threads := flag.Int("threads", 0, "worker lanes per model (0 = GOMAXPROCS)")
+	prewarm := flag.Bool("prewarm", false, "compile and bind serving arenas at startup instead of on first request")
+	flag.Parse()
+
+	cfg := serve.Config{MaxBatch: *maxBatch, MaxDelay: *maxDelay, Prewarm: *prewarm}
+	reg := serve.NewRegistry()
+
+	want := map[string]bool{}
+	for _, name := range strings.Split(*modelList, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			want[name] = true
+		}
+	}
+	registered := 0
+	for _, spec := range models.MicroModels() {
+		if len(want) > 0 && !want[spec.Name] {
+			continue
+		}
+		delete(want, spec.Name)
+		build := spec.Build
+		if _, err := reg.RegisterBuilder(spec.Name, func() (*dnnfusion.Model, error) {
+			return dnnfusion.Compile(build(), dnnfusion.WithThreads(*threads))
+		}, cfg); err != nil {
+			log.Fatalf("registering %s: %v", spec.Name, err)
+		}
+		registered++
+	}
+	if len(want) > 0 {
+		log.Fatalf("unknown micro models requested: %v (available: %v)", keys(want), microNames())
+	}
+	if *zoo {
+		for _, name := range dnnfusion.ModelNames() {
+			name := name
+			if _, err := reg.RegisterBuilder(name, func() (*dnnfusion.Model, error) {
+				g, err := dnnfusion.BuildModel(name)
+				if err != nil {
+					return nil, err
+				}
+				return dnnfusion.Compile(g, dnnfusion.WithThreads(*threads))
+			}, cfg); err != nil {
+				log.Fatalf("registering zoo model %s: %v", name, err)
+			}
+			registered++
+		}
+	}
+	if registered == 0 {
+		log.Fatal("no models to serve")
+	}
+	if *prewarm {
+		start := time.Now()
+		for _, name := range reg.Names() {
+			h, err := reg.Resolve(name)
+			if err != nil {
+				continue
+			}
+			if _, err := h.Model(); err != nil {
+				log.Printf("prewarm %s: %v", name, err)
+			}
+		}
+		log.Printf("prewarmed %d models in %v", registered, time.Since(start).Round(time.Millisecond))
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: serve.NewServer(reg)}
+	go func() {
+		log.Printf("dnnf-serve listening on %s (%d models, max-batch %d, max-delay %v)",
+			*addr, registered, *maxBatch, *maxDelay)
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("listen: %v", err)
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	log.Print("shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	srv.Shutdown(ctx)
+	reg.Close()
+}
+
+func keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func microNames() string {
+	var names []string
+	for _, spec := range models.MicroModels() {
+		names = append(names, spec.Name)
+	}
+	return fmt.Sprint(names)
+}

@@ -36,6 +36,11 @@ var (
 	// ErrShapeMismatch reports a feed whose shape differs from the
 	// model's declared input shape. The concrete error is a *ShapeError.
 	ErrShapeMismatch = errors.New("dnnfusion: shape mismatch")
+	// ErrNotBatchable reports a model whose graph does not admit a
+	// leading batch axis: some operator hard-codes the leading extent or
+	// collapses it (CompileBatch's structural check). Serving layers
+	// treat it as "fall back to per-request execution", not a failure.
+	ErrNotBatchable = errors.New("dnnfusion: model not batchable along leading axis")
 )
 
 // ShapeError carries the details of a shape mismatch between a named model

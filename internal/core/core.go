@@ -52,6 +52,12 @@ type Options struct {
 	// Threads is the CPU executor's worker-lane count for intra-kernel
 	// parallelism: 0 means GOMAXPROCS, 1 disables it.
 	Threads int
+	// Pool, when non-nil, makes the executor borrow an existing worker
+	// pool instead of owning one (Threads is then ignored). Batch-capacity
+	// variants of a model compile with the base model's pool here so the
+	// pair shares one set of worker lanes; the caller must keep the pool's
+	// owning executor reachable (see engine.NewExecutorPool).
+	Pool *engine.Pool
 }
 
 // Defaults is the full DNNFusion pipeline.
@@ -133,12 +139,20 @@ func Compile(g *graph.Graph, opts Options) (*Compiled, error) {
 	if opts.Cache != nil {
 		c.Stats.KernelCacheHits = opts.Cache.Hits - cacheHitsBefore
 	}
-	c.exec, err = engine.NewExecutorThreads(e, c.Plan, kernels, opts.Threads)
+	if opts.Pool != nil {
+		c.exec, err = engine.NewExecutorPool(e, c.Plan, kernels, opts.Pool)
+	} else {
+		c.exec, err = engine.NewExecutorThreads(e, c.Plan, kernels, opts.Threads)
+	}
 	if err != nil {
 		return nil, err
 	}
 	return c, nil
 }
+
+// SharedPool returns the executor's worker pool (nil when single-threaded)
+// so a batch-capacity variant can borrow it via Options.Pool.
+func (c *Compiled) SharedPool() *engine.Pool { return c.exec.Pool() }
 
 // NewSession creates an independent execution session over the compiled
 // kernels. The Compiled artifact is shared and immutable; each session owns

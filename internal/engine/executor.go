@@ -45,6 +45,46 @@ func NewExecutor(e *ecg.ECG, plan *fusion.Plan, kernels []*codegen.Kernel) (*Exe
 // NewExecutorThreads is NewExecutor with an explicit worker-lane count:
 // n < 1 means GOMAXPROCS, 1 disables intra-kernel parallelism.
 func NewExecutorThreads(e *ecg.ECG, plan *fusion.Plan, kernels []*codegen.Kernel, n int) (*Executor, error) {
+	x, err := newExecutor(e, plan, kernels)
+	if err != nil {
+		return nil, err
+	}
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > 1 {
+		x.pool = NewPool(n)
+		// A pool's workers block on their wake channels indefinitely;
+		// retire them when the executor (the only thing that can dispatch
+		// to them) becomes unreachable, so long-lived processes that
+		// compile many models do not accumulate parked goroutines. The
+		// pool itself must not be the cleanup's attachment point — its
+		// workers keep it reachable.
+		runtime.AddCleanup(x, func(p *Pool) { p.Close() }, x.pool)
+	}
+	return x, nil
+}
+
+// NewExecutorPool builds an executor that BORROWS an existing worker pool
+// instead of owning one: batched serving compiles a batch-capacity variant
+// of a model and runs it on the base model's pool, so the pair never doubles
+// the process's worker lanes. The borrowing executor does not arrange the
+// pool's retirement — the owning executor does — so the caller must keep the
+// owner reachable for as long as the borrower runs (a closed pool degrades
+// every dispatch to an inline single-lane run, which is correct but slow).
+// A nil pool yields a single-threaded executor.
+func NewExecutorPool(e *ecg.ECG, plan *fusion.Plan, kernels []*codegen.Kernel, pool *Pool) (*Executor, error) {
+	x, err := newExecutor(e, plan, kernels)
+	if err != nil {
+		return nil, err
+	}
+	x.pool = pool
+	return x, nil
+}
+
+// newExecutor schedules blocks, pairs kernels, and plans the arena — the
+// pool-independent construction shared by every executor constructor.
+func newExecutor(e *ecg.ECG, plan *fusion.Plan, kernels []*codegen.Kernel) (*Executor, error) {
 	if kernels == nil {
 		var err error
 		kernels, err = codegen.CompilePlan(e, plan, nil)
@@ -67,28 +107,19 @@ func NewExecutorThreads(e *ecg.ECG, plan *fusion.Plan, kernels []*codegen.Kernel
 	for i, b := range order {
 		scheduled[i] = kernelOf[b]
 	}
-	if n < 1 {
-		n = runtime.GOMAXPROCS(0)
-	}
-	x := &Executor{
+	return &Executor{
 		e:       e,
 		plan:    plan,
 		order:   order,
 		kernels: scheduled,
 		memplan: PlanArena(plan, order, e.G),
-	}
-	if n > 1 {
-		x.pool = NewPool(n)
-		// A pool's workers block on their wake channels indefinitely;
-		// retire them when the executor (the only thing that can dispatch
-		// to them) becomes unreachable, so long-lived processes that
-		// compile many models do not accumulate parked goroutines. The
-		// pool itself must not be the cleanup's attachment point — its
-		// workers keep it reachable.
-		runtime.AddCleanup(x, func(p *Pool) { p.Close() }, x.pool)
-	}
-	return x, nil
+	}, nil
 }
+
+// Pool returns the executor's worker pool (nil when single-threaded). It
+// exists so a batch-capacity variant of a model can borrow the base
+// executor's lanes via NewExecutorPool.
+func (x *Executor) Pool() *Pool { return x.pool }
 
 // Threads returns the executor's worker-lane count (1 when kernel
 // execution is single-threaded).
@@ -255,6 +286,80 @@ func (s *Session) Run(ctx context.Context, feeds map[*graph.Value]*tensor.Tensor
 			}
 		}
 	}
+	return s.execute(ctx)
+}
+
+// Warm binds the session — allocates its arena, composes and binds the
+// kernels, and preallocates the output double buffer — without running an
+// inference, so a serving process can pay the one-time setup before traffic
+// arrives instead of on the first request. Warming an already bound session
+// is a no-op.
+func (s *Session) Warm() error {
+	if s.bound {
+		return nil
+	}
+	return s.bind()
+}
+
+// RunBatch executes the plan once over a coalesced batch: the session's
+// graph must be the batch-capacity variant of a model (every input's
+// leading axis scaled by batch — see graph.WithLeadingBatch), and reqs
+// holds up to batch per-request feed maps whose tensors each cover one
+// leading-axis segment (1/batch of the corresponding input). Request i's
+// data is scattered directly into rows [i*seg, (i+1)*seg) of each input's
+// arena slot — no intermediate batch-shaped staging tensor exists anywhere.
+// When fewer than batch requests are supplied the tail lanes replicate
+// request 0, so partial batches reuse the capacity arena plan unchanged
+// (padded lanes recompute request 0's rows; numerically safe where zero
+// padding might not be).
+//
+// Outputs are the batch-shaped ring tensors under the same double-buffer
+// contract as Run; callers slice per-request segments out of them. The
+// steady-state hot path performs zero heap allocations.
+func (s *Session) RunBatch(ctx context.Context, reqs []map[*graph.Value]*tensor.Tensor, batch int) ([]*tensor.Tensor, error) {
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("engine: empty batch")
+	}
+	if len(reqs) > batch {
+		return nil, fmt.Errorf("engine: %d requests exceed batch capacity %d", len(reqs), batch)
+	}
+	if !s.bound {
+		if err := s.bind(); err != nil {
+			return nil, err
+		}
+	}
+	g := s.x.e.G
+	for _, in := range g.Inputs {
+		elems := in.Shape.NumElements()
+		if elems%batch != 0 {
+			return nil, fmt.Errorf("engine: input %v has %d elements, not divisible by batch %d", in, elems, batch)
+		}
+		seg := elems / batch
+		slot := s.slots[in].Data()
+		for lane := 0; lane < batch; lane++ {
+			req := reqs[0]
+			if lane < len(reqs) {
+				req = reqs[lane]
+			}
+			t, ok := req[in]
+			if !ok {
+				return nil, fmt.Errorf("engine: request %d missing input %v", lane, in)
+			}
+			if t.NumElements() != seg {
+				return nil, fmt.Errorf("engine: request %d feeds input %v with %d elements, want %d (one batch segment)",
+					lane, in, t.NumElements(), seg)
+			}
+			copy(slot[lane*seg:(lane+1)*seg], t.Data())
+		}
+	}
+	return s.execute(ctx)
+}
+
+// execute runs the bound kernels over the already-scattered arena inputs
+// and copies the graph outputs into the current ring set — the tail shared
+// by Run and RunBatch.
+func (s *Session) execute(ctx context.Context) ([]*tensor.Tensor, error) {
+	g := s.x.e.G
 	for i, bk := range s.programs {
 		if ctx != nil {
 			if err := ctx.Err(); err != nil {

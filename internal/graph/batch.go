@@ -1,0 +1,106 @@
+package graph
+
+import (
+	"fmt"
+
+	"dnnfusion/internal/tensor"
+)
+
+// WithLeadingBatch rebuilds g with every input's leading axis scaled by n —
+// the graph-level half of batched serving: n same-shape requests stacked
+// along the leading axis run as one inference. Weights are shared with g
+// (same backing tensors, no copies), every node is re-applied so operator
+// shape inference validates the scaled shapes, and value/output names are
+// preserved so the batched graph keeps the original's named I/O.
+//
+// The transform is structural, not semantic: it fails unless every value in
+// the graph scales exactly along its leading axis (shape [d0, d1, ...]
+// becomes [n*d0, d1, ...]), which rejects operators that hard-code the
+// leading extent (a Reshape to a fixed row count, a rank-2 Transpose that
+// moves the batch axis into a contracted dimension, a reduction over axis
+// 0). Operators that mix rows without changing shape — a Softmax over axis
+// 0 — pass this check but are semantically wrong to batch; callers that
+// need a guarantee must compare a batched run against sequential runs
+// (serve does this as a registration-time parity check).
+func WithLeadingBatch(g *Graph, n int) (*Graph, error) {
+	if g == nil {
+		return nil, fmt.Errorf("batch: nil graph")
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("batch: batch size %d < 1", n)
+	}
+	out := New(g.Name)
+	vm := make(map[*Value]*Value, len(g.Values))
+	for _, in := range g.Inputs {
+		if in.Shape.Rank() == 0 {
+			return nil, fmt.Errorf("batch: input %q is rank-0; no leading axis to batch along", in.Name)
+		}
+		vm[in] = out.AddInput(in.Name, scaleLeading(in.Shape, n))
+	}
+	// Weights keep their shapes and share their backing data: batching
+	// stacks activations, never parameters.
+	for _, v := range g.Values {
+		if v.Kind != Weight {
+			continue
+		}
+		if v.Data != nil {
+			vm[v] = out.AddWeight(v.Name, v.Data)
+		} else {
+			vm[v] = out.AddWeightShape(v.Name, v.Shape)
+		}
+	}
+	for _, node := range g.TopoSort() {
+		ins := make([]*Value, len(node.Inputs))
+		for i, in := range node.Inputs {
+			nv, ok := vm[in]
+			if !ok {
+				return nil, fmt.Errorf("batch: %v consumes unreachable value %v", node, in)
+			}
+			ins[i] = nv
+		}
+		outs, err := out.Apply(node.Op, ins...)
+		if err != nil {
+			return nil, fmt.Errorf("batch: %v does not admit a leading batch axis: %w", node, err)
+		}
+		for i, o := range node.Outputs {
+			if o.Shape.Rank() == 0 {
+				// A rank-0 value has no batch axis: the operator collapsed
+				// the batch dimension (e.g. a full reduction), so per-request
+				// results are unrecoverable.
+				return nil, fmt.Errorf("batch: %v output %d is rank-0; the leading batch axis was collapsed", node, i)
+			}
+			want := scaleLeading(o.Shape, n)
+			if !outs[i].Shape.Equal(want) {
+				return nil, fmt.Errorf("batch: %v output %d has shape %v at batch %d, want %v — the operator does not scale along the leading axis",
+					node, i, outs[i].Shape, n, want)
+			}
+			outs[i].Name = o.Name
+			vm[o] = outs[i]
+		}
+	}
+	for _, o := range g.Outputs {
+		nv, ok := vm[o]
+		if !ok {
+			return nil, fmt.Errorf("batch: output %v has no batched counterpart", o)
+		}
+		if nv.Kind == Weight {
+			// A weight-aliased output keeps its unscaled shape, so a
+			// batched run could not return per-request segments of it.
+			return nil, fmt.Errorf("batch: output %v is a weight; it has no batch axis", o)
+		}
+		out.MarkOutput(nv)
+	}
+	return out, nil
+}
+
+// scaleLeading returns s with its leading dimension multiplied by n.
+// Rank-0 shapes have no leading axis and are returned unscaled (callers
+// reject them where that matters).
+func scaleLeading(s tensor.Shape, n int) tensor.Shape {
+	if s.Rank() == 0 {
+		return s.Clone()
+	}
+	out := s.Clone()
+	out[0] *= n
+	return out
+}

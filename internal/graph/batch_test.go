@@ -1,0 +1,136 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+
+	"dnnfusion/internal/ops"
+	"dnnfusion/internal/tensor"
+)
+
+// batchMLP is a leading-axis-batchable two-layer network.
+func batchMLP() *Graph {
+	g := New("mlp")
+	x := g.AddInput("x", tensor.Of(4, 8))
+	w1 := g.AddWeight("w1", tensor.New(8, 6).Rand(1))
+	b1 := g.AddWeight("b1", tensor.New(6).Rand(2))
+	v := g.Apply1(ops.NewMatMul(), x, w1)
+	v = g.Apply1(ops.NewAdd(), v, b1)
+	v = g.Apply1(ops.NewRelu(), v)
+	g.MarkOutputAs("y", g.Apply1(ops.NewSoftmax(-1), v))
+	return g
+}
+
+func TestWithLeadingBatchScalesShapes(t *testing.T) {
+	g := batchMLP()
+	bg, err := WithLeadingBatch(g, 3)
+	if err != nil {
+		t.Fatalf("WithLeadingBatch: %v", err)
+	}
+	if err := bg.Validate(); err != nil {
+		t.Fatalf("batched graph invalid: %v", err)
+	}
+	if got, want := bg.Inputs[0].Shape, tensor.Of(12, 8); !got.Equal(want) {
+		t.Fatalf("batched input shape %v, want %v", got, want)
+	}
+	if got, want := bg.Outputs[0].Shape, tensor.Of(12, 6); !got.Equal(want) {
+		t.Fatalf("batched output shape %v, want %v", got, want)
+	}
+	if bg.Inputs[0].Name != "x" || bg.Outputs[0].Name != "y" {
+		t.Fatalf("batched I/O names %q/%q, want x/y", bg.Inputs[0].Name, bg.Outputs[0].Name)
+	}
+}
+
+func TestWithLeadingBatchSharesWeightData(t *testing.T) {
+	g := batchMLP()
+	bg, err := WithLeadingBatch(g, 4)
+	if err != nil {
+		t.Fatalf("WithLeadingBatch: %v", err)
+	}
+	base := map[string]*tensor.Tensor{}
+	for _, v := range g.Values {
+		if v.Kind == Weight {
+			base[v.Name] = v.Data
+		}
+	}
+	shared := 0
+	for _, v := range bg.Values {
+		if v.Kind != Weight {
+			continue
+		}
+		if v.Data != base[v.Name] {
+			t.Fatalf("weight %q data was copied, want shared backing", v.Name)
+		}
+		shared++
+	}
+	if shared != len(base) || shared == 0 {
+		t.Fatalf("shared %d weights, want %d", shared, len(base))
+	}
+}
+
+func TestWithLeadingBatchIdentity(t *testing.T) {
+	g := batchMLP()
+	bg, err := WithLeadingBatch(g, 1)
+	if err != nil {
+		t.Fatalf("WithLeadingBatch(1): %v", err)
+	}
+	for i, in := range g.Inputs {
+		if !bg.Inputs[i].Shape.Equal(in.Shape) {
+			t.Fatalf("batch-1 input %d shape %v, want %v", i, bg.Inputs[i].Shape, in.Shape)
+		}
+	}
+}
+
+func TestWithLeadingBatchRejectsFixedReshape(t *testing.T) {
+	g := New("fixed-reshape")
+	x := g.AddInput("x", tensor.Of(2, 6))
+	g.MarkOutputAs("y", g.Apply1(ops.NewReshape(3, 4), x))
+	if _, err := WithLeadingBatch(g, 2); err == nil {
+		t.Fatal("fixed-extent Reshape must not admit a leading batch axis")
+	}
+}
+
+func TestWithLeadingBatchRejectsRank2Transpose(t *testing.T) {
+	// Transposing the batch axis into a contracted position changes which
+	// rows mix: the micro-attention pattern. The scores matmul stops
+	// scaling along the leading axis, which the structural check rejects.
+	g := New("transpose")
+	x := g.AddInput("x", tensor.Of(8, 8))
+	xt := g.Apply1(ops.NewTranspose(1, 0), x)
+	g.MarkOutputAs("y", g.Apply1(ops.NewMatMul(), x, xt))
+	if _, err := WithLeadingBatch(g, 2); err == nil {
+		t.Fatal("rank-2 self-attention pattern must not admit a leading batch axis")
+	}
+}
+
+func TestWithLeadingBatchRejectsFullReduce(t *testing.T) {
+	g := New("full-reduce")
+	x := g.AddInput("x", tensor.Of(4, 4))
+	g.MarkOutputAs("y", g.Apply1(ops.NewReduce(ops.ReduceSum, false), x))
+	_, err := WithLeadingBatch(g, 2)
+	if err == nil {
+		t.Fatal("rank-0 full reduction must not admit a leading batch axis")
+	}
+	if !strings.Contains(err.Error(), "batch:") {
+		t.Fatalf("error %q does not carry the batch: prefix", err)
+	}
+}
+
+func TestWithLeadingBatchRejectsWeightOutput(t *testing.T) {
+	g := New("weight-out")
+	g.AddInput("x", tensor.Of(2, 2))
+	w := g.AddWeight("w", tensor.New(2, 2).Rand(3))
+	g.MarkOutput(w)
+	if _, err := WithLeadingBatch(g, 2); err == nil {
+		t.Fatal("weight-aliased output must not admit a leading batch axis")
+	}
+}
+
+func TestWithLeadingBatchRejectsBadSizes(t *testing.T) {
+	if _, err := WithLeadingBatch(nil, 2); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	if _, err := WithLeadingBatch(batchMLP(), 0); err == nil {
+		t.Fatal("batch 0 accepted")
+	}
+}

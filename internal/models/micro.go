@@ -29,7 +29,11 @@ func MicroCNN() *graph.Graph {
 	v := g.Apply1(ops.NewConv(ops.ConvAttrs{Strides: []int{1, 1}, Pads: []int{1, 1}, Dilations: []int{1, 1}, Groups: 1}), x, w1)
 	v = g.Apply1(ops.NewRelu(), v)
 	v = g.Apply1(ops.NewMaxPool(ops.PoolAttrs{Kernel: []int{2, 2}, Strides: []int{2, 2}, Pads: []int{0, 0}}), v)
-	v = g.Apply1(ops.NewReshape(1, 8*4*4), v)
+	// -1 keeps the reshape batch-polymorphic: at batch 1 it compiles to the
+	// same (1, 128) shape as before, and a leading-axis batch variant
+	// (CompileBatch) infers (N, 128) instead of failing on a hard-coded
+	// row count.
+	v = g.Apply1(ops.NewReshape(-1, 8*4*4), v)
 	v = g.Apply1(ops.NewMatMul(), v, microWeight(g, "wfc", 12, 8*4*4, 10))
 	g.MarkOutputAs("probs", g.Apply1(ops.NewSoftmax(-1), v))
 	return g
@@ -83,6 +87,22 @@ func MicroElementwise() *graph.Graph {
 	return g
 }
 
+// MicroHead is a serving-overhead-sensitive classifier head: one row of
+// features through a 64×16 projection, bias, and softmax — a ~1.5µs body,
+// so per-request serving costs (dispatch, feed copies, output delivery)
+// dominate. It is the regime where dynamic request batching classically
+// pays: the micro-batch bench scenario uses it to track that amortization,
+// and any future regression in per-request overhead shows up here first.
+// Input "features" (1, 64), output "logits" (1, 16).
+func MicroHead() *graph.Graph {
+	g := graph.New("micro-head")
+	x := g.AddInput("features", tensor.Of(1, 64))
+	v := g.Apply1(ops.NewMatMul(), x, microWeight(g, "w", 51, 64, 16))
+	v = g.Apply1(ops.NewAdd(), v, microWeight(g, "b", 52, 16))
+	g.MarkOutputAs("logits", g.Apply1(ops.NewSoftmax(-1), v))
+	return g
+}
+
 // MicroModels returns the executable micro-model constructors in stable
 // report order.
 func MicroModels() []struct {
@@ -97,5 +117,6 @@ func MicroModels() []struct {
 		{"micro-mlp", MicroMLP},
 		{"micro-attention", MicroAttention},
 		{"micro-elementwise", MicroElementwise},
+		{"micro-head", MicroHead},
 	}
 }

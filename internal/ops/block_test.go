@@ -211,3 +211,24 @@ func TestMaterializeRangeScalarFallback(t *testing.T) {
 		}
 	}
 }
+
+// TestBlockParityMatMulRowTile targets the multi-row tile (mulRows4):
+// matrices tall enough for several 4-row tiles plus a remainder row, under
+// whole-range and misaligned chunked evaluation, across transA, batching,
+// and staged operands. Batched serving leans on this being bit-exact — a
+// batch-capacity matmul is just a taller matmul.
+func TestBlockParityMatMulRowTile(t *testing.T) {
+	b := randSource(41, 12, 9)
+	assertBlockParity(t, "MatMul 17x12 (tiles+remainder)",
+		virtualize(t, NewMatMul(), randSource(40, 17, 12), b))
+	assertBlockParity(t, "MatMul 16x12 (exact tiles)",
+		virtualize(t, NewMatMul(), randSource(42, 16, 12), b))
+	assertBlockParity(t, "MatMul 3x12 (below tile)",
+		virtualize(t, NewMatMul(), randSource(43, 3, 12), b))
+	assertBlockParity(t, "MatMul tall transA",
+		virtualize(t, NewMatMulT(true, false), randSource(44, 12, 17), b))
+	assertBlockParity(t, "MatMul tall batched",
+		virtualize(t, NewMatMul(), randSource(45, 3, 10, 12), b))
+	assertBlockParity(t, "MatMul tall staged A",
+		virtualize(t, NewMatMul(), virtualize(t, NewRelu(), randSource(46, 17, 12)), b))
+}

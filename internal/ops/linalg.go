@@ -148,7 +148,9 @@ func blockedMatMul(s *matmulSource) Source {
 		aBatchStride: batchStrides(s.aShape, outBatch),
 		bBatchStride: batchStrides(s.bShape, outBatch),
 		batchBuf:     make([]int, outBatch.Rank()),
-		acc:          make([]float64, s.n),
+		// 4×n so the multi-row tile (mulRows4) has one accumulator row per
+		// tiled output row; the single-row path uses the first n entries.
+		acc: make([]float64, 4*s.n),
 	}
 	return blk
 }
@@ -272,10 +274,92 @@ func (s *matmulBlockSource) LoadBlock(dst []float32, off, n int) {
 		if s.bStage != nil {
 			bBase = 0
 		}
+		// At a row boundary with at least one full 4-row tile of this batch
+		// matrix ahead, take the blocked path: 4-row tiles stream each B
+		// row once per four output rows (quartering B loads and float64
+		// widenings), and a column-panel loop keeps the active B panel
+		// cache-resident across every row tile, so tall (batch-stacked)
+		// matmuls do not thrash B between tiles. Per-element accumulation
+		// order is unchanged (ascending k) — bit-identical to mulRow.
+		if !s.transB && jLo == 0 && i+4 <= s.m && n >= 4*s.n {
+			rows := n / s.n
+			if avail := s.m - i; rows > avail {
+				rows = avail
+			}
+			rows -= rows % 4
+			jb := s.jPanel()
+			for j0 := 0; j0 < s.n; j0 += jb {
+				w := s.n - j0
+				if w > jb {
+					w = jb
+				}
+				for r := 0; r < rows; r += 4 {
+					s.mulTile(dst[r*s.n+j0:], aBase, bBase, i+r, j0, w)
+				}
+			}
+			adv := rows * s.n
+			dst = dst[adv:]
+			off += adv
+			n -= adv
+			continue
+		}
 		s.mulRow(dst[:run], aBase, bBase, i, jLo, run)
 		dst = dst[run:]
 		off += run
 		n -= run
+	}
+}
+
+// jPanel is the column-panel width of the blocked path: panels of ~4096 B
+// elements (16 KiB) stay L1-resident across all row tiles of a pass.
+func (s *matmulBlockSource) jPanel() int {
+	jb := 4096 / s.k
+	if jb < 8 {
+		jb = 8
+	}
+	if jb > s.n {
+		jb = s.n
+	}
+	return jb
+}
+
+// mulTile computes the 4×w output tile with corner (i, jLo) of one batch
+// matrix, k-outer so each B row segment is loaded and widened once per four
+// output rows. dst addresses element (i, jLo) and is written with row
+// stride s.n. Each accumulator still sums in ascending-k order.
+func (s *matmulBlockSource) mulTile(dst []float32, aBase, bBase, i, jLo, w int) {
+	ai, ak := s.aRS, 1
+	if s.transA {
+		ai, ak = 1, s.aRS
+	}
+	a0 := aBase + i*ai
+	a1, a2, a3 := a0+ai, a0+2*ai, a0+3*ai
+	acc := s.acc[: 4*w : 4*w]
+	for t := range acc {
+		acc[t] = 0
+	}
+	c0, c1, c2, c3 := acc[:w:w], acc[w:2*w:2*w], acc[2*w:3*w:3*w], acc[3*w:4*w:4*w]
+	for k := 0; k < s.k; k++ {
+		ko := k * ak
+		v0 := float64(s.aData[a0+ko])
+		v1 := float64(s.aData[a1+ko])
+		v2 := float64(s.aData[a2+ko])
+		v3 := float64(s.aData[a3+ko])
+		base := bBase + k*s.bRS + jLo
+		bRow := s.bData[base : base+w]
+		for t, bv := range bRow {
+			b64 := float64(bv)
+			c0[t] += v0 * b64
+			c1[t] += v1 * b64
+			c2[t] += v2 * b64
+			c3[t] += v3 * b64
+		}
+	}
+	for r, c := range [4][]float64{c0, c1, c2, c3} {
+		row := dst[r*s.n : r*s.n+w]
+		for t := 0; t < w; t++ {
+			row[t] = float32(c[t])
+		}
 	}
 }
 

@@ -171,6 +171,17 @@ func (m *Model) InputShape(name string) (Shape, error) {
 	return v.Shape.Clone(), nil
 }
 
+// OutputShape returns the shape of the named output, so serving layers can
+// publish full I/O specs without running an inference.
+func (m *Model) OutputShape(name string) (Shape, error) {
+	for _, nv := range m.outputs {
+		if nv.name == name {
+			return nv.v.Shape.Clone(), nil
+		}
+	}
+	return nil, fmt.Errorf("dnnfusion: unknown output %q (model outputs: %v)", name, m.OutputNames())
+}
+
 // PlannedPeakBytes is the activation arena size each Runner (session) pins
 // while bound: the peak of the compile-time liveness analysis under buffer
 // reuse. Weights are shared across runners and excluded; see Simulate for
@@ -208,6 +219,12 @@ type Runner struct {
 
 // Model returns the compiled model this runner serves.
 func (r *Runner) Model() *Model { return r.m }
+
+// Warm binds the runner's arena and kernels without running an inference,
+// so a serving process can pay the one-time setup (Model.PlannedPeakBytes
+// of arena plus kernel binding) before traffic arrives instead of on the
+// first request. Warming a warmed runner is a no-op.
+func (r *Runner) Warm() error { return r.sess.Warm() }
 
 // Release drops the runner's arena and bound kernels. The runner stays
 // usable — the next Run rebinds transparently — but an idle released runner

@@ -1,0 +1,289 @@
+package serve
+
+import (
+	"context"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"dnnfusion"
+)
+
+// The dynamic batcher: one dispatcher goroutine per host pulls queued
+// calls, forms a batch — up to MaxBatch requests, the first waiting at most
+// MaxDelay for peers — and executes it as a single coalesced inference on
+// the batch-compiled model variant, scattering each request's output
+// segment into its own pooled Result. Models without a batch variant (or
+// batches of one) execute per-request on the base Runner. One dispatcher
+// owns both runners, so a host pins at most two serving arenas regardless
+// of client concurrency; request-level parallelism comes from coalescing,
+// and intra-kernel parallelism from the worker pool both models share.
+
+// dispatch is the host's dispatcher loop. It owns the only Runner and
+// BatchRunner of the host and exits when the host closes.
+func (h *Host) dispatch() {
+	runner := h.model.NewRunner()
+	var br *dnnfusion.BatchRunner
+	if h.batch != nil {
+		br = h.batch.NewRunner()
+	}
+	if h.cfg.Prewarm {
+		runner.Warm()
+		if br != nil {
+			br.Warm()
+		}
+	}
+	defer func() {
+		runner.Release()
+		if br != nil {
+			br.Release()
+		}
+	}()
+	batch := make([]*call, 0, h.cfg.MaxBatch)
+	reqs := make([]map[string]*dnnfusion.Tensor, h.cfg.MaxBatch)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		select {
+		case c := <-h.calls:
+			batch = h.fill(append(batch[:0], c), timer)
+			h.execute(runner, br, batch, reqs)
+			for i := range batch {
+				batch[i] = nil
+			}
+		case <-h.closed:
+			h.drainClosed()
+			return
+		}
+	}
+}
+
+// fill grows a just-started batch: it drains whatever is already queued
+// and, when capacity and configuration allow, waits up to MaxDelay for
+// more. Closing the host cuts the wait short (the collected batch still
+// executes; drainClosed handles the rest).
+func (h *Host) fill(batch []*call, timer *time.Timer) []*call {
+	max := h.cfg.MaxBatch
+	if h.batch == nil {
+		// Per-request execution gains nothing from waiting, but draining
+		// the queue lets one wake of this goroutine serve many requests.
+		max = cap(batch)
+	}
+	for len(batch) < max {
+		select {
+		case c := <-h.calls:
+			batch = append(batch, c)
+			continue
+		default:
+		}
+		break
+	}
+	if h.batch == nil || len(batch) >= max || h.cfg.MaxDelay <= 0 {
+		return batch
+	}
+	timer.Reset(h.cfg.MaxDelay)
+collect:
+	for len(batch) < max {
+		select {
+		case c := <-h.calls:
+			batch = append(batch, c)
+		case <-timer.C:
+			return batch
+		case <-h.closed:
+			break collect
+		}
+	}
+	if !timer.Stop() {
+		select {
+		case <-timer.C:
+		default:
+		}
+	}
+	return batch
+}
+
+// execute runs one formed batch and delivers per-call results. Requests
+// were validated before enqueueing, so shape-level errors cannot occur
+// here; an execution error fails every call in the batch.
+func (h *Host) execute(runner *dnnfusion.Runner, br *dnnfusion.BatchRunner, batch []*call, reqs []map[string]*dnnfusion.Tensor) {
+	ctx := context.Background()
+	n := len(batch)
+	h.st.batches.Add(1)
+	h.st.batched.Add(uint64(n))
+	h.st.observeBatch(n)
+	if br != nil && n > 1 {
+		for i, c := range batch {
+			reqs[i] = c.inputs
+		}
+		results, err := br.RunBatch(ctx, reqs[:n])
+		for i := range reqs[:n] {
+			reqs[i] = nil
+		}
+		if err == nil {
+			for i, c := range batch {
+				c.res = h.deliver(results[i])
+			}
+		} else {
+			for _, c := range batch {
+				c.err = err
+			}
+		}
+	} else {
+		for _, c := range batch {
+			out, err := runner.Run(ctx, c.inputs)
+			if err != nil {
+				c.err = err
+				continue
+			}
+			c.res = h.deliver(out)
+		}
+	}
+	for _, c := range batch {
+		c.done <- struct{}{}
+	}
+}
+
+// deliver copies one request's output set into a pooled Result, detaching
+// it from the runner's double buffer so the next batch cannot overwrite a
+// result a client is still reading.
+func (h *Host) deliver(outs map[string]*dnnfusion.Tensor) *Result {
+	res := h.resPool.Get().(*Result)
+	res.h = h
+	for name, src := range outs {
+		copy(res.outs[name].Data(), src.Data())
+	}
+	return res
+}
+
+// drainClosed fails queued calls with ErrClosed after close. It returns
+// only when no Run call is still pending, so a request that won the
+// enqueue race against eviction is still answered instead of stranding in
+// a queue nothing reads.
+func (h *Host) drainClosed() {
+	for {
+		select {
+		case c := <-h.calls:
+			c.err = ErrClosed
+			c.done <- struct{}{}
+		default:
+			if h.pending.Load() == 0 {
+				return
+			}
+			runtime.Gosched() // a Run is between its closing-check and enqueue
+		}
+	}
+}
+
+// stats are the host's serving counters, updated atomically on the request
+// and dispatch paths.
+type stats struct {
+	requests atomic.Uint64
+	errors   atomic.Uint64
+	batches  atomic.Uint64
+	batched  atomic.Uint64
+	maxBatch atomic.Uint64
+
+	latencyNs atomic.Int64
+	latencyN  atomic.Uint64
+}
+
+func (s *stats) observeBatch(n int) {
+	for {
+		cur := s.maxBatch.Load()
+		if uint64(n) <= cur || s.maxBatch.CompareAndSwap(cur, uint64(n)) {
+			return
+		}
+	}
+}
+
+// Stats is a point-in-time snapshot of a host's serving counters.
+type Stats struct {
+	// Requests counts completed Run calls (including failed ones);
+	// Errors the failed subset.
+	Requests uint64 `json:"requests"`
+	Errors   uint64 `json:"errors"`
+	// Batches counts executed batches; MeanBatch is the mean number of
+	// requests coalesced per batch and MaxBatch the largest batch
+	// observed.
+	Batches   uint64  `json:"batches"`
+	MeanBatch float64 `json:"mean_batch"`
+	MaxBatch  int     `json:"max_batch"`
+	// MeanLatencyUs is the mean request latency (enqueue to result) in
+	// microseconds, over successfully executed requests.
+	MeanLatencyUs float64 `json:"mean_latency_us"`
+}
+
+func (s *stats) snapshot() Stats {
+	out := Stats{
+		Requests: s.requests.Load(),
+		Errors:   s.errors.Load(),
+		Batches:  s.batches.Load(),
+		MaxBatch: int(s.maxBatch.Load()),
+	}
+	if out.Batches > 0 {
+		out.MeanBatch = float64(s.batched.Load()) / float64(out.Batches)
+	}
+	if n := s.latencyN.Load(); n > 0 {
+		out.MeanLatencyUs = float64(s.latencyNs.Load()) / float64(n) / 1e3
+	}
+	return out
+}
+
+// TensorSpec describes one named model input or output.
+type TensorSpec struct {
+	Name  string `json:"name"`
+	Shape []int  `json:"shape"`
+}
+
+// Info is a host's serving metadata: the model's I/O specs, memory plan,
+// batching posture, and counters.
+type Info struct {
+	Name    string       `json:"name"`
+	Inputs  []TensorSpec `json:"inputs"`
+	Outputs []TensorSpec `json:"outputs"`
+	// PlannedPeakBytes is the base model's per-session activation arena;
+	// BatchPlannedPeakBytes the batch-capacity variant's (0 when batching
+	// is off).
+	PlannedPeakBytes      int64 `json:"planned_peak_bytes"`
+	BatchPlannedPeakBytes int64 `json:"batch_planned_peak_bytes,omitempty"`
+	// MaxBatch is the effective coalescing capacity (1 when batching is
+	// off); BatchDisabledReason says why when it is off.
+	MaxBatch            int    `json:"max_batch"`
+	MaxDelayUs          int64  `json:"max_delay_us"`
+	Batchable           bool   `json:"batchable"`
+	BatchDisabledReason string `json:"batch_disabled_reason,omitempty"`
+	Stats               Stats  `json:"stats"`
+}
+
+// Info returns the host's serving metadata, building the model first if it
+// is lazy.
+func (h *Host) Info() (Info, error) {
+	if err := h.init(); err != nil {
+		return Info{}, err
+	}
+	info := Info{
+		Name:             h.name,
+		Inputs:           h.inSpecs,
+		Outputs:          h.outSpecs,
+		PlannedPeakBytes: h.model.PlannedPeakBytes(),
+		MaxBatch:         1,
+		MaxDelayUs:       h.cfg.MaxDelay.Microseconds(),
+		Batchable:        h.batch != nil,
+		Stats:            h.st.snapshot(),
+	}
+	if h.batch != nil {
+		info.MaxBatch = h.cfg.MaxBatch
+		info.BatchPlannedPeakBytes = h.batch.PlannedPeakBytes()
+	} else {
+		info.BatchDisabledReason = h.batchOff
+	}
+	return info, nil
+}
+
+// Loaded reports whether the host's model has been built (lazy builders
+// run on first use), without forcing the build.
+func (h *Host) Loaded() bool {
+	return h.started.Load()
+}

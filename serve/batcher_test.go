@@ -1,0 +1,286 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dnnfusion"
+
+	"dnnfusion/internal/models"
+)
+
+// TestHostRunMatchesRunnerBitExact pins the serving-path contract: a
+// request through the host (validation, queue, batcher, pooled result)
+// returns exactly what a direct Runner.Run returns.
+func TestHostRunMatchesRunnerBitExact(t *testing.T) {
+	for _, spec := range []struct {
+		name  string
+		build func() *dnnfusion.Graph
+	}{
+		{"micro-mlp", models.MicroMLP},
+		{"micro-cnn", models.MicroCNN},
+		{"micro-attention", models.MicroAttention}, // per-request fallback path
+	} {
+		t.Run(spec.name, func(t *testing.T) {
+			m := compileMicro(t, spec.build)
+			r := NewRegistry()
+			defer r.Close()
+			h, err := r.Register(spec.name, m, Config{MaxBatch: 4, MaxDelay: 100 * time.Microsecond})
+			if err != nil {
+				t.Fatal(err)
+			}
+			runner := m.NewRunner()
+			ctx := context.Background()
+			for i := 0; i < 5; i++ {
+				req := microRequest(t, m, uint64(10+i))
+				res, err := h.Run(ctx, req)
+				if err != nil {
+					t.Fatalf("host run %d: %v", i, err)
+				}
+				want, err := runner.Run(ctx, req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for name, w := range want {
+					g := res.Output(name)
+					if g == nil {
+						t.Fatalf("missing output %q", name)
+					}
+					for k, wv := range w.Data() {
+						if g.Data()[k] != wv {
+							t.Fatalf("output %q element %d: served %v != direct %v", name, k, g.Data()[k], wv)
+						}
+					}
+				}
+				res.Release()
+			}
+		})
+	}
+}
+
+// TestHostCoalescesConcurrentRequests drives many concurrent clients into
+// one host with a generous batching window and requires that actual
+// coalescing happened (a batch of more than one request formed) while every
+// client still got its own correct answer.
+func TestHostCoalescesConcurrentRequests(t *testing.T) {
+	m := compileMicro(t, models.MicroMLP)
+	r := NewRegistry()
+	defer r.Close()
+	h, err := r.Register("mlp", m, Config{MaxBatch: 8, MaxDelay: 50 * time.Millisecond, Prewarm: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the host (builds model, starts dispatcher) before the burst.
+	res, err := h.Run(context.Background(), microRequest(t, m, 999))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Release()
+
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			req := microRequest(t, m, uint64(c))
+			ref := m.NewRunner()
+			want, err := ref.Run(context.Background(), req)
+			if err != nil {
+				errs[c] = err
+				return
+			}
+			res, err := h.Run(context.Background(), req)
+			if err != nil {
+				errs[c] = err
+				return
+			}
+			defer res.Release()
+			for name, w := range want {
+				for k, wv := range w.Data() {
+					if res.Output(name).Data()[k] != wv {
+						errs[c] = errors.New("coalesced result differs from direct run")
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	for c, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", c, err)
+		}
+	}
+	info, err := h.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Stats.MaxBatch < 2 {
+		t.Fatalf("no coalescing observed: max batch %d, mean %.2f over %d batches",
+			info.Stats.MaxBatch, info.Stats.MeanBatch, info.Stats.Batches)
+	}
+	if info.Stats.Requests != clients+1 {
+		t.Fatalf("stats counted %d requests, want %d", info.Stats.Requests, clients+1)
+	}
+}
+
+// TestHostFallsBackForUnbatchableModel: micro-attention fails the
+// structural batch check; the host must record why and serve per-request.
+func TestHostFallsBackForUnbatchableModel(t *testing.T) {
+	m := compileMicro(t, models.MicroAttention)
+	r := NewRegistry()
+	defer r.Close()
+	h, err := r.Register("attn", m, Config{MaxBatch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := h.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Batchable {
+		t.Fatal("micro-attention reported batchable")
+	}
+	if info.MaxBatch != 1 {
+		t.Fatalf("effective MaxBatch %d, want 1", info.MaxBatch)
+	}
+	if !strings.Contains(info.BatchDisabledReason, "not batchable") {
+		t.Fatalf("reason %q does not explain the structural rejection", info.BatchDisabledReason)
+	}
+	res, err := h.Run(context.Background(), microRequest(t, m, 3))
+	if err != nil {
+		t.Fatalf("fallback run: %v", err)
+	}
+	res.Release()
+}
+
+// TestHostParityCheckCatchesRowMixing registers a model that passes the
+// structural batch check (softmax over axis 0 is shape-preserving) but
+// mixes rows semantically. The registration-time parity check must catch
+// it, disable batching, and keep serving correct per-request results.
+func TestHostParityCheckCatchesRowMixing(t *testing.T) {
+	g := dnnfusion.NewGraph("axis0")
+	x := g.AddInput("x", dnnfusion.ShapeOf(4, 4))
+	g.MarkOutputAs("y", g.Apply1(dnnfusion.Softmax(0), x))
+	m, err := dnnfusion.Compile(g, dnnfusion.WithThreads(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRegistry()
+	defer r.Close()
+	h, err := r.Register("axis0", m, Config{MaxBatch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := h.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Batchable {
+		t.Fatal("row-mixing model reported batchable — the parity check missed it")
+	}
+	if !strings.Contains(info.BatchDisabledReason, "parity") {
+		t.Fatalf("reason %q does not mention the parity check", info.BatchDisabledReason)
+	}
+	req := microRequest(t, m, 7)
+	res, err := h.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Release()
+	want, err := m.NewRunner().Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, wv := range want["y"].Data() {
+		if res.Output("y").Data()[k] != wv {
+			t.Fatalf("fallback output element %d differs", k)
+		}
+	}
+}
+
+func TestHostValidationErrors(t *testing.T) {
+	m := compileMicro(t, models.MicroMLP)
+	r := NewRegistry()
+	defer r.Close()
+	h, err := r.Register("mlp", m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := h.Run(ctx, map[string]*dnnfusion.Tensor{"bogus": dnnfusion.Rand(1)}); !errors.Is(err, dnnfusion.ErrUnknownInput) {
+		t.Errorf("unknown input: %v", err)
+	}
+	if _, err := h.Run(ctx, map[string]*dnnfusion.Tensor{}); !errors.Is(err, dnnfusion.ErrMissingInput) {
+		t.Errorf("missing input: %v", err)
+	}
+	var se *dnnfusion.ShapeError
+	if _, err := h.Run(ctx, map[string]*dnnfusion.Tensor{"x": dnnfusion.Rand(2, 2)}); !errors.As(err, &se) {
+		t.Errorf("bad shape: %v, want *ShapeError", err)
+	}
+	info, _ := h.Info()
+	if info.Stats.Errors != 3 {
+		t.Errorf("error counter %d, want 3", info.Stats.Errors)
+	}
+}
+
+func TestHostRunHonorsContext(t *testing.T) {
+	m := compileMicro(t, models.MicroMLP)
+	r := NewRegistry()
+	defer r.Close()
+	h, err := r.Register("mlp", m, Config{MaxBatch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := h.Run(ctx, microRequest(t, m, 1)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled Run = %v, want context.Canceled", err)
+	}
+}
+
+// TestServeParallelClientsRace floods one host from many goroutines with
+// mixed batchable and fallback models; run under -race this pins the
+// dispatcher's lane discipline end to end. (The name matches the CI race
+// step's -run pattern.)
+func TestServeParallelClientsRace(t *testing.T) {
+	r := NewRegistry()
+	defer r.Close()
+	mlp := compileMicro(t, models.MicroMLP)
+	attn := compileMicro(t, models.MicroAttention)
+	hMLP, err := r.Register("mlp", mlp, Config{MaxBatch: 4, MaxDelay: 200 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hAttn, err := r.Register("attn", attn, Config{MaxBatch: 4, MaxDelay: 200 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const clients, rounds = 8, 10
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			h, m := hMLP, mlp
+			if c%2 == 1 {
+				h, m = hAttn, attn
+			}
+			for i := 0; i < rounds; i++ {
+				res, err := h.Run(context.Background(), microRequest(t, m, uint64(c*100+i)))
+				if err != nil {
+					t.Errorf("client %d round %d: %v", c, i, err)
+					return
+				}
+				res.Release()
+			}
+		}(c)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,331 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dnnfusion"
+)
+
+// Host serves one registered model: it owns the (possibly lazily built)
+// Model, the batch-capacity variant, the dispatcher goroutine that forms
+// dynamic batches, the pooled result buffers, and the per-model counters.
+// Hosts are safe for concurrent use by any number of goroutines.
+type Host struct {
+	name string
+	cfg  Config
+
+	build func() (*dnnfusion.Model, error)
+
+	initOnce sync.Once
+	initErr  error
+	model    *dnnfusion.Model
+	batch    *dnnfusion.BatchModel // nil → per-request execution
+	batchOff string                // why batching is off ("" when on)
+	inSpecs  []TensorSpec
+	outSpecs []TensorSpec
+
+	calls     chan *call
+	closeOnce sync.Once
+	closed    chan struct{}
+	// closing flips before closed is closed; pending counts Run calls
+	// between their closing-check and their result. Together they close
+	// the eviction race: the dispatcher's drain keeps serving ErrClosed
+	// until every such Run has been answered, so a request can never
+	// strand in a queue no goroutine reads anymore.
+	closing atomic.Bool
+	pending atomic.Int64
+
+	resPool sync.Pool
+	st      stats
+
+	// started marks the dispatcher goroutine running (set at the end of
+	// init, read lock-free by Loaded).
+	started atomic.Bool
+}
+
+// call is one enqueued request. The done channel carries exactly one token
+// per dispatch; calls recycle through a pool on the success path.
+type call struct {
+	inputs map[string]*dnnfusion.Tensor
+	res    *Result
+	err    error
+	done   chan struct{}
+}
+
+var callPool = sync.Pool{New: func() any { return &call{done: make(chan struct{}, 1)} }}
+
+// Result is one request's outputs, served from a per-host buffer pool so a
+// warmed host's steady state allocates nothing for output delivery. The
+// tensors are owned copies (not views into any runner): they stay valid
+// until Release, which recycles them — callers that retain data longer must
+// Clone first. Releasing is optional (a dropped Result is garbage
+// collected); it is the fast path, not a correctness requirement.
+type Result struct {
+	h    *Host
+	outs map[string]*dnnfusion.Tensor
+}
+
+// Outputs maps output names to tensors; valid until Release.
+func (r *Result) Outputs() map[string]*dnnfusion.Tensor { return r.outs }
+
+// Output returns one named output tensor (nil when absent).
+func (r *Result) Output(name string) *dnnfusion.Tensor { return r.outs[name] }
+
+// Release returns the result's buffers to the host pool.
+func (r *Result) Release() {
+	if r == nil || r.h == nil {
+		return
+	}
+	h := r.h
+	r.h = nil
+	h.resPool.Put(r)
+}
+
+// Name returns the model name the host serves under.
+func (h *Host) Name() string { return h.name }
+
+// Model returns the served model, building it on first use.
+func (h *Host) Model() (*dnnfusion.Model, error) {
+	if err := h.init(); err != nil {
+		return nil, err
+	}
+	return h.model, nil
+}
+
+// init builds the model, compiles the batch variant (with parity
+// self-check), snapshots the I/O specs, and starts the dispatcher. It runs
+// at most once; failures are sticky.
+func (h *Host) init() error {
+	h.initOnce.Do(func() {
+		m, err := h.build()
+		if err != nil {
+			h.initErr = fmt.Errorf("serve: building model %q: %w", h.name, err)
+			return
+		}
+		if m == nil {
+			h.initErr = fmt.Errorf("serve: building model %q: builder returned nil", h.name)
+			return
+		}
+		h.model = m
+		for _, name := range m.InputNames() {
+			shape, err := m.InputShape(name)
+			if err != nil {
+				h.initErr = err
+				return
+			}
+			h.inSpecs = append(h.inSpecs, TensorSpec{Name: name, Shape: shape})
+		}
+		for _, name := range m.OutputNames() {
+			shape, err := m.OutputShape(name)
+			if err != nil {
+				h.initErr = err
+				return
+			}
+			h.outSpecs = append(h.outSpecs, TensorSpec{Name: name, Shape: shape})
+		}
+		h.initBatching()
+		h.resPool.New = func() any { return h.newResult() }
+		h.calls = make(chan *call, h.cfg.Queue)
+		go h.dispatch()
+		h.started.Store(true)
+	})
+	return h.initErr
+}
+
+// initBatching compiles the batch-capacity variant and verifies batching
+// is semantically invisible; any failure records the reason and falls back
+// to per-request execution.
+func (h *Host) initBatching() {
+	switch {
+	case h.cfg.DisableBatching:
+		h.batchOff = "disabled by configuration"
+		return
+	case h.cfg.MaxBatch <= 1:
+		h.batchOff = "batch capacity 1"
+		return
+	}
+	bm, err := h.model.CompileBatch(h.cfg.MaxBatch)
+	if err != nil {
+		h.batchOff = fmt.Sprintf("not batchable: %v", err)
+		return
+	}
+	if !h.cfg.DisableParityCheck {
+		if err := verifyBatchParity(h.model, bm); err != nil {
+			h.batchOff = fmt.Sprintf("parity check failed: %v", err)
+			return
+		}
+	}
+	h.batch = bm
+}
+
+// verifyBatchParity runs two deterministic random requests through one
+// coalesced batch and through sequential Runner.Run calls and requires
+// bit-identical outputs — the semantic guard the structural batch check
+// cannot provide (and, for shape-only models whose weights carry no data,
+// the point where batching fails closed into per-request mode).
+func verifyBatchParity(m *dnnfusion.Model, bm *dnnfusion.BatchModel) error {
+	runner := m.NewRunner()
+	defer runner.Release()
+	br := bm.NewRunner()
+	defer br.Release()
+	ctx := context.Background()
+	reqs := make([]map[string]*dnnfusion.Tensor, 2)
+	for i := range reqs {
+		req := map[string]*dnnfusion.Tensor{}
+		for j, name := range m.InputNames() {
+			shape, err := m.InputShape(name)
+			if err != nil {
+				return err
+			}
+			req[name] = dnnfusion.NewTensor(shape...).Rand(uint64(1000*i + j + 1))
+		}
+		reqs[i] = req
+	}
+	got, err := br.RunBatch(ctx, reqs)
+	if err != nil {
+		return err
+	}
+	for i, req := range reqs {
+		want, err := runner.Run(ctx, req)
+		if err != nil {
+			return err
+		}
+		for name, w := range want {
+			g := got[i][name]
+			if g == nil {
+				return fmt.Errorf("request %d missing output %q", i, name)
+			}
+			gd, wd := g.Data(), w.Data()
+			for k := range wd {
+				if gd[k] != wd[k] {
+					return fmt.Errorf("request %d output %q element %d: batched %v != sequential %v",
+						i, name, k, gd[k], wd[k])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// newResult allocates a result with one owned tensor per model output.
+func (h *Host) newResult() *Result {
+	outs := make(map[string]*dnnfusion.Tensor, len(h.outSpecs))
+	for _, spec := range h.outSpecs {
+		outs[spec.Name] = dnnfusion.NewTensor(spec.Shape...)
+	}
+	return &Result{outs: outs}
+}
+
+// validate checks a request against the model's input specs with the same
+// error taxonomy as Runner.Run, before the request ever enters the queue —
+// a malformed request never poisons a batch.
+func (h *Host) validate(inputs map[string]*dnnfusion.Tensor) error {
+	for name, t := range inputs {
+		spec := h.inSpec(name)
+		if spec == nil {
+			return fmt.Errorf("%w: %q (model inputs: %v)", dnnfusion.ErrUnknownInput, name, h.model.InputNames())
+		}
+		if t == nil {
+			return fmt.Errorf("%w: %q fed a nil tensor", dnnfusion.ErrMissingInput, name)
+		}
+		if !t.Shape().Equal(spec.Shape) {
+			return &dnnfusion.ShapeError{Input: name, Want: append(dnnfusion.Shape(nil), spec.Shape...), Got: t.Shape()}
+		}
+	}
+	for _, spec := range h.inSpecs {
+		if _, ok := inputs[spec.Name]; !ok {
+			return fmt.Errorf("%w: %q", dnnfusion.ErrMissingInput, spec.Name)
+		}
+	}
+	return nil
+}
+
+func (h *Host) inSpec(name string) *TensorSpec {
+	for i := range h.inSpecs {
+		if h.inSpecs[i].Name == name {
+			return &h.inSpecs[i]
+		}
+	}
+	return nil
+}
+
+// Run executes one request through the host's dynamic batcher: the call
+// coalesces with whatever else is in flight (up to MaxBatch peers, waiting
+// at most MaxDelay) and returns its own outputs as a pooled Result —
+// Release it when done. Input data is copied before Run returns, so the
+// caller may reuse fed tensors immediately.
+//
+// Errors wrap dnnfusion.ErrUnknownInput, ErrMissingInput, ErrShapeMismatch
+// (as *ShapeError) for malformed requests, ErrClosed after eviction, and
+// ctx.Err() when the context expires first (the request may still execute;
+// its result is discarded).
+func (h *Host) Run(ctx context.Context, inputs map[string]*dnnfusion.Tensor) (*Result, error) {
+	if err := h.init(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	if err := h.validate(inputs); err != nil {
+		h.st.requests.Add(1)
+		h.st.errors.Add(1)
+		return nil, err
+	}
+	// Register as pending before enqueueing: close() flips closing before
+	// signaling the dispatcher, and the dispatcher's drain runs until
+	// pending returns to zero, so once the Add below succeeds a response
+	// (possibly ErrClosed) is guaranteed.
+	h.pending.Add(1)
+	if h.closing.Load() {
+		h.pending.Add(-1)
+		h.st.requests.Add(1)
+		h.st.errors.Add(1)
+		return nil, ErrClosed
+	}
+	c := callPool.Get().(*call)
+	c.inputs, c.res, c.err = inputs, nil, nil
+	select {
+	case h.calls <- c:
+	case <-ctx.Done():
+		h.pending.Add(-1)
+		c.inputs = nil
+		callPool.Put(c)
+		h.st.requests.Add(1)
+		h.st.errors.Add(1)
+		return nil, ctx.Err()
+	}
+	select {
+	case <-c.done:
+	case <-ctx.Done():
+		// The dispatcher still owns c; abandon it (the call object is
+		// garbage collected, never pooled, so the late token is harmless).
+		h.pending.Add(-1)
+		h.st.requests.Add(1)
+		h.st.errors.Add(1)
+		return nil, ctx.Err()
+	}
+	h.pending.Add(-1)
+	res, err := c.res, c.err
+	c.inputs, c.res, c.err = nil, nil, nil
+	callPool.Put(c)
+	h.st.requests.Add(1)
+	h.st.latencyNs.Add(time.Since(start).Nanoseconds())
+	h.st.latencyN.Add(1)
+	if err != nil {
+		h.st.errors.Add(1)
+		return nil, err
+	}
+	return res, nil
+}
+
+// close shuts the host down: the dispatcher drains and fails pending
+// requests with ErrClosed and drops its serving arenas. closing flips
+// first so no new Run can slip past the drain.
+func (h *Host) close() {
+	h.closeOnce.Do(func() {
+		h.closing.Store(true)
+		close(h.closed)
+	})
+}

@@ -1,0 +1,169 @@
+// Package serve is the serving subsystem over the dnnfusion compiler: a
+// concurrency-safe model repository (Registry) keyed by model name, a
+// per-model dynamic batcher that coalesces concurrent single-request Run
+// calls into batched executions over a batch-compiled model variant, and an
+// HTTP front-end (Server) exposing the repository as JSON endpoints.
+//
+// The layering mirrors production model servers: Registry owns Hosts; a
+// Host owns one model (possibly lazily built), its batch-capacity variant,
+// a dispatcher goroutine that forms batches under MaxBatch/MaxDelay, and
+// per-model serving counters; Server translates HTTP to Host calls and the
+// package's error taxonomy to status codes. Batching is semantically
+// invisible — batched outputs are bit-identical to sequential Runner.Run
+// calls, enforced at registration by a parity self-check — and models whose
+// graphs do not admit a leading batch axis transparently fall back to
+// per-request execution.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"dnnfusion"
+)
+
+// ErrClosed reports a request against an evicted (closed) host.
+var ErrClosed = errors.New("serve: model host closed")
+
+// Config tunes one model's serving behavior. The zero value serves with
+// dynamic batching at the default capacity and delay.
+type Config struct {
+	// MaxBatch is the batch capacity: up to MaxBatch concurrent requests
+	// coalesce into one batched execution. 0 means DefaultMaxBatch; 1
+	// disables coalescing (every request executes individually).
+	MaxBatch int
+	// MaxDelay bounds how long the first request of a forming batch waits
+	// for peers before the batch executes anyway. 0 means DefaultMaxDelay;
+	// negative disables waiting (a batch is whatever is already queued).
+	MaxDelay time.Duration
+	// Queue is the pending-request buffer size; 0 means 4×MaxBatch.
+	Queue int
+	// DisableBatching serves strictly per-request even when the model
+	// admits a batch axis.
+	DisableBatching bool
+	// DisableParityCheck skips the registration-time check that one
+	// batched run is bit-identical to sequential runs. Leave it on: it is
+	// the guard against models that pass the structural batch check but
+	// mix rows semantically (e.g. a Softmax over axis 0).
+	DisableParityCheck bool
+	// Prewarm binds the serving arenas when the model is built instead of
+	// on the first request.
+	Prewarm bool
+}
+
+// Serving defaults.
+const (
+	DefaultMaxBatch = 8
+	DefaultMaxDelay = 500 * time.Microsecond
+)
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch == 0 {
+		c.MaxBatch = DefaultMaxBatch
+	}
+	if c.MaxBatch < 1 {
+		c.MaxBatch = 1
+	}
+	if c.MaxDelay == 0 {
+		c.MaxDelay = DefaultMaxDelay
+	}
+	if c.Queue <= 0 {
+		c.Queue = 4 * c.MaxBatch
+	}
+	return c
+}
+
+// Registry is the model repository: named, concurrency-safe, holding
+// compiled models and lazy builders. Resolve misses wrap
+// dnnfusion.ErrUnknownModel so HTTP layers map them with errors.Is.
+type Registry struct {
+	mu    sync.RWMutex
+	hosts map[string]*Host
+}
+
+// NewRegistry creates an empty repository.
+func NewRegistry() *Registry {
+	return &Registry{hosts: make(map[string]*Host)}
+}
+
+// Register adds a compiled model under the given name and returns its
+// serving host. Registering an empty name, a nil model, or a name already
+// taken is an error.
+func (r *Registry) Register(name string, m *dnnfusion.Model, cfg Config) (*Host, error) {
+	if m == nil {
+		return nil, fmt.Errorf("serve: register %q: nil model", name)
+	}
+	return r.add(name, &Host{name: name, cfg: cfg.withDefaults(), build: func() (*dnnfusion.Model, error) { return m, nil }})
+}
+
+// RegisterBuilder adds a lazily built model: build runs at most once, on
+// the first request (or Info call) that needs the model, so a serving
+// process can expose a large zoo without compiling every model up front.
+func (r *Registry) RegisterBuilder(name string, build func() (*dnnfusion.Model, error), cfg Config) (*Host, error) {
+	if build == nil {
+		return nil, fmt.Errorf("serve: register %q: nil builder", name)
+	}
+	return r.add(name, &Host{name: name, cfg: cfg.withDefaults(), build: build})
+}
+
+func (r *Registry) add(name string, h *Host) (*Host, error) {
+	if name == "" {
+		return nil, fmt.Errorf("serve: register: empty model name")
+	}
+	h.closed = make(chan struct{})
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.hosts[name]; dup {
+		return nil, fmt.Errorf("serve: model %q already registered", name)
+	}
+	r.hosts[name] = h
+	return h, nil
+}
+
+// Resolve returns the named model's serving host. Unknown names wrap
+// dnnfusion.ErrUnknownModel.
+func (r *Registry) Resolve(name string) (*Host, error) {
+	r.mu.RLock()
+	h, ok := r.hosts[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", dnnfusion.ErrUnknownModel, name)
+	}
+	return h, nil
+}
+
+// Names lists the registered model names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.hosts))
+	for name := range r.hosts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Evict removes the named model and shuts its host down: the dispatcher
+// stops, pending requests fail with ErrClosed, and the serving arenas are
+// dropped. It reports whether the model was registered.
+func (r *Registry) Evict(name string) bool {
+	r.mu.Lock()
+	h, ok := r.hosts[name]
+	delete(r.hosts, name)
+	r.mu.Unlock()
+	if ok {
+		h.close()
+	}
+	return ok
+}
+
+// Close evicts every model.
+func (r *Registry) Close() {
+	for _, name := range r.Names() {
+		r.Evict(name)
+	}
+}

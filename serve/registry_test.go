@@ -1,0 +1,185 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"dnnfusion"
+
+	"dnnfusion/internal/models"
+)
+
+func compileMicro(t testing.TB, build func() *dnnfusion.Graph) *dnnfusion.Model {
+	t.Helper()
+	m, err := dnnfusion.Compile(build(), dnnfusion.WithThreads(1))
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return m
+}
+
+// microRequest builds one named random request for a model.
+func microRequest(t testing.TB, m *dnnfusion.Model, seed uint64) map[string]*dnnfusion.Tensor {
+	t.Helper()
+	in := map[string]*dnnfusion.Tensor{}
+	for i, name := range m.InputNames() {
+		shape, err := m.InputShape(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in[name] = dnnfusion.NewTensor(shape...).Rand(seed*131 + uint64(i))
+	}
+	return in
+}
+
+func TestRegistryResolveUnknownModel(t *testing.T) {
+	r := NewRegistry()
+	_, err := r.Resolve("nope")
+	if !errors.Is(err, dnnfusion.ErrUnknownModel) {
+		t.Fatalf("Resolve(nope) = %v, want ErrUnknownModel", err)
+	}
+}
+
+func TestRegistryRegisterAndList(t *testing.T) {
+	r := NewRegistry()
+	defer r.Close()
+	if _, err := r.Register("mlp", compileMicro(t, models.MicroMLP), Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Register("attn", compileMicro(t, models.MicroAttention), Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Register("mlp", compileMicro(t, models.MicroMLP), Config{}); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	if _, err := r.Register("", compileMicro(t, models.MicroMLP), Config{}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, err := r.Register("nilmodel", nil, Config{}); err == nil {
+		t.Fatal("nil model accepted")
+	}
+	names := r.Names()
+	if len(names) != 2 || names[0] != "attn" || names[1] != "mlp" {
+		t.Fatalf("Names() = %v, want [attn mlp]", names)
+	}
+}
+
+func TestRegistryBuilderRunsOnce(t *testing.T) {
+	r := NewRegistry()
+	defer r.Close()
+	var builds atomic.Int32
+	_, err := r.RegisterBuilder("mlp", func() (*dnnfusion.Model, error) {
+		builds.Add(1)
+		return dnnfusion.Compile(models.MicroMLP(), dnnfusion.WithThreads(1))
+	}, Config{MaxBatch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := r.Resolve("mlp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if builds.Load() != 0 || h.Loaded() {
+		t.Fatalf("builder ran before first use (builds=%d, loaded=%v)", builds.Load(), h.Loaded())
+	}
+	m, err := h.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		res, err := h.Run(ctx, microRequest(t, m, uint64(i)))
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		res.Release()
+	}
+	if builds.Load() != 1 {
+		t.Fatalf("builder ran %d times, want 1", builds.Load())
+	}
+	if !h.Loaded() {
+		t.Fatal("host not loaded after serving")
+	}
+}
+
+func TestRegistryBuilderErrorIsSticky(t *testing.T) {
+	r := NewRegistry()
+	defer r.Close()
+	boom := errors.New("boom")
+	if _, err := r.RegisterBuilder("bad", func() (*dnnfusion.Model, error) { return nil, boom }, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	h, err := r.Resolve("bad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := h.Model(); !errors.Is(err, boom) {
+			t.Fatalf("Model() attempt %d = %v, want wrapped boom", i, err)
+		}
+	}
+	if _, err := h.Run(context.Background(), nil); !errors.Is(err, boom) {
+		t.Fatalf("Run on failed host = %v, want wrapped boom", err)
+	}
+}
+
+func TestRegistryEvictClosesHost(t *testing.T) {
+	r := NewRegistry()
+	h, err := r.Register("mlp", compileMicro(t, models.MicroMLP), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := h.Model()
+	req := microRequest(t, m, 1)
+	res, err := h.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Release()
+	if !r.Evict("mlp") {
+		t.Fatal("Evict reported model absent")
+	}
+	if r.Evict("mlp") {
+		t.Fatal("second Evict reported success")
+	}
+	if _, err := r.Resolve("mlp"); !errors.Is(err, dnnfusion.ErrUnknownModel) {
+		t.Fatalf("Resolve after evict = %v, want ErrUnknownModel", err)
+	}
+	if _, err := h.Run(context.Background(), req); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Run after evict = %v, want ErrClosed", err)
+	}
+}
+
+// TestRegistryEvictRaceNeverStrands races eviction against a burst of
+// concurrent Run calls: every request must resolve (result or error —
+// typically ErrClosed), never hang in a queue no dispatcher reads. A
+// regression here deadlocks the test.
+func TestRegistryEvictRaceNeverStrands(t *testing.T) {
+	for round := 0; round < 5; round++ {
+		r := NewRegistry()
+		h, err := r.Register("mlp", compileMicro(t, models.MicroMLP), Config{MaxBatch: 2, Queue: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, _ := h.Model()
+		req := microRequest(t, m, uint64(round))
+		var wg sync.WaitGroup
+		for c := 0; c < 6; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				res, err := h.Run(context.Background(), req)
+				if err == nil {
+					res.Release()
+				} else if !errors.Is(err, ErrClosed) {
+					t.Errorf("unexpected error: %v", err)
+				}
+			}()
+		}
+		r.Evict("mlp")
+		wg.Wait() // must not hang
+	}
+}

@@ -1,0 +1,232 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"dnnfusion"
+)
+
+// Server is the HTTP front-end over a model repository. It implements
+// http.Handler with four JSON endpoints:
+//
+//	GET  /healthz                     — liveness plus registered-model count
+//	GET  /v1/models                   — list models (name, loaded, stats)
+//	GET  /v1/models/{name}            — one model's full serving metadata
+//	POST /v1/models/{name}:predict    — run one inference
+//
+// A predict request body maps input names to tensors:
+//
+//	{"inputs": {"x": {"shape": [16, 64], "data": [0.1, ...]}}}
+//
+// Shape may be omitted (the model's declared shape is used) and data may be
+// omitted (zeros), so {"inputs": {"x": {}}} is the minimal smoke request.
+// The response mirrors the form: {"model": ..., "outputs": {"y": {"shape":
+// ..., "data": [...]}}}.
+//
+// Errors map the package taxonomy to status codes: unknown model names are
+// 404 (dnnfusion.ErrUnknownModel), malformed requests — unknown/missing
+// inputs, shape mismatches, undecodable JSON — are 400, eviction races are
+// 503, and everything else is 500. Every error body is {"error": "..."}.
+type Server struct {
+	reg *Registry
+}
+
+// NewServer wraps a repository in the HTTP front-end.
+func NewServer(reg *Registry) *Server { return &Server{reg: reg} }
+
+// Registry returns the repository the server fronts.
+func (s *Server) Registry() *Registry { return s.reg }
+
+const modelsPrefix = "/v1/models"
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	path := r.URL.Path
+	switch {
+	case path == "/healthz":
+		s.handleHealth(w, r)
+	case path == modelsPrefix || path == modelsPrefix+"/":
+		s.handleList(w, r)
+	case strings.HasPrefix(path, modelsPrefix+"/"):
+		rest := strings.TrimPrefix(path, modelsPrefix+"/")
+		if name, ok := strings.CutSuffix(rest, ":predict"); ok {
+			s.handlePredict(w, r, name)
+			return
+		}
+		s.handleInfo(w, r, rest)
+	default:
+		writeError(w, http.StatusNotFound, fmt.Errorf("no such endpoint %q", path))
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("healthz is GET-only"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"models": len(s.reg.Names()),
+	})
+}
+
+// listEntry is one model's row in GET /v1/models. Stats appear only for
+// loaded models: listing must stay cheap and never force a lazy build.
+type listEntry struct {
+	Name   string `json:"name"`
+	Loaded bool   `json:"loaded"`
+	Stats  *Stats `json:"stats,omitempty"`
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("model listing is GET-only"))
+		return
+	}
+	entries := []listEntry{}
+	for _, name := range s.reg.Names() {
+		h, err := s.reg.Resolve(name)
+		if err != nil {
+			continue // evicted between Names and Resolve
+		}
+		e := listEntry{Name: name, Loaded: h.Loaded()}
+		if e.Loaded {
+			st := h.st.snapshot()
+			e.Stats = &st
+		}
+		entries = append(entries, e)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"models": entries})
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request, name string) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("model info is GET-only"))
+		return
+	}
+	h, err := s.reg.Resolve(name)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	info, err := h.Info()
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// wireTensor is the JSON form of a tensor: row-major data plus shape.
+type wireTensor struct {
+	Shape []int     `json:"shape,omitempty"`
+	Data  []float32 `json:"data,omitempty"`
+}
+
+type predictRequest struct {
+	Inputs map[string]wireTensor `json:"inputs"`
+}
+
+type predictResponse struct {
+	Model   string                `json:"model"`
+	Outputs map[string]wireTensor `json:"outputs"`
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request, name string) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("predict is POST-only"))
+		return
+	}
+	h, err := s.reg.Resolve(name)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	if _, err := h.Model(); err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	var req predictRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request body: %w", err))
+		return
+	}
+	inputs := make(map[string]*dnnfusion.Tensor, len(req.Inputs))
+	for inName, wt := range req.Inputs {
+		t, err := h.decodeTensor(inName, wt)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		inputs[inName] = t
+	}
+	res, err := h.Run(r.Context(), inputs)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	defer res.Release()
+	resp := predictResponse{Model: name, Outputs: make(map[string]wireTensor, len(res.Outputs()))}
+	for outName, t := range res.Outputs() {
+		resp.Outputs[outName] = wireTensor{Shape: t.Shape(), Data: t.Data()}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// decodeTensor builds one input tensor from its wire form: the declared
+// input shape fills in an omitted shape, omitted data means zeros, and a
+// data/shape element-count mismatch is a 400-class error.
+func (h *Host) decodeTensor(name string, wt wireTensor) (*dnnfusion.Tensor, error) {
+	shape := wt.Shape
+	if shape == nil {
+		if spec := h.inSpec(name); spec != nil {
+			shape = spec.Shape
+		} else {
+			return nil, fmt.Errorf("%w: %q", dnnfusion.ErrUnknownInput, name)
+		}
+	}
+	t := dnnfusion.NewTensor(shape...)
+	if wt.Data == nil {
+		return t, nil
+	}
+	if len(wt.Data) != t.NumElements() {
+		return nil, fmt.Errorf("%w: input %q has %d data elements for shape %v (%d elements)",
+			dnnfusion.ErrShapeMismatch, name, len(wt.Data), shape, t.NumElements())
+	}
+	copy(t.Data(), wt.Data)
+	return t, nil
+}
+
+// statusFor maps the serving error taxonomy onto HTTP status codes.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, dnnfusion.ErrUnknownModel):
+		return http.StatusNotFound
+	case errors.Is(err, dnnfusion.ErrUnknownInput),
+		errors.Is(err, dnnfusion.ErrMissingInput),
+		errors.Is(err, dnnfusion.ErrShapeMismatch):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return 499 // client closed request (nginx convention)
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,235 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dnnfusion"
+
+	"dnnfusion/internal/models"
+)
+
+// newTestServer registers the batchable MLP and the fallback attention
+// model behind an httptest server.
+func newTestServer(t *testing.T) (*httptest.Server, *Registry) {
+	t.Helper()
+	r := NewRegistry()
+	if _, err := r.Register("micro-mlp", compileMicro(t, models.MicroMLP), Config{MaxBatch: 4, MaxDelay: 100 * time.Microsecond}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.RegisterBuilder("micro-attention", func() (*dnnfusion.Model, error) {
+		return dnnfusion.Compile(models.MicroAttention(), dnnfusion.WithThreads(1))
+	}, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(r))
+	t.Cleanup(func() { ts.Close(); r.Close() })
+	return ts, r
+}
+
+func getJSON(t *testing.T, url string, wantStatus int) map[string]any {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s = %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("decoding %s: %v", url, err)
+	}
+	return body
+}
+
+func postJSON(t *testing.T, url, body string, wantStatus int) map[string]any {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding response of POST %s: %v", url, err)
+	}
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("POST %s = %d (%v), want %d", url, resp.StatusCode, out, wantStatus)
+	}
+	return out
+}
+
+func TestServerHealthz(t *testing.T) {
+	ts, _ := newTestServer(t)
+	body := getJSON(t, ts.URL+"/healthz", http.StatusOK)
+	if body["status"] != "ok" || body["models"].(float64) != 2 {
+		t.Fatalf("healthz = %v", body)
+	}
+}
+
+func TestServerListModels(t *testing.T) {
+	ts, _ := newTestServer(t)
+	body := getJSON(t, ts.URL+"/v1/models", http.StatusOK)
+	entries := body["models"].([]any)
+	if len(entries) != 2 {
+		t.Fatalf("listed %d models, want 2", len(entries))
+	}
+	first := entries[0].(map[string]any)
+	// Sorted: micro-attention first, lazily registered so not yet loaded.
+	if first["name"] != "micro-attention" || first["loaded"] != false {
+		t.Fatalf("first entry = %v", first)
+	}
+	if _, hasStats := first["stats"]; hasStats {
+		t.Fatal("unloaded model exposes stats (listing must not force builds)")
+	}
+}
+
+func TestServerModelInfo(t *testing.T) {
+	ts, _ := newTestServer(t)
+	body := getJSON(t, ts.URL+"/v1/models/micro-mlp", http.StatusOK)
+	if body["name"] != "micro-mlp" || body["batchable"] != true || body["max_batch"].(float64) != 4 {
+		t.Fatalf("info = %v", body)
+	}
+	if body["planned_peak_bytes"].(float64) <= 0 || body["batch_planned_peak_bytes"].(float64) <= 0 {
+		t.Fatalf("info missing memory plan: %v", body)
+	}
+	in := body["inputs"].([]any)[0].(map[string]any)
+	if in["name"] != "x" {
+		t.Fatalf("input spec = %v", in)
+	}
+	// The fallback model reports why batching is off.
+	body = getJSON(t, ts.URL+"/v1/models/micro-attention", http.StatusOK)
+	if body["batchable"] != false || body["batch_disabled_reason"] == "" {
+		t.Fatalf("attention info = %v", body)
+	}
+}
+
+func TestServerPredictRoundTrip(t *testing.T) {
+	ts, _ := newTestServer(t)
+	m := compileMicro(t, models.MicroMLP)
+	req := microRequest(t, m, 42)
+	data, _ := json.Marshal(map[string]any{
+		"inputs": map[string]any{"x": map[string]any{"shape": req["x"].Shape(), "data": req["x"].Data()}},
+	})
+	body := postJSON(t, ts.URL+"/v1/models/micro-mlp:predict", string(data), http.StatusOK)
+	if body["model"] != "micro-mlp" {
+		t.Fatalf("predict response = %v", body)
+	}
+	out := body["outputs"].(map[string]any)["y"].(map[string]any)
+	got := out["data"].([]any)
+	want, err := m.NewRunner().Run(t.Context(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wd := want["y"].Data()
+	if len(got) != len(wd) {
+		t.Fatalf("predict returned %d elements, want %d", len(got), len(wd))
+	}
+	for k := range wd {
+		if diff := float64(wd[k]) - got[k].(float64); diff > 1e-6 || diff < -1e-6 {
+			t.Fatalf("element %d: served %v, direct %v", k, got[k], wd[k])
+		}
+	}
+}
+
+func TestServerPredictDefaults(t *testing.T) {
+	ts, _ := newTestServer(t)
+	// Omitted shape and data: declared shape, zero data — the minimal
+	// smoke request CI uses.
+	body := postJSON(t, ts.URL+"/v1/models/micro-mlp:predict", `{"inputs":{"x":{}}}`, http.StatusOK)
+	out := body["outputs"].(map[string]any)["y"].(map[string]any)
+	if shape := out["shape"].([]any); len(shape) != 2 {
+		t.Fatalf("output shape = %v", shape)
+	}
+}
+
+func TestServerErrorTaxonomy(t *testing.T) {
+	ts, reg := newTestServer(t)
+	// Unknown model → 404 wrapping ErrUnknownModel semantics.
+	body := postJSON(t, ts.URL+"/v1/models/nope:predict", `{"inputs":{}}`, http.StatusNotFound)
+	if !strings.Contains(body["error"].(string), "unknown model") {
+		t.Fatalf("404 body = %v", body)
+	}
+	getJSON(t, ts.URL+"/v1/models/nope", http.StatusNotFound)
+	// Bad shape → 400 wrapping *ShapeError.
+	body = postJSON(t, ts.URL+"/v1/models/micro-mlp:predict",
+		`{"inputs":{"x":{"shape":[2,2],"data":[1,2,3,4]}}}`, http.StatusBadRequest)
+	if !strings.Contains(body["error"].(string), "shape") {
+		t.Fatalf("shape 400 body = %v", body)
+	}
+	// Data/shape element mismatch → 400.
+	postJSON(t, ts.URL+"/v1/models/micro-mlp:predict",
+		`{"inputs":{"x":{"data":[1,2,3]}}}`, http.StatusBadRequest)
+	// Missing input → 400.
+	body = postJSON(t, ts.URL+"/v1/models/micro-mlp:predict", `{"inputs":{}}`, http.StatusBadRequest)
+	if !strings.Contains(body["error"].(string), "missing input") {
+		t.Fatalf("missing-input 400 body = %v", body)
+	}
+	// Unknown input name → 400.
+	postJSON(t, ts.URL+"/v1/models/micro-mlp:predict", `{"inputs":{"zz":{}}}`, http.StatusBadRequest)
+	// Undecodable JSON → 400.
+	postJSON(t, ts.URL+"/v1/models/micro-mlp:predict", `{not json`, http.StatusBadRequest)
+	// Wrong methods → 405.
+	resp, err := http.Get(ts.URL + "/v1/models/micro-mlp:predict")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET predict = %d, want 405", resp.StatusCode)
+	}
+	// Unknown endpoint → 404.
+	resp, err = http.Get(ts.URL + "/v2/frobnicate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown endpoint = %d, want 404", resp.StatusCode)
+	}
+	// Evicted model → 404 afterwards.
+	reg.Evict("micro-mlp")
+	postJSON(t, ts.URL+"/v1/models/micro-mlp:predict", `{"inputs":{"x":{}}}`, http.StatusNotFound)
+}
+
+// TestServerParallelPredictRace hammers the HTTP surface from concurrent
+// clients (run under -race in CI's GOMAXPROCS=4 step).
+func TestServerParallelPredictRace(t *testing.T) {
+	ts, _ := newTestServer(t)
+	const clients, rounds = 6, 8
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			model := "micro-mlp"
+			if c%3 == 2 {
+				model = "micro-attention"
+			}
+			url := fmt.Sprintf("%s/v1/models/%s:predict", ts.URL, model)
+			input := map[string]string{"micro-mlp": "x", "micro-attention": "tokens"}[model]
+			body := fmt.Sprintf(`{"inputs":{%q:{}}}`, input)
+			for i := 0; i < rounds; i++ {
+				resp, err := http.Post(url, "application/json", bytes.NewReader([]byte(body)))
+				if err != nil {
+					t.Errorf("client %d: %v", c, err)
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("client %d: status %d", c, resp.StatusCode)
+				}
+				resp.Body.Close()
+			}
+		}(c)
+	}
+	wg.Wait()
+}
