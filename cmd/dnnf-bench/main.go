@@ -46,21 +46,53 @@ type jsonModel struct {
 	GPUMs        float64 `json:"dnnf_gpu_ms"`
 }
 
+// jsonKernelSchedule is the tuner-selected tile schedule of one heavy
+// kernel (schema v4): the GEMM-shape task it was tuned for and the chosen
+// blocking, so BENCH deltas are explainable schedule by schedule.
+type jsonKernelSchedule struct {
+	Kernel   string `json:"kernel"`
+	TaskM    int    `json:"task_m"`
+	TaskN    int    `json:"task_n"`
+	TaskK    int    `json:"task_k"`
+	RowTile  int    `json:"row_tile"`
+	ColPanel int    `json:"col_panel"`
+	Unroll   int    `json:"unroll"`
+}
+
+// kernelSchedules collects the selected schedules of a compiled model's
+// heavy kernels, in execution-plan order.
+func kernelSchedules(model *dnnfusion.Model) []jsonKernelSchedule {
+	var out []jsonKernelSchedule
+	for _, k := range model.Kernels {
+		if k.Schedule.Zero() {
+			continue
+		}
+		out = append(out, jsonKernelSchedule{
+			Kernel: k.Name,
+			TaskM:  k.TaskM, TaskN: k.TaskN, TaskK: k.TaskK,
+			RowTile: k.Schedule.RowTile, ColPanel: k.Schedule.ColPanel, Unroll: k.Schedule.Unroll,
+		})
+	}
+	return out
+}
+
 // jsonExec is one runnable micro-model's measured serving-path numbers: a
 // warmed Runner over the planned arena, timed and alloc-counted for real
 // (not simulated). allocs_per_op and bytes_per_op are the zero-allocation
 // headline; ns_per_op tracks single-threaded (blocked) hot-path latency
 // across PRs, and ns_per_op_t8 the same kernels split over an 8-lane
-// worker pool (WithThreads(8)).
+// worker pool (WithThreads(8)). schedules records each heavy kernel's
+// tuner-selected tile schedule (schema v4).
 type jsonExec struct {
-	Name             string  `json:"name"`
-	Operators        int     `json:"operators"`
-	FusedKernels     int     `json:"fused_kernels"`
-	PlannedPeakBytes int64   `json:"planned_peak_bytes"`
-	NsPerOp          int64   `json:"ns_per_op"`
-	NsPerOpT8        int64   `json:"ns_per_op_t8"`
-	BytesPerOp       int64   `json:"bytes_per_op"`
-	AllocsPerOp      float64 `json:"allocs_per_op"`
+	Name             string               `json:"name"`
+	Operators        int                  `json:"operators"`
+	FusedKernels     int                  `json:"fused_kernels"`
+	PlannedPeakBytes int64                `json:"planned_peak_bytes"`
+	NsPerOp          int64                `json:"ns_per_op"`
+	NsPerOpT8        int64                `json:"ns_per_op_t8"`
+	BytesPerOp       int64                `json:"bytes_per_op"`
+	AllocsPerOp      float64              `json:"allocs_per_op"`
+	Schedules        []jsonKernelSchedule `json:"schedules,omitempty"`
 }
 
 // timeRunner measures steady-state ns/op, bytes/op, and allocs/op of a
@@ -146,6 +178,7 @@ func measureExec(build func() *dnnfusion.Graph) (jsonExec, error) {
 		NsPerOpT8:        ns8,
 		BytesPerOp:       bytes1,
 		AllocsPerOp:      allocs1,
+		Schedules:        kernelSchedules(model),
 	}, nil
 }
 
@@ -164,12 +197,17 @@ type jsonBatchPoint struct {
 	NsPerRequest       int64   `json:"ns_per_request"`
 	ServedNsPerRequest int64   `json:"served_ns_per_request"`
 	ServedMeanBatch    float64 `json:"served_mean_batch"`
+	// Schedules are the batch-capacity variant's re-selected kernel
+	// schedules (schema v4): batch-stacked shapes tune differently than
+	// batch 1, and this is where that shows.
+	Schedules []jsonKernelSchedule `json:"schedules,omitempty"`
 }
 
-// jsonSummary is the -json baseline file (schema dnnf-bench/v3). num_cpu
+// jsonSummary is the -json baseline file (schema dnnf-bench/v4: v3 plus
+// per-heavy-kernel selected schedules in exec and micro_batch). num_cpu
 // and gomaxprocs make threaded numbers (ns_per_op_t8, the micro-batch
 // scenario) self-describing: a t8 column produced on a 1-CPU container
-// cannot show wall-clock parallel gains, and now the file says so itself.
+// cannot show wall-clock parallel gains, and the file says so itself.
 type jsonSummary struct {
 	Schema     string           `json:"schema"`
 	NumCPU     int              `json:"num_cpu"`
@@ -197,6 +235,7 @@ func measureBatch(build func() *graph.Graph) ([]jsonBatchPoint, error) {
 	}
 	maxB := batchSizes[len(batchSizes)-1]
 	runners := make([]*dnnfusion.BatchRunner, len(batchSizes))
+	scheds := make([][]jsonKernelSchedule, len(batchSizes))
 	for i, b := range batchSizes {
 		bm, err := model.CompileBatch(b)
 		if errors.Is(err, dnnfusion.ErrNotBatchable) {
@@ -209,6 +248,7 @@ func measureBatch(build func() *graph.Graph) ([]jsonBatchPoint, error) {
 			return nil, err
 		}
 		runners[i] = bm.NewRunner()
+		scheds[i] = kernelSchedules(bm.Model())
 	}
 	reqs := make([]map[string]*dnnfusion.Tensor, maxB)
 	for i := range reqs {
@@ -268,6 +308,7 @@ func measureBatch(build func() *graph.Graph) ([]jsonBatchPoint, error) {
 			NsPerRequest:       best[i],
 			ServedNsPerRequest: served,
 			ServedMeanBatch:    meanBatch,
+			Schedules:          scheds[i],
 		}
 	}
 	return points, nil
@@ -373,7 +414,7 @@ func buildJSONBaseline(c *bench.Context) (*jsonSummary, error) {
 		}
 	}
 	summary := &jsonSummary{
-		Schema:     "dnnf-bench/v3",
+		Schema:     "dnnf-bench/v4",
 		NumCPU:     runtime.NumCPU(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 	}

@@ -40,7 +40,6 @@ package dnnfusion
 import (
 	"fmt"
 
-	"dnnfusion/internal/core"
 	"dnnfusion/internal/device"
 	"dnnfusion/internal/engine"
 	"dnnfusion/internal/fusion"
@@ -76,20 +75,6 @@ type (
 	SeedPolicy = fusion.SeedPolicy
 )
 
-// Deprecated aliases from the pre-Model API, kept so downstream code
-// migrates one call site at a time rather than all at once.
-type (
-	// Options is the internal flat option struct.
-	//
-	// Deprecated: use Compile's functional options (WithDevice,
-	// WithoutFusion, ...); Options remains only for CompileOptions.
-	Options = core.Options
-	// Compiled is the former name of Model.
-	//
-	// Deprecated: use Model.
-	Compiled = Model
-)
-
 // NewGraph creates an empty computational graph.
 func NewGraph(name string) *Graph { return graph.New(name) }
 
@@ -114,19 +99,6 @@ func Rand(dims ...int) *Tensor {
 
 // FromSlice wraps data in a tensor of the given shape.
 func FromSlice(data []float32, dims ...int) *Tensor { return tensor.FromSlice(data, dims...) }
-
-// CompileOptions compiles with the flat Options struct of the pre-Model
-// API.
-//
-// Deprecated: use Compile with functional options.
-func CompileOptions(g *Graph, opts Options) (*Model, error) {
-	return Compile(g, func(o *core.Options) { *o = opts })
-}
-
-// DefaultOptions is the full pipeline as a flat Options struct.
-//
-// Deprecated: Compile with no options is the full pipeline.
-func DefaultOptions() Options { return core.Defaults() }
 
 // NewProfileDB creates an empty profiling database; compile with
 // WithProfileDB (and WithDevice) to enable profile-driven yellow decisions
@@ -182,15 +154,6 @@ func InterpretNamed(g *Graph, inputs map[string]*Tensor) (map[string]*Tensor, er
 		results[name] = outs[i]
 	}
 	return results, nil
-}
-
-// Interpret executes a graph with the reference implementations, feeds
-// keyed by the graph's own *Value edges.
-//
-// Deprecated: pointer-keyed feeds couple callers to the graph internals;
-// use InterpretNamed.
-func Interpret(g *Graph, feeds map[*Value]*Tensor) ([]*Tensor, error) {
-	return graph.InterpretOutputs(g, feeds)
 }
 
 // Operator constructors (a curated subset; the full set lives in

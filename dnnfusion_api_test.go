@@ -70,37 +70,6 @@ func TestPublicCompileRunSimulate(t *testing.T) {
 	}
 }
 
-// TestDeprecatedShims pins the migration contract: the pre-Model entry
-// points (CompileOptions with the flat struct, pointer-keyed Run, and
-// positional RunInputs) keep working and agree with the named-I/O path.
-func TestDeprecatedShims(t *testing.T) {
-	g := buildPublicMLP(t)
-	model, err := dnnfusion.CompileOptions(g, dnnfusion.DefaultOptions())
-	if err != nil {
-		t.Fatal(err)
-	}
-	input := dnnfusion.Rand(4, 16)
-
-	positional, err := model.RunInputs(input)
-	if err != nil {
-		t.Fatal(err)
-	}
-	pointerKeyed, err := model.Run(map[*dnnfusion.Value]*dnnfusion.Tensor{model.G.Inputs[0]: input})
-	if err != nil {
-		t.Fatal(err)
-	}
-	named, err := model.NewRunner().Run(context.Background(), map[string]*dnnfusion.Tensor{"x": input})
-	if err != nil {
-		t.Fatal(err)
-	}
-	out := named[model.OutputNames()[0]]
-	for i := range out.Data() {
-		if positional[0].Data()[i] != out.Data()[i] || pointerKeyed[0].Data()[i] != out.Data()[i] {
-			t.Fatalf("deprecated shims diverge from named path at %d", i)
-		}
-	}
-}
-
 func TestPublicModelZoo(t *testing.T) {
 	names := dnnfusion.ModelNames()
 	if len(names) != 15 {

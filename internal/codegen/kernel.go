@@ -42,6 +42,16 @@ type Kernel struct {
 	SourceCPU string
 	SourceGPU string
 
+	// Schedule is the tuner-selected tile schedule of a heavy kernel,
+	// attached by the compiler after code generation (core.Compile) and
+	// applied to the kernel's Source trees at bind time. A zero schedule
+	// leaves the operators' built-in default blocking in place. TaskM/
+	// TaskN/TaskK record the GEMM-shape tuning task the schedule was
+	// selected for (see ScheduleTask), so benchmarks can explain the
+	// choice.
+	Schedule            ops.Schedule
+	TaskM, TaskN, TaskK int
+
 	// Cost profile used by the device model.
 	FLOPs      int64
 	ReadBytes  int64
@@ -192,6 +202,30 @@ func (k *Kernel) Heavy() bool {
 		}
 	}
 	return false
+}
+
+// ScheduleTask derives the kernel's schedule-tuning task: the GEMM-shape
+// (M, N, K) of its FLOPs-dominant schedulable heavy operator. ok is false
+// for kernels with nothing to schedule (light kernels, or heavy kernels
+// whose only contraction is an Einsum/ConvTranspose that evaluates
+// scalar).
+func (k *Kernel) ScheduleTask() (m, n, kk int, ok bool) {
+	var best int64 = -1
+	for _, nd := range k.Block.Nodes {
+		shapes := make([]tensor.Shape, len(nd.Inputs))
+		for i, in := range nd.Inputs {
+			shapes[i] = in.Shape
+		}
+		tm, tn, tk, tok := ops.ScheduleTaskDims(nd.Op, shapes)
+		if !tok {
+			continue
+		}
+		if f := nd.Op.FLOPs(shapes); f > best {
+			best = f
+			m, n, kk, ok = tm, tn, tk, true
+		}
+	}
+	return m, n, kk, ok
 }
 
 // FoldedMovementBytes is the traffic the intra-block optimization avoids:
@@ -363,6 +397,14 @@ func (k *Kernel) BindParallel(resolve func(v *graph.Value) (*tensor.Tensor, erro
 			if err != nil {
 				return nil, err
 			}
+			// Bind time is where the compile-time schedule artifact meets
+			// the Source tree: every lane's independently composed heavy
+			// sources adopt the kernel's tuned blocking (and size their
+			// accumulator scratch) here, so the steady-state hot path
+			// still allocates nothing.
+			if !k.Schedule.Zero() {
+				ops.ApplySchedule(s, k.Schedule)
+			}
 			bo := &bk.outs[i]
 			if lane == 0 {
 				elems := o.Shape.NumElements()
@@ -380,6 +422,13 @@ func (k *Kernel) BindParallel(resolve func(v *graph.Value) (*tensor.Tensor, erro
 					if floor := (elems + lanes - 1) / lanes; grain < floor {
 						grain = floor
 					}
+				}
+				if span := ops.TileSpan(s); span > 0 {
+					// Round the grain up to whole row tiles: pool chunks
+					// start at multiples of the grain, so worker lanes
+					// split the output on tile boundaries and no chunk
+					// degrades the tiled path mid-tile.
+					grain = (grain + span - 1) / span * span
 				}
 				*bo = boundOutput{
 					srcs:  make([]ops.Source, lanes),

@@ -8,8 +8,6 @@
 package core
 
 import (
-	"context"
-	"fmt"
 	"time"
 
 	"dnnfusion/internal/codegen"
@@ -22,6 +20,7 @@ import (
 	"dnnfusion/internal/profile"
 	"dnnfusion/internal/rewrite"
 	"dnnfusion/internal/tensor"
+	"dnnfusion/internal/tuner"
 )
 
 // Options selects which parts of the pipeline run; the defaults (via
@@ -76,6 +75,11 @@ type CompileStats struct {
 	RewriteApplied  int
 	RewriteStats    rewrite.Stats
 	KernelCacheHits int
+	// ScheduleLookups is the number of heavy kernels whose tile schedule
+	// was selected; ScheduleMisses is how many required a fresh GA search
+	// (the rest hit the profile database's schedule cache).
+	ScheduleLookups int
+	ScheduleMisses  int
 }
 
 // Compiled is a ready-to-run model. After Compile returns it is immutable:
@@ -139,6 +143,7 @@ func Compile(g *graph.Graph, opts Options) (*Compiled, error) {
 	if opts.Cache != nil {
 		c.Stats.KernelCacheHits = opts.Cache.Hits - cacheHitsBefore
 	}
+	c.selectSchedules()
 	if opts.Pool != nil {
 		c.exec, err = engine.NewExecutorPool(e, c.Plan, kernels, opts.Pool)
 	} else {
@@ -165,6 +170,50 @@ func (c *Compiled) NewSession() *engine.Session { return c.exec.NewSession() }
 // reuse. It excludes weights (see G.ParamBytes) and the double-buffered
 // output copies.
 func (c *Compiled) PlannedPeakBytes() int64 { return c.exec.PlannedPeakBytes() }
+
+// scheduleDevice is the device whose memory hierarchy kernel schedules
+// are tuned against: the compile target when one is set, else the primary
+// CPU profile standing in for the host.
+func (o Options) scheduleDevice() *device.Device {
+	if o.Device != nil {
+		return o.Device
+	}
+	return device.Snapdragon865CPU()
+}
+
+// selectSchedules makes the kernel schedule a compile artifact: every
+// heavy kernel's tile schedule is selected by the genetic tuner against
+// the device profile (§4.3–4.4 pair fusion with tuned per-kernel
+// schedules), with chosen schedules cached in the profile database so
+// repeat compilations skip the search — the schedule half of Figure 9b's
+// caching effect. Selection is deterministic per (shape, device), so the
+// same model always compiles to the same schedules. The schedule is
+// applied to the kernels' Source trees at session bind time
+// (codegen.BindParallel).
+func (c *Compiled) selectSchedules() {
+	dev := c.Opts.scheduleDevice()
+	for _, k := range c.Kernels {
+		m, n, kk, ok := k.ScheduleTask()
+		if !ok {
+			continue
+		}
+		k.TaskM, k.TaskN, k.TaskK = m, n, kk
+		c.Stats.ScheduleLookups++
+		key := profile.ScheduleKey(dev.Name, m, n, kk)
+		if c.Opts.ProfileDB != nil {
+			if s, hit := c.Opts.ProfileDB.LookupSchedule(key); hit {
+				k.Schedule = s
+				continue
+			}
+		}
+		c.Stats.ScheduleMisses++
+		res := tuner.Select(tuner.Task{M: m, N: n, K: kk, Device: dev}, tuner.GAOptions{})
+		k.Schedule = res.Schedule
+		if c.Opts.ProfileDB != nil {
+			c.Opts.ProfileDB.InsertSchedule(key, res.Schedule)
+		}
+	}
+}
 
 // latencyFunc resolves yellow fusion decisions: profile-database lookup
 // first, then a "measurement" on the device cost model (standing in for the
@@ -226,32 +275,6 @@ func EstimateBlockLatency(dev *device.Device, nodes []*graph.Node) float64 {
 		}
 	}
 	return dev.Price(w).TimeMs
-}
-
-// Run executes the compiled model numerically. Feeds are keyed by the
-// compiled graph's input values (c.G.Inputs).
-//
-// Deprecated: pointer-keyed feeds couple callers to compiler internals.
-// Use the root package's Model/Runner named-I/O API (or NewSession for
-// in-module callers); Run remains as a thin shim over a one-shot session.
-func (c *Compiled) Run(feeds map[*graph.Value]*tensor.Tensor) ([]*tensor.Tensor, error) {
-	return c.NewSession().Run(context.Background(), feeds)
-}
-
-// RunInputs executes the compiled model with inputs given positionally, in
-// the graph's input declaration order.
-//
-// Deprecated: use the root package's Model/Runner named-I/O API; RunInputs
-// remains as a thin shim over a one-shot session.
-func (c *Compiled) RunInputs(inputs ...*tensor.Tensor) ([]*tensor.Tensor, error) {
-	if len(inputs) != len(c.G.Inputs) {
-		return nil, fmt.Errorf("core: %d inputs supplied, model has %d", len(inputs), len(c.G.Inputs))
-	}
-	feeds := make(map[*graph.Value]*tensor.Tensor, len(inputs))
-	for i, in := range c.G.Inputs {
-		feeds[in] = inputs[i]
-	}
-	return c.NewSession().Run(context.Background(), feeds)
 }
 
 // Simulate prices one inference on the device.

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"testing"
 
 	"dnnfusion/internal/device"
@@ -69,7 +71,8 @@ func TestCompiledRunMatchesInterpreter(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%+v: %v", opts, err)
 		}
-		got, err := c.RunInputs(x)
+		got, err := c.NewSession().Run(context.Background(),
+			map[*graph.Value]*tensor.Tensor{c.G.Inputs[0]: x})
 		if err != nil {
 			t.Fatalf("%+v run: %v", opts, err)
 		}
@@ -80,14 +83,14 @@ func TestCompiledRunMatchesInterpreter(t *testing.T) {
 	}
 }
 
-func TestRunInputsArityCheck(t *testing.T) {
+func TestSessionMissingInputCheck(t *testing.T) {
 	g := buildAttentionish(t)
 	c, err := Compile(g, Defaults())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.RunInputs(); err == nil {
-		t.Error("RunInputs with missing inputs should fail")
+	if _, err := c.NewSession().Run(context.Background(), nil); err == nil {
+		t.Error("Run with missing inputs should fail")
 	}
 }
 
@@ -166,5 +169,97 @@ func TestEstimateBlockLatencyBoundaries(t *testing.T) {
 	sum := single + EstimateBlockLatency(dev, g.Nodes[1:2])
 	if pair >= sum {
 		t.Errorf("fused estimate %v >= split %v", pair, sum)
+	}
+}
+
+// TestScheduleSelectionDeterministic pins the compile-artifact contract:
+// compiling the same model twice yields identical tile schedules — with no
+// database (selection is a pure function of shape and device), and with a
+// shared profile database, where the second compilation must hit the
+// schedule cache for every kernel and search nothing.
+func TestScheduleSelectionDeterministic(t *testing.T) {
+	schedulesOf := func(c *Compiled) []string {
+		var out []string
+		for _, k := range c.Kernels {
+			if k.Schedule.Zero() {
+				continue
+			}
+			out = append(out, fmt.Sprintf("%dx%dx%d:%+v", k.TaskM, k.TaskN, k.TaskK, k.Schedule))
+		}
+		return out
+	}
+	g := buildAttentionish(t)
+	c1, err := Compile(g, Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Compile(g, Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, s2 := schedulesOf(c1), schedulesOf(c2)
+	if len(s1) == 0 {
+		t.Fatal("no kernel got a schedule; the attention graph has heavy kernels")
+	}
+	if c1.Stats.ScheduleLookups == 0 || c1.Stats.ScheduleMisses == 0 {
+		t.Fatalf("stats did not record selection: %+v", c1.Stats)
+	}
+	if fmt.Sprint(s1) != fmt.Sprint(s2) {
+		t.Fatalf("same model compiled to different schedules:\n%v\n%v", s1, s2)
+	}
+
+	db := profile.New()
+	opts := Defaults()
+	opts.ProfileDB = db
+	c3, err := Compile(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c3.Stats.ScheduleMisses == 0 {
+		t.Fatal("cold database should miss")
+	}
+	c4, err := Compile(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c4.Stats.ScheduleMisses != 0 {
+		t.Errorf("warm database searched again: %d misses", c4.Stats.ScheduleMisses)
+	}
+	if c4.Stats.ScheduleLookups != c3.Stats.ScheduleLookups {
+		t.Errorf("lookup counts diverge: %d vs %d", c4.Stats.ScheduleLookups, c3.Stats.ScheduleLookups)
+	}
+	if fmt.Sprint(schedulesOf(c3)) != fmt.Sprint(s1) {
+		t.Errorf("database-backed selection diverges from pure selection:\n%v\n%v", schedulesOf(c3), s1)
+	}
+	if fmt.Sprint(schedulesOf(c4)) != fmt.Sprint(s1) {
+		t.Errorf("cached selection diverges:\n%v\n%v", schedulesOf(c4), s1)
+	}
+}
+
+// TestScheduleDeviceChangesSelection pins that WithDevice now reaches the
+// kernels: a device with a different cache hierarchy may tune differently,
+// and at minimum the selection must key on the device (distinct cache
+// entries), so profiles from different targets never collide.
+func TestScheduleDeviceKeysCache(t *testing.T) {
+	g := buildAttentionish(t)
+	db := profile.New()
+	optsCPU := Defaults()
+	optsCPU.ProfileDB = db
+	optsCPU.Device = device.Snapdragon865CPU()
+	if _, err := Compile(g, optsCPU); err != nil {
+		t.Fatal(err)
+	}
+	n := db.ScheduleLen()
+	if n == 0 {
+		t.Fatal("no schedules cached")
+	}
+	optsGPU := Defaults()
+	optsGPU.ProfileDB = db
+	optsGPU.Device = device.Adreno650()
+	if _, err := Compile(g, optsGPU); err != nil {
+		t.Fatal(err)
+	}
+	if db.ScheduleLen() <= n {
+		t.Errorf("second device reused the first device's cache entries (%d vs %d)", db.ScheduleLen(), n)
 	}
 }

@@ -63,6 +63,25 @@ type Device struct {
 	TLBs   []CacheLevel
 }
 
+// CacheBytes returns the L1 and L2 data-cache capacities the tuners price
+// tile working sets against — hoisted here so the GA tuner and the
+// schedule selector score the same memory hierarchy. Sparse profiles
+// degrade conventionally rather than fail: no L2 level falls back to 4×
+// L1, and a profile with no cache levels at all (a minimal hand-built
+// Device) falls back to a 32 KiB L1, so compiling against it never
+// panics.
+func (d *Device) CacheBytes() (l1, l2 float64) {
+	if len(d.Caches) == 0 {
+		return 32 << 10, 4 * (32 << 10)
+	}
+	l1 = float64(d.Caches[0].SizeBytes)
+	l2 = l1 * 4
+	if len(d.Caches) > 1 {
+		l2 = float64(d.Caches[1].SizeBytes)
+	}
+	return l1, l2
+}
+
 // Work describes one kernel for costing. All counts come from the compiler
 // (internal/codegen) or the per-node fallback for unfused execution.
 type Work struct {

@@ -1,0 +1,159 @@
+package engine
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"dnnfusion/internal/codegen"
+	"dnnfusion/internal/ecg"
+	"dnnfusion/internal/fusion"
+	"dnnfusion/internal/graph"
+	"dnnfusion/internal/ops"
+	"dnnfusion/internal/tensor"
+)
+
+// Schedule execution suite: every tile schedule the tuner can select must
+// leave execution bit-exact with the scalar reference interpreter — across
+// worker-lane counts (the schedule also drives the pool's grain alignment)
+// and across batch capacities (batched compiles re-select schedules for
+// the taller shapes) — and must not cost the warmed hot path its
+// zero-allocation contract.
+
+// engineScheduleGrid spans the heights and panels the blocked kernels
+// implement, plus values that normalize (height 3, panel wider than N).
+var engineScheduleGrid = []ops.Schedule{
+	{RowTile: 1, ColPanel: 8, Unroll: 1},
+	{RowTile: 2, ColPanel: 16, Unroll: 2},
+	{RowTile: 3, ColPanel: 33, Unroll: 4},
+	{RowTile: 4, ColPanel: 64, Unroll: 4},
+	{RowTile: 8, ColPanel: 512, Unroll: 8},
+}
+
+// compileWithSchedule compiles g's plan and forces sched onto every
+// schedulable kernel, bypassing the tuner: the grid must hold for any
+// schedule, not only the ones the current fitness surface picks.
+func compileWithSchedule(t *testing.T, g *graph.Graph, sched ops.Schedule, threads int) *Executor {
+	t.Helper()
+	e := ecg.Build(g)
+	plan := fusion.GeneratePlan(e, fusion.Options{})
+	kernels, err := codegen.CompilePlan(e, plan, nil)
+	if err != nil {
+		t.Fatalf("compile plan: %v", err)
+	}
+	for _, k := range kernels {
+		if _, _, _, ok := k.ScheduleTask(); ok {
+			k.Schedule = sched
+		}
+	}
+	x, err := NewExecutorThreads(e, plan, kernels, threads)
+	if err != nil {
+		t.Fatalf("executor: %v", err)
+	}
+	return x
+}
+
+func assertBitEqual(t *testing.T, label string, got, want []*tensor.Tensor) {
+	t.Helper()
+	for o := range want {
+		gd, wd := got[o].Data(), want[o].Data()
+		for i := range wd {
+			if math.Float32bits(gd[i]) != math.Float32bits(wd[i]) {
+				t.Fatalf("%s: output %d element %d = %v, interpreter says %v", label, o, i, gd[i], wd[i])
+			}
+		}
+	}
+}
+
+// TestScheduleGridInterpreterParity runs the fused MLP under every grid
+// schedule at 1 and 8 worker lanes, against the scalar interpreter,
+// bit-for-bit.
+func TestScheduleGridInterpreterParity(t *testing.T) {
+	for _, sched := range engineScheduleGrid {
+		for _, threads := range []int{1, 8} {
+			g, _ := buildMLP(t)
+			x := tensor.Of(16, 64)
+			in := tensor.NewOf(x).Rand(uint64(41 + sched.RowTile))
+			feeds := map[*graph.Value]*tensor.Tensor{g.Inputs[0]: in}
+			want, err := graph.InterpretOutputs(g, feeds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ex := compileWithSchedule(t, g, sched, threads)
+			got, err := ex.NewSession().Run(context.Background(), feeds)
+			if err != nil {
+				t.Fatalf("rt=%d threads=%d: %v", sched.RowTile, threads, err)
+			}
+			assertBitEqual(t, "schedule grid", got, want)
+		}
+	}
+}
+
+// TestScheduleGridBatchParity runs the batch-8 capacity variant under
+// every grid schedule at 1 and 8 lanes: each request's segment of the
+// batched output must equal its own single-request interpreter run,
+// bit-for-bit (partial batches included via the 3-request case).
+func TestScheduleGridBatchParity(t *testing.T) {
+	const batch = 8
+	for _, sched := range engineScheduleGrid {
+		for _, threads := range []int{1, 8} {
+			for _, nreq := range []int{batch, 3} {
+				baseG, _ := buildMLP(t)
+				batchG, err := graph.WithLeadingBatch(baseG, batch)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ex := compileWithSchedule(t, batchG, sched, threads)
+				reqs, refs := segFeeds(baseG, batchG, nreq, uint64(7+sched.RowTile))
+				outs, err := ex.NewSession().RunBatch(context.Background(), reqs, batch)
+				if err != nil {
+					t.Fatalf("rt=%d threads=%d nreq=%d: %v", sched.RowTile, threads, nreq, err)
+				}
+				for i := 0; i < nreq; i++ {
+					want, err := graph.InterpretOutputs(baseG, refs[i])
+					if err != nil {
+						t.Fatal(err)
+					}
+					for o := range want {
+						seg := want[o].NumElements()
+						got := outs[o].Data()[i*seg : (i+1)*seg]
+						for j := range want[o].Data() {
+							if math.Float32bits(got[j]) != math.Float32bits(want[o].Data()[j]) {
+								t.Fatalf("rt=%d threads=%d req %d output %d element %d diverges",
+									sched.RowTile, threads, i, o, j)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestScheduleZeroAllocSteadyState pins that schedule application stays a
+// bind-time affair: a warmed session under the tallest grid schedule (the
+// one that grows accumulator and stripe scratch the most) still runs at
+// zero allocations per op, at 1 and 8 lanes.
+func TestScheduleZeroAllocSteadyState(t *testing.T) {
+	for _, threads := range []int{1, 8} {
+		g, _ := buildMLP(t)
+		ex := compileWithSchedule(t, g, ops.Schedule{RowTile: 8, ColPanel: 512, Unroll: 8}, threads)
+		in := tensor.NewOf(tensor.Of(16, 64)).Rand(5)
+		feeds := map[*graph.Value]*tensor.Tensor{g.Inputs[0]: in}
+		s := ex.NewSession()
+		ctx := context.Background()
+		for i := 0; i < 2; i++ {
+			if _, err := s.Run(ctx, feeds); err != nil {
+				t.Fatal(err)
+			}
+		}
+		allocs := testing.AllocsPerRun(50, func() {
+			if _, err := s.Run(ctx, feeds); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("threads=%d: %v allocs/op under forced schedule, want 0", threads, allocs)
+		}
+	}
+}

@@ -7,6 +7,7 @@
 package integration_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -155,11 +156,11 @@ func TestFullPipelinePreservesSemantics(t *testing.T) {
 			if err != nil {
 				t.Fatalf("seed %d %s: compile: %v", seed, cfg.label, err)
 			}
-			inputs := make([]*tensor.Tensor, len(g.Inputs))
-			for i, in := range g.Inputs {
-				inputs[i] = feeds[in]
+			sessFeeds := make(map[*graph.Value]*tensor.Tensor, len(g.Inputs))
+			for i, in := range c.G.Inputs {
+				sessFeeds[in] = feeds[g.Inputs[i]]
 			}
-			got, err := c.RunInputs(inputs...)
+			got, err := c.NewSession().Run(context.Background(), sessFeeds)
 			if err != nil {
 				t.Fatalf("seed %d %s: run: %v", seed, cfg.label, err)
 			}

@@ -169,13 +169,23 @@ type pointwiseBlockSource struct {
 	fn1    func(float32) float32
 	fn2    func(a, b float32) float32
 	blkIns []pwBlockInput
+	// stripe is the streaming granularity: blockLen by default, rounded up
+	// to a whole number of a heavy producer's row tiles by ApplySchedule so
+	// the chain's staging loads keep the producer on its tiled path. span
+	// is that producer tile span (0 when none), forwarded by TileSpan.
+	stripe int
+	span   int
 }
 
 func (s *pointwiseBlockSource) LoadBlock(dst []float32, off, n int) {
+	stripe := s.stripe
+	if stripe < 1 {
+		stripe = blockLen
+	}
 	for n > 0 {
 		c := n
-		if c > blockLen {
-			c = blockLen
+		if c > stripe {
+			c = stripe
 		}
 		for i := range s.blkIns {
 			in := &s.blkIns[i]

@@ -148,10 +148,10 @@ func blockedMatMul(s *matmulSource) Source {
 		aBatchStride: batchStrides(s.aShape, outBatch),
 		bBatchStride: batchStrides(s.bShape, outBatch),
 		batchBuf:     make([]int, outBatch.Rank()),
-		// 4×n so the multi-row tile (mulRows4) has one accumulator row per
-		// tiled output row; the single-row path uses the first n entries.
-		acc: make([]float64, 4*s.n),
 	}
+	// Tuned kernels override this at bind time via ApplySchedule; the
+	// default reproduces the pre-schedule blocking.
+	blk.setSchedule(DefaultSchedule(s.k))
 	return blk
 }
 
@@ -238,7 +238,25 @@ type matmulBlockSource struct {
 	outBatch                   tensor.Shape
 	aBatchStride, bBatchStride []int
 	batchBuf                   []int
-	acc                        []float64
+	// sched is the kernel's tile schedule; rowTile and jb are its
+	// normalized register-tile height and column-panel width, and acc holds
+	// rowTile accumulator rows of n entries (the single-row path uses the
+	// first n).
+	sched   Schedule
+	rowTile int
+	jb      int
+	acc     []float64
+}
+
+// setSchedule installs a tile schedule, normalizing it against this
+// matmul's shape and sizing the accumulator scratch for the row tile.
+func (s *matmulBlockSource) setSchedule(sched Schedule) {
+	s.sched = sched
+	s.rowTile = normalizeRowTile(sched.RowTile)
+	s.jb = normalizeColPanel(sched.ColPanel, s.n)
+	if need := s.rowTile * s.n; len(s.acc) < need {
+		s.acc = make([]float64, need)
+	}
 }
 
 func (s *matmulBlockSource) LoadBlock(dst []float32, off, n int) {
@@ -274,27 +292,30 @@ func (s *matmulBlockSource) LoadBlock(dst []float32, off, n int) {
 		if s.bStage != nil {
 			bBase = 0
 		}
-		// At a row boundary with at least one full 4-row tile of this batch
-		// matrix ahead, take the blocked path: 4-row tiles stream each B
-		// row once per four output rows (quartering B loads and float64
-		// widenings), and a column-panel loop keeps the active B panel
-		// cache-resident across every row tile, so tall (batch-stacked)
-		// matmuls do not thrash B between tiles. Per-element accumulation
-		// order is unchanged (ascending k) — bit-identical to mulRow.
-		if !s.transB && jLo == 0 && i+4 <= s.m && n >= 4*s.n {
+		// At a row boundary with at least one full row tile of this batch
+		// matrix ahead, take the blocked path: rowTile-high tiles stream
+		// each B row once per tile (dividing B loads and float64 widenings
+		// by the tile height), and a column-panel loop keeps the active B
+		// panel cache-resident across every row tile, so tall
+		// (batch-stacked) matmuls do not thrash B between tiles. Tile
+		// height and panel width come from the kernel's schedule
+		// (setSchedule); per-element accumulation order is unchanged
+		// (ascending k) — bit-identical to mulRow.
+		rt := s.rowTile
+		if rt > 1 && !s.transB && jLo == 0 && i+rt <= s.m && n >= rt*s.n {
 			rows := n / s.n
 			if avail := s.m - i; rows > avail {
 				rows = avail
 			}
-			rows -= rows % 4
-			jb := s.jPanel()
+			rows -= rows % rt
+			jb := s.jb
 			for j0 := 0; j0 < s.n; j0 += jb {
 				w := s.n - j0
 				if w > jb {
 					w = jb
 				}
-				for r := 0; r < rows; r += 4 {
-					s.mulTile(dst[r*s.n+j0:], aBase, bBase, i+r, j0, w)
+				for r := 0; r < rows; r += rt {
+					s.mulTile(dst[r*s.n+j0:], aBase, bBase, i+r, j0, w, rt)
 				}
 			}
 			adv := rows * s.n
@@ -310,53 +331,19 @@ func (s *matmulBlockSource) LoadBlock(dst []float32, off, n int) {
 	}
 }
 
-// jPanel is the column-panel width of the blocked path: panels of ~4096 B
-// elements (16 KiB) stay L1-resident across all row tiles of a pass.
-func (s *matmulBlockSource) jPanel() int {
-	jb := 4096 / s.k
-	if jb < 8 {
-		jb = 8
-	}
-	if jb > s.n {
-		jb = s.n
-	}
-	return jb
-}
-
-// mulTile computes the 4×w output tile with corner (i, jLo) of one batch
-// matrix, k-outer so each B row segment is loaded and widened once per four
-// output rows. dst addresses element (i, jLo) and is written with row
-// stride s.n. Each accumulator still sums in ascending-k order.
-func (s *matmulBlockSource) mulTile(dst []float32, aBase, bBase, i, jLo, w int) {
+// mulTile computes the rt×w output tile with corner (i, jLo) of one batch
+// matrix via mulTileAcc. dst addresses element (i, jLo) and is written with
+// row stride s.n. Each accumulator still sums in ascending-k order.
+func (s *matmulBlockSource) mulTile(dst []float32, aBase, bBase, i, jLo, w, rt int) {
 	ai, ak := s.aRS, 1
 	if s.transA {
 		ai, ak = 1, s.aRS
 	}
-	a0 := aBase + i*ai
-	a1, a2, a3 := a0+ai, a0+2*ai, a0+3*ai
-	acc := s.acc[: 4*w : 4*w]
-	for t := range acc {
-		acc[t] = 0
-	}
-	c0, c1, c2, c3 := acc[:w:w], acc[w:2*w:2*w], acc[2*w:3*w:3*w], acc[3*w:4*w:4*w]
-	for k := 0; k < s.k; k++ {
-		ko := k * ak
-		v0 := float64(s.aData[a0+ko])
-		v1 := float64(s.aData[a1+ko])
-		v2 := float64(s.aData[a2+ko])
-		v3 := float64(s.aData[a3+ko])
-		base := bBase + k*s.bRS + jLo
-		bRow := s.bData[base : base+w]
-		for t, bv := range bRow {
-			b64 := float64(bv)
-			c0[t] += v0 * b64
-			c1[t] += v1 * b64
-			c2[t] += v2 * b64
-			c3[t] += v3 * b64
-		}
-	}
-	for r, c := range [4][]float64{c0, c1, c2, c3} {
+	acc := s.acc
+	mulTileAcc(rt, s.aData, aBase+i*ai, ai, ak, s.k, s.bData, bBase, s.bRS, jLo, acc, w)
+	for r := 0; r < rt; r++ {
 		row := dst[r*s.n : r*s.n+w]
+		c := acc[r*w : r*w+w]
 		for t := 0; t < w; t++ {
 			row[t] = float32(c[t])
 		}
@@ -509,7 +496,7 @@ func blockedGemm(s *gemmSource, shapes []tensor.Shape) Source {
 	if !ok {
 		return s
 	}
-	return &gemmBlockSource{
+	blk := &gemmBlockSource{
 		gemmSource: *s,
 		aData:      aData,
 		bData:      bData,
@@ -517,9 +504,13 @@ func blockedGemm(s *gemmSource, shapes []tensor.Shape) Source {
 		bStage:     bStage,
 		aRS:        shapes[0][1],
 		bRS:        shapes[1][1],
+		m:          s.shape[0],
 		idx2:       make([]int, 2),
-		acc:        make([]float64, s.n),
 	}
+	// The pre-schedule Gemm streamed single rows with no panel loop; that
+	// stays the default, and tuned kernels raise it via ApplySchedule.
+	blk.setSchedule(Schedule{RowTile: 1, ColPanel: s.n, Unroll: 4})
+	return blk
 }
 
 type gemmSource struct {
@@ -568,8 +559,25 @@ type gemmBlockSource struct {
 	aData, bData   []float32
 	aStage, bStage BlockSource
 	aRS, bRS       int
+	m              int
 	idx2           []int
-	acc            []float64
+	// Schedule state mirrors matmulBlockSource: rowTile accumulator rows
+	// of n entries, column panels of jb output columns.
+	sched   Schedule
+	rowTile int
+	jb      int
+	acc     []float64
+}
+
+// setSchedule installs a tile schedule, normalizing it against this Gemm's
+// shape and sizing the accumulator scratch for the row tile.
+func (s *gemmBlockSource) setSchedule(sched Schedule) {
+	s.sched = sched
+	s.rowTile = normalizeRowTile(sched.RowTile)
+	s.jb = normalizeColPanel(sched.ColPanel, s.n)
+	if need := s.rowTile * s.n; len(s.acc) < need {
+		s.acc = make([]float64, need)
+	}
 }
 
 func (s *gemmBlockSource) LoadBlock(dst []float32, off, n int) {
@@ -584,6 +592,31 @@ func (s *gemmBlockSource) LoadBlock(dst []float32, off, n int) {
 	for n > 0 {
 		i := off / s.n
 		jLo := off % s.n
+		// Row-aligned with a full row tile ahead: the schedule's blocked
+		// path, exactly as in matmulBlockSource.LoadBlock.
+		rt := s.rowTile
+		if rt > 1 && !s.op.transB && jLo == 0 && i+rt <= s.m && n >= rt*s.n {
+			rows := n / s.n
+			if avail := s.m - i; rows > avail {
+				rows = avail
+			}
+			rows -= rows % rt
+			jb := s.jb
+			for j0 := 0; j0 < s.n; j0 += jb {
+				w := s.n - j0
+				if w > jb {
+					w = jb
+				}
+				for r := 0; r < rows; r += rt {
+					s.mulTile(dst[r*s.n+j0:], i+r, j0, w, rt)
+				}
+			}
+			adv := rows * s.n
+			dst = dst[adv:]
+			off += adv
+			n -= adv
+			continue
+		}
 		run := s.n - jLo
 		if run > n {
 			run = n
@@ -592,6 +625,32 @@ func (s *gemmBlockSource) LoadBlock(dst []float32, off, n int) {
 		dst = dst[run:]
 		off += run
 		n -= run
+	}
+}
+
+// mulTile computes the rt×w tile with corner (i, jLo) via mulTileAcc, then
+// applies the Gemm epilogue (alpha scale, beta·C addend) per element — the
+// same order as mulRow, so results stay bit-identical.
+func (s *gemmBlockSource) mulTile(dst []float32, i, jLo, w, rt int) {
+	ai, ak := s.aRS, 1
+	if s.op.transA {
+		ai, ak = 1, s.aRS
+	}
+	acc := s.acc
+	mulTileAcc(rt, s.aData, i*ai, ai, ak, s.k, s.bData, 0, s.bRS, jLo, acc, w)
+	alpha := float64(s.op.alpha)
+	for r := 0; r < rt; r++ {
+		row := dst[r*s.n : r*s.n+w]
+		c := acc[r*w : r*w+w]
+		for t := 0; t < w; t++ {
+			a := c[t] * alpha
+			if s.c != nil {
+				s.idx2[0], s.idx2[1] = i+r, jLo+t
+				b := tensor.BroadcastIndex(s.idx2, s.cShape, s.cBuf)
+				a += float64(s.op.beta) * float64(s.c.Load(b))
+			}
+			row[t] = float32(a)
+		}
 	}
 }
 

@@ -350,33 +350,55 @@ type softmaxBlockSource struct {
 	softmaxSource
 	blk    BlockSource
 	rowBuf []float32
+	// group is how many input rows one producer load stages (default 1).
+	// ApplySchedule aligns it with a heavy producer's row tile, so a
+	// matmul feeding this softmax is pulled in whole tiles instead of
+	// tile-defeating single rows.
+	group int
 }
 
 func (s *softmaxBlockSource) LoadBlock(dst []float32, off, n int) {
 	d := s.axisDim
+	g := s.group
+	if g < 1 {
+		g = 1
+	}
+	span := g * d
+	total := s.shape.NumElements()
+	stagedLo := -1 // staging never survives a call: inputs change between runs
 	for n > 0 {
 		j := off % d
+		rowStart := off - j
+		gLo := rowStart - rowStart%span
+		if gLo != stagedLo {
+			gN := span
+			if gLo+gN > total {
+				gN = total - gLo
+			}
+			s.blk.LoadBlock(s.rowBuf[:gN], gLo, gN)
+			stagedLo = gLo
+		}
+		row := s.rowBuf[rowStart-gLo : rowStart-gLo+d]
 		run := d - j
 		if run > n {
 			run = n
 		}
-		s.blk.LoadBlock(s.rowBuf, off-j, d)
 		maxV := math.Inf(-1)
-		for _, v := range s.rowBuf {
+		for _, v := range row {
 			maxV = math.Max(maxV, float64(v))
 		}
 		var sum float64
-		for _, v := range s.rowBuf {
+		for _, v := range row {
 			sum += math.Exp(float64(v) - maxV)
 		}
 		if s.log {
 			logSum := math.Log(sum)
 			for t := 0; t < run; t++ {
-				dst[t] = float32(float64(s.rowBuf[j+t]) - maxV - logSum)
+				dst[t] = float32(float64(row[j+t]) - maxV - logSum)
 			}
 		} else {
 			for t := 0; t < run; t++ {
-				dst[t] = float32(math.Exp(float64(s.rowBuf[j+t])-maxV) / sum)
+				dst[t] = float32(math.Exp(float64(row[j+t])-maxV) / sum)
 			}
 		}
 		dst = dst[run:]

@@ -1,0 +1,319 @@
+package ops
+
+import "dnnfusion/internal/tensor"
+
+// Schedule is the tile schedule of a heavy kernel — the compile-time
+// artifact the tuner selects per kernel shape and device (§4.3–4.4 pair
+// fusion with tuned per-kernel schedules). It parameterizes the blocked
+// fast paths that used to hard-code their blocking: the register row tile
+// and L1 column panel of MatMul/Gemm, and the lane-splitting granularity
+// of Conv/Pool. The contraction (K) axis is never tiled: every output
+// element accumulates over the full K range in ascending order, so any
+// schedule stays bit-for-bit equal to the scalar oracle.
+type Schedule struct {
+	// RowTile is the register-tile height: how many output rows one tile
+	// accumulates together, streaming each B row once per tile. The
+	// blocked paths implement heights 1, 2, 4, and 8 as specialized
+	// loops; other values round down to the nearest supported height.
+	RowTile int `json:"row_tile"`
+	// ColPanel is the column-panel width in output columns: the slice of
+	// B kept hot across all row tiles of a pass. Clamped to [8, N].
+	ColPanel int `json:"col_panel"`
+	// Unroll is the inner-loop unroll factor selected by the tuner. The
+	// in-process CPU path leaves unrolling to the Go compiler; the factor
+	// is recorded for the emitted kernel source and for bench
+	// explainability.
+	Unroll int `json:"unroll"`
+}
+
+// Zero reports an unset schedule (no tuner ran for the kernel).
+func (s Schedule) Zero() bool { return s.RowTile == 0 && s.ColPanel == 0 && s.Unroll == 0 }
+
+// DefaultSchedule is the schedule the blocked paths assume when no tuner
+// ran: the pre-schedule hard-coded blocking (4-row tiles, ~16KiB column
+// panels of a K-row B panel, unroll 4), kept as the fallback so
+// Virtualize-without-compile callers see unchanged behavior.
+func DefaultSchedule(k int) Schedule {
+	if k < 1 {
+		k = 1
+	}
+	return Schedule{RowTile: 4, ColPanel: 4096 / k, Unroll: 4}
+}
+
+// normalizeRowTile rounds a requested row-tile height down to the nearest
+// height the specialized loops implement (1, 2, 4, or 8 — the set
+// mulTileAcc has register-resident accumulation loops for).
+func normalizeRowTile(rt int) int {
+	switch {
+	case rt >= 8:
+		return 8
+	case rt >= 4:
+		return 4
+	case rt >= 2:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// normalizeColPanel clamps a requested column-panel width to [8, n]: below
+// 8 columns the panel loop's bookkeeping outweighs the locality, and a
+// panel cannot be wider than the output.
+func normalizeColPanel(cp, n int) int {
+	if cp < 8 {
+		cp = 8
+	}
+	if cp > n {
+		cp = n
+	}
+	return cp
+}
+
+// ApplySchedule walks a composed Source tree and configures every heavy
+// blocked source (MatMul, Gemm, Conv, Pool) with the kernel's selected
+// schedule, resizing accumulator scratch as needed. It is called at bind
+// time — once per session per lane — so the steady-state hot path still
+// allocates nothing. A zero schedule leaves the defaults in place.
+func ApplySchedule(s Source, sched Schedule) {
+	if sched.Zero() {
+		return
+	}
+	switch v := s.(type) {
+	case *matmulBlockSource:
+		v.setSchedule(sched)
+		ApplySchedule(v.a, sched)
+		ApplySchedule(v.b, sched)
+	case *gemmBlockSource:
+		v.setSchedule(sched)
+		ApplySchedule(v.a, sched)
+		ApplySchedule(v.b, sched)
+		if v.c != nil {
+			ApplySchedule(v.c, sched)
+		}
+	case *convBlockSource:
+		v.sched = sched
+		ApplySchedule(v.x, sched)
+		ApplySchedule(v.w, sched)
+	case *poolBlockSource:
+		v.sched = sched
+		ApplySchedule(v.in, sched)
+	case *pointwiseBlockSource:
+		for _, in := range v.ins {
+			ApplySchedule(in, sched)
+		}
+		// A heavy producer under this chain is pulled through staging
+		// stripes: align the stripe with the producer's row tile so the
+		// staging loads keep it on the tiled path (a fixed 512-element
+		// stripe would chop a tall tile into tile-defeating slivers).
+		span := 0
+		for i := range v.blkIns {
+			in := &v.blkIns[i]
+			if in.kind == pwStream {
+				if sp := TileSpan(in.blk); sp > span {
+					span = sp
+				}
+			}
+		}
+		if span > 0 && span <= maxStripeElems {
+			v.span = span
+			v.stripe = (blockLen + span - 1) / span * span
+			for i := range v.blkIns {
+				in := &v.blkIns[i]
+				if in.buf != nil && len(in.buf) < v.stripe {
+					in.buf = make([]float32, v.stripe)
+				}
+			}
+		}
+	case *reorganizeBlockSource:
+		ApplySchedule(v.ins[0], sched)
+	case *sliceBlockSource:
+		ApplySchedule(v.ins[0], sched)
+	case *softmaxBlockSource:
+		ApplySchedule(v.in, sched)
+		// Same alignment for row-wise softmax: stage whole producer row
+		// tiles (the tile span is a multiple of the row length when the
+		// producer is a matmul over the same innermost axis).
+		d := v.axisDim
+		if span := TileSpan(v.blk); span > 0 && span%d == 0 && span <= maxStripeElems {
+			v.group = span / d
+			if len(v.rowBuf) < span {
+				v.rowBuf = make([]float32, span)
+			}
+		}
+	}
+}
+
+// maxStripeElems bounds the per-input staging growth schedule alignment
+// may request: past 64K elements (256 KiB) the stripe no longer lives in
+// cache and the alignment would cost more than the tile path saves.
+const maxStripeElems = 1 << 16
+
+// TileSpan is the preferred parallel-chunk alignment of a source's output
+// range, in elements: when the executor splits the output across worker
+// lanes, chunks sized in multiples of the span start at row-tile
+// boundaries, so no lane's chunk degrades the tiled path to single-row
+// evaluation mid-tile. Zero means the source has no alignment preference.
+func TileSpan(s Source) int {
+	switch v := s.(type) {
+	case *matmulBlockSource:
+		return v.rowTile * v.n
+	case *gemmBlockSource:
+		return v.rowTile * v.n
+	case *convBlockSource:
+		return normalizeRowTile(v.sched.RowTile) * v.shape[v.shape.Rank()-1]
+	case *poolBlockSource:
+		return normalizeRowTile(v.sched.RowTile) * v.shape[v.shape.Rank()-1]
+	case *reorganizeBlockSource:
+		// Reorganize preserves flat order: the producer's alignment is the
+		// view's alignment.
+		return TileSpan(v.ins[0])
+	case *pointwiseBlockSource:
+		// The chain preserves flat order; its alignment is the heavy
+		// producer's (recorded when the schedule was applied).
+		return v.span
+	case *softmaxBlockSource:
+		if v.group > 1 {
+			return v.group * v.axisDim
+		}
+	}
+	return 0
+}
+
+// ScheduleTaskDims lowers a heavy operator to the GEMM-shape tuning task
+// the schedule selector searches: M output rows × N output columns with a
+// K-long contraction. Batched matmuls report per-matrix dims (the row tile
+// works within one batch matrix); Conv lowers im2col-style (output
+// positions × output channels, contracting C/groups × kernel volume).
+// ok is false for operators whose blocked path has no tile parameters to
+// select (Einsum and ConvTranspose keep scalar evaluation).
+func ScheduleTaskDims(op Operator, in []tensor.Shape) (m, n, k int, ok bool) {
+	switch v := op.(type) {
+	case *matmul:
+		if len(in) != 2 {
+			return 0, 0, 0, false
+		}
+		_, mm, kk, nn, err := v.dims(in[0], in[1])
+		if err != nil {
+			return 0, 0, 0, false
+		}
+		return mm, nn, kk, true
+	case *gemm:
+		if len(in) < 2 {
+			return 0, 0, 0, false
+		}
+		mm, kk, nn, err := v.dims(in)
+		if err != nil {
+			return 0, 0, 0, false
+		}
+		return mm, nn, kk, true
+	case *conv:
+		out, a, err := v.outShape(in)
+		if err != nil {
+			return 0, 0, 0, false
+		}
+		spatial := 1
+		for i := 2; i < out.Rank(); i++ {
+			spatial *= out[i]
+		}
+		kernel := 1
+		for i := 2; i < in[1].Rank(); i++ {
+			kernel *= in[1][i]
+		}
+		return out[0] * spatial, out[1], (in[0][1] / a.Groups) * kernel, true
+	}
+	return 0, 0, 0, false
+}
+
+// mulTileAcc accumulates the rt×w output tile with corner (row a0/ai, col
+// jLo) into acc (rt rows of w float64 accumulators, cleared here): K-outer,
+// so each B row segment is loaded — and widened to float64 — once per tile
+// rather than once per output row. Every accumulator still sums its
+// products in ascending-k order, so the tile is bit-for-bit equal to rt
+// independent scalar rows. The supported row-tile heights are specialized
+// so the per-k A values live in registers.
+func mulTileAcc(rt int, aData []float32, a0, ai, ak, kk int, bData []float32, bBase, bRS, jLo int, acc []float64, w int) {
+	acc = acc[: rt*w : rt*w]
+	for t := range acc {
+		acc[t] = 0
+	}
+	switch rt {
+	case 2:
+		a1 := a0 + ai
+		c0, c1 := acc[:w:w], acc[w:2*w:2*w]
+		for k := 0; k < kk; k++ {
+			ko := k * ak
+			v0 := float64(aData[a0+ko])
+			v1 := float64(aData[a1+ko])
+			base := bBase + k*bRS + jLo
+			bRow := bData[base : base+w]
+			for t, bv := range bRow {
+				b64 := float64(bv)
+				c0[t] += v0 * b64
+				c1[t] += v1 * b64
+			}
+		}
+	case 4:
+		a1, a2, a3 := a0+ai, a0+2*ai, a0+3*ai
+		c0, c1, c2, c3 := acc[:w:w], acc[w:2*w:2*w], acc[2*w:3*w:3*w], acc[3*w:4*w:4*w]
+		for k := 0; k < kk; k++ {
+			ko := k * ak
+			v0 := float64(aData[a0+ko])
+			v1 := float64(aData[a1+ko])
+			v2 := float64(aData[a2+ko])
+			v3 := float64(aData[a3+ko])
+			base := bBase + k*bRS + jLo
+			bRow := bData[base : base+w]
+			for t, bv := range bRow {
+				b64 := float64(bv)
+				c0[t] += v0 * b64
+				c1[t] += v1 * b64
+				c2[t] += v2 * b64
+				c3[t] += v3 * b64
+			}
+		}
+	case 8:
+		a1, a2, a3 := a0+ai, a0+2*ai, a0+3*ai
+		a4, a5, a6, a7 := a0+4*ai, a0+5*ai, a0+6*ai, a0+7*ai
+		c0, c1, c2, c3 := acc[:w:w], acc[w:2*w:2*w], acc[2*w:3*w:3*w], acc[3*w:4*w:4*w]
+		c4, c5, c6, c7 := acc[4*w:5*w:5*w], acc[5*w:6*w:6*w], acc[6*w:7*w:7*w], acc[7*w:8*w:8*w]
+		for k := 0; k < kk; k++ {
+			ko := k * ak
+			v0 := float64(aData[a0+ko])
+			v1 := float64(aData[a1+ko])
+			v2 := float64(aData[a2+ko])
+			v3 := float64(aData[a3+ko])
+			v4 := float64(aData[a4+ko])
+			v5 := float64(aData[a5+ko])
+			v6 := float64(aData[a6+ko])
+			v7 := float64(aData[a7+ko])
+			base := bBase + k*bRS + jLo
+			bRow := bData[base : base+w]
+			for t, bv := range bRow {
+				b64 := float64(bv)
+				c0[t] += v0 * b64
+				c1[t] += v1 * b64
+				c2[t] += v2 * b64
+				c3[t] += v3 * b64
+				c4[t] += v4 * b64
+				c5[t] += v5 * b64
+				c6[t] += v6 * b64
+				c7[t] += v7 * b64
+			}
+		}
+	default:
+		// Unspecialized heights (callers normalize, so this is a safety
+		// net): per-row streaming, still ascending-k per accumulator.
+		for k := 0; k < kk; k++ {
+			ko := k * ak
+			base := bBase + k*bRS + jLo
+			bRow := bData[base : base+w]
+			for r := 0; r < rt; r++ {
+				av := float64(aData[a0+r*ai+ko])
+				c := acc[r*w : r*w+w]
+				for t, bv := range bRow {
+					c[t] += av * float64(bv)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package ops
+
+import (
+	"testing"
+
+	"dnnfusion/internal/tensor"
+)
+
+// Schedule parity suite: every schedule a tuner could select — and a few
+// it never would — must leave LoadBlock bit-identical to the scalar Load
+// oracle on every heavy source, including heavy producers nested under
+// fused elementwise chains and row-wise softmax (whose staging stripes the
+// schedule realigns). The grid deliberately includes unsupported row-tile
+// heights (normalized down) and panels wider than N (clamped).
+
+// scheduleGrid is the test matrix of schedules.
+var scheduleGrid = []Schedule{
+	{RowTile: 1, ColPanel: 8, Unroll: 1},
+	{RowTile: 2, ColPanel: 16, Unroll: 2},
+	{RowTile: 3, ColPanel: 33, Unroll: 4}, // normalizes to height 2
+	{RowTile: 4, ColPanel: 64, Unroll: 4},
+	{RowTile: 8, ColPanel: 512, Unroll: 8},
+	{RowTile: 16, ColPanel: 4, Unroll: 4}, // height rounds to 8, panel to 8
+}
+
+// assertScheduleGridParity applies every schedule in the grid to a fresh
+// copy of the source (built by mk) and checks block↔scalar parity.
+func assertScheduleGridParity(t *testing.T, name string, mk func() Source) {
+	t.Helper()
+	for _, sched := range scheduleGrid {
+		src := mk()
+		ApplySchedule(src, sched)
+		assertBlockParity(t, name, src)
+	}
+}
+
+func TestScheduleGridParityMatMul(t *testing.T) {
+	b := randSource(61, 12, 9)
+	assertScheduleGridParity(t, "MatMul 17x12", func() Source {
+		return virtualize(t, NewMatMul(), randSource(60, 17, 12), b)
+	})
+	assertScheduleGridParity(t, "MatMul 16x12 exact tiles", func() Source {
+		return virtualize(t, NewMatMul(), randSource(62, 16, 12), b)
+	})
+	assertScheduleGridParity(t, "MatMul transA", func() Source {
+		return virtualize(t, NewMatMulT(true, false), randSource(63, 12, 17), b)
+	})
+	assertScheduleGridParity(t, "MatMul transB", func() Source {
+		return virtualize(t, NewMatMulT(false, true), randSource(64, 17, 12), randSource(65, 9, 12))
+	})
+	assertScheduleGridParity(t, "MatMul batched broadcast", func() Source {
+		return virtualize(t, NewMatMul(), randSource(66, 2, 1, 9, 12), randSource(67, 3, 12, 9))
+	})
+	assertScheduleGridParity(t, "MatMul staged A", func() Source {
+		return virtualize(t, NewMatMul(),
+			virtualize(t, NewRelu(), randSource(68, 17, 12)), b)
+	})
+}
+
+func TestScheduleGridParityGemm(t *testing.T) {
+	a := randSource(70, 18, 7)
+	b := randSource(71, 7, 11)
+	c := randSource(72, 11)
+	assertScheduleGridParity(t, "Gemm alpha/beta/C", func() Source {
+		return virtualize(t, NewGemm(1.5, 0.5, false, false), a, b, c)
+	})
+	assertScheduleGridParity(t, "Gemm no C", func() Source {
+		return virtualize(t, NewGemm(2, 0, false, false), a, b)
+	})
+	assertScheduleGridParity(t, "Gemm transA", func() Source {
+		return virtualize(t, NewGemm(1, 1, true, false), randSource(73, 7, 18), b)
+	})
+	assertScheduleGridParity(t, "Gemm transB", func() Source {
+		return virtualize(t, NewGemm(1, 1, false, true), a, randSource(74, 11, 7), c)
+	})
+	assertScheduleGridParity(t, "Gemm staged", func() Source {
+		return virtualize(t, NewGemm(1, 1, false, false), virtualize(t, NewSigmoid(), a), b, c)
+	})
+}
+
+func TestScheduleGridParityFusedConsumers(t *testing.T) {
+	// The schedule-sensitive cases: a heavy producer pulled through a
+	// fused elementwise chain's staging stripes, and through row-wise
+	// softmax's row staging — the paths ApplySchedule re-aligns.
+	w := randSource(81, 12, 20)
+	bias := randSource(82, 20)
+	assertScheduleGridParity(t, "relu(matmul+bias) chain", func() Source {
+		mm := virtualize(t, NewMatMul(), randSource(80, 25, 12), w)
+		return virtualize(t, NewRelu(), virtualize(t, NewAdd(), mm, bias))
+	})
+	assertScheduleGridParity(t, "softmax over matmul", func() Source {
+		mm := virtualize(t, NewMatMul(), randSource(83, 25, 12), w)
+		return virtualize(t, NewSoftmax(-1), mm)
+	})
+	assertScheduleGridParity(t, "reshape over matmul", func() Source {
+		mm := virtualize(t, NewMatMul(), randSource(84, 25, 12), w)
+		return virtualize(t, NewReshape(25*20), mm)
+	})
+}
+
+func TestScheduleGridParityConvPool(t *testing.T) {
+	x := randSource(90, 2, 4, 9, 9)
+	w := randSource(91, 6, 4, 3, 3)
+	attrs := ConvAttrs{Strides: []int{2, 2}, Pads: []int{1, 1}}
+	assertScheduleGridParity(t, "Conv", func() Source {
+		return virtualize(t, NewConv(attrs), x, w, randSource(92, 6))
+	})
+	assertScheduleGridParity(t, "MaxPool", func() Source {
+		return virtualize(t, NewMaxPool(PoolAttrs{Kernel: []int{3, 3}, Strides: []int{2, 2}, Pads: []int{1, 1}}), x)
+	})
+}
+
+func TestScheduleNormalization(t *testing.T) {
+	for rt, want := range map[int]int{0: 1, 1: 1, 2: 2, 3: 2, 4: 4, 5: 4, 7: 4, 8: 8, 9: 8, 64: 8} {
+		if got := normalizeRowTile(rt); got != want {
+			t.Errorf("normalizeRowTile(%d) = %d, want %d", rt, got, want)
+		}
+	}
+	if got := normalizeColPanel(4, 100); got != 8 {
+		t.Errorf("normalizeColPanel(4, 100) = %d, want 8", got)
+	}
+	if got := normalizeColPanel(512, 96); got != 96 {
+		t.Errorf("normalizeColPanel(512, 96) = %d, want 96", got)
+	}
+	if got := normalizeColPanel(64, 4); got != 4 {
+		t.Errorf("normalizeColPanel(64, 4) = %d, want 4", got)
+	}
+}
+
+// TestTileSpanAlignment pins the lane-splitting contract: after a schedule
+// is applied, TileSpan is a whole number of output rows times the row
+// tile, and it propagates through order-preserving wrappers (elementwise
+// chains, reorganize views).
+func TestTileSpanAlignment(t *testing.T) {
+	mm := virtualize(t, NewMatMul(), randSource(100, 16, 12), randSource(101, 12, 20))
+	ApplySchedule(mm, Schedule{RowTile: 4, ColPanel: 16, Unroll: 4})
+	if got := TileSpan(mm); got != 4*20 {
+		t.Errorf("matmul TileSpan = %d, want %d", got, 4*20)
+	}
+	chain := virtualize(t, NewRelu(), virtualize(t, NewAdd(),
+		virtualize(t, NewMatMul(), randSource(102, 16, 12), randSource(103, 12, 20)),
+		randSource(104, 20)))
+	ApplySchedule(chain, Schedule{RowTile: 8, ColPanel: 16, Unroll: 4})
+	if got := TileSpan(chain); got != 8*20 {
+		t.Errorf("chain TileSpan = %d, want %d", got, 8*20)
+	}
+	soft := virtualize(t, NewSoftmax(-1),
+		virtualize(t, NewMatMul(), randSource(105, 16, 12), randSource(106, 12, 20)))
+	ApplySchedule(soft, Schedule{RowTile: 2, ColPanel: 16, Unroll: 4})
+	if got := TileSpan(soft); got != 2*20 {
+		t.Errorf("softmax TileSpan = %d, want %d", got, 2*20)
+	}
+}
+
+// TestScheduleTaskDims pins the GEMM-shape lowering the tuner searches.
+func TestScheduleTaskDims(t *testing.T) {
+	m, n, k, ok := ScheduleTaskDims(NewMatMul(), []tensor.Shape{tensor.Of(3, 17, 12), tensor.Of(12, 9)})
+	if !ok || m != 17 || n != 9 || k != 12 {
+		t.Errorf("matmul task = %d,%d,%d,%v", m, n, k, ok)
+	}
+	m, n, k, ok = ScheduleTaskDims(NewGemm(1, 1, true, false), []tensor.Shape{tensor.Of(12, 17), tensor.Of(12, 9)})
+	if !ok || m != 17 || n != 9 || k != 12 {
+		t.Errorf("gemm task = %d,%d,%d,%v", m, n, k, ok)
+	}
+	// Conv [2,4,9,9] with 6 3x3 filters, stride 2, pad 1 → out [2,6,5,5]:
+	// im2col rows 2*25, columns 6, contraction 4*9.
+	m, n, k, ok = ScheduleTaskDims(NewConv(ConvAttrs{Strides: []int{2, 2}, Pads: []int{1, 1}}),
+		[]tensor.Shape{tensor.Of(2, 4, 9, 9), tensor.Of(6, 4, 3, 3)})
+	if !ok || m != 50 || n != 6 || k != 36 {
+		t.Errorf("conv task = %d,%d,%d,%v", m, n, k, ok)
+	}
+	if _, _, _, ok := ScheduleTaskDims(NewEinsum("ab,bc->ac"), []tensor.Shape{tensor.Of(4, 5), tensor.Of(5, 6)}); ok {
+		t.Error("einsum should not report a schedulable task")
+	}
+	if _, _, _, ok := ScheduleTaskDims(NewRelu(), []tensor.Shape{tensor.Of(4, 5)}); ok {
+		t.Error("light operators should not report a schedulable task")
+	}
+}

@@ -16,22 +16,32 @@ import (
 	"sync"
 
 	"dnnfusion/internal/graph"
+	"dnnfusion/internal/ops"
 )
 
-// DB is a latency database. Safe for concurrent use.
+// DB is a latency and schedule database. Safe for concurrent use.
 type DB struct {
 	mu      sync.Mutex
 	entries map[string]float64
+	// schedules caches tuner-selected tile schedules per kernel shape and
+	// device (ScheduleKey), so repeat compilations skip the GA search —
+	// the schedule half of Figure 9b's caching effect.
+	schedules map[string]ops.Schedule
 
-	// Hits/Misses count lookups; Measurements counts inserts that came
-	// from fresh measurements (not a bulk load).
-	Hits         int
-	Misses       int
-	Measurements int
+	// Hits/Misses count latency lookups; Measurements counts inserts that
+	// came from fresh measurements (not a bulk load). ScheduleHits/
+	// ScheduleMisses count schedule lookups the same way.
+	Hits           int
+	Misses         int
+	Measurements   int
+	ScheduleHits   int
+	ScheduleMisses int
 }
 
 // New returns an empty database.
-func New() *DB { return &DB{entries: map[string]float64{}} }
+func New() *DB {
+	return &DB{entries: map[string]float64{}, schedules: map[string]ops.Schedule{}}
+}
 
 // Len returns the number of stored entries.
 func (db *DB) Len() int {
@@ -68,6 +78,41 @@ func (db *DB) ResetStats() {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.Hits, db.Misses, db.Measurements = 0, 0, 0
+	db.ScheduleHits, db.ScheduleMisses = 0, 0
+}
+
+// ScheduleKey canonicalizes one heavy-kernel tuning task: device identity
+// plus the GEMM-shape contraction dimensions. Kernels with the same shape
+// on the same device share one tuned schedule across models.
+func ScheduleKey(deviceName string, m, n, k int) string {
+	return fmt.Sprintf("sched|%s|m=%d,n=%d,k=%d", deviceName, m, n, k)
+}
+
+// LookupSchedule returns the cached tuned schedule for key.
+func (db *DB) LookupSchedule(key string) (ops.Schedule, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	s, ok := db.schedules[key]
+	if ok {
+		db.ScheduleHits++
+	} else {
+		db.ScheduleMisses++
+	}
+	return s, ok
+}
+
+// InsertSchedule stores a tuned schedule.
+func (db *DB) InsertSchedule(key string, s ops.Schedule) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.schedules[key] = s
+}
+
+// ScheduleLen returns the number of cached schedules.
+func (db *DB) ScheduleLen() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return len(db.schedules)
 }
 
 // KeyFor canonicalizes a candidate fusion-block node list: operator types,
@@ -101,18 +146,27 @@ func KeyFor(nodes []*graph.Node) string {
 	return strings.Join(parts, ";")
 }
 
-// fileFormat is the on-disk representation.
+// fileFormat is the on-disk representation. Version 2 adds the tuned
+// schedule cache; version-1 files load with an empty one.
 type fileFormat struct {
-	Version int                `json:"version"`
-	Entries map[string]float64 `json:"entries"`
+	Version   int                     `json:"version"`
+	Entries   map[string]float64      `json:"entries"`
+	Schedules map[string]ops.Schedule `json:"schedules,omitempty"`
 }
 
 // Save writes the database as JSON.
 func (db *DB) Save(path string) error {
 	db.mu.Lock()
-	ff := fileFormat{Version: 1, Entries: make(map[string]float64, len(db.entries))}
+	ff := fileFormat{
+		Version:   2,
+		Entries:   make(map[string]float64, len(db.entries)),
+		Schedules: make(map[string]ops.Schedule, len(db.schedules)),
+	}
 	for k, v := range db.entries {
 		ff.Entries[k] = v
+	}
+	for k, v := range db.schedules {
+		ff.Schedules[k] = v
 	}
 	db.mu.Unlock()
 	data, err := json.MarshalIndent(ff, "", " ")
@@ -122,7 +176,7 @@ func (db *DB) Save(path string) error {
 	return os.WriteFile(path, data, 0o644)
 }
 
-// Load reads a database written by Save.
+// Load reads a database written by Save (any version).
 func Load(path string) (*DB, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -135,6 +189,9 @@ func Load(path string) (*DB, error) {
 	db := New()
 	for k, v := range ff.Entries {
 		db.entries[k] = v
+	}
+	for k, v := range ff.Schedules {
+		db.schedules[k] = v
 	}
 	return db, nil
 }

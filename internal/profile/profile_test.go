@@ -1,6 +1,7 @@
 package profile
 
 import (
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -80,5 +81,68 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
 		t.Error("loading a missing file should fail")
+	}
+}
+
+func TestScheduleCacheRoundTrip(t *testing.T) {
+	db := New()
+	db.Insert("latency", 3.5)
+	key := ScheduleKey("Snapdragon 865 CPU", 128, 96, 64)
+	db.InsertSchedule(key, ops.Schedule{RowTile: 8, ColPanel: 96, Unroll: 4})
+	if db.ScheduleLen() != 1 {
+		t.Fatalf("ScheduleLen = %d, want 1", db.ScheduleLen())
+	}
+	path := filepath.Join(t.TempDir(), "profile.json")
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ok := back.LookupSchedule(key)
+	if !ok || s != (ops.Schedule{RowTile: 8, ColPanel: 96, Unroll: 4}) {
+		t.Errorf("round trip lost schedule: %+v, %v", s, ok)
+	}
+	if back.ScheduleHits != 1 || back.ScheduleMisses != 0 {
+		t.Errorf("schedule counters = %d/%d, want 1/0", back.ScheduleHits, back.ScheduleMisses)
+	}
+	if _, ok := back.LookupSchedule("sched|other|m=1,n=1,k=1"); ok {
+		t.Error("missing key should miss")
+	}
+	// Latency entries coexist with schedules across the round trip.
+	if v, ok := back.Lookup("latency"); !ok || v != 3.5 {
+		t.Errorf("latency entry lost: %v, %v", v, ok)
+	}
+}
+
+// TestLoadVersion1File pins backward compatibility: databases written
+// before the schedule cache (version 1, no schedules field) still load.
+func TestLoadVersion1File(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v1.json")
+	if err := os.WriteFile(path, []byte(`{"version":1,"entries":{"k":2.5}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := db.Lookup("k"); !ok || v != 2.5 {
+		t.Errorf("v1 entry lost: %v, %v", v, ok)
+	}
+	if db.ScheduleLen() != 0 {
+		t.Errorf("v1 file should have no schedules, got %d", db.ScheduleLen())
+	}
+	// A loaded v1 database accepts new schedules and saves as v2.
+	db.InsertSchedule(ScheduleKey("dev", 1, 2, 3), ops.Schedule{RowTile: 2, ColPanel: 8, Unroll: 4})
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ScheduleLen() != 1 {
+		t.Errorf("upgraded file lost the schedule")
 	}
 }

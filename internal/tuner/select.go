@@ -1,0 +1,143 @@
+package tuner
+
+import (
+	"math"
+
+	"dnnfusion/internal/ops"
+)
+
+// Schedule selection: the PatDNN-inherited GA, pointed at the real heavy
+// kernels instead of the abstract (TileM, TileN, TileK) surface. The
+// executable kernels never tile K — every output element accumulates the
+// full contraction in ascending order so results stay bit-exact with the
+// scalar oracle — so the searched genes are exactly the parameters the
+// blocked paths implement: register row-tile height, L1 column-panel
+// width, and inner unroll. The fitness surface prices the full-K working
+// set against the device's cache hierarchy (Device.CacheBytes), B-row
+// reuse against the tile height, and A re-streaming against the panel
+// count, so taller inputs (batch-stacked matmuls) select taller row tiles
+// and narrower panels than their batch-1 shapes.
+
+// rowTileChoices are the register-tile heights the blocked kernels
+// implement as specialized loops (ops.Schedule.RowTile).
+var rowTileChoices = []int{1, 2, 4, 8}
+
+// colPanelChoices span thin L1 panels to full-width single passes.
+var colPanelChoices = []int{8, 16, 32, 64, 128, 256, 512}
+
+// ScheduleResult reports one schedule-selection run.
+type ScheduleResult struct {
+	Schedule ops.Schedule
+	Score    float64
+	Trials   int
+}
+
+// normalizeSchedule clamps a candidate against the task shape the way the
+// kernels will (ops side): panels live in [8, N]. Normalizing before the
+// result is stored keeps cache keys and determinism checks canonical.
+func normalizeSchedule(t Task, s ops.Schedule) ops.Schedule {
+	if s.ColPanel < 8 {
+		s.ColPanel = 8
+	}
+	if s.ColPanel > t.N {
+		s.ColPanel = t.N
+	}
+	if s.RowTile > t.M {
+		// A tile taller than the whole output never engages; fall to the
+		// tallest height that fits.
+		for _, rt := range []int{8, 4, 2, 1} {
+			if rt <= t.M {
+				s.RowTile = rt
+				break
+			}
+		}
+	}
+	return s
+}
+
+// ScheduleFitness scores a tile schedule for a heavy kernel task in
+// (0, 1]. Deterministic, so selection results are reproducible.
+func ScheduleFitness(t Task, s ops.Schedule) float64 {
+	if s.RowTile < 1 || s.ColPanel < 1 || s.Unroll < 1 {
+		return 0
+	}
+	// Working set of one pass with the full contraction resident: the
+	// row-tile strip of A, the K×panel slab of B, and the output tile.
+	ws := float64(s.RowTile*t.K+t.K*s.ColPanel+s.RowTile*s.ColPanel) * t.Device.BytesPerElem
+	l1, l2 := t.Device.CacheBytes()
+	cache := cacheScore(ws, l1, l2)
+	// B rows are loaded and widened once per row tile: reuse grows with
+	// tile height, saturating as the loads amortize away.
+	reuseScore := 1 - 0.45/float64(s.RowTile)
+	// Every column panel re-streams the A strip: more passes, more A
+	// traffic.
+	passes := (t.N + s.ColPanel - 1) / s.ColPanel
+	passScore := 1 / (1 + 0.08*float64(passes-1))
+	// Remainder loops hurt, exactly as in the abstract surface.
+	divScore := rem(t.M, s.RowTile) * rem(t.N, s.ColPanel)
+	// Unroll sweet spot at 4, as in Fitness.
+	unrollScore := 1 - 0.08*math.Abs(math.Log2(float64(s.Unroll))-2)
+	return cache * reuseScore * passScore * divScore * unrollScore
+}
+
+// taskSeed derives a deterministic GA seed from the task shape, so the
+// same kernel shape tunes to the same schedule in every compilation.
+func taskSeed(t Task) uint64 {
+	var h uint64 = 14695981039346656037
+	for _, d := range []int{t.M, t.N, t.K} {
+		h ^= uint64(d)
+		h *= 1099511628211
+	}
+	return h
+}
+
+func (r *rng) randomSchedule() ops.Schedule {
+	return ops.Schedule{
+		RowTile:  rowTileChoices[r.intn(len(rowTileChoices))],
+		ColPanel: colPanelChoices[r.intn(len(colPanelChoices))],
+		Unroll:   unrollChoices[r.intn(len(unrollChoices))],
+	}
+}
+
+// Select runs the genetic tuner over tile schedules for one heavy kernel
+// task and returns the best (normalized) schedule. With a zero
+// GAOptions.Seed the seed derives from the task shape, making selection a
+// pure function of (task, device, options) — the determinism the
+// profile-database cache and repeat compilations rely on.
+func Select(t Task, opts GAOptions) ScheduleResult {
+	if opts.Seed == 0 {
+		opts.Seed = taskSeed(t)
+	}
+	opts = opts.withDefaults()
+	best, score, trials, _ := gaDriver(opts, (*rng).randomSchedule,
+		func(s ops.Schedule) float64 { return ScheduleFitness(t, normalizeSchedule(t, s)) },
+		crossoverSchedule, mutateSchedule)
+	return ScheduleResult{Schedule: normalizeSchedule(t, best), Score: score, Trials: trials}
+}
+
+func crossoverSchedule(r *rng, a, b ops.Schedule) ops.Schedule {
+	pick := func(x, y int) int {
+		if r.intn(2) == 0 {
+			return x
+		}
+		return y
+	}
+	return ops.Schedule{
+		RowTile:  pick(a.RowTile, b.RowTile),
+		ColPanel: pick(a.ColPanel, b.ColPanel),
+		Unroll:   pick(a.Unroll, b.Unroll),
+	}
+}
+
+func mutateSchedule(r *rng, s ops.Schedule, pct int) ops.Schedule {
+	maybe := func(cur int, choices []int) int {
+		if r.intn(100) < pct {
+			return choices[r.intn(len(choices))]
+		}
+		return cur
+	}
+	s.RowTile = maybe(s.RowTile, rowTileChoices)
+	s.ColPanel = maybe(s.ColPanel, colPanelChoices)
+	s.Unroll = maybe(s.Unroll, unrollChoices)
+	return s
+}

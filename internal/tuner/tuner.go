@@ -38,22 +38,8 @@ func Fitness(t Task, p Params) float64 {
 	}
 	// Working set of one tile (A, B, C panels) in bytes.
 	ws := float64(p.TileM*p.TileK+p.TileK*p.TileN+p.TileM*p.TileN) * t.Device.BytesPerElem
-	l1 := float64(t.Device.Caches[0].SizeBytes)
-	l2 := l1 * 4
-	if len(t.Device.Caches) > 1 {
-		l2 = float64(t.Device.Caches[1].SizeBytes)
-	}
-	cacheScore := 1.0
-	switch {
-	case ws <= l1/2:
-		cacheScore = 0.75 + 0.25*(ws/(l1/2)) // too small wastes reuse
-	case ws <= l1:
-		cacheScore = 1.0
-	case ws <= l2:
-		cacheScore = 0.7
-	default:
-		cacheScore = 0.35
-	}
+	l1, l2 := t.Device.CacheBytes()
+	cache := cacheScore(ws, l1, l2)
 	// Divisibility: remainder loops hurt.
 	divScore := rem(t.M, p.TileM) * rem(t.N, p.TileN) * rem(t.K, p.TileK)
 	// Aspect: register-blocking prefers moderately square M×N tiles.
@@ -68,7 +54,25 @@ func Fitness(t Task, p Params) float64 {
 	if p.Vectorize {
 		vecScore = 1.0
 	}
-	return cacheScore * divScore * aspectScore * unrollScore * vecScore
+	return cache * divScore * aspectScore * unrollScore * vecScore
+}
+
+// cacheScore prices a tile working set against the L1/L2 capacities: a
+// set that fills (but fits) L1 is ideal, an undersized one wastes reuse,
+// L2-resident sets lose a step, and anything past L2 streams from DRAM.
+// Shared by the abstract surface (Fitness) and the schedule selector
+// (ScheduleFitness) so both price the same hierarchy the same way.
+func cacheScore(ws, l1, l2 float64) float64 {
+	switch {
+	case ws <= l1/2:
+		return 0.75 + 0.25*(ws/(l1/2))
+	case ws <= l1:
+		return 1.0
+	case ws <= l2:
+		return 0.7
+	default:
+		return 0.35
+	}
 }
 
 func rem(total, tile int) float64 {
@@ -151,47 +155,57 @@ func (o GAOptions) withDefaults() GAOptions {
 	return o
 }
 
+// gaDriver is the genetic search loop shared by TuneGA (abstract tile
+// parameters) and Select (executable schedules): score and track the
+// best, sort fitness-descending, carry the elite, then fill the next
+// generation by tournament selection, crossover, and mutation.
+func gaDriver[G any](opts GAOptions, random func(*rng) G, fitness func(G) float64,
+	cross func(*rng, G, G) G, mut func(*rng, G, int) G) (best G, score float64, trials int, history []float64) {
+	r := newRNG(opts.Seed)
+	pop := make([]G, opts.Population)
+	for i := range pop {
+		pop[i] = random(r)
+	}
+	type scored struct {
+		g G
+		f float64
+	}
+	for gen := 0; gen < opts.Generations; gen++ {
+		scoredPop := make([]scored, len(pop))
+		for i, g := range pop {
+			f := fitness(g)
+			scoredPop[i] = scored{g, f}
+			trials++
+			if f > score {
+				score, best = f, g
+			}
+		}
+		history = append(history, score)
+		// sort.Slice is unstable but deterministic for a given input, which
+		// is what reproducibility needs (and what TuneGA always used).
+		sort.Slice(scoredPop, func(i, j int) bool { return scoredPop[i].f > scoredPop[j].f })
+		next := make([]G, 0, len(pop))
+		for i := 0; i < opts.Elite && i < len(scoredPop); i++ {
+			next = append(next, scoredPop[i].g)
+		}
+		for len(next) < len(pop) {
+			a := scoredPop[tournament(r, len(scoredPop))].g
+			b := scoredPop[tournament(r, len(scoredPop))].g
+			next = append(next, mut(r, cross(r, a, b), opts.MutationPct))
+		}
+		pop = next
+	}
+	return best, score, trials, history
+}
+
 // TuneGA runs the PatDNN-style genetic-algorithm tuner. Unlike AutoTVM's
 // search it can start from an arbitrary number of chromosomes (§5.3) and
 // converges in Population×Generations trials.
 func TuneGA(t Task, opts GAOptions) Result {
 	opts = opts.withDefaults()
-	r := newRNG(opts.Seed)
-	pop := make([]Params, opts.Population)
-	for i := range pop {
-		pop[i] = r.randomParams()
-	}
-	res := Result{}
-	for gen := 0; gen < opts.Generations; gen++ {
-		type scored struct {
-			p Params
-			s float64
-		}
-		scoredPop := make([]scored, len(pop))
-		for i, p := range pop {
-			s := Fitness(t, p)
-			scoredPop[i] = scored{p, s}
-			res.Trials++
-			if s > res.Score {
-				res.Score, res.Best = s, p
-			}
-		}
-		res.History = append(res.History, res.Score)
-		sort.Slice(scoredPop, func(i, j int) bool { return scoredPop[i].s > scoredPop[j].s })
-		next := make([]Params, 0, len(pop))
-		for i := 0; i < opts.Elite && i < len(scoredPop); i++ {
-			next = append(next, scoredPop[i].p)
-		}
-		for len(next) < len(pop) {
-			a := scoredPop[tournament(r, len(scoredPop))].p
-			b := scoredPop[tournament(r, len(scoredPop))].p
-			child := crossover(r, a, b)
-			child = mutate(r, child, opts.MutationPct)
-			next = append(next, child)
-		}
-		pop = next
-	}
-	return res
+	best, score, trials, history := gaDriver(opts, (*rng).randomParams,
+		func(p Params) float64 { return Fitness(t, p) }, crossover, mutate)
+	return Result{Best: best, Score: score, Trials: trials, History: history}
 }
 
 func tournament(r *rng, n int) int {

@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"dnnfusion/internal/device"
+	"dnnfusion/internal/ops"
 )
 
 func task() Task {
@@ -91,4 +92,81 @@ func TestGoodTilesBeatDegenerateTiles(t *testing.T) {
 	if good <= degenerate {
 		t.Errorf("fitness surface inverted: good %v <= degenerate %v", good, degenerate)
 	}
+}
+
+// --- Schedule selection (tuner.Select) ------------------------------------
+
+func selTask(m, n, k int) Task {
+	return Task{M: m, N: n, K: k, Device: device.Snapdragon865CPU()}
+}
+
+func TestSelectDeterministic(t *testing.T) {
+	a := Select(selTask(128, 96, 64), GAOptions{})
+	b := Select(selTask(128, 96, 64), GAOptions{})
+	if a.Schedule != b.Schedule || a.Score != b.Score {
+		t.Errorf("same task selected different schedules: %+v vs %+v", a, b)
+	}
+}
+
+func TestSelectNormalizedAgainstShape(t *testing.T) {
+	for _, tc := range []struct{ m, n, k int }{
+		{1, 16, 64}, {8, 10, 128}, {16, 96, 64}, {128, 96, 64}, {512, 8, 27}, {1000, 1000, 200},
+	} {
+		res := Select(selTask(tc.m, tc.n, tc.k), GAOptions{})
+		s := res.Schedule
+		switch s.RowTile {
+		case 1, 2, 4, 8:
+		default:
+			t.Errorf("task %v: unsupported row tile %d", tc, s.RowTile)
+		}
+		if s.RowTile > tc.m {
+			t.Errorf("task %v: row tile %d taller than M", tc, s.RowTile)
+		}
+		if s.ColPanel > tc.n || (tc.n >= 8 && s.ColPanel < 8) {
+			t.Errorf("task %v: panel %d outside [8, N]", tc, s.ColPanel)
+		}
+		if res.Score <= 0 || res.Score > 1 {
+			t.Errorf("task %v: score %v outside (0, 1]", tc, res.Score)
+		}
+		if res.Trials == 0 {
+			t.Errorf("task %v: no trials recorded", tc)
+		}
+	}
+}
+
+// TestSelectTallerTilesForTallerInputs pins the batching mechanism: a
+// batch-stacked (taller M) variant of the same kernel must not select a
+// shorter row tile, and a single-row kernel can only select height 1.
+func TestSelectTallerTilesForTallerInputs(t *testing.T) {
+	single := Select(selTask(1, 16, 64), GAOptions{})
+	if single.Schedule.RowTile != 1 {
+		t.Errorf("M=1 selected row tile %d", single.Schedule.RowTile)
+	}
+	batched := Select(selTask(8, 16, 64), GAOptions{})
+	if batched.Schedule.RowTile <= single.Schedule.RowTile {
+		t.Errorf("batch-stacked task did not select a taller tile: %d vs %d",
+			batched.Schedule.RowTile, single.Schedule.RowTile)
+	}
+}
+
+func TestScheduleFitnessBounds(t *testing.T) {
+	task := selTask(256, 256, 512)
+	for _, rt := range rowTileChoices {
+		for _, cp := range colPanelChoices {
+			for _, u := range unrollChoices {
+				s := ScheduleFitness(task, normalizeSchedule(task, opsSchedule(rt, cp, u)))
+				if s <= 0 || s > 1 {
+					t.Fatalf("fitness %v outside (0, 1] for rt=%d cp=%d u=%d", s, rt, cp, u)
+				}
+			}
+		}
+	}
+	if ScheduleFitness(task, opsSchedule(0, 0, 0)) != 0 {
+		t.Error("zero schedule must score 0")
+	}
+}
+
+// opsSchedule is sugar for building a schedule literal in tests.
+func opsSchedule(rt, cp, u int) ops.Schedule {
+	return ops.Schedule{RowTile: rt, ColPanel: cp, Unroll: u}
 }
