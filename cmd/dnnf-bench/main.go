@@ -182,6 +182,77 @@ func measureExec(build func() *dnnfusion.Graph) (jsonExec, error) {
 	}, nil
 }
 
+// jsonImport is one micro model's importer numbers (schema v5): the size
+// of its self-generated ONNX fixture and the measured cost of loading it
+// back — import_ns is one dnnfusion.Import call over the fixture bytes
+// (parse + convert + validate), compile_ns one Compile of the imported
+// graph. Together they track the cold-start cost of serving a model from
+// disk rather than from an in-tree builder.
+type jsonImport struct {
+	Name      string `json:"name"`
+	OnnxBytes int    `json:"onnx_bytes"`
+	Operators int    `json:"operators"`
+	ImportNs  int64  `json:"import_ns"`
+	CompileNs int64  `json:"compile_ns"`
+}
+
+// measureImport exports one micro model to ONNX bytes and times the
+// import and compile halves of the load path (minima over repeated
+// windows, like the exec scenario).
+func measureImport(build func() *graph.Graph) (jsonImport, error) {
+	g := build()
+	data, err := dnnfusion.Export(g)
+	if err != nil {
+		return jsonImport{}, err
+	}
+	imported, err := dnnfusion.Import(data)
+	if err != nil {
+		return jsonImport{}, err
+	}
+	out := jsonImport{Name: g.Name, OnnxBytes: len(data), Operators: len(imported.Nodes)}
+
+	iters := 10
+	for {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if _, err := dnnfusion.Import(data); err != nil {
+				return jsonImport{}, err
+			}
+		}
+		if elapsed := time.Since(start); elapsed >= 50*time.Millisecond || iters >= 100_000 {
+			out.ImportNs = elapsed.Nanoseconds() / int64(iters)
+			break
+		}
+		iters *= 4
+	}
+	for round := 1; round < 4; round++ {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if _, err := dnnfusion.Import(data); err != nil {
+				return jsonImport{}, err
+			}
+		}
+		if ns := time.Since(start).Nanoseconds() / int64(iters); ns < out.ImportNs {
+			out.ImportNs = ns
+		}
+	}
+
+	for round := 0; round < 3; round++ {
+		g, err := dnnfusion.Import(data)
+		if err != nil {
+			return jsonImport{}, err
+		}
+		start := time.Now()
+		if _, err := dnnfusion.Compile(g, dnnfusion.WithThreads(1)); err != nil {
+			return jsonImport{}, err
+		}
+		if ns := time.Since(start).Nanoseconds(); round == 0 || ns < out.CompileNs {
+			out.CompileNs = ns
+		}
+	}
+	return out, nil
+}
+
 // jsonBatchPoint is one (model, batch size) measurement of the micro-batch
 // scenario: the same model served at batch 1/8/32 through the batching
 // stack. ns_per_request is the measured per-request execution cost of a
@@ -203,11 +274,12 @@ type jsonBatchPoint struct {
 	Schedules []jsonKernelSchedule `json:"schedules,omitempty"`
 }
 
-// jsonSummary is the -json baseline file (schema dnnf-bench/v4: v3 plus
-// per-heavy-kernel selected schedules in exec and micro_batch). num_cpu
-// and gomaxprocs make threaded numbers (ns_per_op_t8, the micro-batch
-// scenario) self-describing: a t8 column produced on a 1-CPU container
-// cannot show wall-clock parallel gains, and the file says so itself.
+// jsonSummary is the -json baseline file (schema dnnf-bench/v5: v4 plus
+// the import scenario — per-micro-fixture ONNX size and import/compile
+// load cost). num_cpu and gomaxprocs make threaded numbers (ns_per_op_t8,
+// the micro-batch scenario) self-describing: a t8 column produced on a
+// 1-CPU container cannot show wall-clock parallel gains, and the file
+// says so itself.
 type jsonSummary struct {
 	Schema     string           `json:"schema"`
 	NumCPU     int              `json:"num_cpu"`
@@ -215,6 +287,7 @@ type jsonSummary struct {
 	Models     []jsonModel      `json:"models"`
 	Exec       []jsonExec       `json:"exec"`
 	MicroBatch []jsonBatchPoint `json:"micro_batch"`
+	Imports    []jsonImport     `json:"import"`
 }
 
 // batchSizes is the micro-batch scenario's sweep.
@@ -414,7 +487,7 @@ func buildJSONBaseline(c *bench.Context) (*jsonSummary, error) {
 		}
 	}
 	summary := &jsonSummary{
-		Schema:     "dnnf-bench/v4",
+		Schema:     "dnnf-bench/v5",
 		NumCPU:     runtime.NumCPU(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 	}
@@ -439,6 +512,15 @@ func buildJSONBaseline(c *bench.Context) (*jsonSummary, error) {
 			return nil, fmt.Errorf("micro-batch %s: %w", spec.Name, err)
 		}
 		summary.MicroBatch = append(summary.MicroBatch, pts...)
+	}
+	// The import scenario (schema v5): each micro model through its own
+	// exported ONNX fixture.
+	for _, spec := range models.MicroModels() {
+		imp, err := measureImport(spec.Build)
+		if err != nil {
+			return nil, fmt.Errorf("import %s: %w", spec.Name, err)
+		}
+		summary.Imports = append(summary.Imports, imp)
 	}
 	return summary, nil
 }
@@ -505,7 +587,21 @@ func compareBaseline(summary *jsonSummary, baselinePath string, w *os.File) (ok 
 		return false, fmt.Errorf("%s has no exec entries matching the current micro models; nothing was gated", baselinePath)
 	}
 	printMicroBatch(summary, w)
+	printImports(summary, w)
 	return ok, nil
+}
+
+// printImports renders the import scenario (informational; the regression
+// gate stays on single-request exec ns/op).
+func printImports(summary *jsonSummary, w *os.File) {
+	if len(summary.Imports) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\nimport scenario (zoo fixtures through the ONNX importer)\n")
+	fmt.Fprintf(w, "%-20s %6s %12s %14s %14s\n", "model", "ops", "onnx bytes", "import ns", "compile ns")
+	for _, p := range summary.Imports {
+		fmt.Fprintf(w, "%-20s %6d %12d %14d %14d\n", p.Name, p.Operators, p.OnnxBytes, p.ImportNs, p.CompileNs)
+	}
 }
 
 // printMicroBatch renders the micro-batch scenario with each point's

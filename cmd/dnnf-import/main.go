@@ -1,0 +1,174 @@
+// Command dnnf-import loads ONNX files into the compile pipeline and
+// reports what arrived: model header, I/O specs, operator histogram,
+// fusion-plan summary, and the planned activation peak. It is the
+// inspection half of the importer; with -export it is also how the
+// repository generates ONNX fixtures from the in-tree zoo instead of
+// vendoring binaries.
+//
+// Usage:
+//
+//	dnnf-import model.onnx                 # import, compile, summarize
+//	dnnf-import -no-compile model.onnx     # import + validate only
+//	dnnf-import -export micro-mlp -o m.onnx
+//	dnnf-import -export all -o fixtures/   # every zoo model into a directory
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"dnnfusion"
+
+	"dnnfusion/internal/models"
+)
+
+func main() {
+	log.SetFlags(0)
+	export := flag.String("export", "", "zoo model to export instead of importing (micro or Table 5 name, or 'all')")
+	out := flag.String("o", "", "output path for -export (a directory when exporting 'all')")
+	noCompile := flag.Bool("no-compile", false, "stop after import + validation, skip compilation")
+	threads := flag.Int("threads", 1, "worker lanes for the compiled summary")
+	flag.Parse()
+
+	if *export != "" {
+		if err := runExport(*export, *out); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: dnnf-import [flags] model.onnx (or -export <model> -o <path>)")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	if err := runImport(flag.Arg(0), *noCompile, *threads); err != nil {
+		var ue *dnnfusion.UnsupportedOpError
+		if errors.As(err, &ue) {
+			log.Fatalf("%v\n\nthe %s operator is outside the supported ONNX subset; see README.md for the operator table", err, ue.Op)
+		}
+		log.Fatal(err)
+	}
+}
+
+// zooBuilders maps every exportable zoo model name to its graph builder.
+func zooBuilders() map[string]func() (*dnnfusion.Graph, error) {
+	builders := map[string]func() (*dnnfusion.Graph, error){}
+	for _, mm := range models.MicroModels() {
+		build := mm.Build
+		builders[mm.Name] = func() (*dnnfusion.Graph, error) { return build(), nil }
+	}
+	for _, name := range dnnfusion.ModelNames() {
+		name := name
+		builders[name] = func() (*dnnfusion.Graph, error) { return dnnfusion.BuildModel(name) }
+	}
+	return builders
+}
+
+func runExport(model, out string) error {
+	builders := zooBuilders()
+	if model == "all" {
+		if out == "" {
+			return errors.New("-export all needs -o <directory>")
+		}
+		if err := os.MkdirAll(out, 0o755); err != nil {
+			return err
+		}
+		names := make([]string, 0, len(builders))
+		for name := range builders {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			path := filepath.Join(out, name+".onnx")
+			if err := exportOne(builders[name], path); err != nil {
+				return fmt.Errorf("exporting %s: %w", name, err)
+			}
+			log.Printf("wrote %s", path)
+		}
+		return nil
+	}
+	build, ok := builders[model]
+	if !ok {
+		return fmt.Errorf("unknown model %q (try 'all', a micro model, or a Table 5 name)", model)
+	}
+	if out == "" {
+		out = model + ".onnx"
+	}
+	if err := exportOne(build, out); err != nil {
+		return err
+	}
+	log.Printf("wrote %s", out)
+	return nil
+}
+
+func exportOne(build func() (*dnnfusion.Graph, error), path string) error {
+	g, err := build()
+	if err != nil {
+		return err
+	}
+	return dnnfusion.ExportFile(g, path)
+}
+
+func runImport(path string, noCompile bool, threads int) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	g, err := dnnfusion.Import(data)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%s: %d bytes, model %q\n", path, len(data), g.Name)
+	fmt.Printf("graph: %d operators, %d values, %.2f GFLOPs\n",
+		len(g.Nodes), len(g.Values), float64(g.FLOPs())/1e9)
+	for _, in := range g.Inputs {
+		fmt.Printf("  input  %-20s %v\n", in.Name, in.Shape)
+	}
+	for _, o := range g.Outputs {
+		fmt.Printf("  output %-20s %v\n", o.Name, o.Shape)
+	}
+
+	// Operator histogram, most frequent first.
+	hist := map[string]int{}
+	for _, n := range g.Nodes {
+		hist[n.Op.Type()]++
+	}
+	types := make([]string, 0, len(hist))
+	for t := range hist {
+		types = append(types, t)
+	}
+	sort.Slice(types, func(i, j int) bool {
+		if hist[types[i]] != hist[types[j]] {
+			return hist[types[i]] > hist[types[j]]
+		}
+		return types[i] < types[j]
+	})
+	fmt.Println("\noperator histogram:")
+	for _, t := range types {
+		fmt.Printf("  %-24s %d\n", t, hist[t])
+	}
+
+	if noCompile {
+		fmt.Println("\nimport OK (compilation skipped)")
+		return nil
+	}
+
+	m, err := dnnfusion.Compile(g, dnnfusion.WithThreads(threads))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nfusion plan: %d operators -> %d kernels (%d green, %d yellow; broken: table %d, constraint %d, cycle %d, profile %d)\n",
+		len(g.Nodes), m.FusedLayerCount(),
+		m.Plan.GreenFusions, m.Plan.YellowFusions,
+		m.Plan.BrokenByTable, m.Plan.BrokenByConstraint,
+		m.Plan.BrokenByCycle, m.Plan.BrokenByProfile)
+	fmt.Printf("planned peak activation memory: %d bytes (%.2f MB)\n",
+		m.PlannedPeakBytes(), float64(m.PlannedPeakBytes())/1e6)
+	return nil
+}

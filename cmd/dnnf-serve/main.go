@@ -1,12 +1,13 @@
-// Command dnnf-serve is the HTTP serving front-end: it hosts the
-// executable micro-model zoo (and optionally the Table 5 simulation zoo)
-// behind a model repository with per-model dynamic request batching.
+// Command dnnf-serve is the HTTP serving front-end: it hosts ONNX models
+// from a directory and/or the in-tree zoos behind a model repository with
+// per-model dynamic request batching.
 //
 // Usage:
 //
 //	dnnf-serve                          # serve the micro zoo on :8080
+//	dnnf-serve -models ./models         # serve every .onnx in a directory
 //	dnnf-serve -addr :9000 -max-batch 16 -max-delay 1ms
-//	dnnf-serve -models micro-mlp,micro-cnn -prewarm
+//	dnnf-serve -micro micro-mlp,micro-cnn -prewarm
 //	dnnf-serve -zoo                     # also expose the Table 5 models
 //
 // Endpoints (see serve.Server):
@@ -16,9 +17,12 @@
 //	GET  /v1/models/{name}
 //	POST /v1/models/{name}:predict     {"inputs": {"x": {"shape": [...], "data": [...]}}}
 //
-// The Table 5 zoo models are shape-only (their weights carry no data), so
-// they serve metadata and simulation but fail :predict; the micro models
-// execute numerically.
+// Models from -models are imported lazily on first request; a file that
+// fails to import answers its own requests with 422 and counts on
+// /healthz as a build failure, without affecting other models. The Table 5
+// zoo models are shape-only (their weights carry no data), so they serve
+// metadata and simulation but fail :predict; the micro models and
+// imported models with full weights execute numerically.
 package main
 
 import (
@@ -42,7 +46,8 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	modelList := flag.String("models", "", "comma-separated micro-model names to serve (default: all micro models)")
+	modelDir := flag.String("models", "", "directory of .onnx files to serve (lazily imported)")
+	modelList := flag.String("micro", "", "comma-separated micro-model names to serve (default: all micro models; 'none' disables)")
 	zoo := flag.Bool("zoo", false, "also register the Table 5 simulation zoo (metadata only; shape-only weights cannot execute)")
 	maxBatch := flag.Int("max-batch", serve.DefaultMaxBatch, "dynamic batching capacity per model (1 disables)")
 	maxDelay := flag.Duration("max-delay", serve.DefaultMaxDelay, "how long the first request of a batch waits for peers")
@@ -52,6 +57,18 @@ func main() {
 
 	cfg := serve.Config{MaxBatch: *maxBatch, MaxDelay: *maxDelay, Prewarm: *prewarm}
 	reg := serve.NewRegistry()
+	registered := 0
+
+	if *modelDir != "" {
+		names, err := reg.RegisterDir(*modelDir, func(g *dnnfusion.Graph) (*dnnfusion.Model, error) {
+			return dnnfusion.Compile(g, dnnfusion.WithThreads(*threads))
+		}, cfg)
+		if err != nil {
+			log.Fatalf("registering model directory: %v", err)
+		}
+		log.Printf("registered %d models from %s: %v", len(names), *modelDir, names)
+		registered += len(names)
+	}
 
 	want := map[string]bool{}
 	for _, name := range strings.Split(*modelList, ",") {
@@ -59,8 +76,12 @@ func main() {
 			want[name] = true
 		}
 	}
-	registered := 0
+	serveMicro := !want["none"]
+	delete(want, "none")
 	for _, spec := range models.MicroModels() {
+		if !serveMicro {
+			break
+		}
 		if len(want) > 0 && !want[spec.Name] {
 			continue
 		}

@@ -3,6 +3,8 @@ package dnnfusion
 import (
 	"errors"
 	"fmt"
+
+	"dnnfusion/internal/onnx"
 )
 
 // The package's error taxonomy. Every error returned by the public API
@@ -42,6 +44,26 @@ var (
 	// treat it as "fall back to per-request execution", not a failure.
 	ErrNotBatchable = errors.New("dnnfusion: model not batchable along leading axis")
 )
+
+// The importer's sentinels live in internal/onnx (the converter cannot
+// import this package); they are re-exported here so every sentinel a
+// caller dispatches on is a dnnfusion.Err*.
+var (
+	// ErrImport reports a file Import cannot load as a model: malformed
+	// protobuf, a non-float32 tensor, a symbolic dimension, an attribute
+	// combination outside the supported subset, or a graph that fails
+	// validation after conversion.
+	ErrImport = onnx.ErrImport
+	// ErrUnsupportedOp reports an ONNX operator Import has no mapping
+	// for. It wraps ErrImport; the concrete error is an
+	// *UnsupportedOpError carrying the op name and node context.
+	ErrUnsupportedOp = onnx.ErrUnsupportedOp
+)
+
+// UnsupportedOpError identifies the ONNX operator Import rejected and the
+// node it appeared at. It matches errors.Is(err, ErrUnsupportedOp) and
+// errors.Is(err, ErrImport), and is extracted with errors.As.
+type UnsupportedOpError = onnx.UnsupportedOpError
 
 // ShapeError carries the details of a shape mismatch between a named model
 // input and the tensor fed for it. It matches errors.Is(err,

@@ -1,0 +1,57 @@
+package dnnfusion
+
+import (
+	"fmt"
+	"os"
+
+	"dnnfusion/internal/onnx"
+)
+
+// Import parses a model in the supported ONNX subset and converts it into
+// a graph ready for Compile or InterpretNamed. Weights with float32
+// payloads become constant values the compiler can fold and plan around;
+// initializers that declare dims but carry no payload become shape-only
+// weights (fed at run time), matching the in-tree zoo's convention for
+// large parameter tensors.
+//
+// Errors wrap ErrImport; an operator outside the subset additionally
+// matches ErrUnsupportedOp and carries an *UnsupportedOpError:
+//
+//	g, err := dnnfusion.Import(data)
+//	var ue *dnnfusion.UnsupportedOpError
+//	if errors.As(err, &ue) {
+//		log.Printf("cannot load: operator %s at node %s", ue.Op, ue.Node)
+//	}
+func Import(data []byte) (*Graph, error) {
+	return onnx.Import(data)
+}
+
+// ImportFile reads path and imports it; see Import.
+func ImportFile(path string) (*Graph, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrImport, err)
+	}
+	g, err := onnx.Import(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return g, nil
+}
+
+// Export serializes a graph as ONNX bytes, the inverse of Import over the
+// supported subset: importing the result reproduces the graph, bit-exactly
+// for data-carrying weights. It is how the repository generates golden
+// import fixtures from the in-tree zoo instead of vendoring binaries.
+func Export(g *Graph) ([]byte, error) {
+	return onnx.Export(g)
+}
+
+// ExportFile exports a graph and writes it to path; see Export.
+func ExportFile(g *Graph, path string) error {
+	data, err := onnx.Export(g)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

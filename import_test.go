@@ -1,0 +1,104 @@
+package dnnfusion_test
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dnnfusion"
+	"dnnfusion/internal/models"
+	"dnnfusion/internal/onnx"
+)
+
+// TestImportPublicRoundTrip drives the file-level public API: export a zoo
+// model to disk, import it back, compile, and run.
+func TestImportPublicRoundTrip(t *testing.T) {
+	g := models.MicroMLP()
+	path := filepath.Join(t.TempDir(), "micro-mlp.onnx")
+	if err := dnnfusion.ExportFile(g, path); err != nil {
+		t.Fatalf("ExportFile: %v", err)
+	}
+	imported, err := dnnfusion.ImportFile(path)
+	if err != nil {
+		t.Fatalf("ImportFile: %v", err)
+	}
+	m, err := dnnfusion.Compile(imported, dnnfusion.WithThreads(1))
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	feeds := map[string]*dnnfusion.Tensor{}
+	for _, name := range m.InputNames() {
+		shape, err := m.InputShape(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		feeds[name] = dnnfusion.Rand(shape...)
+	}
+	out, err := m.NewRunner().Run(context.Background(), feeds)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(out) == 0 {
+		t.Fatal("no outputs")
+	}
+}
+
+func TestImportErrorTaxonomy(t *testing.T) {
+	// Corrupt bytes → ErrImport.
+	if _, err := dnnfusion.Import([]byte("not a protobuf")); err == nil {
+		t.Fatal("corrupt bytes: want error")
+	} else if !errors.Is(err, dnnfusion.ErrImport) {
+		t.Fatalf("corrupt bytes: %v does not match ErrImport", err)
+	} else if errors.Is(err, dnnfusion.ErrUnsupportedOp) {
+		t.Fatalf("corrupt bytes: %v must not match ErrUnsupportedOp", err)
+	}
+
+	// Missing file → ErrImport.
+	if _, err := dnnfusion.ImportFile(filepath.Join(t.TempDir(), "absent.onnx")); err == nil {
+		t.Fatal("missing file: want error")
+	} else if !errors.Is(err, dnnfusion.ErrImport) {
+		t.Fatalf("missing file: %v does not match ErrImport", err)
+	}
+
+	// Truncated valid model → ErrImport, with the path in the message.
+	data, err := dnnfusion.Export(models.MicroHead())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "truncated.onnx")
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dnnfusion.ImportFile(path); err == nil {
+		t.Fatal("truncated file: want error")
+	} else if !errors.Is(err, dnnfusion.ErrImport) {
+		t.Fatalf("truncated file: %v does not match ErrImport", err)
+	}
+
+	// Unsupported operator → ErrUnsupportedOp + *UnsupportedOpError, all
+	// through the public aliases.
+	m := &onnx.Model{
+		IRVersion: 8, OpsetVersion: 13,
+		Graph: &onnx.GraphProto{
+			Name:    "rnn",
+			Inputs:  []*onnx.ValueInfo{{Name: "x", ElemType: 1, Dims: []int64{1, 4}}},
+			Outputs: []*onnx.ValueInfo{{Name: "y", ElemType: 1, Dims: []int64{1, 4}}},
+			Nodes: []*onnx.NodeProto{{
+				Name: "lstm0", OpType: "LSTM", Inputs: []string{"x"}, Outputs: []string{"y"},
+			}},
+		},
+	}
+	_, err = dnnfusion.Import(m.Marshal())
+	if err == nil {
+		t.Fatal("LSTM: want error")
+	}
+	if !errors.Is(err, dnnfusion.ErrUnsupportedOp) || !errors.Is(err, dnnfusion.ErrImport) {
+		t.Fatalf("LSTM: %v does not match both sentinels", err)
+	}
+	var ue *dnnfusion.UnsupportedOpError
+	if !errors.As(err, &ue) || ue.Op != "LSTM" || ue.Node != `"lstm0"` {
+		t.Fatalf("LSTM: bad structured error: %v (as=%+v)", err, ue)
+	}
+}

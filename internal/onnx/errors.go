@@ -1,0 +1,39 @@
+package onnx
+
+import (
+	"errors"
+	"fmt"
+)
+
+// The import error taxonomy. Both sentinels are re-exported at the package
+// root (dnnfusion.ErrImport, dnnfusion.ErrUnsupportedOp) so callers dispatch
+// through the public API with errors.Is/As; they live here because the
+// converter cannot import the root package.
+var (
+	// ErrImport reports a file that cannot be loaded as a model: malformed
+	// protobuf, a non-float32 tensor, a symbolic dimension, an attribute
+	// combination outside the supported subset, or a graph that fails
+	// validation after conversion.
+	ErrImport = errors.New("dnnfusion: model import failed")
+	// ErrUnsupportedOp reports an operator the importer has no mapping
+	// for. It wraps ErrImport; the concrete error is an
+	// *UnsupportedOpError carrying the op name and node context.
+	ErrUnsupportedOp = fmt.Errorf("%w: unsupported operator", ErrImport)
+)
+
+// UnsupportedOpError identifies the ONNX operator the importer rejected and
+// the node it appeared at. It matches errors.Is(err, ErrUnsupportedOp) and
+// errors.Is(err, ErrImport), and is extracted with errors.As.
+type UnsupportedOpError struct {
+	// Op is the ONNX op_type (e.g. "LSTM").
+	Op string
+	// Node is the node name, or a positional fallback like "#3" when the
+	// file carries no node names.
+	Node string
+}
+
+func (e *UnsupportedOpError) Error() string {
+	return fmt.Sprintf("%v %q at node %s", ErrUnsupportedOp, e.Op, e.Node)
+}
+
+func (e *UnsupportedOpError) Unwrap() error { return ErrUnsupportedOp }

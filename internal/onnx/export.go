@@ -1,0 +1,434 @@
+package onnx
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"dnnfusion/internal/graph"
+	"dnnfusion/internal/ops"
+	"dnnfusion/internal/tensor"
+)
+
+// Export opset: the attribute conventions the exporter writes (and the
+// importer's primary target).
+const (
+	exportIRVersion = 8
+	exportOpset     = 13
+)
+
+// FromGraph converts a graph into the ONNX model form, the inverse of
+// ToGraph over the supported subset. Data-carrying weights become float32
+// initializers (bit-exact raw_data); shape-only weights become
+// initializers with dims but no payload, so the 15-model zoo exports
+// without materializing gigabytes of parameters. The zoo's const-scalar
+// operators (AddConst, MulConst, scalar Pow) export as their binary ONNX
+// forms with a scalar initializer, which ToGraph folds back.
+func FromGraph(g *graph.Graph) (*Model, error) {
+	if g == nil {
+		return nil, fmt.Errorf("onnx export: nil graph")
+	}
+	e := &exporter{
+		gp:    &GraphProto{Name: g.Name},
+		names: make(map[*graph.Value]string, len(g.Values)),
+		used:  make(map[string]bool, len(g.Values)),
+	}
+	for _, in := range g.Inputs {
+		e.gp.Inputs = append(e.gp.Inputs, valueInfo(e.nameOf(in), in.Shape))
+	}
+	for _, n := range g.TopoSort() {
+		if err := e.exportNode(n); err != nil {
+			return nil, err
+		}
+	}
+	for _, out := range g.Outputs {
+		e.gp.Outputs = append(e.gp.Outputs, valueInfo(e.nameOf(out), out.Shape))
+	}
+	return &Model{
+		IRVersion:    exportIRVersion,
+		ProducerName: "dnnfusion",
+		OpsetVersion: exportOpset,
+		Graph:        e.gp,
+	}, nil
+}
+
+type exporter struct {
+	gp    *GraphProto
+	names map[*graph.Value]string
+	used  map[string]bool
+	// emitted tracks weights already written as initializers.
+	emitted map[*graph.Value]bool
+}
+
+// nameOf assigns each value a stable, unique wire name.
+func (e *exporter) nameOf(v *graph.Value) string {
+	if s, ok := e.names[v]; ok {
+		return s
+	}
+	base := v.Name
+	if base == "" {
+		base = fmt.Sprintf("v%d", v.ID)
+	}
+	name := base
+	for i := 2; e.used[name]; i++ {
+		name = fmt.Sprintf("%s_%d", base, i)
+	}
+	e.used[name] = true
+	e.names[v] = name
+	return name
+}
+
+// operand resolves one node input, emitting its initializer if it is a
+// weight seen for the first time.
+func (e *exporter) operand(v *graph.Value) string {
+	name := e.nameOf(v)
+	if v.Kind != graph.Weight {
+		return name
+	}
+	if e.emitted == nil {
+		e.emitted = make(map[*graph.Value]bool)
+	}
+	if e.emitted[v] {
+		return name
+	}
+	e.emitted[v] = true
+	t := &TensorProto{Name: name, DataType: dtFloat}
+	for _, d := range v.Shape {
+		t.Dims = append(t.Dims, int64(d))
+	}
+	if v.Data != nil {
+		t.Raw = rawFloats(v.Data.Data())
+	}
+	e.gp.Initializers = append(e.gp.Initializers, t)
+	return name
+}
+
+func rawFloats(data []float32) []byte {
+	raw := make([]byte, 4*len(data))
+	for i, f := range data {
+		binary.LittleEndian.PutUint32(raw[4*i:], math.Float32bits(f))
+	}
+	return raw
+}
+
+// scalarInit emits a scalar float initializer and returns its name.
+func (e *exporter) scalarInit(base string, v float32) string {
+	name := base
+	for i := 2; e.used[name]; i++ {
+		name = fmt.Sprintf("%s_%d", base, i)
+	}
+	e.used[name] = true
+	e.gp.Initializers = append(e.gp.Initializers, &TensorProto{
+		Name: name, DataType: dtFloat, Raw: rawFloats([]float32{v}),
+	})
+	return name
+}
+
+// intsInit emits an int64 constant initializer (shape operands) and
+// returns its name.
+func (e *exporter) intsInit(base string, vals []int) string {
+	name := base
+	for i := 2; e.used[name]; i++ {
+		name = fmt.Sprintf("%s_%d", base, i)
+	}
+	e.used[name] = true
+	t := &TensorProto{Name: name, DataType: dtInt64, Dims: []int64{int64(len(vals))}}
+	for _, v := range vals {
+		t.Int64s = append(t.Int64s, int64(v))
+	}
+	e.gp.Initializers = append(e.gp.Initializers, t)
+	return name
+}
+
+func valueInfo(name string, shape tensor.Shape) *ValueInfo {
+	vi := &ValueInfo{Name: name, ElemType: dtFloat}
+	for _, d := range shape {
+		vi.Dims = append(vi.Dims, int64(d))
+	}
+	return vi
+}
+
+// Attribute constructors.
+func aInt(name string, v int64) *Attribute     { return &Attribute{Name: name, Type: attrInt, I: v} }
+func aFloat(name string, v float32) *Attribute { return &Attribute{Name: name, Type: attrFloat, F: v} }
+func aInts(name string, vs []int) *Attribute {
+	a := &Attribute{Name: name, Type: attrInts}
+	for _, v := range vs {
+		a.Ints = append(a.Ints, int64(v))
+	}
+	return a
+}
+func aFloats(name string, vs []float32) *Attribute {
+	return &Attribute{Name: name, Type: attrFloats, Floats: vs}
+}
+
+// passthrough ops whose ONNX op_type equals the catalog Type() and that
+// carry no attributes.
+var passthrough = map[string]bool{
+	"Relu": true, "Sigmoid": true, "Tanh": true, "Erf": true, "Exp": true,
+	"Log": true, "Sqrt": true, "Softplus": true, "Identity": true,
+	"Neg": true, "Abs": true, "Ceil": true, "Floor": true, "Round": true,
+	"Reciprocal": true, "Add": true, "Sub": true, "Mul": true, "Div": true,
+	"Min": true, "Max": true, "PRelu": true, "Greater": true, "Equal": true,
+	"Where": true, "MatMul": true, "GlobalAveragePool": true,
+}
+
+func (e *exporter) exportNode(n *graph.Node) error {
+	node := &NodeProto{Name: n.Name, OpType: n.Op.Type()}
+	for _, in := range n.Inputs {
+		node.Inputs = append(node.Inputs, e.operand(in))
+	}
+	for _, out := range n.Outputs {
+		node.Outputs = append(node.Outputs, e.nameOf(out))
+	}
+
+	opType := n.Op.Type()
+	switch {
+	case passthrough[opType]:
+		if opType == "MatMul" {
+			if ta, tb, _ := ops.MatMulTrans(n.Op); ta || tb {
+				return fmt.Errorf("onnx export: %s: transposed MatMul has no ONNX form", n.Name)
+			}
+		}
+
+	case opType == "AddConst" || opType == "MulConst":
+		_, c, ok := ops.ScalarConst(n.Op)
+		if !ok {
+			return fmt.Errorf("onnx export: %s: missing const attribute", n.Name)
+		}
+		if opType == "AddConst" {
+			node.OpType = "Add"
+		} else {
+			node.OpType = "Mul"
+		}
+		node.Inputs = append(node.Inputs, e.scalarInit(n.Name+"_c", c))
+
+	case opType == "Pow": // scalar-exponent Pow (NewPowConst)
+		_, p, ok := ops.ScalarConst(n.Op)
+		if !ok {
+			return fmt.Errorf("onnx export: %s: missing exponent attribute", n.Name)
+		}
+		node.Inputs = append(node.Inputs, e.scalarInit(n.Name+"_p", p))
+
+	case opType == "PowT":
+		node.OpType = "Pow"
+
+	case opType == "Cast":
+		node.Attrs = append(node.Attrs, aInt("to", dtFloat))
+
+	case opType == "Clip":
+		min, max, ok := ops.ClipRange(n.Op)
+		if !ok {
+			return fmt.Errorf("onnx export: %s: missing clip range", n.Name)
+		}
+		node.Attrs = append(node.Attrs, aFloat("min", min), aFloat("max", max))
+
+	case opType == "LeakyRelu":
+		alpha, ok := ops.LeakyReluAlpha(n.Op)
+		if !ok {
+			return fmt.Errorf("onnx export: %s: missing alpha", n.Name)
+		}
+		node.Attrs = append(node.Attrs, aFloat("alpha", alpha))
+
+	case opType == "Conv" || opType == "ConvTranspose":
+		attrs, _, ok := ops.ConvInfo(n.Op)
+		if !ok {
+			return fmt.Errorf("onnx export: %s: not a convolution", n.Name)
+		}
+		spatial := n.Inputs[0].Shape.Rank() - 2
+		node.Attrs = append(node.Attrs,
+			aInts("strides", fillAttr(attrs.Strides, spatial, 1)),
+			aInts("pads", duplicated(fillAttr(attrs.Pads, spatial, 0))),
+			aInts("dilations", fillAttr(attrs.Dilations, spatial, 1)),
+			aInt("group", int64(maxInt(attrs.Groups, 1))))
+
+	case opType == "MaxPool" || opType == "AveragePool":
+		attrs, _, global, ok := ops.PoolInfo(n.Op)
+		if !ok || global {
+			return fmt.Errorf("onnx export: %s: not a windowed pool", n.Name)
+		}
+		spatial := n.Inputs[0].Shape.Rank() - 2
+		node.Attrs = append(node.Attrs,
+			aInts("kernel_shape", fillAttr(attrs.Kernel, spatial, 1)),
+			aInts("strides", fillAttr(attrs.Strides, spatial, 1)),
+			aInts("pads", duplicated(fillAttr(attrs.Pads, spatial, 0))))
+
+	case opType == "Gemm":
+		alpha, beta, ta, tb, ok := ops.GemmInfo(n.Op)
+		if !ok {
+			return fmt.Errorf("onnx export: %s: not a Gemm", n.Name)
+		}
+		node.Attrs = append(node.Attrs,
+			aFloat("alpha", alpha), aFloat("beta", beta),
+			aInt("transA", b2i(ta)), aInt("transB", b2i(tb)))
+
+	case opType == "BatchNormalization":
+		eps, ok := ops.BatchNormEps(n.Op)
+		if !ok {
+			return fmt.Errorf("onnx export: %s: not a BatchNormalization", n.Name)
+		}
+		node.Attrs = append(node.Attrs, aFloat("epsilon", eps))
+
+	case opType == "InstanceNormalization":
+		eps, ok := ops.InstanceNormEps(n.Op)
+		if !ok {
+			return fmt.Errorf("onnx export: %s: not an InstanceNormalization", n.Name)
+		}
+		node.Attrs = append(node.Attrs, aFloat("epsilon", eps))
+
+	case opType == "Softmax" || opType == "LogSoftmax":
+		axis, _, ok := ops.SoftmaxInfo(n.Op)
+		if !ok {
+			return fmt.Errorf("onnx export: %s: not a softmax", n.Name)
+		}
+		node.Attrs = append(node.Attrs, aInt("axis", int64(axis)))
+
+	case opType == "Reshape":
+		target, ok := ops.ReshapeTarget(n.Op)
+		if !ok {
+			return fmt.Errorf("onnx export: %s: missing reshape target", n.Name)
+		}
+		node.Inputs = append(node.Inputs, e.intsInit(n.Name+"_shape", target))
+
+	case opType == "Flatten":
+		axis, ok := ops.FlattenAxis(n.Op)
+		if !ok {
+			return fmt.Errorf("onnx export: %s: missing flatten axis", n.Name)
+		}
+		node.Attrs = append(node.Attrs, aInt("axis", int64(axis)))
+
+	case opType == "Transpose":
+		perm := ops.TransposePerm(n.Op)
+		if perm == nil {
+			return fmt.Errorf("onnx export: %s: missing permutation", n.Name)
+		}
+		node.Attrs = append(node.Attrs, aInts("perm", perm))
+
+	case opType == "Squeeze":
+		axes, ok := ops.SqueezeAxes(n.Op)
+		if !ok {
+			return fmt.Errorf("onnx export: %s: missing squeeze axes", n.Name)
+		}
+		if len(axes) > 0 {
+			node.Attrs = append(node.Attrs, aInts("axes", axes))
+		}
+
+	case opType == "Unsqueeze":
+		axes, ok := ops.UnsqueezeAxes(n.Op)
+		if !ok {
+			return fmt.Errorf("onnx export: %s: missing unsqueeze axes", n.Name)
+		}
+		node.Attrs = append(node.Attrs, aInts("axes", axes))
+
+	case opType == "Slice":
+		axes, starts, ends, ok := ops.SliceInfo(n.Op)
+		if !ok {
+			return fmt.Errorf("onnx export: %s: missing slice ranges", n.Name)
+		}
+		node.Attrs = append(node.Attrs,
+			aInts("axes", axes), aInts("starts", starts), aInts("ends", ends))
+
+	case opType == "Concat":
+		axis, ok := ops.ConcatAxis(n.Op)
+		if !ok {
+			return fmt.Errorf("onnx export: %s: missing concat axis", n.Name)
+		}
+		node.Attrs = append(node.Attrs, aInt("axis", int64(axis)))
+
+	case opType == "Split":
+		axis, sizes, ok := ops.SplitInfo(n.Op)
+		if !ok {
+			return fmt.Errorf("onnx export: %s: missing split attributes", n.Name)
+		}
+		node.Attrs = append(node.Attrs, aInt("axis", int64(axis)), aInts("split", sizes))
+
+	case opType == "ReduceSum" || opType == "ReduceMean" || opType == "ReduceMax" ||
+		opType == "ReduceMin" || opType == "ReduceProd":
+		_, keep, axes, ok := ops.ReduceInfo(n.Op)
+		if !ok {
+			return fmt.Errorf("onnx export: %s: not a reduction", n.Name)
+		}
+		node.Attrs = append(node.Attrs, aInt("keepdims", b2i(keep)))
+		if len(axes) > 0 {
+			node.Attrs = append(node.Attrs, aInts("axes", axes))
+		}
+
+	case opType == "Gather":
+		axis, ok := ops.GatherAxis(n.Op)
+		if !ok {
+			return fmt.Errorf("onnx export: %s: not a Gather", n.Name)
+		}
+		node.Attrs = append(node.Attrs, aInt("axis", int64(axis)))
+
+	case opType == "Expand":
+		target, ok := ops.ExpandTarget(n.Op)
+		if !ok {
+			return fmt.Errorf("onnx export: %s: missing expand target", n.Name)
+		}
+		node.Inputs = append(node.Inputs, e.intsInit(n.Name+"_shape", target))
+
+	case opType == "Upsample" || opType == "Resize":
+		// Both export as Upsample with a per-dimension scales attribute;
+		// the importer maps NCHW [1,1,f,f] back to the catalog's Upsample
+		// and anything else to Resize.
+		scales, ok := ops.ResizeScales(n.Op)
+		if !ok {
+			return fmt.Errorf("onnx export: %s: missing scales", n.Name)
+		}
+		node.OpType = "Upsample"
+		fs := make([]float32, len(scales))
+		for i, s := range scales {
+			fs[i] = float32(s)
+		}
+		node.Attrs = append(node.Attrs, aFloats("scales", fs))
+
+	case opType == "DepthToSpace" || opType == "SpaceToDepth":
+		block, ok := ops.BlockSize(n.Op)
+		if !ok {
+			return fmt.Errorf("onnx export: %s: missing block size", n.Name)
+		}
+		node.Attrs = append(node.Attrs, aInt("blocksize", int64(block)))
+
+	default:
+		return fmt.Errorf("onnx export: operator %s has no ONNX mapping", opType)
+	}
+
+	e.gp.Nodes = append(e.gp.Nodes, node)
+	return nil
+}
+
+// fillAttr mirrors the catalog's per-spatial-dim attribute expansion: nil
+// means the default everywhere, a single value replicates.
+func fillAttr(src []int, spatial, def int) []int {
+	dst := make([]int, spatial)
+	for i := range dst {
+		switch {
+		case len(src) == 0:
+			dst[i] = def
+		case len(src) == 1:
+			dst[i] = src[0]
+		default:
+			dst[i] = src[i]
+		}
+	}
+	return dst
+}
+
+// duplicated writes the ONNX begin+end pads form of symmetric pads.
+func duplicated(pads []int) []int {
+	return append(append([]int(nil), pads...), pads...)
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

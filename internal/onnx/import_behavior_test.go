@@ -1,0 +1,148 @@
+package onnx_test
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"dnnfusion"
+	"dnnfusion/internal/onnx"
+)
+
+// ONNX wire enums, spelled out locally: the package keeps them private.
+const (
+	elemFloat = 1
+	elemInt64 = 7
+
+	typFloat  = 1
+	typInt    = 2
+	typInts   = 7
+	typFloats = 6
+)
+
+func rawF32(vals ...float32) []byte {
+	raw := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(raw[4*i:], math.Float32bits(v))
+	}
+	return raw
+}
+
+func floatInit(name string, dims []int64, vals ...float32) *onnx.TensorProto {
+	return &onnx.TensorProto{Name: name, DataType: elemFloat, Dims: dims, Raw: rawF32(vals...)}
+}
+
+func intInit(name string, vals ...int64) *onnx.TensorProto {
+	return &onnx.TensorProto{
+		Name: name, DataType: elemInt64,
+		Dims: []int64{int64(len(vals))}, Int64s: vals,
+	}
+}
+
+// TestImportBatchNormFold: a BatchNormalization whose parameters carry
+// data imports as a Mul+Add pair with the affine form folded at float64
+// precision. Verified numerically against a reference computation.
+func TestImportBatchNormFold(t *testing.T) {
+	const eps = 1e-5
+	scale := []float32{2, 0.5}
+	bias := []float32{1, -1}
+	mean := []float32{0.5, 0.25}
+	variance := []float32{1, 4}
+
+	m := &onnx.Model{
+		IRVersion: 8, OpsetVersion: 13,
+		Graph: &onnx.GraphProto{
+			Name:    "bn-fold",
+			Inputs:  []*onnx.ValueInfo{{Name: "x", ElemType: elemFloat, Dims: []int64{1, 2, 3}}},
+			Outputs: []*onnx.ValueInfo{{Name: "y", ElemType: elemFloat, Dims: []int64{1, 2, 3}}},
+			Initializers: []*onnx.TensorProto{
+				floatInit("s", []int64{2}, scale...),
+				floatInit("b", []int64{2}, bias...),
+				floatInit("m", []int64{2}, mean...),
+				floatInit("v", []int64{2}, variance...),
+			},
+			Nodes: []*onnx.NodeProto{{
+				Name: "bn", OpType: "BatchNormalization",
+				Inputs:  []string{"x", "s", "b", "m", "v"},
+				Outputs: []string{"y"},
+				Attrs:   []*onnx.Attribute{{Name: "epsilon", Type: typFloat, F: eps}},
+			}},
+		},
+	}
+	g, err := onnx.ToGraph(m)
+	if err != nil {
+		t.Fatalf("import: %v", err)
+	}
+	var types []string
+	for _, n := range g.TopoSort() {
+		types = append(types, n.Op.Type())
+	}
+	if len(types) != 2 || types[0] != "Mul" || types[1] != "Add" {
+		t.Fatalf("folded ops = %v, want [Mul Add]", types)
+	}
+
+	x := dnnfusion.Rand(1, 2, 3)
+	out, err := dnnfusion.InterpretNamed(g, map[string]*dnnfusion.Tensor{"x": x})
+	if err != nil {
+		t.Fatalf("interpret: %v", err)
+	}
+	y := out["y"].Data()
+	for c := 0; c < 2; c++ {
+		a := float64(scale[c]) / math.Sqrt(float64(variance[c])+eps)
+		b := float64(bias[c]) - float64(mean[c])*a
+		for w := 0; w < 3; w++ {
+			i := c*3 + w
+			want := a*float64(x.Data()[i]) + b
+			if diff := math.Abs(float64(y[i]) - want); diff > 1e-5*(1+math.Abs(want)) {
+				t.Fatalf("y[%d] = %v, want %v (diff %v)", i, y[i], want, diff)
+			}
+		}
+	}
+}
+
+// TestImportVersionedForms pins the opset-dependent spellings the importer
+// accepts beyond the exporter's own: Reshape with a zero copy-dim in its
+// shape operand, and Clip bounds passed as inputs rather than attributes.
+func TestImportVersionedForms(t *testing.T) {
+	m := &onnx.Model{
+		IRVersion: 8, OpsetVersion: 13,
+		Graph: &onnx.GraphProto{
+			Name:    "versioned",
+			Inputs:  []*onnx.ValueInfo{{Name: "x", ElemType: elemFloat, Dims: []int64{2, 6}}},
+			Outputs: []*onnx.ValueInfo{{Name: "y", ElemType: elemFloat, Dims: []int64{2, 3, 2}}},
+			Initializers: []*onnx.TensorProto{
+				intInit("shape", 0, 3, -1),
+				floatInit("lo", nil, 0),
+				floatInit("hi", nil, 1),
+			},
+			Nodes: []*onnx.NodeProto{
+				{OpType: "Clip", Inputs: []string{"x", "lo", "hi"}, Outputs: []string{"c"}},
+				{OpType: "Reshape", Inputs: []string{"c", "shape"}, Outputs: []string{"y"}},
+			},
+		},
+	}
+	g, err := onnx.ToGraph(m)
+	if err != nil {
+		t.Fatalf("import: %v", err)
+	}
+	x := dnnfusion.Rand(2, 6)
+	out, err := dnnfusion.InterpretNamed(g, map[string]*dnnfusion.Tensor{"x": x})
+	if err != nil {
+		t.Fatalf("interpret: %v", err)
+	}
+	y := out["y"]
+	if !y.Shape().Equal(dnnfusion.ShapeOf(2, 3, 2)) {
+		t.Fatalf("reshape output %v, want (2 3 2)", y.Shape())
+	}
+	for i, v := range y.Data() {
+		want := x.Data()[i]
+		if want < 0 {
+			want = 0
+		} else if want > 1 {
+			want = 1
+		}
+		if v != want {
+			t.Fatalf("clip y[%d] = %v, want %v", i, v, want)
+		}
+	}
+}

@@ -1,0 +1,716 @@
+package onnx
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// ONNX TensorProto.DataType values the importer understands.
+const (
+	dtFloat = 1
+	dtInt32 = 6
+	dtInt64 = 7
+)
+
+// AttributeProto.AttributeType values.
+const (
+	attrFloat  = 1
+	attrInt    = 2
+	attrString = 3
+	attrTensor = 4
+	attrFloats = 6
+	attrInts   = 7
+)
+
+// Model is the decoded ModelProto subset.
+type Model struct {
+	IRVersion       int64
+	ProducerName    string
+	ProducerVersion string
+	// OpsetVersion is the default-domain opset the model declares (0 when
+	// the file carries none).
+	OpsetVersion int64
+	Graph        *GraphProto
+}
+
+// GraphProto is the decoded GraphProto subset.
+type GraphProto struct {
+	Name         string
+	Nodes        []*NodeProto
+	Initializers []*TensorProto
+	Inputs       []*ValueInfo
+	Outputs      []*ValueInfo
+}
+
+// NodeProto is one operator application.
+type NodeProto struct {
+	Name    string
+	OpType  string
+	Inputs  []string
+	Outputs []string
+	Attrs   []*Attribute
+}
+
+// Attribute is one node attribute (the subset of AttributeProto used by
+// the supported operators).
+type Attribute struct {
+	Name   string
+	Type   int
+	F      float32
+	I      int64
+	S      []byte
+	T      *TensorProto
+	Floats []float32
+	Ints   []int64
+}
+
+// TensorProto is a decoded constant tensor. Exactly one of Floats, Int64s,
+// or Raw carries the payload; all empty with NumElements()>0 marks a
+// shape-only tensor (the zoo's large parameters, which deliberately ship
+// no data).
+type TensorProto struct {
+	Name     string
+	Dims     []int64
+	DataType int32
+	Floats   []float32
+	Int64s   []int64
+	Raw      []byte
+}
+
+// NumElements is the element count implied by Dims.
+func (t *TensorProto) NumElements() int64 {
+	n := int64(1)
+	for _, d := range t.Dims {
+		n *= d
+	}
+	return n
+}
+
+// ValueInfo is a graph input/output declaration: name, element type, and
+// static dims (-1 for symbolic dims, which the importer rejects).
+type ValueInfo struct {
+	Name     string
+	ElemType int32
+	Dims     []int64
+}
+
+// Unmarshal decodes a serialized ModelProto.
+func Unmarshal(data []byte) (*Model, error) {
+	m := &Model{}
+	r := reader{buf: data}
+	for !r.done() {
+		field, wire, err := r.tag()
+		if err != nil {
+			return nil, err
+		}
+		switch field {
+		case 1: // ir_version
+			v, err := r.varint()
+			if err != nil {
+				return nil, err
+			}
+			m.IRVersion = int64(v)
+		case 2: // producer_name
+			b, err := r.bytes()
+			if err != nil {
+				return nil, err
+			}
+			m.ProducerName = string(b)
+		case 3: // producer_version
+			b, err := r.bytes()
+			if err != nil {
+				return nil, err
+			}
+			m.ProducerVersion = string(b)
+		case 7: // graph
+			b, err := r.bytes()
+			if err != nil {
+				return nil, err
+			}
+			if m.Graph, err = parseGraph(b); err != nil {
+				return nil, err
+			}
+		case 8: // opset_import
+			b, err := r.bytes()
+			if err != nil {
+				return nil, err
+			}
+			domain, version, err := parseOpset(b)
+			if err != nil {
+				return nil, err
+			}
+			if domain == "" {
+				m.OpsetVersion = version
+			}
+		default:
+			if err := r.skip(wire); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if m.Graph == nil {
+		return nil, fmt.Errorf("%w: model has no graph", ErrImport)
+	}
+	return m, nil
+}
+
+func parseOpset(data []byte) (domain string, version int64, err error) {
+	r := reader{buf: data}
+	for !r.done() {
+		field, wire, err := r.tag()
+		if err != nil {
+			return "", 0, err
+		}
+		switch field {
+		case 1:
+			b, err := r.bytes()
+			if err != nil {
+				return "", 0, err
+			}
+			domain = string(b)
+		case 2:
+			v, err := r.varint()
+			if err != nil {
+				return "", 0, err
+			}
+			version = int64(v)
+		default:
+			if err := r.skip(wire); err != nil {
+				return "", 0, err
+			}
+		}
+	}
+	return domain, version, nil
+}
+
+func parseGraph(data []byte) (*GraphProto, error) {
+	g := &GraphProto{}
+	r := reader{buf: data}
+	for !r.done() {
+		field, wire, err := r.tag()
+		if err != nil {
+			return nil, err
+		}
+		switch field {
+		case 1: // node
+			b, err := r.bytes()
+			if err != nil {
+				return nil, err
+			}
+			n, err := parseNode(b)
+			if err != nil {
+				return nil, err
+			}
+			g.Nodes = append(g.Nodes, n)
+		case 2: // name
+			b, err := r.bytes()
+			if err != nil {
+				return nil, err
+			}
+			g.Name = string(b)
+		case 5: // initializer
+			b, err := r.bytes()
+			if err != nil {
+				return nil, err
+			}
+			t, err := parseTensor(b)
+			if err != nil {
+				return nil, err
+			}
+			g.Initializers = append(g.Initializers, t)
+		case 11: // input
+			b, err := r.bytes()
+			if err != nil {
+				return nil, err
+			}
+			vi, err := parseValueInfo(b)
+			if err != nil {
+				return nil, err
+			}
+			g.Inputs = append(g.Inputs, vi)
+		case 12: // output
+			b, err := r.bytes()
+			if err != nil {
+				return nil, err
+			}
+			vi, err := parseValueInfo(b)
+			if err != nil {
+				return nil, err
+			}
+			g.Outputs = append(g.Outputs, vi)
+		default:
+			if err := r.skip(wire); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return g, nil
+}
+
+func parseNode(data []byte) (*NodeProto, error) {
+	n := &NodeProto{}
+	r := reader{buf: data}
+	for !r.done() {
+		field, wire, err := r.tag()
+		if err != nil {
+			return nil, err
+		}
+		switch field {
+		case 1: // input
+			b, err := r.bytes()
+			if err != nil {
+				return nil, err
+			}
+			n.Inputs = append(n.Inputs, string(b))
+		case 2: // output
+			b, err := r.bytes()
+			if err != nil {
+				return nil, err
+			}
+			n.Outputs = append(n.Outputs, string(b))
+		case 3: // name
+			b, err := r.bytes()
+			if err != nil {
+				return nil, err
+			}
+			n.Name = string(b)
+		case 4: // op_type
+			b, err := r.bytes()
+			if err != nil {
+				return nil, err
+			}
+			n.OpType = string(b)
+		case 5: // attribute
+			b, err := r.bytes()
+			if err != nil {
+				return nil, err
+			}
+			a, err := parseAttribute(b)
+			if err != nil {
+				return nil, err
+			}
+			n.Attrs = append(n.Attrs, a)
+		default:
+			if err := r.skip(wire); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return n, nil
+}
+
+func parseAttribute(data []byte) (*Attribute, error) {
+	a := &Attribute{}
+	r := reader{buf: data}
+	for !r.done() {
+		field, wire, err := r.tag()
+		if err != nil {
+			return nil, err
+		}
+		switch field {
+		case 1: // name
+			b, err := r.bytes()
+			if err != nil {
+				return nil, err
+			}
+			a.Name = string(b)
+		case 2: // f
+			v, err := r.fixed32()
+			if err != nil {
+				return nil, err
+			}
+			a.F = math.Float32frombits(v)
+			if a.Type == 0 {
+				a.Type = attrFloat
+			}
+		case 3: // i
+			v, err := r.varint()
+			if err != nil {
+				return nil, err
+			}
+			a.I = int64(v)
+			if a.Type == 0 {
+				a.Type = attrInt
+			}
+		case 4: // s
+			b, err := r.bytes()
+			if err != nil {
+				return nil, err
+			}
+			a.S = append([]byte(nil), b...)
+			if a.Type == 0 {
+				a.Type = attrString
+			}
+		case 5: // t
+			b, err := r.bytes()
+			if err != nil {
+				return nil, err
+			}
+			if a.T, err = parseTensor(b); err != nil {
+				return nil, err
+			}
+			if a.Type == 0 {
+				a.Type = attrTensor
+			}
+		case 7: // floats
+			if a.Floats, err = r.float32s(wire, a.Floats); err != nil {
+				return nil, err
+			}
+			if a.Type == 0 {
+				a.Type = attrFloats
+			}
+		case 8: // ints
+			if a.Ints, err = r.int64s(wire, a.Ints); err != nil {
+				return nil, err
+			}
+			if a.Type == 0 {
+				a.Type = attrInts
+			}
+		case 20: // type
+			v, err := r.varint()
+			if err != nil {
+				return nil, err
+			}
+			a.Type = int(v)
+		default:
+			if err := r.skip(wire); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return a, nil
+}
+
+func parseTensor(data []byte) (*TensorProto, error) {
+	t := &TensorProto{}
+	r := reader{buf: data}
+	for !r.done() {
+		field, wire, err := r.tag()
+		if err != nil {
+			return nil, err
+		}
+		switch field {
+		case 1: // dims
+			if t.Dims, err = r.int64s(wire, t.Dims); err != nil {
+				return nil, err
+			}
+		case 2: // data_type
+			v, err := r.varint()
+			if err != nil {
+				return nil, err
+			}
+			t.DataType = int32(v)
+		case 4: // float_data
+			if t.Floats, err = r.float32s(wire, t.Floats); err != nil {
+				return nil, err
+			}
+		case 5, 7: // int32_data, int64_data (both packed varints)
+			if t.Int64s, err = r.int64s(wire, t.Int64s); err != nil {
+				return nil, err
+			}
+		case 8: // name
+			b, err := r.bytes()
+			if err != nil {
+				return nil, err
+			}
+			t.Name = string(b)
+		case 9: // raw_data
+			b, err := r.bytes()
+			if err != nil {
+				return nil, err
+			}
+			t.Raw = append([]byte(nil), b...)
+		default:
+			if err := r.skip(wire); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return t, nil
+}
+
+func parseValueInfo(data []byte) (*ValueInfo, error) {
+	vi := &ValueInfo{}
+	r := reader{buf: data}
+	for !r.done() {
+		field, wire, err := r.tag()
+		if err != nil {
+			return nil, err
+		}
+		switch field {
+		case 1: // name
+			b, err := r.bytes()
+			if err != nil {
+				return nil, err
+			}
+			vi.Name = string(b)
+		case 2: // type
+			b, err := r.bytes()
+			if err != nil {
+				return nil, err
+			}
+			if err := parseType(b, vi); err != nil {
+				return nil, err
+			}
+		default:
+			if err := r.skip(wire); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return vi, nil
+}
+
+// parseType unwraps TypeProto → TypeProto.Tensor → TensorShapeProto.
+func parseType(data []byte, vi *ValueInfo) error {
+	r := reader{buf: data}
+	for !r.done() {
+		field, wire, err := r.tag()
+		if err != nil {
+			return err
+		}
+		if field != 1 { // tensor_type
+			if err := r.skip(wire); err != nil {
+				return err
+			}
+			continue
+		}
+		b, err := r.bytes()
+		if err != nil {
+			return err
+		}
+		tr := reader{buf: b}
+		for !tr.done() {
+			tf, tw, err := tr.tag()
+			if err != nil {
+				return err
+			}
+			switch tf {
+			case 1: // elem_type
+				v, err := tr.varint()
+				if err != nil {
+					return err
+				}
+				vi.ElemType = int32(v)
+			case 2: // shape
+				sb, err := tr.bytes()
+				if err != nil {
+					return err
+				}
+				if err := parseShape(sb, vi); err != nil {
+					return err
+				}
+			default:
+				if err := tr.skip(tw); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func parseShape(data []byte, vi *ValueInfo) error {
+	r := reader{buf: data}
+	for !r.done() {
+		field, wire, err := r.tag()
+		if err != nil {
+			return err
+		}
+		if field != 1 { // dim
+			if err := r.skip(wire); err != nil {
+				return err
+			}
+			continue
+		}
+		b, err := r.bytes()
+		if err != nil {
+			return err
+		}
+		dim := int64(-1) // dim_param or empty → symbolic
+		dr := reader{buf: b}
+		for !dr.done() {
+			df, dw, err := dr.tag()
+			if err != nil {
+				return err
+			}
+			if df == 1 { // dim_value
+				v, err := dr.varint()
+				if err != nil {
+					return err
+				}
+				dim = int64(v)
+				continue
+			}
+			if err := dr.skip(dw); err != nil {
+				return err
+			}
+		}
+		vi.Dims = append(vi.Dims, dim)
+	}
+	return nil
+}
+
+// float32Data returns the tensor's float payload regardless of which field
+// carries it (float_data or raw_data), or nil for a shape-only tensor.
+func (t *TensorProto) float32Data() ([]float32, error) {
+	if t.DataType != dtFloat {
+		return nil, fmt.Errorf("%w: tensor %q has dtype %d, want float32", ErrImport, t.Name, t.DataType)
+	}
+	if len(t.Raw) > 0 {
+		if len(t.Raw)%4 != 0 {
+			return nil, fmt.Errorf("%w: tensor %q raw_data length %d not a multiple of 4", ErrImport, t.Name, len(t.Raw))
+		}
+		out := make([]float32, len(t.Raw)/4)
+		for i := range out {
+			out[i] = math.Float32frombits(binary.LittleEndian.Uint32(t.Raw[4*i:]))
+		}
+		return out, nil
+	}
+	if len(t.Floats) > 0 {
+		return append([]float32(nil), t.Floats...), nil
+	}
+	return nil, nil
+}
+
+// intData returns the tensor's integer payload as a []int (int64 or int32
+// dtype, from the packed fields or raw_data).
+func (t *TensorProto) intData() ([]int, error) {
+	if t.DataType != dtInt64 && t.DataType != dtInt32 {
+		return nil, fmt.Errorf("%w: tensor %q has dtype %d, want int64/int32", ErrImport, t.Name, t.DataType)
+	}
+	if len(t.Raw) > 0 {
+		width := 8
+		if t.DataType == dtInt32 {
+			width = 4
+		}
+		if len(t.Raw)%width != 0 {
+			return nil, fmt.Errorf("%w: tensor %q raw_data length %d not a multiple of %d", ErrImport, t.Name, len(t.Raw), width)
+		}
+		out := make([]int, len(t.Raw)/width)
+		for i := range out {
+			if width == 8 {
+				out[i] = int(int64(binary.LittleEndian.Uint64(t.Raw[8*i:])))
+			} else {
+				out[i] = int(int32(binary.LittleEndian.Uint32(t.Raw[4*i:])))
+			}
+		}
+		return out, nil
+	}
+	out := make([]int, len(t.Int64s))
+	for i, v := range t.Int64s {
+		out[i] = int(v)
+	}
+	return out, nil
+}
+
+// Marshal serializes the model back to ModelProto bytes.
+func (m *Model) Marshal() []byte {
+	var w writer
+	if m.IRVersion != 0 {
+		w.int64Field(1, m.IRVersion)
+	}
+	w.strField(2, m.ProducerName)
+	w.strField(3, m.ProducerVersion)
+	if m.Graph != nil {
+		w.message(7, m.Graph.marshal())
+	}
+	if m.OpsetVersion != 0 {
+		var op writer
+		op.int64Field(2, m.OpsetVersion) // domain "" omitted
+		w.message(8, op.buf)
+	}
+	return w.buf
+}
+
+func (g *GraphProto) marshal() []byte {
+	var w writer
+	for _, n := range g.Nodes {
+		w.message(1, n.marshal())
+	}
+	w.strField(2, g.Name)
+	for _, t := range g.Initializers {
+		w.message(5, t.marshal())
+	}
+	for _, vi := range g.Inputs {
+		w.message(11, vi.marshal())
+	}
+	for _, vi := range g.Outputs {
+		w.message(12, vi.marshal())
+	}
+	return w.buf
+}
+
+func (n *NodeProto) marshal() []byte {
+	var w writer
+	for _, s := range n.Inputs {
+		w.bytesField(1, []byte(s))
+	}
+	for _, s := range n.Outputs {
+		w.bytesField(2, []byte(s))
+	}
+	w.strField(3, n.Name)
+	w.strField(4, n.OpType)
+	for _, a := range n.Attrs {
+		w.message(5, a.marshal())
+	}
+	return w.buf
+}
+
+func (a *Attribute) marshal() []byte {
+	var w writer
+	w.strField(1, a.Name)
+	switch a.Type {
+	case attrFloat:
+		w.floatField(2, a.F)
+	case attrInt:
+		w.int64Field(3, a.I)
+	case attrString:
+		w.bytesField(4, a.S)
+	case attrTensor:
+		if a.T != nil {
+			w.message(5, a.T.marshal())
+		}
+	case attrFloats:
+		w.packedFloats(7, a.Floats)
+	case attrInts:
+		w.packedInt64s(8, a.Ints)
+	}
+	w.int64Field(20, int64(a.Type))
+	return w.buf
+}
+
+func (t *TensorProto) marshal() []byte {
+	var w writer
+	w.packedInt64s(1, t.Dims)
+	if t.DataType != 0 {
+		w.int64Field(2, int64(t.DataType))
+	}
+	w.packedFloats(4, t.Floats)
+	w.packedInt64s(7, t.Int64s)
+	w.strField(8, t.Name)
+	if len(t.Raw) > 0 {
+		w.bytesField(9, t.Raw)
+	}
+	return w.buf
+}
+
+func (vi *ValueInfo) marshal() []byte {
+	var w writer
+	w.strField(1, vi.Name)
+
+	var shape writer
+	for _, d := range vi.Dims {
+		var dim writer
+		dim.int64Field(1, d)
+		shape.message(1, dim.buf)
+	}
+	var tt writer
+	tt.int64Field(1, int64(vi.ElemType))
+	tt.message(2, shape.buf)
+	var tp writer
+	tp.message(1, tt.buf)
+	w.message(2, tp.buf)
+	return w.buf
+}

@@ -1,0 +1,31 @@
+// Package onnx reads and writes the ONNX subset the compiler understands.
+//
+// The wire codec (proto.go, model.go) is a dependency-free implementation
+// of the protobuf encoding for the handful of ONNX messages the subset
+// needs; the converter (convert.go) maps parsed models onto the operator
+// catalog, and the exporter (export.go) is its inverse, used to generate
+// golden fixtures from the in-tree model zoo.
+package onnx
+
+import "dnnfusion/internal/graph"
+
+// Import parses ONNX bytes and converts them into a compile-ready graph.
+// Errors match dnnfusion.ErrImport; unmapped operators additionally match
+// dnnfusion.ErrUnsupportedOp and carry an *UnsupportedOpError.
+func Import(data []byte) (*graph.Graph, error) {
+	m, err := Unmarshal(data)
+	if err != nil {
+		return nil, err
+	}
+	return ToGraph(m)
+}
+
+// Export serializes a graph as ONNX bytes. It is the inverse of Import
+// over the supported subset: importing the result reproduces the graph.
+func Export(g *graph.Graph) ([]byte, error) {
+	m, err := FromGraph(g)
+	if err != nil {
+		return nil, err
+	}
+	return m.Marshal(), nil
+}

@@ -1,0 +1,233 @@
+// Package onnx reads and writes the ONNX subset the compiler consumes: a
+// dependency-free protobuf wire-format codec for
+// ModelProto/GraphProto/NodeProto/AttributeProto/TensorProto, a converter
+// that maps ONNX nodes onto the graph/ops builders, and an exporter so the
+// in-tree model zoo can generate its own golden fixtures.
+//
+// The codec implements just the protobuf wire format (varint, fixed32/64,
+// length-delimited) over the handful of ONNX messages the importer needs —
+// no generated code, no third-party protobuf runtime. Unknown fields are
+// skipped on read, exactly like a real protobuf decoder, so files produced
+// by standard exporters (extra doc strings, metadata, value_info) parse
+// fine as long as the tensors are float32.
+package onnx
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Wire types of the protobuf encoding.
+const (
+	wireVarint = 0
+	wireI64    = 1
+	wireBytes  = 2
+	wireI32    = 5
+)
+
+// errMalformed is the root cause of every wire-level parse failure; it
+// wraps ErrImport so callers see one sentinel for "this file is not a
+// readable ONNX model".
+var errMalformed = fmt.Errorf("%w: malformed protobuf", ErrImport)
+
+// reader is a cursor over one protobuf message's bytes.
+type reader struct {
+	buf []byte
+	pos int
+}
+
+func (r *reader) done() bool { return r.pos >= len(r.buf) }
+
+// tag reads the next field tag, returning field number and wire type.
+func (r *reader) tag() (int, int, error) {
+	v, err := r.varint()
+	if err != nil {
+		return 0, 0, err
+	}
+	field, wire := int(v>>3), int(v&7)
+	if field == 0 {
+		return 0, 0, fmt.Errorf("%w: field number 0", errMalformed)
+	}
+	return field, wire, nil
+}
+
+func (r *reader) varint() (uint64, error) {
+	var v uint64
+	for shift := uint(0); shift < 64; shift += 7 {
+		if r.pos >= len(r.buf) {
+			return 0, fmt.Errorf("%w: truncated varint", errMalformed)
+		}
+		b := r.buf[r.pos]
+		r.pos++
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: varint overflow", errMalformed)
+}
+
+func (r *reader) fixed32() (uint32, error) {
+	if r.pos+4 > len(r.buf) {
+		return 0, fmt.Errorf("%w: truncated fixed32", errMalformed)
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.pos:])
+	r.pos += 4
+	return v, nil
+}
+
+func (r *reader) fixed64() (uint64, error) {
+	if r.pos+8 > len(r.buf) {
+		return 0, fmt.Errorf("%w: truncated fixed64", errMalformed)
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.pos:])
+	r.pos += 8
+	return v, nil
+}
+
+// bytes reads one length-delimited field, returning a subslice (no copy).
+func (r *reader) bytes() ([]byte, error) {
+	n, err := r.varint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(r.buf)-r.pos) {
+		return nil, fmt.Errorf("%w: length %d exceeds remaining %d bytes", errMalformed, n, len(r.buf)-r.pos)
+	}
+	b := r.buf[r.pos : r.pos+int(n)]
+	r.pos += int(n)
+	return b, nil
+}
+
+// skip discards one field of the given wire type.
+func (r *reader) skip(wire int) error {
+	switch wire {
+	case wireVarint:
+		_, err := r.varint()
+		return err
+	case wireI64:
+		_, err := r.fixed64()
+		return err
+	case wireBytes:
+		_, err := r.bytes()
+		return err
+	case wireI32:
+		_, err := r.fixed32()
+		return err
+	default:
+		return fmt.Errorf("%w: unsupported wire type %d", errMalformed, wire)
+	}
+}
+
+// int64s appends a repeated int64 field: either one varint (unpacked) or a
+// packed run of varints, depending on the wire type at hand.
+func (r *reader) int64s(wire int, dst []int64) ([]int64, error) {
+	if wire == wireVarint {
+		v, err := r.varint()
+		if err != nil {
+			return nil, err
+		}
+		return append(dst, int64(v)), nil
+	}
+	b, err := r.bytes()
+	if err != nil {
+		return nil, err
+	}
+	sub := reader{buf: b}
+	for !sub.done() {
+		v, err := sub.varint()
+		if err != nil {
+			return nil, err
+		}
+		dst = append(dst, int64(v))
+	}
+	return dst, nil
+}
+
+// float32s appends a repeated float field (packed or unpacked).
+func (r *reader) float32s(wire int, dst []float32) ([]float32, error) {
+	if wire == wireI32 {
+		v, err := r.fixed32()
+		if err != nil {
+			return nil, err
+		}
+		return append(dst, math.Float32frombits(v)), nil
+	}
+	b, err := r.bytes()
+	if err != nil {
+		return nil, err
+	}
+	if len(b)%4 != 0 {
+		return nil, fmt.Errorf("%w: packed floats length %d not a multiple of 4", errMalformed, len(b))
+	}
+	for i := 0; i+4 <= len(b); i += 4 {
+		dst = append(dst, math.Float32frombits(binary.LittleEndian.Uint32(b[i:])))
+	}
+	return dst, nil
+}
+
+// writer builds one protobuf message.
+type writer struct{ buf []byte }
+
+func (w *writer) varint(v uint64) {
+	for v >= 0x80 {
+		w.buf = append(w.buf, byte(v)|0x80)
+		v >>= 7
+	}
+	w.buf = append(w.buf, byte(v))
+}
+
+func (w *writer) tag(field, wire int) { w.varint(uint64(field)<<3 | uint64(wire)) }
+
+func (w *writer) int64Field(field int, v int64) {
+	w.tag(field, wireVarint)
+	w.varint(uint64(v))
+}
+
+func (w *writer) bytesField(field int, b []byte) {
+	w.tag(field, wireBytes)
+	w.varint(uint64(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+func (w *writer) strField(field int, s string) {
+	if s == "" {
+		return
+	}
+	w.bytesField(field, []byte(s))
+}
+
+func (w *writer) floatField(field int, v float32) {
+	w.tag(field, wireI32)
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], math.Float32bits(v))
+	w.buf = append(w.buf, b[:]...)
+}
+
+// packedInt64s writes a repeated int64 field in packed form.
+func (w *writer) packedInt64s(field int, vs []int64) {
+	if len(vs) == 0 {
+		return
+	}
+	var sub writer
+	for _, v := range vs {
+		sub.varint(uint64(v))
+	}
+	w.bytesField(field, sub.buf)
+}
+
+// packedFloats writes a repeated float field in packed form.
+func (w *writer) packedFloats(field int, vs []float32) {
+	if len(vs) == 0 {
+		return
+	}
+	b := make([]byte, 4*len(vs))
+	for i, v := range vs {
+		binary.LittleEndian.PutUint32(b[4*i:], math.Float32bits(v))
+	}
+	w.bytesField(field, b)
+}
+
+// message writes an embedded message field from its encoded bytes.
+func (w *writer) message(field int, body []byte) { w.bytesField(field, body) }

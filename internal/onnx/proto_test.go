@@ -1,0 +1,168 @@
+package onnx
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// fullModel exercises every message and attribute kind the codec writes.
+func fullModel() *Model {
+	return &Model{
+		IRVersion:       8,
+		ProducerName:    "dnnfusion",
+		ProducerVersion: "test",
+		OpsetVersion:    13,
+		Graph: &GraphProto{
+			Name: "wire-test",
+			Inputs: []*ValueInfo{
+				{Name: "x", ElemType: dtFloat, Dims: []int64{1, 3, 8, 8}},
+			},
+			Outputs: []*ValueInfo{
+				{Name: "y", ElemType: dtFloat, Dims: []int64{1, 16}},
+			},
+			Initializers: []*TensorProto{
+				{Name: "w", DataType: dtFloat, Dims: []int64{4, 2},
+					Raw: rawFloats([]float32{1, -2.5, 3e-7, math.MaxFloat32, -0, 6, 7, 8})},
+				{Name: "shape", DataType: dtInt64, Dims: []int64{2},
+					Int64s: []int64{-1, 16}},
+				{Name: "big", DataType: dtFloat, Dims: []int64{512, 1024}}, // shape-only
+			},
+			Nodes: []*NodeProto{
+				{
+					Name: "n0", OpType: "Conv",
+					Inputs:  []string{"x", "w"},
+					Outputs: []string{"t0"},
+					Attrs: []*Attribute{
+						{Name: "strides", Type: attrInts, Ints: []int64{2, 2}},
+						{Name: "group", Type: attrInt, I: 1},
+					},
+				},
+				{
+					Name: "n1", OpType: "LeakyRelu",
+					Inputs:  []string{"t0"},
+					Outputs: []string{"y"},
+					Attrs: []*Attribute{
+						{Name: "alpha", Type: attrFloat, F: 0.1},
+						{Name: "mode", Type: attrString, S: []byte("constant")},
+						{Name: "scales", Type: attrFloats, Floats: []float32{1, 1, 2, 2}},
+					},
+				},
+			},
+		},
+	}
+}
+
+func TestProtoRoundTripWire(t *testing.T) {
+	m := fullModel()
+	data := m.Marshal()
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if got.IRVersion != m.IRVersion || got.ProducerName != m.ProducerName ||
+		got.ProducerVersion != m.ProducerVersion || got.OpsetVersion != m.OpsetVersion {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	g, want := got.Graph, m.Graph
+	if g.Name != want.Name || len(g.Nodes) != len(want.Nodes) ||
+		len(g.Initializers) != len(want.Initializers) ||
+		len(g.Inputs) != 1 || len(g.Outputs) != 1 {
+		t.Fatalf("graph skeleton mismatch: %+v", g)
+	}
+	if g.Inputs[0].Name != "x" || g.Inputs[0].ElemType != dtFloat ||
+		len(g.Inputs[0].Dims) != 4 || g.Inputs[0].Dims[2] != 8 {
+		t.Fatalf("input mismatch: %+v", g.Inputs[0])
+	}
+
+	// Float payload must survive bit-exactly.
+	wf, err := want.Initializers[0].float32Data()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gf, err := g.Initializers[0].float32Data()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gf) != len(wf) {
+		t.Fatalf("weight length %d != %d", len(gf), len(wf))
+	}
+	for i := range wf {
+		if math.Float32bits(gf[i]) != math.Float32bits(wf[i]) {
+			t.Fatalf("weight[%d]: %x != %x", i, math.Float32bits(gf[i]), math.Float32bits(wf[i]))
+		}
+	}
+
+	// Negative int64 (10-byte varint path).
+	ints, err := g.Initializers[1].intData()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ints) != 2 || ints[0] != -1 || ints[1] != 16 {
+		t.Fatalf("int initializer: %v", ints)
+	}
+
+	// Shape-only initializer stays shape-only.
+	if d, err := g.Initializers[2].float32Data(); err != nil || d != nil {
+		t.Fatalf("shape-only initializer: data=%v err=%v", d, err)
+	}
+	if g.Initializers[2].Dims[0] != 512 || g.Initializers[2].Dims[1] != 1024 {
+		t.Fatalf("shape-only dims: %v", g.Initializers[2].Dims)
+	}
+
+	// Attributes of both nodes.
+	n0, n1 := g.Nodes[0], g.Nodes[1]
+	if n0.OpType != "Conv" || n0.Attrs[0].Name != "strides" ||
+		len(n0.Attrs[0].Ints) != 2 || n0.Attrs[0].Ints[0] != 2 ||
+		n0.Attrs[1].I != 1 {
+		t.Fatalf("node 0 attrs: %+v", n0)
+	}
+	if n1.Attrs[0].F != 0.1 || string(n1.Attrs[1].S) != "constant" ||
+		len(n1.Attrs[2].Floats) != 4 || n1.Attrs[2].Floats[2] != 2 {
+		t.Fatalf("node 1 attrs: %+v", n1)
+	}
+}
+
+func TestProtoUnpackedRepeated(t *testing.T) {
+	// Writers are allowed to emit repeated scalars unpacked (one tag per
+	// element); the zoo exporter writes packed, so hand-encode the
+	// unpacked form: dims=1 as three separate varint fields.
+	var w writer
+	var tp writer
+	tp.strField(8, "t")
+	tp.int64Field(2, dtFloat)
+	for _, d := range []int64{2, 3, 4} {
+		tp.int64Field(1, d)
+	}
+	var gp writer
+	gp.bytesField(5, tp.buf)
+	w.bytesField(7, gp.buf)
+	m, err := Unmarshal(w.buf)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	dims := m.Graph.Initializers[0].Dims
+	if len(dims) != 3 || dims[0] != 2 || dims[1] != 3 || dims[2] != 4 {
+		t.Fatalf("unpacked dims: %v", dims)
+	}
+}
+
+func TestProtoMalformed(t *testing.T) {
+	cases := map[string][]byte{
+		"empty-truncated-tag": {0x80},             // dangling continuation bit
+		"truncated-length":    {0x3a, 0x10, 0x01}, // graph field claims 16 bytes, has 1
+		"overlong-varint":     {0x08, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01},
+		"bad-wire-type":       {0x0c}, // field 1, wire type 4 (deprecated group)
+	}
+	for name, data := range cases {
+		if _, err := Unmarshal(data); err == nil {
+			t.Errorf("%s: want error, got nil", name)
+		} else if !errors.Is(err, ErrImport) {
+			t.Errorf("%s: error %v does not match ErrImport", name, err)
+		}
+	}
+	// Valid but empty protobuf: no graph.
+	if _, err := Unmarshal(nil); err == nil || !errors.Is(err, ErrImport) {
+		t.Errorf("nil input: want ErrImport, got %v", err)
+	}
+}

@@ -26,6 +26,10 @@ type pointwise struct {
 	attrKey string
 	// flopsPerElem is usually 1 (the paper's Table 4 convention).
 	flopsPerElem int64
+	// attrs holds structured attributes for introspection (Attr), mirroring
+	// the attrKey contents of parameterized operators (Clip, LeakyRelu,
+	// AddConst, ...). nil for attribute-free operators.
+	attrs map[string]any
 }
 
 func (p *pointwise) Type() string           { return p.name }
@@ -386,6 +390,7 @@ func NewLeakyRelu(alpha float32) Operator {
 		return x
 	}, Properties{}).(*pointwise)
 	op.attrKey = fmt.Sprintf("alpha=%g", alpha)
+	op.attrs = map[string]any{"alpha": alpha}
 	return op
 }
 
@@ -395,6 +400,7 @@ func NewClip(min, max float32) Operator {
 		return minf(maxf(x, min), max)
 	}, Properties{}).(*pointwise)
 	op.attrKey = fmt.Sprintf("min=%g,max=%g", min, max)
+	op.attrs = map[string]any{"min": min, "max": max}
 	return op
 }
 
@@ -425,6 +431,7 @@ func NewPowConst(p float32) Operator {
 		return float32(math.Pow(float64(x), float64(p)))
 	}, Properties{}).(*pointwise)
 	op.attrKey = fmt.Sprintf("p=%g", p)
+	op.attrs = map[string]any{"p": p}
 	return op
 }
 
@@ -433,6 +440,7 @@ func NewPowConst(p float32) Operator {
 func NewAddConst(c float32) Operator {
 	op := newUnary("AddConst", func(x float32) float32 { return x + c }, linear).(*pointwise)
 	op.attrKey = fmt.Sprintf("c=%g", c)
+	op.attrs = map[string]any{"c": c}
 	return op
 }
 
@@ -440,6 +448,7 @@ func NewAddConst(c float32) Operator {
 func NewMulConst(c float32) Operator {
 	op := newUnary("MulConst", func(x float32) float32 { return x * c }, linear).(*pointwise)
 	op.attrKey = fmt.Sprintf("c=%g", c)
+	op.attrs = map[string]any{"c": c}
 	return op
 }
 

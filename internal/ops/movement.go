@@ -34,11 +34,14 @@ type movement struct {
 	attrs map[string]any
 }
 
-// Attr returns a structured attribute of a data-movement operator (e.g. the
-// permutation of a Transpose) or nil when absent.
+// Attr returns a structured attribute of a data-movement or pointwise
+// operator (e.g. the permutation of a Transpose) or nil when absent.
 func Attr(op Operator, key string) any {
-	if m, ok := op.(*movement); ok {
-		return m.attrs[key]
+	switch o := op.(type) {
+	case *movement:
+		return o.attrs[key]
+	case *pointwise:
+		return o.attrs[key]
 	}
 	return nil
 }
@@ -269,7 +272,7 @@ func reorganize(name, attrKey string, infer func(tensor.Shape) (tensor.Shape, er
 // NewReshape reshapes to the target shape; one dimension may be -1 to infer.
 func NewReshape(target ...int) Operator {
 	t := tensor.Shape(target).Clone()
-	return reorganize("Reshape", fmt.Sprintf("shape=%v", t), func(in tensor.Shape) (tensor.Shape, error) {
+	op := reorganize("Reshape", fmt.Sprintf("shape=%v", t), func(in tensor.Shape) (tensor.Shape, error) {
 		out := t.Clone()
 		infer := -1
 		known := 1
@@ -294,12 +297,14 @@ func NewReshape(target ...int) Operator {
 			return nil, fmt.Errorf("Reshape: %v incompatible with input %v", t, in)
 		}
 		return out, nil
-	})
+	}).(*movement)
+	op.attrs = map[string]any{"shape": []int(t)}
+	return op
 }
 
 // NewFlatten flattens into a 2-D tensor splitting at axis.
 func NewFlatten(axis int) Operator {
-	return reorganize("Flatten", fmt.Sprintf("axis=%d", axis), func(in tensor.Shape) (tensor.Shape, error) {
+	op := reorganize("Flatten", fmt.Sprintf("axis=%d", axis), func(in tensor.Shape) (tensor.Shape, error) {
 		ax, ok := tensor.NormalizeAxis(axis, in.Rank()+1)
 		if !ok {
 			return nil, fmt.Errorf("Flatten: axis %d out of range for %v", axis, in)
@@ -313,12 +318,15 @@ func NewFlatten(axis int) Operator {
 			}
 		}
 		return tensor.Of(a, b), nil
-	})
+	}).(*movement)
+	op.attrs = map[string]any{"axis": axis}
+	return op
 }
 
 // NewSqueeze removes the given size-1 axes (all size-1 axes if none given).
 func NewSqueeze(axes ...int) Operator {
-	return reorganize("Squeeze", fmt.Sprintf("axes=%v", axes), func(in tensor.Shape) (tensor.Shape, error) {
+	ax := append([]int{}, axes...)
+	op := reorganize("Squeeze", fmt.Sprintf("axes=%v", axes), func(in tensor.Shape) (tensor.Shape, error) {
 		drop := make(map[int]bool)
 		if len(axes) == 0 {
 			for i, d := range in {
@@ -341,12 +349,15 @@ func NewSqueeze(axes ...int) Operator {
 			}
 		}
 		return out, nil
-	})
+	}).(*movement)
+	op.attrs = map[string]any{"axes": ax}
+	return op
 }
 
 // NewUnsqueeze inserts size-1 dimensions at the given output axes.
 func NewUnsqueeze(axes ...int) Operator {
-	return reorganize("Unsqueeze", fmt.Sprintf("axes=%v", axes), func(in tensor.Shape) (tensor.Shape, error) {
+	ax := append([]int{}, axes...)
+	op := reorganize("Unsqueeze", fmt.Sprintf("axes=%v", axes), func(in tensor.Shape) (tensor.Shape, error) {
 		outRank := in.Rank() + len(axes)
 		ins := make(map[int]bool)
 		for _, a := range axes {
@@ -367,7 +378,9 @@ func NewUnsqueeze(axes ...int) Operator {
 			}
 		}
 		return out, nil
-	})
+	}).(*movement)
+	op.attrs = map[string]any{"axes": ax}
+	return op
 }
 
 // NewTranspose permutes dimensions; output dim i is input dim perm[i].
@@ -427,6 +440,7 @@ func NewDepthToSpace(block int) Operator {
 		mapping:    Shuffle,
 		attrKey:    fmt.Sprintf("block=%d", block),
 		props:      Properties{Linear: true},
+		attrs:      map[string]any{"block": block},
 	}
 	m.infer = func(in []tensor.Shape) ([]tensor.Shape, error) {
 		s := in[0]
@@ -455,6 +469,7 @@ func NewSpaceToDepth(block int) Operator {
 		mapping:    Shuffle,
 		attrKey:    fmt.Sprintf("block=%d", block),
 		props:      Properties{Linear: true},
+		attrs:      map[string]any{"block": block},
 	}
 	m.infer = func(in []tensor.Shape) ([]tensor.Shape, error) {
 		s := in[0]
@@ -514,9 +529,12 @@ func NewSlice(axes, starts, ends []int) Operator {
 		attrKey:    fmt.Sprintf("axes=%v,starts=%v,ends=%v", ax, st, en),
 		props:      Properties{Linear: true},
 		// The blocked fast path re-resolves start offsets at bind time.
-		attrs: map[string]any{"resolve": func(s tensor.Shape) ([]int, []int, error) {
-			return resolve(s)
-		}},
+		attrs: map[string]any{
+			"axes": ax, "starts": st, "ends": en,
+			"resolve": func(s tensor.Shape) ([]int, []int, error) {
+				return resolve(s)
+			},
+		},
 	}
 	m.infer = func(in []tensor.Shape) ([]tensor.Shape, error) {
 		_, sizes, err := resolve(in[0])
@@ -560,6 +578,7 @@ func NewSplit(axis int, sizes ...int) Operator {
 		mapping:    OneToOne,
 		attrKey:    fmt.Sprintf("axis=%d,sizes=%v", axis, sz),
 		props:      Properties{Linear: true},
+		attrs:      map[string]any{"axis": axis, "sizes": sz},
 	}
 	m.infer = func(in []tensor.Shape) ([]tensor.Shape, error) {
 		s := in[0]
@@ -603,6 +622,7 @@ func NewConcat(axis int) Operator {
 		mapping:    OneToOne,
 		attrKey:    fmt.Sprintf("axis=%d", axis),
 		props:      Properties{Linear: true},
+		attrs:      map[string]any{"axis": axis},
 	}
 	m.infer = func(in []tensor.Shape) ([]tensor.Shape, error) {
 		na, ok := tensor.NormalizeAxis(axis, in[0].Rank())
@@ -653,6 +673,7 @@ func NewExpand(target ...int) Operator {
 		mapping:    OneToMany,
 		attrKey:    fmt.Sprintf("shape=%v", t),
 		props:      Properties{Linear: true},
+		attrs:      map[string]any{"shape": []int(t)},
 	}
 	m.infer = func(in []tensor.Shape) ([]tensor.Shape, error) {
 		out, err := tensor.BroadcastShapes(in[0], t)
@@ -682,6 +703,7 @@ func NewResize(scales ...int) Operator {
 		mapping:    OneToMany,
 		attrKey:    fmt.Sprintf("scales=%v", sc),
 		props:      Properties{Linear: true},
+		attrs:      map[string]any{"scales": sc},
 	}
 	m.infer = func(in []tensor.Shape) ([]tensor.Shape, error) {
 		s := in[0]
@@ -712,6 +734,7 @@ func NewUpsample(f int) Operator {
 	op := NewResize(1, 1, f, f).(*movement)
 	op.name = "Upsample"
 	op.attrKey = fmt.Sprintf("f=%d", f)
+	op.attrs["f"] = f
 	return op
 }
 

@@ -1,0 +1,54 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"dnnfusion"
+)
+
+// RegisterDir registers every *.onnx file in dir as a lazily built model,
+// named after its file (without the extension). Nothing is imported or
+// compiled at registration time: each model loads on its first request, so
+// a directory of large models boots instantly and pays per-model cost only
+// when traffic arrives — and a file that fails to import poisons only its
+// own name (the failure is sticky, surfaces through the error taxonomy as
+// dnnfusion.ErrImport, and counts in BuildFailures).
+//
+// compile turns an imported graph into a servable model; nil means
+// dnnfusion.Compile with default options. The returned names are sorted.
+func (r *Registry) RegisterDir(dir string, compile func(*dnnfusion.Graph) (*dnnfusion.Model, error), cfg Config) ([]string, error) {
+	if compile == nil {
+		compile = func(g *dnnfusion.Graph) (*dnnfusion.Model, error) {
+			return dnnfusion.Compile(g)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("serve: scanning model directory: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.EqualFold(filepath.Ext(e.Name()), ".onnx") {
+			continue
+		}
+		name := strings.TrimSuffix(e.Name(), filepath.Ext(e.Name()))
+		path := filepath.Join(dir, e.Name())
+		build := func() (*dnnfusion.Model, error) {
+			g, err := dnnfusion.ImportFile(path)
+			if err != nil {
+				return nil, err
+			}
+			return compile(g)
+		}
+		if _, err := r.RegisterBuilder(name, build, cfg); err != nil {
+			return nil, err
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}

@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dnnfusion"
+
+	"dnnfusion/internal/models"
+)
+
+// newModelDir writes a directory holding two importable micro models, one
+// corrupt .onnx file, and one non-model file that must be ignored.
+func newModelDir(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	for _, mm := range []struct {
+		name  string
+		build func() *dnnfusion.Graph
+	}{
+		{"micro-mlp", models.MicroMLP},
+		{"micro-head", models.MicroHead},
+	} {
+		if err := dnnfusion.ExportFile(mm.build(), filepath.Join(dir, mm.name+".onnx")); err != nil {
+			t.Fatalf("exporting %s: %v", mm.name, err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, "broken.onnx"), []byte("not a model"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "README.txt"), []byte("ignore me"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestRegisterDir(t *testing.T) {
+	r := NewRegistry()
+	defer r.Close()
+	names, err := r.RegisterDir(newModelDir(t), nil, Config{MaxBatch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"broken", "micro-head", "micro-mlp"}
+	if fmt.Sprint(names) != fmt.Sprint(want) {
+		t.Fatalf("registered %v, want %v", names, want)
+	}
+	if got := r.Names(); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+
+	// Registration is lazy: nothing is loaded yet, nothing has failed yet.
+	if n := r.BuildFailures(); n != 0 {
+		t.Fatalf("BuildFailures before any request = %d", n)
+	}
+
+	// A good model builds on first touch and serves.
+	h, err := r.Resolve("micro-mlp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Model(); err != nil {
+		t.Fatalf("building micro-mlp: %v", err)
+	}
+
+	// The corrupt file fails with the import taxonomy, stickily, and
+	// counts exactly once.
+	bh, err := r.Resolve("broken")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		_, err := bh.Model()
+		if err == nil {
+			t.Fatal("broken model built successfully")
+		}
+		if !errors.Is(err, dnnfusion.ErrImport) {
+			t.Fatalf("broken model error %v does not match dnnfusion.ErrImport", err)
+		}
+		if !strings.Contains(err.Error(), `"broken"`) {
+			t.Fatalf("error %v does not name the model", err)
+		}
+	}
+	if n := r.BuildFailures(); n != 1 {
+		t.Fatalf("BuildFailures = %d, want 1", n)
+	}
+}
+
+// TestRegisterDirRoundTripServe drives the full path the -models flag
+// uses: exported fixtures on disk, directory registration, HTTP predict.
+func TestRegisterDirRoundTripServe(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.RegisterDir(newModelDir(t), nil, Config{MaxBatch: 2}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(r))
+	defer func() { ts.Close(); r.Close() }()
+
+	// Smoke predict against an imported model (zero-filled declared shapes).
+	resp := postJSON(t, ts.URL+"/v1/models/micro-head:predict",
+		`{"inputs": {"features": {}}}`, 200)
+	outs, ok := resp["outputs"].(map[string]any)
+	if !ok || outs["logits"] == nil {
+		t.Fatalf("predict response missing outputs.logits: %v", resp)
+	}
+
+	// The corrupt model maps to 422 with the model name and root cause in
+	// the body.
+	errResp := postJSON(t, ts.URL+"/v1/models/broken:predict",
+		`{"inputs": {}}`, 422)
+	if errResp["model"] != "broken" {
+		t.Fatalf("error body missing model name: %v", errResp)
+	}
+	if cause, _ := errResp["cause"].(string); cause == "" {
+		t.Fatalf("error body missing cause: %v", errResp)
+	}
+
+	// The failure shows up on /healthz.
+	health := getJSON(t, ts.URL+"/healthz", 200)
+	if bf, _ := health["build_failures"].(float64); bf != 1 {
+		t.Fatalf("healthz build_failures = %v, want 1", health["build_failures"])
+	}
+}

@@ -22,11 +22,14 @@ type Host struct {
 
 	initOnce sync.Once
 	initErr  error
-	model    *dnnfusion.Model
-	batch    *dnnfusion.BatchModel // nil → per-request execution
-	batchOff string                // why batching is off ("" when on)
-	inSpecs  []TensorSpec
-	outSpecs []TensorSpec
+	// onBuildFail fires once if the builder fails (set by Registry.add to
+	// bump the repository-wide failure counter; nil for bare hosts).
+	onBuildFail func()
+	model       *dnnfusion.Model
+	batch       *dnnfusion.BatchModel // nil → per-request execution
+	batchOff    string                // why batching is off ("" when on)
+	inSpecs     []TensorSpec
+	outSpecs    []TensorSpec
 
 	calls     chan *call
 	closeOnce sync.Once
@@ -101,6 +104,11 @@ func (h *Host) Model() (*dnnfusion.Model, error) {
 // at most once; failures are sticky.
 func (h *Host) init() error {
 	h.initOnce.Do(func() {
+		defer func() {
+			if h.initErr != nil && h.onBuildFail != nil {
+				h.onBuildFail()
+			}
+		}()
 		m, err := h.build()
 		if err != nil {
 			h.initErr = fmt.Errorf("serve: building model %q: %w", h.name, err)
@@ -265,6 +273,8 @@ func (h *Host) inSpec(name string) *TensorSpec {
 // its result is discarded).
 func (h *Host) Run(ctx context.Context, inputs map[string]*dnnfusion.Tensor) (*Result, error) {
 	if err := h.init(); err != nil {
+		h.st.requests.Add(1)
+		h.st.errors.Add(1)
 		return nil, err
 	}
 	start := time.Now()

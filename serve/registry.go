@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dnnfusion"
@@ -82,7 +83,15 @@ func (c Config) withDefaults() Config {
 type Registry struct {
 	mu    sync.RWMutex
 	hosts map[string]*Host
+	// buildFails counts lazy builders that failed (import or compile
+	// errors), across all hosts ever registered. Surfaced on /healthz so a
+	// bad file in a -models directory is visible without hitting the model.
+	buildFails atomic.Uint64
 }
+
+// BuildFailures reports how many registered builders have failed to
+// produce a model (each failed host counts once; failures are sticky).
+func (r *Registry) BuildFailures() uint64 { return r.buildFails.Load() }
 
 // NewRegistry creates an empty repository.
 func NewRegistry() *Registry {
@@ -114,6 +123,7 @@ func (r *Registry) add(name string, h *Host) (*Host, error) {
 		return nil, fmt.Errorf("serve: register: empty model name")
 	}
 	h.closed = make(chan struct{})
+	h.onBuildFail = func() { r.buildFails.Add(1) }
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, dup := r.hosts[name]; dup {

@@ -69,8 +69,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status": "ok",
-		"models": len(s.reg.Names()),
+		"status":         "ok",
+		"models":         len(s.reg.Names()),
+		"build_failures": s.reg.BuildFailures(),
 	})
 }
 
@@ -115,7 +116,7 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request, name string)
 	}
 	info, err := h.Info()
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		writeBuildError(w, statusFor(err), name, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, info)
@@ -147,7 +148,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request, name stri
 		return
 	}
 	if _, err := h.Model(); err != nil {
-		writeError(w, statusFor(err), err)
+		writeBuildError(w, statusFor(err), name, err)
 		return
 	}
 	var req predictRequest
@@ -212,6 +213,10 @@ func statusFor(err error) int {
 		errors.Is(err, dnnfusion.ErrMissingInput),
 		errors.Is(err, dnnfusion.ErrShapeMismatch):
 		return http.StatusBadRequest
+	case errors.Is(err, dnnfusion.ErrImport):
+		// The model file on disk cannot be loaded; the request itself is
+		// fine, so neither 400 nor 500 fits.
+		return http.StatusUnprocessableEntity
 	case errors.Is(err, ErrClosed):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
@@ -229,4 +234,30 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// writeBuildError reports a model whose lazy build failed. Unlike plain
+// writeError it carries the model name and the root cause as separate
+// fields, so a client scripting against a -models directory can tell a bad
+// file ("cause": unsupported operator ...) from a broken server.
+func writeBuildError(w http.ResponseWriter, status int, model string, err error) {
+	body := map[string]string{
+		"error": err.Error(),
+		"model": model,
+	}
+	if cause := rootCause(err); cause != err.Error() {
+		body["cause"] = cause
+	}
+	writeJSON(w, status, body)
+}
+
+// rootCause walks the Unwrap chain to the innermost error message.
+func rootCause(err error) string {
+	for {
+		inner := errors.Unwrap(err)
+		if inner == nil {
+			return err.Error()
+		}
+		err = inner
+	}
 }
