@@ -26,6 +26,7 @@ import (
 
 	"dnnfusion/internal/baseline"
 	"dnnfusion/internal/bench"
+	"dnnfusion/internal/fusion"
 	"dnnfusion/internal/graph"
 	"dnnfusion/internal/models"
 	"dnnfusion/internal/profile"
@@ -59,6 +60,34 @@ type jsonKernelSchedule struct {
 	Unroll   int    `json:"unroll"`
 }
 
+// jsonChain is one detected contraction chain of an exec model (schema
+// v6): its producer/consumer contractions, whether it takes the online
+// (streaming-rescale softmax) path, and whether the compiled plan actually
+// fused it into a streaming chain kernel. A detected-but-unfused chain is
+// the signal to look at when a model's peak bytes stop improving.
+type jsonChain struct {
+	Producer string `json:"producer"`
+	Consumer string `json:"consumer"`
+	Online   bool   `json:"online"`
+	Fused    bool   `json:"fused"`
+}
+
+// chainStatus lists the compiled model's detected chains with their fused
+// status, from the optimized graph's ECG and the final fusion plan.
+func chainStatus(model *dnnfusion.Model) []jsonChain {
+	var out []jsonChain
+	for _, c := range fusion.DetectChains(model.E) {
+		blk := model.Plan.BlockOf(c.Consumer)
+		out = append(out, jsonChain{
+			Producer: fmt.Sprint(c.Producer),
+			Consumer: fmt.Sprint(c.Consumer),
+			Online:   c.Online,
+			Fused:    blk != nil && blk.Chain != nil,
+		})
+	}
+	return out
+}
+
 // kernelSchedules collects the selected schedules of a compiled model's
 // heavy kernels, in execution-plan order.
 func kernelSchedules(model *dnnfusion.Model) []jsonKernelSchedule {
@@ -82,7 +111,8 @@ func kernelSchedules(model *dnnfusion.Model) []jsonKernelSchedule {
 // headline; ns_per_op tracks single-threaded (blocked) hot-path latency
 // across PRs, and ns_per_op_t8 the same kernels split over an 8-lane
 // worker pool (WithThreads(8)). schedules records each heavy kernel's
-// tuner-selected tile schedule (schema v4).
+// tuner-selected tile schedule (schema v4); chains the model's detected
+// contraction chains and whether each fused (schema v6).
 type jsonExec struct {
 	Name             string               `json:"name"`
 	Operators        int                  `json:"operators"`
@@ -93,6 +123,7 @@ type jsonExec struct {
 	BytesPerOp       int64                `json:"bytes_per_op"`
 	AllocsPerOp      float64              `json:"allocs_per_op"`
 	Schedules        []jsonKernelSchedule `json:"schedules,omitempty"`
+	Chains           []jsonChain          `json:"chains,omitempty"`
 }
 
 // timeRunner measures steady-state ns/op, bytes/op, and allocs/op of a
@@ -179,6 +210,7 @@ func measureExec(build func() *dnnfusion.Graph) (jsonExec, error) {
 		BytesPerOp:       bytes1,
 		AllocsPerOp:      allocs1,
 		Schedules:        kernelSchedules(model),
+		Chains:           chainStatus(model),
 	}, nil
 }
 
@@ -274,9 +306,9 @@ type jsonBatchPoint struct {
 	Schedules []jsonKernelSchedule `json:"schedules,omitempty"`
 }
 
-// jsonSummary is the -json baseline file (schema dnnf-bench/v5: v4 plus
-// the import scenario — per-micro-fixture ONNX size and import/compile
-// load cost). num_cpu and gomaxprocs make threaded numbers (ns_per_op_t8,
+// jsonSummary is the -json baseline file (schema dnnf-bench/v6: v5 plus
+// per-chain fused/unfused status on each exec model — the chain-fusion
+// half of the exec trajectory). num_cpu and gomaxprocs make threaded numbers (ns_per_op_t8,
 // the micro-batch scenario) self-describing: a t8 column produced on a
 // 1-CPU container cannot show wall-clock parallel gains, and the file
 // says so itself.
@@ -487,7 +519,7 @@ func buildJSONBaseline(c *bench.Context) (*jsonSummary, error) {
 		}
 	}
 	summary := &jsonSummary{
-		Schema:     "dnnf-bench/v5",
+		Schema:     "dnnf-bench/v6",
 		NumCPU:     runtime.NumCPU(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 	}

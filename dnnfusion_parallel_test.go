@@ -38,6 +38,12 @@ func ulpDiff(a, b float32) uint32 {
 	return uint32(d)
 }
 
+// onlineChainMaxULP is the tolerance for models compiled with an online
+// (streaming-rescale) softmax chain: the rescale reassociates the exp/sum
+// reduction, so outputs match the two-pass oracle within a few ULPs
+// rather than bit-for-bit (float64 accumulation keeps the bound tight).
+const onlineChainMaxULP = 16
+
 // runMicroParity executes one micro model through the blocked executor at
 // the given thread count and checks every output element against the
 // reference interpreter within maxULP.
@@ -55,6 +61,14 @@ func runMicroParity(t *testing.T, build func() *dnnfusion.Graph, threads int, ma
 	model, err := dnnfusion.Compile(build(), dnnfusion.WithThreads(threads))
 	if err != nil {
 		t.Fatalf("compile (threads=%d): %v", threads, err)
+	}
+	if model.HasOnlineChain() {
+		// The online-softmax chain kernel (flash-attention streaming
+		// rescale) is the documented ULP-bounded exception to bit
+		// exactness; everything else stays exact.
+		if maxULP < onlineChainMaxULP {
+			maxULP = onlineChainMaxULP
+		}
 	}
 	runner := model.NewRunner()
 	defer runner.Release()

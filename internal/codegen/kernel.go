@@ -51,6 +51,12 @@ type Kernel struct {
 	// choice.
 	Schedule            ops.Schedule
 	TaskM, TaskN, TaskK int
+	// ProducerSchedule is the second schedule of a chain-fused kernel
+	// (Block.Chain != nil): it tiles the chain's producer contraction, and
+	// its column panel is the online softmax's key-panel width. Zero for
+	// ordinary kernels; applied together with Schedule via
+	// ops.ApplyChainSchedule at bind time.
+	ProducerSchedule ops.Schedule
 
 	// Cost profile used by the device model.
 	FLOPs      int64
@@ -142,6 +148,24 @@ func (k *Kernel) planRules(e *ecg.ECG) error {
 	if k.Block.Size() < 2 {
 		return nil
 	}
+	if c := k.Block.Chain; c != nil {
+		// Chain-fused blocks hold two ManyToMany contractions — a red pair
+		// under Table 3's pairwise rules, fused on purpose by the streaming
+		// chain kernel. Record the single chain-stream rule instead of
+		// replaying the pairwise table.
+		note := "contraction chain: producer row tiles stream into consumer"
+		if c.Online {
+			note = "contraction chain: online-softmax (streaming rescale) attention"
+		}
+		k.Rules = append(k.Rules, GenRule{
+			First:    ops.ManyToMany,
+			Second:   ops.ManyToMany,
+			Decision: fusion.FuseThrough,
+			Strategy: ChainStream,
+			Note:     note,
+		})
+		return nil
+	}
 	acc := e.Mapping(k.Block.Nodes[0])
 	for _, n := range k.Block.Nodes[1:] {
 		m := e.Mapping(n)
@@ -226,6 +250,27 @@ func (k *Kernel) ScheduleTask() (m, n, kk int, ok bool) {
 		}
 	}
 	return m, n, kk, ok
+}
+
+// ChainScheduleTasks derives the two tuning tasks of a chain-fused kernel:
+// the producer contraction's GEMM shape and the consumer's. ok is false
+// for non-chain kernels.
+func (k *Kernel) ChainScheduleTasks() (pm, pn, pk, cm, cn, ck int, ok bool) {
+	c := k.Block.Chain
+	if c == nil {
+		return 0, 0, 0, 0, 0, 0, false
+	}
+	dims := func(nd *graph.Node) (int, int, int, bool) {
+		shapes := make([]tensor.Shape, len(nd.Inputs))
+		for i, in := range nd.Inputs {
+			shapes[i] = in.Shape
+		}
+		return ops.ScheduleTaskDims(nd.Op, shapes)
+	}
+	var pok, cok bool
+	pm, pn, pk, pok = dims(c.Producer)
+	cm, cn, ck, cok = dims(c.Consumer)
+	return pm, pn, pk, cm, cn, ck, pok && cok
 }
 
 // FoldedMovementBytes is the traffic the intra-block optimization avoids:
@@ -403,7 +448,11 @@ func (k *Kernel) BindParallel(resolve func(v *graph.Value) (*tensor.Tensor, erro
 			// accumulator scratch) here, so the steady-state hot path
 			// still allocates nothing.
 			if !k.Schedule.Zero() {
-				ops.ApplySchedule(s, k.Schedule)
+				if k.Block.Chain != nil && !k.ProducerSchedule.Zero() {
+					ops.ApplyChainSchedule(s, k.Schedule, k.ProducerSchedule)
+				} else {
+					ops.ApplySchedule(s, k.Schedule)
+				}
 			}
 			bo := &bk.outs[i]
 			if lane == 0 {

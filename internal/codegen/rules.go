@@ -52,6 +52,11 @@ const (
 	// ReplicatedStore: a One-to-Many second operator fans each produced
 	// element out to several destinations (Conv+Expand, profiled case).
 	ReplicatedStore Strategy = "replicated-store"
+	// ChainStream fuses two ManyToMany contractions (a Table 3 red pair)
+	// by streaming the producer's row tiles straight into the consumer —
+	// the contraction-chain exception executed by ops' chain kernel
+	// (online-softmax in between for attention chains).
+	ChainStream Strategy = "chain-stream"
 )
 
 // GenRule is one code-generation rule: how to fuse a (first, second)

@@ -34,6 +34,13 @@ type Options struct {
 	Fusion bool
 	// OtherOpt enables the §4.4.2 intra-/inter-block optimizations.
 	OtherOpt bool
+	// ChainFusion enables the contraction-chain post-pass over the fusion
+	// plan: MatMul/Gemm → (pointwise|row-softmax) → MatMul/Gemm chains
+	// merge into one streaming kernel that never materializes the
+	// intermediate (flash-attention-style online softmax for attention
+	// chains). Requires Fusion; off in the zero Options for the Figure 7
+	// partial-pipeline configurations.
+	ChainFusion bool
 	// Seeds selects the planner's seed policy (ablation).
 	Seeds fusion.SeedPolicy
 	// MaxBlockOps / MaxBlockInputs forward the planner constraints.
@@ -61,7 +68,7 @@ type Options struct {
 
 // Defaults is the full DNNFusion pipeline.
 func Defaults() Options {
-	return Options{GraphRewrite: true, Fusion: true, OtherOpt: true}
+	return Options{GraphRewrite: true, Fusion: true, OtherOpt: true, ChainFusion: true}
 }
 
 // CompileStats reports what compilation did — the inputs to Figure 9b.
@@ -80,6 +87,9 @@ type CompileStats struct {
 	// (the rest hit the profile database's schedule cache).
 	ScheduleLookups int
 	ScheduleMisses  int
+	// ChainFusions is the number of contraction chains merged into
+	// streaming chain kernels.
+	ChainFusions int
 }
 
 // Compiled is a ready-to-run model. After Compile returns it is immutable:
@@ -125,6 +135,10 @@ func Compile(g *graph.Graph, opts Options) (*Compiled, error) {
 			fopts.Latency = c.latencyFunc()
 		}
 		c.Plan = fusion.GeneratePlan(e, fopts)
+		if opts.ChainFusion {
+			fusion.FuseChains(e, c.Plan, fopts)
+			c.Stats.ChainFusions = c.Plan.ChainFusions
+		}
 	} else {
 		c.Plan = fusion.SingletonPlan(e)
 	}
@@ -171,6 +185,19 @@ func (c *Compiled) NewSession() *engine.Session { return c.exec.NewSession() }
 // output copies.
 func (c *Compiled) PlannedPeakBytes() int64 { return c.exec.PlannedPeakBytes() }
 
+// HasOnlineChain reports whether any compiled kernel executes an online
+// (streaming-rescale) softmax contraction chain — the one path that is
+// ULP-bounded against the scalar oracle instead of bit-exact. Parity
+// harnesses switch from exact to ULP comparison when this is true.
+func (c *Compiled) HasOnlineChain() bool {
+	for _, b := range c.Plan.Blocks {
+		if b.Chain != nil && b.Chain.Online {
+			return true
+		}
+	}
+	return false
+}
+
 // scheduleDevice is the device whose memory hierarchy kernel schedules
 // are tuned against: the compile target when one is set, else the primary
 // CPU profile standing in for the host.
@@ -193,6 +220,29 @@ func (o Options) scheduleDevice() *device.Device {
 func (c *Compiled) selectSchedules() {
 	dev := c.Opts.scheduleDevice()
 	for _, k := range c.Kernels {
+		if k.Block.Chain != nil {
+			if pm, pn, pk, cm, cn, ck, ok := k.ChainScheduleTasks(); ok {
+				k.TaskM, k.TaskN, k.TaskK = cm, cn, ck
+				c.Stats.ScheduleLookups++
+				key := profile.ChainScheduleKey(dev.Name, pm, pn, pk, cm, cn, ck)
+				if c.Opts.ProfileDB != nil {
+					if cs, hit := c.Opts.ProfileDB.LookupChainSchedule(key); hit {
+						k.Schedule, k.ProducerSchedule = cs.Consumer, cs.Producer
+						continue
+					}
+				}
+				c.Stats.ScheduleMisses++
+				res := tuner.SelectChain(
+					tuner.Task{M: pm, N: pn, K: pk, Device: dev},
+					tuner.Task{M: cm, N: cn, K: ck, Device: dev})
+				k.Schedule, k.ProducerSchedule = res.Consumer, res.Producer
+				if c.Opts.ProfileDB != nil {
+					c.Opts.ProfileDB.InsertChainSchedule(key,
+						profile.ChainSchedule{Producer: res.Producer, Consumer: res.Consumer})
+				}
+				continue
+			}
+		}
 		m, n, kk, ok := k.ScheduleTask()
 		if !ok {
 			continue

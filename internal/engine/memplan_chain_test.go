@@ -1,0 +1,125 @@
+package engine
+
+import (
+	"testing"
+
+	"dnnfusion/internal/ecg"
+	"dnnfusion/internal/fusion"
+	"dnnfusion/internal/graph"
+	"dnnfusion/internal/models"
+)
+
+// chainPlanFor builds the fused plan with the chain-fusion post-pass
+// applied, plus its schedule and arena plan.
+func chainPlanFor(t *testing.T, g *graph.Graph) (*fusion.Plan, []*fusion.Block, *MemPlan) {
+	t.Helper()
+	e := ecg.Build(g)
+	plan := fusion.GeneratePlan(e, fusion.Options{})
+	fusion.FuseChains(e, plan, fusion.Options{})
+	order, err := scheduleBlocks(plan, g)
+	if err != nil {
+		t.Fatalf("schedule: %v", err)
+	}
+	return plan, order, PlanArena(plan, order, g)
+}
+
+// chainMemplanModels: the two micro models the chain fuser targets (both
+// must actually fuse) plus zoo models, where chains may or may not engage
+// but the arena-safety property must hold either way.
+var chainMemplanModels = []struct {
+	name      string
+	build     func() *graph.Graph
+	mustChain bool
+}{
+	{"micro-mlp", models.MicroMLP, true},
+	{"micro-attention", models.MicroAttention, true},
+	{"GPT-2", func() *graph.Graph { g, _ := models.Build("GPT-2"); return g }, false},
+	{"VGG-16", func() *graph.Graph { g, _ := models.Build("VGG-16"); return g }, false},
+}
+
+// TestMemPlanNoLiveOverlapChainFused re-runs the slot-assigner safety
+// property on chain-fused plans: merging a chain changes block outputs
+// (the intermediate stops being one) and liveness, and no two
+// simultaneously-live values may share arena bytes afterwards either.
+func TestMemPlanNoLiveOverlapChainFused(t *testing.T) {
+	for _, m := range chainMemplanModels {
+		t.Run(m.name, func(t *testing.T) {
+			g := m.build()
+			if g == nil {
+				t.Fatalf("building %s failed", m.name)
+			}
+			plan, order, mp := chainPlanFor(t, g)
+			if m.mustChain && plan.ChainFusions == 0 {
+				t.Fatalf("%s compiled without chain fusions", m.name)
+			}
+			ranges := liveRanges(plan, order, g)
+			for i := range ranges {
+				a := ranges[i]
+				sa, ok := mp.SlotOf(a.v)
+				if !ok {
+					t.Fatalf("no slot for materialized value %v", a.v)
+				}
+				for j := i + 1; j < len(ranges); j++ {
+					b := ranges[j]
+					if a.born > b.dies || b.born > a.dies {
+						continue
+					}
+					sb, _ := mp.SlotOf(b.v)
+					if sa.Offset < sb.Offset+sb.Elems && sb.Offset < sa.Offset+sa.Elems {
+						t.Errorf("live values %v and %v overlap", a.v, b.v)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestChainFusionDropsIntermediateFromArena is the memory claim of chain
+// fusion, checked at the planner level: the M×N intermediate between the
+// contractions holds an arena slot in the unfused plan and none in the
+// fused plan, and the fused arena peak is strictly smaller.
+func TestChainFusionDropsIntermediateFromArena(t *testing.T) {
+	for _, m := range chainMemplanModels[:2] { // the two fusing micros
+		t.Run(m.name, func(t *testing.T) {
+			g := m.build()
+			_, _, mp := planFor(t, g)
+			fplan, _, fmp := chainPlanFor(t, g)
+			if fmp.ArenaElems >= mp.ArenaElems {
+				t.Errorf("fused arena %d elems, unfused %d — chain fusion did not shrink the plan",
+					fmp.ArenaElems, mp.ArenaElems)
+			}
+			// Every chain block's interior values (consumed only inside the
+			// block) must have no slot: streaming made them virtual.
+			dropped := 0
+			for _, b := range fplan.Blocks {
+				if b.Chain == nil {
+					continue
+				}
+				for _, n := range b.Nodes {
+					for _, v := range n.Outputs {
+						if v.Kind != graph.Intermediate {
+							continue
+						}
+						interior := true
+						for _, c := range v.Consumers {
+							if fplan.BlockOf(c) != b {
+								interior = false
+							}
+						}
+						if !interior {
+							continue
+						}
+						if _, ok := fmp.SlotOf(v); ok {
+							t.Errorf("chain-interior value %v still holds an arena slot", v)
+						} else {
+							dropped++
+						}
+					}
+				}
+			}
+			if dropped == 0 {
+				t.Error("no chain-interior value was dropped from the arena")
+			}
+		})
+	}
+}

@@ -63,6 +63,11 @@ type Block struct {
 	Nodes []*graph.Node
 	// Mapping is the fused operator's mapping type, evolved via Combine.
 	Mapping ops.MappingType
+	// Chain is set when the block was formed by contraction-chain fusion
+	// (FuseChains): two ManyToMany contractions sharing one block, a
+	// deliberate exception to Table 3 executed by the streaming chain
+	// kernel instead of pairwise loop fusion.
+	Chain   *Chain
 	nodeSet map[*graph.Node]bool
 }
 
@@ -141,6 +146,8 @@ type Plan struct {
 	BrokenByConstraint int
 	BrokenByCycle      int
 	BrokenByProfile    int
+	// ChainFusions counts contraction chains merged by FuseChains.
+	ChainFusions int
 }
 
 // BlockOf returns the block containing n.

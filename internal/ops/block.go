@@ -14,6 +14,12 @@ import (
 // LoadBlock must produce bit-identical values to calling Load on every
 // covered index: the scalar tree-walk remains the semantic oracle, the
 // block path is only a faster evaluation order over contiguous memory.
+// The one documented exception is chainSource's online-softmax path
+// (softmax(scores)·V fused flash-attention style): its streaming-rescale
+// recurrence reassociates the exp/sum, so it matches the oracle within a
+// few ULPs rather than bit-for-bit — still deterministic for a fixed
+// schedule, and independent of the requested block ranges. Every
+// softmax-free chain remains bit-exact.
 // Like Load, LoadBlock may use internal scratch, so a BlockSource belongs
 // to one goroutine at a time; parallel executors compose one Source tree
 // per worker.
@@ -120,6 +126,17 @@ func suffixPeriod(in, out tensor.Shape) (int, bool) {
 // producer's evaluation work.
 func HasStagedOperand(s Source) bool {
 	switch v := s.(type) {
+	case *chainSource:
+		// The producer streams incrementally per row group (not re-staged
+		// whole per call), so it does not count as staged by itself; B
+		// staging and staged operands deeper in either tree do.
+		if v.bStage != nil {
+			return true
+		}
+		if v.c != nil && HasStagedOperand(v.c) {
+			return true
+		}
+		return HasStagedOperand(v.prod)
 	case *matmulBlockSource:
 		return v.aStage != nil || v.bStage != nil || HasStagedOperand(v.a) || HasStagedOperand(v.b)
 	case *gemmBlockSource:

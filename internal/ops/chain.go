@@ -1,0 +1,398 @@
+package ops
+
+import (
+	"math"
+
+	"dnnfusion/internal/tensor"
+)
+
+// chainSource is the fused contraction-chain kernel: a MatMul/Gemm whose A
+// operand is itself rooted in a blocked contraction (optionally through
+// fused pointwise stages and/or a row softmax). Instead of staging the
+// whole M×K intermediate, it pulls rowTile-high row groups of the producer
+// on demand and contracts them against B immediately, so the intermediate
+// never exists outside an L1-sized panel.
+//
+// Two paths:
+//
+//   - exact: A rows are the producer's own float32 outputs (bit-identical
+//     to what the unfused pipeline would have materialized), contracted
+//     with the same ascending-k float64 accumulation as mulTileAcc — the
+//     result is bit-for-bit equal to the scalar oracle.
+//
+//   - online: when A is a non-log innermost-axis softmax over a
+//     contraction, the softmax is folded into the second contraction with
+//     the streaming-rescale (flash-attention) recurrence: raw score rows
+//     are pulled, and per key panel the running max m and running sum l
+//     rescale the float64 accumulators by exp(m_old−m_new). The result is
+//     mathematically identical but not bit-identical to the two-pass
+//     softmax — this is the one documented exception to the LoadBlock
+//     bit-exactness contract, bounded to a few ULPs by the float64
+//     accumulation (see BlockSource).
+//
+// Every LoadBlock request computes whole row groups over all n output
+// columns, so the produced bits are independent of how the engine splits
+// the output range across lanes.
+type chainSource struct {
+	// scalar is the original pull-model source (matmulSource/gemmSource):
+	// the semantic reference for Shape/Load and the parity oracle.
+	scalar Source
+	shape  tensor.Shape
+
+	// Consumer contraction dims: out is (batch..., m, n), contracting k.
+	m, n, k int
+
+	// prod streams A row groups: the producer's blocked tree on the exact
+	// path, or the raw pre-softmax score tree on the online path.
+	prod   BlockSource
+	online bool
+
+	// B operand: flat backing or per-call staging, as in matmulBlockSource.
+	bData        []float32
+	bStage       BlockSource
+	bRS          int
+	outBatch     tensor.Shape
+	bBatchStride []int
+	batchBuf     []int
+	// aMatElems is m*k, one batch matrix's footprint in prod's flat space.
+	aMatElems int
+
+	// Optional Gemm epilogue: out = alpha*acc + beta*C.
+	epilogue    bool
+	alpha, beta float64
+	c           Source
+	cShape      tensor.Shape
+	cBuf        []int
+	idx2        []int
+
+	// Schedules: cons tiles the consumer (rowTile rows × jb output
+	// columns); prodSched's column panel becomes the online path's key
+	// panel kp (the rescale cadence over the contraction axis).
+	sched, prodSched Schedule
+	rowTile          int
+	jb               int
+	kp               int
+
+	aBuf   []float32 // rowTile*k staged producer rows
+	outBuf []float32 // rowTile*n scratch for partially-requested groups
+	acc    []float64 // rowTile*n float64 accumulators
+	mRun   []float64 // online running max per group row
+	lRun   []float64 // online running exp-sum per group row
+}
+
+func (s *chainSource) Shape() tensor.Shape    { return s.shape }
+func (s *chainSource) Load(idx []int) float32 { return s.scalar.Load(idx) }
+
+// setSchedules installs the consumer and producer tile schedules,
+// normalizing both against the chain's shape and sizing scratch.
+func (s *chainSource) setSchedules(cons, prod Schedule) {
+	s.sched, s.prodSched = cons, prod
+	s.rowTile = normalizeRowTile(cons.RowTile)
+	s.jb = normalizeColPanel(cons.ColPanel, s.n)
+	s.kp = normalizeColPanel(prod.ColPanel, s.k)
+	if need := s.rowTile * s.k; len(s.aBuf) < need {
+		s.aBuf = make([]float32, need)
+	}
+	if need := s.rowTile * s.n; len(s.outBuf) < need {
+		s.outBuf = make([]float32, need)
+	}
+	if need := s.rowTile * s.n; len(s.acc) < need {
+		s.acc = make([]float64, need)
+	}
+	if len(s.mRun) < s.rowTile {
+		s.mRun = make([]float64, s.rowTile)
+		s.lRun = make([]float64, s.rowTile)
+	}
+}
+
+func (s *chainSource) LoadBlock(dst []float32, off, n int) {
+	mn := s.m * s.n
+	stagedBatch := -1 // staging never survives a call: inputs change between runs
+	bBase := 0
+	for n > 0 {
+		batch := off / mn
+		rem := off % mn
+		i := rem / s.n
+		j := rem % s.n
+		if batch != stagedBatch {
+			bBase = 0
+			if len(s.batchBuf) > 0 {
+				s.outBatch.Unravel(batch, s.batchBuf)
+				for d, v := range s.batchBuf {
+					bBase += v * s.bBatchStride[d]
+				}
+			}
+			if s.bStage != nil {
+				s.bStage.LoadBlock(s.bData, bBase, len(s.bData))
+				bBase = 0
+			}
+			stagedBatch = batch
+		}
+		// Whole row groups only: the group anchored below i is computed
+		// across all n columns regardless of the requested sub-range, so
+		// results never depend on lane splits or block boundaries.
+		rt := s.rowTile
+		i0 := i - i%rt
+		g := rt
+		if i0+g > s.m {
+			g = s.m - i0
+		}
+		span := g * s.n
+		lo := (i-i0)*s.n + j
+		if lo == 0 && n >= span {
+			s.computeGroup(dst[:span], batch, bBase, i0, g)
+			dst = dst[span:]
+			off += span
+			n -= span
+			continue
+		}
+		s.computeGroup(s.outBuf[:span], batch, bBase, i0, g)
+		run := span - lo
+		if run > n {
+			run = n
+		}
+		copy(dst[:run], s.outBuf[lo:lo+run])
+		dst = dst[run:]
+		off += run
+		n -= run
+	}
+}
+
+// computeGroup fills out (g rows × n columns, contiguous) with output rows
+// [i0, i0+g) of one batch matrix, pulling the producer rows first.
+func (s *chainSource) computeGroup(out []float32, batch, bBase, i0, g int) {
+	s.prod.LoadBlock(s.aBuf[:g*s.k], batch*s.aMatElems+i0*s.k, g*s.k)
+	if s.online {
+		s.groupOnline(out, bBase, i0, g)
+	} else {
+		s.groupExact(out, bBase, i0, g)
+	}
+}
+
+// groupExact contracts the staged producer rows against B with the same
+// ascending-k float64 accumulation as mulTileAcc — bit-identical to the
+// unfused pipeline (the staged rows are the producer's exact outputs).
+func (s *chainSource) groupExact(out []float32, bBase, i0, g int) {
+	for j0 := 0; j0 < s.n; j0 += s.jb {
+		w := s.n - j0
+		if w > s.jb {
+			w = s.jb
+		}
+		mulTileAcc(g, s.aBuf, 0, s.k, 1, s.k, s.bData, bBase, s.bRS, j0, s.acc, w)
+		for r := 0; r < g; r++ {
+			row := out[r*s.n+j0 : r*s.n+j0+w]
+			c := s.acc[r*w : r*w+w]
+			if !s.epilogue {
+				for t := 0; t < w; t++ {
+					row[t] = float32(c[t])
+				}
+				continue
+			}
+			for t := 0; t < w; t++ {
+				acc := c[t] * s.alpha
+				if s.c != nil {
+					s.idx2[0], s.idx2[1] = i0+r, j0+t
+					b := tensor.BroadcastIndex(s.idx2, s.cShape, s.cBuf)
+					acc += s.beta * float64(s.c.Load(b))
+				}
+				row[t] = float32(acc)
+			}
+		}
+	}
+}
+
+// groupOnline is the streaming-rescale softmax contraction: per key panel
+// of kp raw scores, the running max and exp-sum are updated and the
+// accumulators rescaled by exp(m_old−m_new), so softmax(scores)·B is
+// computed in one pass without materializing the probabilities.
+func (s *chainSource) groupOnline(out []float32, bBase, i0, g int) {
+	n, k := s.n, s.k
+	acc := s.acc[:g*n]
+	for t := range acc {
+		acc[t] = 0
+	}
+	for r := 0; r < g; r++ {
+		s.mRun[r] = math.Inf(-1)
+		s.lRun[r] = 0
+	}
+	for k0 := 0; k0 < k; k0 += s.kp {
+		wk := k - k0
+		if wk > s.kp {
+			wk = s.kp
+		}
+		for r := 0; r < g; r++ {
+			row := s.aBuf[r*k+k0 : r*k+k0+wk]
+			pm := math.Inf(-1)
+			for _, v := range row {
+				pm = math.Max(pm, float64(v))
+			}
+			m := s.mRun[r]
+			a := acc[r*n : r*n+n]
+			if pm > m {
+				// Guard m = −Inf: exp(−Inf − pm) would poison the (all
+				// zero) accumulators with NaN on the first panel.
+				if !math.IsInf(m, -1) {
+					scale := math.Exp(m - pm)
+					s.lRun[r] *= scale
+					for t := range a {
+						a[t] *= scale
+					}
+				}
+				m = pm
+				s.mRun[r] = pm
+			}
+			l := s.lRun[r]
+			for kk, v := range row {
+				p := math.Exp(float64(v) - m)
+				l += p
+				bRow := s.bData[bBase+(k0+kk)*s.bRS : bBase+(k0+kk)*s.bRS+n]
+				for t, bv := range bRow {
+					a[t] += p * float64(bv)
+				}
+			}
+			s.lRun[r] = l
+		}
+	}
+	for r := 0; r < g; r++ {
+		inv := 1 / s.lRun[r]
+		a := acc[r*n : r*n+n]
+		row := out[r*n : r*n+n]
+		if !s.epilogue {
+			for t := 0; t < n; t++ {
+				row[t] = float32(a[t] * inv)
+			}
+			continue
+		}
+		for t := 0; t < n; t++ {
+			v := a[t] * inv * s.alpha
+			if s.c != nil {
+				s.idx2[0], s.idx2[1] = i0+r, t
+				b := tensor.BroadcastIndex(s.idx2, s.cShape, s.cBuf)
+				v += s.beta * float64(s.c.Load(b))
+			}
+			row[t] = float32(v)
+		}
+	}
+}
+
+// contractionRooted reports whether a blocked source tree is rooted in a
+// heavy contraction (MatMul/Gemm or an already-fused chain), possibly
+// through fused pointwise, softmax, or reorganize stages — the legality
+// condition for streaming it as a chain producer.
+func contractionRooted(s Source) bool {
+	switch v := s.(type) {
+	case *matmulBlockSource, *gemmBlockSource, *chainSource:
+		return true
+	case *softmaxBlockSource:
+		return contractionRooted(v.blk)
+	case *reorganizeBlockSource:
+		return contractionRooted(v.ins[0])
+	case *pointwiseBlockSource:
+		for i := range v.blkIns {
+			in := &v.blkIns[i]
+			if in.kind == pwStream && contractionRooted(in.blk) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// chainProducer classifies a consumer's A operand: a non-log innermost
+// softmax directly over a contraction streams online (prod = the raw score
+// tree); any other contraction-rooted blocked tree streams exactly (prod =
+// the tree itself, including a log-softmax — its rows are computed with
+// the exact two-pass recurrence).
+func chainProducer(a Source) (prod BlockSource, online, ok bool) {
+	if sm, isSM := a.(*softmaxBlockSource); isSM && !sm.log && contractionRooted(sm.blk) {
+		return sm.blk, true, true
+	}
+	if blk, isBlk := AsBlock(a); isBlk && contractionRooted(a) {
+		return blk, false, true
+	}
+	return nil, false, false
+}
+
+// chainMatMul upgrades a matmul whose A operand is a fused contraction
+// chain to the streaming chainSource. nil when the shape is not chainable
+// (transposed operands, broadcast A batch, unstageable B).
+func chainMatMul(s *matmulSource) *chainSource {
+	if s.transA || s.transB {
+		return nil
+	}
+	prod, online, ok := chainProducer(s.a)
+	if !ok {
+		return nil
+	}
+	out := s.shape
+	outBatch := out[:out.Rank()-2]
+	// A's batch dims must equal the output batch exactly (no broadcast):
+	// the producer's flat space is then batch-major over m×k matrices.
+	if s.ar-2 != outBatch.Rank() || !tensor.Shape(s.aShape[:s.ar-2]).Equal(outBatch) {
+		return nil
+	}
+	bData, bStage, ok := flatOrStage(s.b, s.k*s.n)
+	if !ok {
+		return nil
+	}
+	c := &chainSource{
+		scalar:       s,
+		shape:        out,
+		m:            s.m,
+		n:            s.n,
+		k:            s.k,
+		prod:         prod,
+		online:       online,
+		bData:        bData,
+		bStage:       bStage,
+		bRS:          s.bShape[s.br-1],
+		outBatch:     outBatch,
+		bBatchStride: batchStrides(s.bShape, outBatch),
+		batchBuf:     make([]int, outBatch.Rank()),
+		aMatElems:    s.m * s.k,
+	}
+	c.setSchedules(DefaultSchedule(s.k), DefaultSchedule(s.k))
+	return c
+}
+
+// chainGemm mirrors chainMatMul for the rank-2 Gemm, carrying the
+// alpha/beta/C epilogue through the chain.
+func chainGemm(s *gemmSource, shapes []tensor.Shape) *chainSource {
+	if s.op.transA || s.op.transB {
+		return nil
+	}
+	prod, online, ok := chainProducer(s.a)
+	if !ok {
+		return nil
+	}
+	bData, bStage, ok := flatOrStage(s.b, shapes[1].NumElements())
+	if !ok {
+		return nil
+	}
+	m := s.shape[0]
+	c := &chainSource{
+		scalar:    s,
+		shape:     s.shape,
+		m:         m,
+		n:         s.n,
+		k:         s.k,
+		prod:      prod,
+		online:    online,
+		bData:     bData,
+		bStage:    bStage,
+		bRS:       shapes[1][1],
+		outBatch:  tensor.Shape{},
+		aMatElems: m * s.k,
+		epilogue:  s.op.alpha != 1 || s.c != nil,
+		alpha:     float64(s.op.alpha),
+		beta:      float64(s.op.beta),
+		cShape:    s.cShape,
+	}
+	if s.c != nil {
+		c.c = s.c
+		c.cBuf = make([]int, s.cShape.Rank())
+	}
+	c.idx2 = make([]int, 2)
+	c.setSchedules(DefaultSchedule(s.k), DefaultSchedule(s.k))
+	return c
+}

@@ -126,6 +126,11 @@ func (m *matmul) Virtualize(ins []Source, outNo int) (Source, error) {
 // be staged into per-session scratch (fused blocked producers). Operands
 // behind genuinely scalar sources keep the pull-model form.
 func blockedMatMul(s *matmulSource) Source {
+	// A fused contraction chain (A rooted in another MatMul/Gemm inside the
+	// same block) streams row groups instead of staging the whole A matrix.
+	if c := chainMatMul(s); c != nil {
+		return c
+	}
 	aData, aStage, ok := flatOrStage(s.a, s.m*s.k)
 	if !ok {
 		return s
@@ -488,6 +493,9 @@ func (g *gemm) Virtualize(ins []Source, outNo int) (Source, error) {
 // element through the scalar path (one Load per output element, not per K
 // step).
 func blockedGemm(s *gemmSource, shapes []tensor.Shape) Source {
+	if c := chainGemm(s, shapes); c != nil {
+		return c
+	}
 	aData, aStage, ok := flatOrStage(s.a, shapes[0].NumElements())
 	if !ok {
 		return s

@@ -75,31 +75,56 @@ func normalizeColPanel(cp, n int) int {
 // time — once per session per lane — so the steady-state hot path still
 // allocates nothing. A zero schedule leaves the defaults in place.
 func ApplySchedule(s Source, sched Schedule) {
+	applySchedule(s, sched, sched)
+}
+
+// ApplyChainSchedule configures a chain-fused kernel's source tree with two
+// schedules: cons tiles the chain's consumer contraction (and everything
+// outside the chain), prod tiles the chain's producer — its column panel
+// doubles as the online softmax's key-panel (rescale) width. Non-chain
+// sources see cons, exactly as ApplySchedule.
+func ApplyChainSchedule(s Source, cons, prod Schedule) {
+	if prod.Zero() {
+		prod = cons
+	}
+	applySchedule(s, cons, prod)
+}
+
+func applySchedule(s Source, sched, chainProd Schedule) {
 	if sched.Zero() {
 		return
 	}
 	switch v := s.(type) {
+	case *chainSource:
+		v.setSchedules(sched, chainProd)
+		applySchedule(v.prod, chainProd, chainProd)
+		if v.bStage != nil {
+			applySchedule(v.bStage, sched, chainProd)
+		}
+		if v.c != nil {
+			applySchedule(v.c, sched, chainProd)
+		}
 	case *matmulBlockSource:
 		v.setSchedule(sched)
-		ApplySchedule(v.a, sched)
-		ApplySchedule(v.b, sched)
+		applySchedule(v.a, sched, chainProd)
+		applySchedule(v.b, sched, chainProd)
 	case *gemmBlockSource:
 		v.setSchedule(sched)
-		ApplySchedule(v.a, sched)
-		ApplySchedule(v.b, sched)
+		applySchedule(v.a, sched, chainProd)
+		applySchedule(v.b, sched, chainProd)
 		if v.c != nil {
-			ApplySchedule(v.c, sched)
+			applySchedule(v.c, sched, chainProd)
 		}
 	case *convBlockSource:
 		v.sched = sched
-		ApplySchedule(v.x, sched)
-		ApplySchedule(v.w, sched)
+		applySchedule(v.x, sched, chainProd)
+		applySchedule(v.w, sched, chainProd)
 	case *poolBlockSource:
 		v.sched = sched
-		ApplySchedule(v.in, sched)
+		applySchedule(v.in, sched, chainProd)
 	case *pointwiseBlockSource:
 		for _, in := range v.ins {
-			ApplySchedule(in, sched)
+			applySchedule(in, sched, chainProd)
 		}
 		// A heavy producer under this chain is pulled through staging
 		// stripes: align the stripe with the producer's row tile so the
@@ -125,11 +150,11 @@ func ApplySchedule(s Source, sched Schedule) {
 			}
 		}
 	case *reorganizeBlockSource:
-		ApplySchedule(v.ins[0], sched)
+		applySchedule(v.ins[0], sched, chainProd)
 	case *sliceBlockSource:
-		ApplySchedule(v.ins[0], sched)
+		applySchedule(v.ins[0], sched, chainProd)
 	case *softmaxBlockSource:
-		ApplySchedule(v.in, sched)
+		applySchedule(v.in, sched, chainProd)
 		// Same alignment for row-wise softmax: stage whole producer row
 		// tiles (the tile span is a multiple of the row length when the
 		// producer is a matmul over the same innermost axis).
@@ -155,6 +180,8 @@ const maxStripeElems = 1 << 16
 // evaluation mid-tile. Zero means the source has no alignment preference.
 func TileSpan(s Source) int {
 	switch v := s.(type) {
+	case *chainSource:
+		return v.rowTile * v.n
 	case *matmulBlockSource:
 		return v.rowTile * v.n
 	case *gemmBlockSource:

@@ -27,6 +27,9 @@ type DB struct {
 	// device (ScheduleKey), so repeat compilations skip the GA search —
 	// the schedule half of Figure 9b's caching effect.
 	schedules map[string]ops.Schedule
+	// chainSchedules caches jointly tuned chain-kernel schedule pairs
+	// (ChainScheduleKey).
+	chainSchedules map[string]ChainSchedule
 
 	// Hits/Misses count latency lookups; Measurements counts inserts that
 	// came from fresh measurements (not a bulk load). ScheduleHits/
@@ -40,7 +43,11 @@ type DB struct {
 
 // New returns an empty database.
 func New() *DB {
-	return &DB{entries: map[string]float64{}, schedules: map[string]ops.Schedule{}}
+	return &DB{
+		entries:        map[string]float64{},
+		schedules:      map[string]ops.Schedule{},
+		chainSchedules: map[string]ChainSchedule{},
+	}
 }
 
 // Len returns the number of stored entries.
@@ -115,6 +122,46 @@ func (db *DB) ScheduleLen() int {
 	return len(db.schedules)
 }
 
+// ChainSchedule is a jointly tuned schedule pair for a fused contraction
+// chain: Producer tiles the first contraction, Consumer the second.
+type ChainSchedule struct {
+	Producer ops.Schedule `json:"producer"`
+	Consumer ops.Schedule `json:"consumer"`
+}
+
+// ChainScheduleKey canonicalizes one chain-kernel tuning task: device
+// identity plus both contractions' GEMM shapes.
+func ChainScheduleKey(deviceName string, pm, pn, pk, cm, cn, ck int) string {
+	return fmt.Sprintf("chain|%s|p=%dx%dx%d,c=%dx%dx%d", deviceName, pm, pn, pk, cm, cn, ck)
+}
+
+// LookupChainSchedule returns the cached chain schedule pair for key.
+func (db *DB) LookupChainSchedule(key string) (ChainSchedule, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	s, ok := db.chainSchedules[key]
+	if ok {
+		db.ScheduleHits++
+	} else {
+		db.ScheduleMisses++
+	}
+	return s, ok
+}
+
+// InsertChainSchedule stores a tuned chain schedule pair.
+func (db *DB) InsertChainSchedule(key string, s ChainSchedule) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.chainSchedules[key] = s
+}
+
+// ChainScheduleLen returns the number of cached chain schedule pairs.
+func (db *DB) ChainScheduleLen() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return len(db.chainSchedules)
+}
+
 // KeyFor canonicalizes a candidate fusion-block node list: operator types,
 // attributes, and input/output shapes, independent of value names, so the
 // same combination measured in one model is reused in another.
@@ -146,27 +193,33 @@ func KeyFor(nodes []*graph.Node) string {
 	return strings.Join(parts, ";")
 }
 
-// fileFormat is the on-disk representation. Version 2 adds the tuned
-// schedule cache; version-1 files load with an empty one.
+// fileFormat is the on-disk representation. Version 2 added the tuned
+// schedule cache, version 3 the chain-schedule cache; older files load
+// with the missing caches empty.
 type fileFormat struct {
-	Version   int                     `json:"version"`
-	Entries   map[string]float64      `json:"entries"`
-	Schedules map[string]ops.Schedule `json:"schedules,omitempty"`
+	Version        int                      `json:"version"`
+	Entries        map[string]float64       `json:"entries"`
+	Schedules      map[string]ops.Schedule  `json:"schedules,omitempty"`
+	ChainSchedules map[string]ChainSchedule `json:"chain_schedules,omitempty"`
 }
 
 // Save writes the database as JSON.
 func (db *DB) Save(path string) error {
 	db.mu.Lock()
 	ff := fileFormat{
-		Version:   2,
-		Entries:   make(map[string]float64, len(db.entries)),
-		Schedules: make(map[string]ops.Schedule, len(db.schedules)),
+		Version:        3,
+		Entries:        make(map[string]float64, len(db.entries)),
+		Schedules:      make(map[string]ops.Schedule, len(db.schedules)),
+		ChainSchedules: make(map[string]ChainSchedule, len(db.chainSchedules)),
 	}
 	for k, v := range db.entries {
 		ff.Entries[k] = v
 	}
 	for k, v := range db.schedules {
 		ff.Schedules[k] = v
+	}
+	for k, v := range db.chainSchedules {
+		ff.ChainSchedules[k] = v
 	}
 	db.mu.Unlock()
 	data, err := json.MarshalIndent(ff, "", " ")
@@ -192,6 +245,9 @@ func Load(path string) (*DB, error) {
 	}
 	for k, v := range ff.Schedules {
 		db.schedules[k] = v
+	}
+	for k, v := range ff.ChainSchedules {
+		db.chainSchedules[k] = v
 	}
 	return db, nil
 }

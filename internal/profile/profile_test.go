@@ -146,3 +146,51 @@ func TestLoadVersion1File(t *testing.T) {
 		t.Errorf("upgraded file lost the schedule")
 	}
 }
+
+// TestChainScheduleCacheRoundTrip: chain-schedule pairs survive Save/Load
+// (the version-3 format) alongside latency entries and single-kernel
+// schedules, and older files without the field still load.
+func TestChainScheduleCacheRoundTrip(t *testing.T) {
+	db := New()
+	db.Insert("latency", 1.5)
+	db.InsertSchedule(ScheduleKey("dev", 8, 8, 8), ops.Schedule{RowTile: 2, ColPanel: 8, Unroll: 4})
+	key := ChainScheduleKey("Snapdragon 865 CPU", 8, 8, 32, 8, 32, 8)
+	pair := ChainSchedule{
+		Producer: ops.Schedule{RowTile: 8, ColPanel: 8, Unroll: 4},
+		Consumer: ops.Schedule{RowTile: 8, ColPanel: 32, Unroll: 4},
+	}
+	db.InsertChainSchedule(key, pair)
+	if db.ChainScheduleLen() != 1 {
+		t.Fatalf("ChainScheduleLen = %d, want 1", db.ChainScheduleLen())
+	}
+	path := filepath.Join(t.TempDir(), "profile.json")
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := back.LookupChainSchedule(key)
+	if !ok || got != pair {
+		t.Errorf("round trip lost chain schedule: %+v, %v", got, ok)
+	}
+	if _, ok := back.LookupChainSchedule(ChainScheduleKey("dev", 1, 1, 1, 1, 1, 1)); ok {
+		t.Error("missing chain key should miss")
+	}
+	if back.ScheduleLen() != 1 || back.Len() != 1 {
+		t.Errorf("coexisting entries lost: %d schedules, %d latencies", back.ScheduleLen(), back.Len())
+	}
+	// A version-2 file (no chain_schedules field) still loads cleanly.
+	v2 := filepath.Join(t.TempDir(), "v2.json")
+	if err := os.WriteFile(v2, []byte(`{"version":2,"entries":{"k":1},"schedules":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old, err := Load(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.ChainScheduleLen() != 0 {
+		t.Errorf("v2 file should have no chain schedules, got %d", old.ChainScheduleLen())
+	}
+}

@@ -115,6 +115,42 @@ func Select(t Task, opts GAOptions) ScheduleResult {
 	return ScheduleResult{Schedule: normalizeSchedule(t, best), Score: score, Trials: trials}
 }
 
+// ChainScheduleResult reports one joint chain-schedule selection.
+type ChainScheduleResult struct {
+	// Producer tiles the chain's first contraction (its ColPanel doubles
+	// as the online softmax's key-panel width); Consumer tiles the second.
+	Producer ops.Schedule
+	Consumer ops.Schedule
+	Score    float64
+	Trials   int
+}
+
+// SelectChain jointly selects the two tile schedules of a fused
+// contraction chain. The row tile is shared — the chain kernel pulls
+// producer rows in exactly the consumer's row groups, so mismatched
+// heights would re-tile at the seam — while each contraction gets its own
+// column panel. The space is small enough (4 row tiles × 7 panels × 7
+// panels) to search exhaustively, which keeps selection trivially
+// deterministic.
+func SelectChain(prod, cons Task) ChainScheduleResult {
+	var best ChainScheduleResult
+	for _, rt := range rowTileChoices {
+		for _, pcp := range colPanelChoices {
+			ps := normalizeSchedule(prod, ops.Schedule{RowTile: rt, ColPanel: pcp, Unroll: 4})
+			pScore := ScheduleFitness(prod, ps)
+			for _, ccp := range colPanelChoices {
+				cs := normalizeSchedule(cons, ops.Schedule{RowTile: rt, ColPanel: ccp, Unroll: 4})
+				score := pScore * ScheduleFitness(cons, cs)
+				best.Trials++
+				if score > best.Score {
+					best.Producer, best.Consumer, best.Score = ps, cs, score
+				}
+			}
+		}
+	}
+	return best
+}
+
 func crossoverSchedule(r *rng, a, b ops.Schedule) ops.Schedule {
 	pick := func(x, y int) int {
 		if r.intn(2) == 0 {

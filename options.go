@@ -37,6 +37,14 @@ func WithoutFusion() Option { return func(o *core.Options) { o.Fusion = false } 
 // (data-movement folding and dominant-operator layout selection).
 func WithoutBlockOpt() Option { return func(o *core.Options) { o.OtherOpt = false } }
 
+// WithoutChainFusion disables the contraction-chain post-pass: MatMul/Gemm
+// → (pointwise|row-softmax) → MatMul/Gemm chains then compile as separate
+// kernels with a materialized intermediate, exactly as before the chain
+// kernel existed. Useful to compare peak memory and latency, and to force
+// the bit-exact two-pass softmax where the online (flash-attention-style)
+// chain is only ULP-accurate.
+func WithoutChainFusion() Option { return func(o *core.Options) { o.ChainFusion = false } }
+
 // WithSeedPolicy selects the fusion planner's seed heuristic (§4.3 Step I);
 // the default is SeedMinIRS, the paper's choice.
 func WithSeedPolicy(p SeedPolicy) Option { return func(o *core.Options) { o.Seeds = p } }

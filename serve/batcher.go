@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"runtime"
 	"sync/atomic"
 	"time"
@@ -106,9 +107,12 @@ collect:
 
 // execute runs one formed batch and delivers per-call results. Requests
 // were validated before enqueueing, so shape-level errors cannot occur
-// here; an execution error fails every call in the batch.
+// here; an execution error fails every call in the batch. Execution runs
+// under the host's shutdown context, so closing the host interrupts an
+// in-flight batch between kernels; calls failed that way report ErrClosed,
+// the same error queued-but-unexecuted calls get from the drain.
 func (h *Host) execute(runner *dnnfusion.Runner, br *dnnfusion.BatchRunner, batch []*call, reqs []map[string]*dnnfusion.Tensor) {
-	ctx := context.Background()
+	ctx := h.ctx
 	n := len(batch)
 	h.st.batches.Add(1)
 	h.st.batched.Add(uint64(n))
@@ -126,6 +130,7 @@ func (h *Host) execute(runner *dnnfusion.Runner, br *dnnfusion.BatchRunner, batc
 				c.res = h.deliver(results[i])
 			}
 		} else {
+			err = h.closeErr(err)
 			for _, c := range batch {
 				c.err = err
 			}
@@ -134,7 +139,7 @@ func (h *Host) execute(runner *dnnfusion.Runner, br *dnnfusion.BatchRunner, batc
 		for _, c := range batch {
 			out, err := runner.Run(ctx, c.inputs)
 			if err != nil {
-				c.err = err
+				c.err = h.closeErr(err)
 				continue
 			}
 			c.res = h.deliver(out)
@@ -143,6 +148,16 @@ func (h *Host) execute(runner *dnnfusion.Runner, br *dnnfusion.BatchRunner, batc
 	for _, c := range batch {
 		c.done <- struct{}{}
 	}
+}
+
+// closeErr maps execution errors caused by the shutdown-context cancel to
+// ErrClosed — a call interrupted mid-batch by eviction should see the same
+// error as one failed by the drain, not a bare context.Canceled.
+func (h *Host) closeErr(err error) error {
+	if h.closing.Load() && errors.Is(err, context.Canceled) {
+		return ErrClosed
+	}
+	return err
 }
 
 // deliver copies one request's output set into a pooled Result, detaching

@@ -245,6 +245,69 @@ func TestHostRunHonorsContext(t *testing.T) {
 	}
 }
 
+// TestHostCloseCancelsInFlightBatch pins the shutdown-context plumbing:
+// eviction cancels the per-host context (so a batch in flight stops between
+// kernels instead of running to completion against a dead host), and any
+// request failed that way surfaces ErrClosed — never a bare
+// context.Canceled, which would leak the mechanism to clients and differ
+// from what drained-but-unexecuted requests see.
+func TestHostCloseCancelsInFlightBatch(t *testing.T) {
+	m := compileMicro(t, models.MicroMLP)
+	r := NewRegistry()
+	h, err := r.Register("mlp", m, Config{MaxBatch: 4, MaxDelay: 200 * time.Microsecond, Prewarm: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm: build the model and start the dispatcher before the flood.
+	res, err := h.Run(context.Background(), microRequest(t, m, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Release()
+	if h.ctx.Err() != nil {
+		t.Fatalf("shutdown context done before close: %v", h.ctx.Err())
+	}
+
+	const clients, rounds = 8, 50
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	start := make(chan struct{})
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < rounds; i++ {
+				res, err := h.Run(context.Background(), microRequest(t, m, uint64(c*rounds+i)))
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				res.Release()
+			}
+		}(c)
+	}
+	close(start)
+	// Evict while the flood is mid-flight: some requests complete, some are
+	// interrupted by the context cancel, some drain unexecuted.
+	if !r.Evict("mlp") {
+		t.Fatal("evict reported model not registered")
+	}
+	wg.Wait()
+
+	if !errors.Is(h.ctx.Err(), context.Canceled) {
+		t.Fatalf("shutdown context after close: %v, want context.Canceled", h.ctx.Err())
+	}
+	for c, err := range errs {
+		if err == nil {
+			continue // finished all rounds before eviction landed
+		}
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("client %d: error %v, want ErrClosed", c, err)
+		}
+	}
+}
+
 // TestServeParallelClientsRace floods one host from many goroutines with
 // mixed batchable and fallback models; run under -race this pins the
 // dispatcher's lane discipline end to end. (The name matches the CI race

@@ -34,6 +34,13 @@ type Host struct {
 	calls     chan *call
 	closeOnce sync.Once
 	closed    chan struct{}
+	// ctx is the host's shutdown context: created at registration (with
+	// closed), canceled by close, and threaded into every batch execution
+	// so an in-flight batch observes eviction/server drain between kernels
+	// instead of running to completion against a host that is already
+	// gone.
+	ctx    context.Context
+	cancel context.CancelFunc
 	// closing flips before closed is closed; pending counts Run calls
 	// between their closing-check and their result. Together they close
 	// the eviction race: the dispatcher's drain keeps serving ErrClosed
@@ -332,10 +339,14 @@ func (h *Host) Run(ctx context.Context, inputs map[string]*dnnfusion.Tensor) (*R
 
 // close shuts the host down: the dispatcher drains and fails pending
 // requests with ErrClosed and drops its serving arenas. closing flips
-// first so no new Run can slip past the drain.
+// first so no new Run can slip past the drain, and the shutdown context
+// is canceled so an in-flight batch stops between kernels.
 func (h *Host) close() {
 	h.closeOnce.Do(func() {
 		h.closing.Store(true)
+		if h.cancel != nil {
+			h.cancel()
+		}
 		close(h.closed)
 	})
 }

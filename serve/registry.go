@@ -16,6 +16,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -123,6 +124,7 @@ func (r *Registry) add(name string, h *Host) (*Host, error) {
 		return nil, fmt.Errorf("serve: register: empty model name")
 	}
 	h.closed = make(chan struct{})
+	h.ctx, h.cancel = context.WithCancel(context.Background())
 	h.onBuildFail = func() { r.buildFails.Add(1) }
 	r.mu.Lock()
 	defer r.mu.Unlock()
