@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -306,9 +307,148 @@ type jsonBatchPoint struct {
 	Schedules []jsonKernelSchedule `json:"schedules,omitempty"`
 }
 
-// jsonSummary is the -json baseline file (schema dnnf-bench/v6: v5 plus
-// per-chain fused/unfused status on each exec model — the chain-fusion
-// half of the exec trajectory). num_cpu and gomaxprocs make threaded numbers (ns_per_op_t8,
+// jsonSoak is one micro model's overload soak (schema v7): a small-queue
+// host flooded by concurrent clients at 4x its queue capacity with mixed
+// short/long deadlines. It records what the overload-control machinery
+// delivers under that flood — admitted-work throughput, completed-request
+// latency percentiles, and the shed/expired split — so admission-control
+// changes show up as measured serving behavior, not only as pass/fail
+// tests. Informational: the regression gate stays on exec ns/op (overload
+// numbers on a drifting shared machine would gate on noise).
+type jsonSoak struct {
+	Name          string  `json:"name"`
+	Clients       int     `json:"clients"`
+	QueueCapacity int     `json:"queue_capacity"`
+	Offered       int64   `json:"offered"`
+	Completed     int64   `json:"completed"`
+	Shed          int64   `json:"shed"`
+	Expired       int64   `json:"expired"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50Us         int64   `json:"p50_us"`
+	P99Us         int64   `json:"p99_us"`
+	ShedRate      float64 `json:"shed_rate"`
+}
+
+// measureSoak floods one model's host at 4x queue capacity: half the
+// clients carry tight deadlines (they may expire queued), half carry
+// generous ones. Every request must land in exactly one bucket; the
+// serving stack guarantees that, and the scenario measures the shape of
+// the split plus the latency the admitted work actually saw.
+func measureSoak(build func() *dnnfusion.Graph) (jsonSoak, error) {
+	model, err := dnnfusion.Compile(build(), dnnfusion.WithThreads(1))
+	if err != nil {
+		return jsonSoak{}, err
+	}
+	const queueCap = 8
+	reg := serve.NewRegistry()
+	defer reg.Close()
+	h, err := reg.Register("soak", model, serve.Config{
+		MaxBatch:        4,
+		MaxDelay:        100 * time.Microsecond,
+		MaxDelayCeiling: time.Millisecond,
+		Queue:           queueCap,
+		Prewarm:         true,
+	})
+	if err != nil {
+		return jsonSoak{}, err
+	}
+	request := func(seed uint64) map[string]*dnnfusion.Tensor {
+		in := map[string]*dnnfusion.Tensor{}
+		for j, name := range model.InputNames() {
+			shape, _ := model.InputShape(name)
+			in[name] = dnnfusion.NewTensor(shape...).Rand(seed + uint64(j))
+		}
+		return in
+	}
+	res, err := h.Run(context.Background(), request(99))
+	if err != nil {
+		return jsonSoak{}, err
+	}
+	res.Release()
+
+	const clients, rounds = 4 * queueCap, 50
+	var completed, shed, expired int64
+	var mu sync.Mutex
+	var latencies []time.Duration
+	var wg sync.WaitGroup
+	var firstErr error
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			req := request(uint64(1000 * (c + 1)))
+			var myLat []time.Duration
+			var myDone, myShed, myExp int64
+			for i := 0; i < rounds; i++ {
+				ctx, cancel := context.Background(), context.CancelFunc(func() {})
+				if c%2 == 1 {
+					ctx, cancel = context.WithTimeout(ctx, 2*time.Millisecond)
+				} else {
+					ctx, cancel = context.WithTimeout(ctx, time.Second)
+				}
+				t0 := time.Now()
+				res, err := h.Run(ctx, req)
+				switch {
+				case err == nil:
+					myDone++
+					myLat = append(myLat, time.Since(t0))
+					res.Release()
+				case errors.Is(err, dnnfusion.ErrOverloaded):
+					myShed++
+				case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+					myExp++
+				default:
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					cancel()
+					return
+				}
+				cancel()
+			}
+			mu.Lock()
+			completed += myDone
+			shed += myShed
+			expired += myExp
+			latencies = append(latencies, myLat...)
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return jsonSoak{}, firstErr
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) int64 {
+		if len(latencies) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(latencies)-1))
+		return latencies[i].Microseconds()
+	}
+	offered := int64(clients * rounds)
+	return jsonSoak{
+		Name:          build().Name,
+		Clients:       clients,
+		QueueCapacity: queueCap,
+		Offered:       offered,
+		Completed:     completed,
+		Shed:          shed,
+		Expired:       expired,
+		ThroughputRPS: float64(completed) / elapsed.Seconds(),
+		P50Us:         pct(0.50),
+		P99Us:         pct(0.99),
+		ShedRate:      float64(shed) / float64(offered),
+	}, nil
+}
+
+// jsonSummary is the -json baseline file (schema dnnf-bench/v7: v6 plus
+// the overload soak scenario — serving behavior at 4x queue capacity).
+// num_cpu and gomaxprocs make threaded numbers (ns_per_op_t8,
 // the micro-batch scenario) self-describing: a t8 column produced on a
 // 1-CPU container cannot show wall-clock parallel gains, and the file
 // says so itself.
@@ -320,6 +460,7 @@ type jsonSummary struct {
 	Exec       []jsonExec       `json:"exec"`
 	MicroBatch []jsonBatchPoint `json:"micro_batch"`
 	Imports    []jsonImport     `json:"import"`
+	Soak       []jsonSoak       `json:"soak,omitempty"`
 }
 
 // batchSizes is the micro-batch scenario's sweep.
@@ -519,7 +660,7 @@ func buildJSONBaseline(c *bench.Context) (*jsonSummary, error) {
 		}
 	}
 	summary := &jsonSummary{
-		Schema:     "dnnf-bench/v6",
+		Schema:     "dnnf-bench/v7",
 		NumCPU:     runtime.NumCPU(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 	}
@@ -553,6 +694,15 @@ func buildJSONBaseline(c *bench.Context) (*jsonSummary, error) {
 			return nil, fmt.Errorf("import %s: %w", spec.Name, err)
 		}
 		summary.Imports = append(summary.Imports, imp)
+	}
+	// The soak scenario (schema v7): each micro model flooded at 4x its
+	// queue capacity with mixed deadlines.
+	for _, spec := range models.MicroModels() {
+		s, err := measureSoak(spec.Build)
+		if err != nil {
+			return nil, fmt.Errorf("soak %s: %w", spec.Name, err)
+		}
+		summary.Soak = append(summary.Soak, s)
 	}
 	return summary, nil
 }
@@ -620,7 +770,23 @@ func compareBaseline(summary *jsonSummary, baselinePath string, w *os.File) (ok 
 	}
 	printMicroBatch(summary, w)
 	printImports(summary, w)
+	printSoak(summary, w)
 	return ok, nil
+}
+
+// printSoak renders the overload soak scenario (informational; the
+// regression gate stays on single-request exec ns/op).
+func printSoak(summary *jsonSummary, w *os.File) {
+	if len(summary.Soak) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\nsoak scenario (flood at 4x queue capacity, mixed deadlines)\n")
+	fmt.Fprintf(w, "%-20s %8s %10s %6s %8s %10s %9s %9s %9s\n",
+		"model", "offered", "completed", "shed", "expired", "rps", "p50 us", "p99 us", "shed rate")
+	for _, s := range summary.Soak {
+		fmt.Fprintf(w, "%-20s %8d %10d %6d %8d %10.0f %9d %9d %8.1f%%\n",
+			s.Name, s.Offered, s.Completed, s.Shed, s.Expired, s.ThroughputRPS, s.P50Us, s.P99Us, s.ShedRate*100)
+	}
 }
 
 // printImports renders the import scenario (informational; the regression

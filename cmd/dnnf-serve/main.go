@@ -9,6 +9,8 @@
 //	dnnf-serve -addr :9000 -max-batch 16 -max-delay 1ms
 //	dnnf-serve -micro micro-mlp,micro-cnn -prewarm
 //	dnnf-serve -zoo                     # also expose the Table 5 models
+//	dnnf-serve -queue 32 -max-inflight 256 -max-delay-ceiling 2ms
+//	dnnf-serve -drain-timeout 10s       # graceful-shutdown budget on SIGTERM
 //
 // Endpoints (see serve.Server):
 //
@@ -51,12 +53,23 @@ func main() {
 	zoo := flag.Bool("zoo", false, "also register the Table 5 simulation zoo (metadata only; shape-only weights cannot execute)")
 	maxBatch := flag.Int("max-batch", serve.DefaultMaxBatch, "dynamic batching capacity per model (1 disables)")
 	maxDelay := flag.Duration("max-delay", serve.DefaultMaxDelay, "how long the first request of a batch waits for peers")
+	delayCeiling := flag.Duration("max-delay-ceiling", 0, "adaptive batching: scale the coalescing wait between 0 and this ceiling by queue depth (grow under load, cut when idle); 0 keeps -max-delay fixed")
+	queue := flag.Int("queue", 0, "per-model pending-request queue capacity (0 = 4×max-batch); a full queue sheds with 429")
+	maxInflight := flag.Int("max-inflight", 0, "server-wide concurrent-request ceiling (0 = unlimited); beyond it requests get 503")
+	drainTimeout := flag.Duration("drain-timeout", 5*time.Second, "graceful-shutdown budget: stop admitting (503), drain in-flight requests this long, then force-close")
 	threads := flag.Int("threads", 0, "worker lanes per model (0 = GOMAXPROCS)")
 	prewarm := flag.Bool("prewarm", false, "compile and bind serving arenas at startup instead of on first request")
 	flag.Parse()
 
-	cfg := serve.Config{MaxBatch: *maxBatch, MaxDelay: *maxDelay, Prewarm: *prewarm}
+	cfg := serve.Config{
+		MaxBatch:        *maxBatch,
+		MaxDelay:        *maxDelay,
+		MaxDelayCeiling: *delayCeiling,
+		Queue:           *queue,
+		Prewarm:         *prewarm,
+	}
 	reg := serve.NewRegistry()
+	reg.SetMaxInFlight(*maxInflight)
 	registered := 0
 
 	if *modelDir != "" {
@@ -129,10 +142,17 @@ func main() {
 		log.Printf("prewarmed %d models in %v", registered, time.Since(start).Round(time.Millisecond))
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: serve.NewServer(reg)}
+	handler := serve.NewServer(reg)
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: handler,
+		// A client that never finishes sending headers must not hold a
+		// connection (and its goroutine) forever.
+		ReadHeaderTimeout: 10 * time.Second,
+	}
 	go func() {
-		log.Printf("dnnf-serve listening on %s (%d models, max-batch %d, max-delay %v)",
-			*addr, registered, *maxBatch, *maxDelay)
+		log.Printf("dnnf-serve listening on %s (%d models, max-batch %d, max-delay %v, queue %d, max-inflight %d)",
+			*addr, registered, *maxBatch, *maxDelay, *queue, *maxInflight)
 		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Fatalf("listen: %v", err)
 		}
@@ -141,10 +161,18 @@ func main() {
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
-	log.Print("shutting down")
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	// Graceful shutdown: stop admitting first (deterministic 503s even on
+	// kept-alive connections, /healthz reports "draining"), give in-flight
+	// requests the drain budget, then force-close whatever remains so a
+	// stuck client cannot hold the process open.
+	log.Printf("draining (timeout %v)", *drainTimeout)
+	handler.Drain()
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
-	srv.Shutdown(ctx)
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("drain timeout exceeded, force-closing: %v", err)
+		srv.Close()
+	}
 	reg.Close()
 }
 

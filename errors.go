@@ -43,6 +43,12 @@ var (
 	// collapses it (CompileBatch's structural check). Serving layers
 	// treat it as "fall back to per-request execution", not a failure.
 	ErrNotBatchable = errors.New("dnnfusion: model not batchable along leading axis")
+	// ErrOverloaded reports a request shed by admission control: a
+	// serving queue at capacity or a concurrent-request ceiling reached.
+	// The request was rejected before any work was done — retrying after
+	// a backoff is safe and expected (HTTP layers map it to 429/503 with
+	// a Retry-After hint).
+	ErrOverloaded = errors.New("dnnfusion: overloaded")
 )
 
 // The importer's sentinels live in internal/onnx (the converter cannot

@@ -1,0 +1,115 @@
+// Package faultinject provides deterministic fault-injection hook points
+// for the serving stack. Production code calls Inject at named points; by
+// default every point is a no-op behind a single atomic load, so the hooks
+// cost nothing when no fault is armed. Tests arm a point with Set to force
+// failures, delays, or mid-flight cancellation that would otherwise only be
+// reachable through scheduler race windows: a build that fails, a kernel
+// execution that is slow or errors, a batch held in flight while the host
+// is evicted.
+//
+// Hooks are process-global (the serving stack has no other seam that
+// reaches inside a Host's dispatcher), so tests that arm them must not run
+// in parallel with each other and should Reset on cleanup:
+//
+//	faultinject.Set(faultinject.ServeExecute, func(ctx context.Context, args ...any) error {
+//		return errors.New("injected kernel failure")
+//	})
+//	t.Cleanup(faultinject.Reset)
+//
+// A hook receives the context the instrumented operation runs under (for
+// ServeExecute that is the batch context, so a hook can block on ctx.Done()
+// to hold a batch in flight until shutdown cancels it) plus point-specific
+// args. Returning a non-nil error makes the instrumented operation fail
+// with that error; returning nil lets it proceed. A hook that only sleeps
+// simulates slowness without failure.
+package faultinject
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// Point names one instrumented location. The args each point passes to its
+// hook are documented on the constant; extra args beyond the documented
+// prefix are implementation-defined and may change.
+type Point string
+
+const (
+	// ServeBuild fires after a serve.Host's model builder succeeds, with
+	// args (model name string). A non-nil return fails the build; the
+	// failure is sticky like any real build failure and counts in the
+	// registry's build-failure counter.
+	ServeBuild Point = "serve/host.build"
+
+	// ServeExecute fires inside the dispatcher immediately before a formed
+	// batch executes, with args (model name string, batch size int, batch).
+	// It runs under the batch's execution context (host shutdown context,
+	// possibly bounded by the earliest live request deadline). A non-nil
+	// return fails every call in the batch; sleeping simulates slow
+	// kernels; blocking on ctx.Done() holds the batch in flight until
+	// cancellation.
+	ServeExecute Point = "serve/host.execute"
+)
+
+// Hook is an armed fault: it observes (and may delay or fail) one
+// instrumented operation.
+type Hook func(ctx context.Context, args ...any) error
+
+var (
+	mu     sync.RWMutex
+	hooks  map[Point]Hook
+	active atomic.Int32 // number of armed points; 0 keeps Inject on the fast path
+)
+
+// Set arms a hook at a point, replacing any previous hook there. A nil fn
+// clears the point.
+func Set(p Point, fn Hook) {
+	mu.Lock()
+	defer mu.Unlock()
+	if hooks == nil {
+		hooks = make(map[Point]Hook)
+	}
+	_, had := hooks[p]
+	if fn == nil {
+		if had {
+			delete(hooks, p)
+			active.Add(-1)
+		}
+		return
+	}
+	hooks[p] = fn
+	if !had {
+		active.Add(1)
+	}
+}
+
+// Clear disarms one point.
+func Clear(p Point) { Set(p, nil) }
+
+// Reset disarms every point; suitable for t.Cleanup.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	active.Add(-int32(len(hooks)))
+	hooks = nil
+}
+
+// Active reports whether any point is armed (used by instrumented code that
+// wants to skip building args entirely when no fault could fire).
+func Active() bool { return active.Load() != 0 }
+
+// Inject fires the hook armed at p, if any. With nothing armed it is a
+// single atomic load and returns nil.
+func Inject(ctx context.Context, p Point, args ...any) error {
+	if active.Load() == 0 {
+		return nil
+	}
+	mu.RLock()
+	fn := hooks[p]
+	mu.RUnlock()
+	if fn == nil {
+		return nil
+	}
+	return fn(ctx, args...)
+}

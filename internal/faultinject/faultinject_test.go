@@ -1,0 +1,103 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestInjectUnarmedIsNil(t *testing.T) {
+	if Active() {
+		t.Fatal("fresh package reports active hooks")
+	}
+	if err := Inject(context.Background(), ServeBuild); err != nil {
+		t.Fatalf("unarmed Inject = %v", err)
+	}
+}
+
+func TestSetClearReset(t *testing.T) {
+	t.Cleanup(Reset)
+	boom := errors.New("boom")
+	Set(ServeBuild, func(ctx context.Context, args ...any) error { return boom })
+	if !Active() {
+		t.Fatal("armed point not active")
+	}
+	if err := Inject(context.Background(), ServeBuild); !errors.Is(err, boom) {
+		t.Fatalf("armed Inject = %v, want boom", err)
+	}
+	// A different point stays a no-op.
+	if err := Inject(context.Background(), ServeExecute); err != nil {
+		t.Fatalf("other point = %v", err)
+	}
+	// Replacing a hook does not double-count activity.
+	Set(ServeBuild, func(ctx context.Context, args ...any) error { return nil })
+	if err := Inject(context.Background(), ServeBuild); err != nil {
+		t.Fatalf("replaced hook = %v", err)
+	}
+	Clear(ServeBuild)
+	if Active() {
+		t.Fatal("cleared point still active")
+	}
+	// Clearing an unarmed point must not underflow the active count.
+	Clear(ServeBuild)
+	Set(ServeExecute, func(ctx context.Context, args ...any) error { return boom })
+	Reset()
+	if Active() {
+		t.Fatal("Reset left active hooks")
+	}
+	if err := Inject(context.Background(), ServeExecute); err != nil {
+		t.Fatalf("post-Reset Inject = %v", err)
+	}
+}
+
+func TestInjectPassesContextAndArgs(t *testing.T) {
+	t.Cleanup(Reset)
+	type key struct{}
+	ctx := context.WithValue(context.Background(), key{}, "v")
+	var gotCtx context.Context
+	var gotArgs []any
+	Set(ServeExecute, func(c context.Context, args ...any) error {
+		gotCtx, gotArgs = c, args
+		return nil
+	})
+	if err := Inject(ctx, ServeExecute, "model", 4); err != nil {
+		t.Fatal(err)
+	}
+	if gotCtx.Value(key{}) != "v" {
+		t.Fatal("hook did not receive the caller's context")
+	}
+	if len(gotArgs) != 2 || gotArgs[0] != "model" || gotArgs[1] != 4 {
+		t.Fatalf("hook args = %v", gotArgs)
+	}
+}
+
+// TestInjectConcurrentWithSet pins the locking discipline: firing a point
+// while another goroutine arms and disarms it must be race-free (this test
+// earns its keep under -race).
+func TestInjectConcurrentWithSet(t *testing.T) {
+	t.Cleanup(Reset)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if i%2 == 0 {
+				Set(ServeExecute, func(ctx context.Context, args ...any) error { return nil })
+			} else {
+				Clear(ServeExecute)
+			}
+		}
+	}()
+	for i := 0; i < 10000; i++ {
+		Inject(context.Background(), ServeExecute)
+	}
+	close(stop)
+	wg.Wait()
+}

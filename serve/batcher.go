@@ -8,6 +8,8 @@ import (
 	"time"
 
 	"dnnfusion"
+
+	"dnnfusion/internal/faultinject"
 )
 
 // The dynamic batcher: one dispatcher goroutine per host pulls queued
@@ -50,7 +52,12 @@ func (h *Host) dispatch() {
 		select {
 		case c := <-h.calls:
 			batch = h.fill(append(batch[:0], c), timer)
-			h.execute(runner, br, batch, reqs)
+			// The queue depth left over after forming this batch is the
+			// overload signal the adaptive delay controller feeds on.
+			h.adapt(len(h.calls))
+			if live := h.dropExpired(batch); len(live) > 0 {
+				h.execute(runner, br, live, reqs)
+			}
 			for i := range batch {
 				batch[i] = nil
 			}
@@ -59,6 +66,61 @@ func (h *Host) dispatch() {
 			return
 		}
 	}
+}
+
+// dropExpired fails calls whose context is already done before any kernel
+// runs for them: the client has given up (deadline passed or canceled), so
+// executing them would burn capacity live traffic needs. This is the
+// deadline-propagation guarantee — an expired call never reaches execute —
+// and the expired counter is its observable. Returns the live calls,
+// compacted in place.
+func (h *Host) dropExpired(batch []*call) []*call {
+	live := batch[:0]
+	for _, c := range batch {
+		err := c.ctx.Err()
+		if err == nil {
+			live = append(live, c)
+			continue
+		}
+		h.st.expired.Add(1)
+		c.err = err
+		c.done <- struct{}{}
+	}
+	return live
+}
+
+// adapt is the adaptive batch-sizing controller (enabled by a positive
+// MaxDelayCeiling). It maintains an EWMA of the queue depth observed at
+// each batch formation and publishes a coalescing delay proportional to
+// how full a batch's worth of queue is: a persistently deep queue drives
+// the wait toward the ceiling (amortize dispatch over bigger batches), an
+// idle one decays it toward zero (don't tax p50 waiting for peers that
+// aren't coming). Runs only on the dispatcher goroutine; readers (fill,
+// Info, /healthz) see the atomically published state.
+func (h *Host) adapt(depth int) {
+	ceiling := h.cfg.MaxDelayCeiling
+	if ceiling <= 0 {
+		return
+	}
+	const alpha = 0.25 // EWMA smoothing: ~8 dispatches to forget a regime
+	ewma := float64(h.st.depthEwmaMilli.Load()) / 1000
+	ewma += alpha * (float64(depth) - ewma)
+	h.st.depthEwmaMilli.Store(int64(ewma * 1000))
+	frac := ewma / float64(h.cfg.MaxBatch)
+	if frac > 1 {
+		frac = 1
+	}
+	delay := time.Duration(frac * float64(ceiling))
+	if delay < time.Microsecond {
+		delay = 0 // fully idle: stop waiting entirely
+	}
+	h.st.curDelayNs.Store(int64(delay))
+}
+
+// curDelay is the coalescing wait currently in force: the configured
+// MaxDelay when adaptation is off, the controller's output when on.
+func (h *Host) curDelay() time.Duration {
+	return time.Duration(h.st.curDelayNs.Load())
 }
 
 // fill grows a just-started batch: it drains whatever is already queued
@@ -81,10 +143,11 @@ func (h *Host) fill(batch []*call, timer *time.Timer) []*call {
 		}
 		break
 	}
-	if h.batch == nil || len(batch) >= max || h.cfg.MaxDelay <= 0 {
+	delay := h.curDelay()
+	if h.batch == nil || len(batch) >= max || delay <= 0 {
 		return batch
 	}
-	timer.Reset(h.cfg.MaxDelay)
+	timer.Reset(delay)
 collect:
 	for len(batch) < max {
 		select {
@@ -108,15 +171,34 @@ collect:
 // execute runs one formed batch and delivers per-call results. Requests
 // were validated before enqueueing, so shape-level errors cannot occur
 // here; an execution error fails every call in the batch. Execution runs
-// under the host's shutdown context, so closing the host interrupts an
-// in-flight batch between kernels; calls failed that way report ErrClosed,
-// the same error queued-but-unexecuted calls get from the drain.
+// under the host's shutdown context bounded by the earliest live request
+// deadline in the batch — closing the host interrupts an in-flight batch
+// between kernels (those calls report ErrClosed, like drained ones), and a
+// batch that outlives its tightest deadline stops instead of finishing
+// work that client will never read.
 func (h *Host) execute(runner *dnnfusion.Runner, br *dnnfusion.BatchRunner, batch []*call, reqs []map[string]*dnnfusion.Tensor) {
 	ctx := h.ctx
+	if dl, ok := earliestDeadline(batch); ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(h.ctx, dl)
+		defer cancel()
+	}
 	n := len(batch)
 	h.st.batches.Add(1)
 	h.st.batched.Add(uint64(n))
 	h.st.observeBatch(n)
+	if faultinject.Active() {
+		// Fault-injection point: force slow or failing executions, or hold
+		// the batch in flight against ctx. The batch slice rides along for
+		// in-package tests that account per-call executions.
+		if err := faultinject.Inject(ctx, faultinject.ServeExecute, h.name, n, batch); err != nil {
+			for _, c := range batch {
+				c.err = h.callErr(c, err)
+			}
+			deliverDone(batch)
+			return
+		}
+	}
 	if br != nil && n > 1 {
 		for i, c := range batch {
 			reqs[i] = c.inputs
@@ -130,24 +212,50 @@ func (h *Host) execute(runner *dnnfusion.Runner, br *dnnfusion.BatchRunner, batc
 				c.res = h.deliver(results[i])
 			}
 		} else {
-			err = h.closeErr(err)
 			for _, c := range batch {
-				c.err = err
+				c.err = h.callErr(c, err)
 			}
 		}
 	} else {
 		for _, c := range batch {
 			out, err := runner.Run(ctx, c.inputs)
 			if err != nil {
-				c.err = h.closeErr(err)
+				c.err = h.callErr(c, err)
 				continue
 			}
 			c.res = h.deliver(out)
 		}
 	}
+	deliverDone(batch)
+}
+
+func deliverDone(batch []*call) {
 	for _, c := range batch {
 		c.done <- struct{}{}
 	}
+}
+
+// earliestDeadline finds the soonest deadline among a batch's calls (they
+// are all live — dropExpired ran first). ok is false when no call carries
+// a deadline, so deadline-free traffic pays no context allocation.
+func earliestDeadline(batch []*call) (dl time.Time, ok bool) {
+	for _, c := range batch {
+		if d, has := c.ctx.Deadline(); has && (!ok || d.Before(dl)) {
+			dl, ok = d, true
+		}
+	}
+	return dl, ok
+}
+
+// callErr maps a batch-level execution error onto one call. A call whose
+// own context is done reports its own ctx.Err() (its deadline or cancel is
+// the real cause, even if the batch error spells it differently); the rest
+// see the batch error, with shutdown-cancel spelled as ErrClosed.
+func (h *Host) callErr(c *call, err error) error {
+	if cerr := c.ctx.Err(); cerr != nil {
+		return cerr
+	}
+	return h.closeErr(err)
 }
 
 // closeErr maps execution errors caused by the shutdown-context cancel to
@@ -196,12 +304,26 @@ func (h *Host) drainClosed() {
 type stats struct {
 	requests atomic.Uint64
 	errors   atomic.Uint64
+	// shed counts requests rejected by this host's admission control (a
+	// full queue); expired counts requests whose context was done before
+	// execution (dead on arrival, or dropped from the queue by the
+	// dispatcher). Both are subsets of errors.
+	shed    atomic.Uint64
+	expired atomic.Uint64
+
 	batches  atomic.Uint64
 	batched  atomic.Uint64
 	maxBatch atomic.Uint64
 
 	latencyNs atomic.Int64
 	latencyN  atomic.Uint64
+
+	// Adaptive-batching control state, written by the dispatcher (adapt),
+	// read lock-free by fill and the observability surfaces: the
+	// coalescing delay currently in force and the queue-depth EWMA (fixed
+	// point, thousandths) driving it.
+	curDelayNs     atomic.Int64
+	depthEwmaMilli atomic.Int64
 }
 
 func (s *stats) observeBatch(n int) {
@@ -216,9 +338,14 @@ func (s *stats) observeBatch(n int) {
 // Stats is a point-in-time snapshot of a host's serving counters.
 type Stats struct {
 	// Requests counts completed Run calls (including failed ones);
-	// Errors the failed subset.
+	// Errors the failed subset. Shed counts requests rejected by a full
+	// queue (the 429 path); Expired counts requests whose deadline passed
+	// or context was canceled before any execution happened (dead on
+	// arrival or dropped from the queue — provably never executed).
 	Requests uint64 `json:"requests"`
 	Errors   uint64 `json:"errors"`
+	Shed     uint64 `json:"shed"`
+	Expired  uint64 `json:"expired"`
 	// Batches counts executed batches; MeanBatch is the mean number of
 	// requests coalesced per batch and MaxBatch the largest batch
 	// observed.
@@ -234,6 +361,8 @@ func (s *stats) snapshot() Stats {
 	out := Stats{
 		Requests: s.requests.Load(),
 		Errors:   s.errors.Load(),
+		Shed:     s.shed.Load(),
+		Expired:  s.expired.Load(),
 		Batches:  s.batches.Load(),
 		MaxBatch: int(s.maxBatch.Load()),
 	}
@@ -269,7 +398,29 @@ type Info struct {
 	MaxDelayUs          int64  `json:"max_delay_us"`
 	Batchable           bool   `json:"batchable"`
 	BatchDisabledReason string `json:"batch_disabled_reason,omitempty"`
-	Stats               Stats  `json:"stats"`
+	// Overload-control state: the live queue depth and its capacity
+	// (admission sheds beyond it), the adaptive ceiling (0 = adaptation
+	// off), the coalescing delay currently in force, and the queue-depth
+	// EWMA driving it.
+	QueueDepth        int     `json:"queue_depth"`
+	QueueCapacity     int     `json:"queue_capacity"`
+	MaxDelayCeilingUs int64   `json:"max_delay_ceiling_us,omitempty"`
+	CurrentMaxDelayUs int64   `json:"current_max_delay_us"`
+	QueueDepthEwma    float64 `json:"queue_depth_ewma"`
+	Stats             Stats   `json:"stats"`
+}
+
+// controlState is the point-in-time overload-control view of a loaded
+// host, shared by Info and /healthz (which must not force lazy builds).
+func (h *Host) controlState(info *Info) {
+	if !h.started.Load() {
+		return
+	}
+	info.QueueDepth = len(h.calls)
+	info.QueueCapacity = h.cfg.Queue
+	info.MaxDelayCeilingUs = h.cfg.MaxDelayCeiling.Microseconds()
+	info.CurrentMaxDelayUs = h.curDelay().Microseconds()
+	info.QueueDepthEwma = float64(h.st.depthEwmaMilli.Load()) / 1000
 }
 
 // Info returns the host's serving metadata, building the model first if it
@@ -294,6 +445,7 @@ func (h *Host) Info() (Info, error) {
 	} else {
 		info.BatchDisabledReason = h.batchOff
 	}
+	h.controlState(&info)
 	return info, nil
 }
 

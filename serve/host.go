@@ -8,6 +8,8 @@ import (
 	"time"
 
 	"dnnfusion"
+
+	"dnnfusion/internal/faultinject"
 )
 
 // Host serves one registered model: it owns the (possibly lazily built)
@@ -49,6 +51,10 @@ type Host struct {
 	closing atomic.Bool
 	pending atomic.Int64
 
+	// limiter is the registry-wide in-flight ceiling this host admits
+	// through (nil for bare hosts, always set by Registry.add).
+	limiter *inflight
+
 	resPool sync.Pool
 	st      stats
 
@@ -57,9 +63,13 @@ type Host struct {
 	started atomic.Bool
 }
 
-// call is one enqueued request. The done channel carries exactly one token
-// per dispatch; calls recycle through a pool on the success path.
+// call is one enqueued request. ctx is the caller's context, carried into
+// the queue so the dispatcher can drop the call once its deadline has
+// passed instead of executing work nobody will read. The done channel
+// carries exactly one token per dispatch; calls recycle through a pool on
+// the success path.
 type call struct {
+	ctx    context.Context
 	inputs map[string]*dnnfusion.Tensor
 	res    *Result
 	err    error
@@ -117,6 +127,12 @@ func (h *Host) init() error {
 			}
 		}()
 		m, err := h.build()
+		if err == nil {
+			// Fault-injection point: tests force deterministic build
+			// failures here to exercise the sticky-failure and
+			// build-counter paths without crafting a broken model.
+			err = faultinject.Inject(context.Background(), faultinject.ServeBuild, h.name)
+		}
 		if err != nil {
 			h.initErr = fmt.Errorf("serve: building model %q: %w", h.name, err)
 			return
@@ -145,6 +161,7 @@ func (h *Host) init() error {
 		h.initBatching()
 		h.resPool.New = func() any { return h.newResult() }
 		h.calls = make(chan *call, h.cfg.Queue)
+		h.st.curDelayNs.Store(int64(h.cfg.MaxDelay))
 		go h.dispatch()
 		h.started.Store(true)
 	})
@@ -270,14 +287,23 @@ func (h *Host) inSpec(name string) *TensorSpec {
 
 // Run executes one request through the host's dynamic batcher: the call
 // coalesces with whatever else is in flight (up to MaxBatch peers, waiting
-// at most MaxDelay) and returns its own outputs as a pooled Result —
-// Release it when done. Input data is copied before Run returns, so the
-// caller may reuse fed tensors immediately.
+// at most the current coalescing delay) and returns its own outputs as a
+// pooled Result — Release it when done. Input data is copied before Run
+// returns, so the caller may reuse fed tensors immediately.
+//
+// Admission is bounded: a full queue sheds immediately (the error wraps
+// dnnfusion.ErrOverloaded — nothing was queued, retry after backoff), and
+// the registry-wide in-flight ceiling sheds with ErrSaturated. The
+// caller's deadline travels with the request: a context already done on
+// arrival is rejected without queueing, a call whose deadline passes while
+// queued is dropped before batch formation (the caller gets ctx.Err(),
+// never a wasted inference), and execution itself runs under the earliest
+// live deadline in the batch.
 //
 // Errors wrap dnnfusion.ErrUnknownInput, ErrMissingInput, ErrShapeMismatch
-// (as *ShapeError) for malformed requests, ErrClosed after eviction, and
-// ctx.Err() when the context expires first (the request may still execute;
-// its result is discarded).
+// (as *ShapeError) for malformed requests, dnnfusion.ErrOverloaded when
+// shed, ErrClosed after eviction, and ctx.Err() when the context expires
+// first.
 func (h *Host) Run(ctx context.Context, inputs map[string]*dnnfusion.Tensor) (*Result, error) {
 	if err := h.init(); err != nil {
 		h.st.requests.Add(1)
@@ -289,6 +315,26 @@ func (h *Host) Run(ctx context.Context, inputs map[string]*dnnfusion.Tensor) (*R
 		h.st.requests.Add(1)
 		h.st.errors.Add(1)
 		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		// Dead on arrival: the client's deadline has already passed (or it
+		// canceled), so admitting the request could only waste capacity
+		// the live traffic needs.
+		h.st.requests.Add(1)
+		h.st.errors.Add(1)
+		h.st.expired.Add(1)
+		return nil, err
+	}
+	if h.limiter != nil {
+		if !h.limiter.acquire() {
+			// Counted registry-wide (Registry.Saturated), not in the
+			// per-host shed counter: the host's own queue was not the
+			// bottleneck.
+			h.st.requests.Add(1)
+			h.st.errors.Add(1)
+			return nil, ErrSaturated
+		}
+		defer h.limiter.release()
 	}
 	// Register as pending before enqueueing: close() flips closing before
 	// signaling the dispatcher, and the dispatcher's drain runs until
@@ -302,16 +348,25 @@ func (h *Host) Run(ctx context.Context, inputs map[string]*dnnfusion.Tensor) (*R
 		return nil, ErrClosed
 	}
 	c := callPool.Get().(*call)
-	c.inputs, c.res, c.err = inputs, nil, nil
+	c.ctx, c.inputs, c.res, c.err = ctx, inputs, nil, nil
 	select {
 	case h.calls <- c:
-	case <-ctx.Done():
+	default:
+		// Admission control: the queue is at capacity. Fail fast instead
+		// of blocking — under overload a blocked caller is latency the
+		// client has already given up on, and an unbounded queue is how a
+		// server collapses instead of shedding.
 		h.pending.Add(-1)
-		c.inputs = nil
+		c.ctx, c.inputs = nil, nil
 		callPool.Put(c)
 		h.st.requests.Add(1)
 		h.st.errors.Add(1)
-		return nil, ctx.Err()
+		if h.closing.Load() {
+			return nil, ErrClosed
+		}
+		h.st.shed.Add(1)
+		return nil, fmt.Errorf("serve: model %q: queue full (capacity %d): %w",
+			h.name, h.cfg.Queue, dnnfusion.ErrOverloaded)
 	}
 	select {
 	case <-c.done:
@@ -325,7 +380,7 @@ func (h *Host) Run(ctx context.Context, inputs map[string]*dnnfusion.Tensor) (*R
 	}
 	h.pending.Add(-1)
 	res, err := c.res, c.err
-	c.inputs, c.res, c.err = nil, nil, nil
+	c.ctx, c.inputs, c.res, c.err = nil, nil, nil, nil
 	callPool.Put(c)
 	h.st.requests.Add(1)
 	h.st.latencyNs.Add(time.Since(start).Nanoseconds())

@@ -30,6 +30,13 @@ import (
 // ErrClosed reports a request against an evicted (closed) host.
 var ErrClosed = errors.New("serve: model host closed")
 
+// ErrSaturated reports a request rejected by the registry-wide in-flight
+// ceiling (SetMaxInFlight): the whole server, not just one model's queue,
+// is at capacity. It wraps dnnfusion.ErrOverloaded, so callers that treat
+// all shedding alike can errors.Is against the one sentinel; HTTP layers
+// distinguish the two (queue-full → 429, ceiling → 503).
+var ErrSaturated = fmt.Errorf("serve: too many in-flight requests: %w", dnnfusion.ErrOverloaded)
+
 // Config tunes one model's serving behavior. The zero value serves with
 // dynamic batching at the default capacity and delay.
 type Config struct {
@@ -41,7 +48,19 @@ type Config struct {
 	// for peers before the batch executes anyway. 0 means DefaultMaxDelay;
 	// negative disables waiting (a batch is whatever is already queued).
 	MaxDelay time.Duration
-	// Queue is the pending-request buffer size; 0 means 4×MaxBatch.
+	// MaxDelayCeiling enables adaptive batching. When > 0, the coalescing
+	// wait becomes a control signal instead of a constant: the dispatcher
+	// tracks an EWMA of the queue depth it observes at each batch
+	// formation and scales the wait between 0 and this ceiling — growing
+	// it while the queue is deep (amortize dispatch over bigger batches)
+	// and cutting it toward zero when idle (minimize p50). MaxDelay seeds
+	// the initial wait. 0 keeps MaxDelay fixed (the pre-adaptive
+	// behavior); a ceiling below MaxDelay is raised to MaxDelay.
+	MaxDelayCeiling time.Duration
+	// Queue is the pending-request buffer size; 0 means 4×MaxBatch. A
+	// full queue sheds: Host.Run fails fast wrapping
+	// dnnfusion.ErrOverloaded instead of queueing unboundedly or
+	// blocking.
 	Queue int
 	// DisableBatching serves strictly per-request even when the model
 	// admits a batch axis.
@@ -75,8 +94,35 @@ func (c Config) withDefaults() Config {
 	if c.Queue <= 0 {
 		c.Queue = 4 * c.MaxBatch
 	}
+	if c.MaxDelayCeiling > 0 && c.MaxDelayCeiling < c.MaxDelay {
+		c.MaxDelayCeiling = c.MaxDelay
+	}
 	return c
 }
+
+// inflight is the registry-wide concurrent-request limiter shared by every
+// host: a ceiling on requests between admission and response, across all
+// models, so total queued+executing work is bounded before memory is.
+type inflight struct {
+	max      atomic.Int64
+	cur      atomic.Int64
+	rejected atomic.Uint64
+}
+
+// acquire claims one in-flight slot; false means the ceiling is reached
+// and the request must be shed. A ceiling of 0 or below admits everything
+// (depth is still tracked for observability).
+func (l *inflight) acquire() bool {
+	cur := l.cur.Add(1)
+	if m := l.max.Load(); m > 0 && cur > m {
+		l.cur.Add(-1)
+		l.rejected.Add(1)
+		return false
+	}
+	return true
+}
+
+func (l *inflight) release() { l.cur.Add(-1) }
 
 // Registry is the model repository: named, concurrency-safe, holding
 // compiled models and lazy builders. Resolve misses wrap
@@ -88,11 +134,31 @@ type Registry struct {
 	// errors), across all hosts ever registered. Surfaced on /healthz so a
 	// bad file in a -models directory is visible without hitting the model.
 	buildFails atomic.Uint64
+	// limiter is the registry-wide in-flight ceiling every host admits
+	// through (SetMaxInFlight; 0 = unlimited).
+	limiter inflight
 }
 
 // BuildFailures reports how many registered builders have failed to
 // produce a model (each failed host counts once; failures are sticky).
 func (r *Registry) BuildFailures() uint64 { return r.buildFails.Load() }
+
+// SetMaxInFlight caps concurrent requests (queued + executing) across
+// every host in the registry; beyond the cap Host.Run fails fast with
+// ErrSaturated (503 through the HTTP layer). n <= 0 removes the cap. The
+// cap can be changed while serving.
+func (r *Registry) SetMaxInFlight(n int) { r.limiter.max.Store(int64(n)) }
+
+// MaxInFlight returns the registry-wide concurrent-request ceiling (0 =
+// unlimited).
+func (r *Registry) MaxInFlight() int { return int(r.limiter.max.Load()) }
+
+// InFlight reports the requests currently between admission and response,
+// across all hosts.
+func (r *Registry) InFlight() int { return int(r.limiter.cur.Load()) }
+
+// Saturated counts requests rejected by the in-flight ceiling.
+func (r *Registry) Saturated() uint64 { return r.limiter.rejected.Load() }
 
 // NewRegistry creates an empty repository.
 func NewRegistry() *Registry {
@@ -126,6 +192,7 @@ func (r *Registry) add(name string, h *Host) (*Host, error) {
 	h.closed = make(chan struct{})
 	h.ctx, h.cancel = context.WithCancel(context.Background())
 	h.onBuildFail = func() { r.buildFails.Add(1) }
+	h.limiter = &r.limiter
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, dup := r.hosts[name]; dup {

@@ -155,7 +155,8 @@ func TestRegistryEvictClosesHost(t *testing.T) {
 
 // TestRegistryEvictRaceNeverStrands races eviction against a burst of
 // concurrent Run calls: every request must resolve (result or error —
-// typically ErrClosed), never hang in a queue no dispatcher reads. A
+// ErrClosed from the drain, or an admission-control shed when the burst
+// outruns the tiny queue), never hang in a queue no dispatcher reads. A
 // regression here deadlocks the test.
 func TestRegistryEvictRaceNeverStrands(t *testing.T) {
 	for round := 0; round < 5; round++ {
@@ -174,7 +175,7 @@ func TestRegistryEvictRaceNeverStrands(t *testing.T) {
 				res, err := h.Run(context.Background(), req)
 				if err == nil {
 					res.Release()
-				} else if !errors.Is(err, ErrClosed) {
+				} else if !errors.Is(err, ErrClosed) && !errors.Is(err, dnnfusion.ErrOverloaded) {
 					t.Errorf("unexpected error: %v", err)
 				}
 			}()

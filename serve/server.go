@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+	"sync/atomic"
 
 	"dnnfusion"
 )
@@ -30,14 +31,41 @@ import (
 //
 // Errors map the package taxonomy to status codes: unknown model names are
 // 404 (dnnfusion.ErrUnknownModel), malformed requests — unknown/missing
-// inputs, shape mismatches, undecodable JSON — are 400, eviction races are
-// 503, and everything else is 500. Every error body is {"error": "..."}.
+// inputs, shape mismatches, undecodable JSON — are 400, oversized bodies
+// 413, shed requests 429 (queue full) or 503 (in-flight ceiling, drain,
+// eviction) with a Retry-After hint, and everything else is 500. Every
+// error body is {"error": "..."}.
 type Server struct {
 	reg *Registry
+	// MaxBodyBytes caps a :predict request body (http.MaxBytesReader; an
+	// oversized body gets 413 and the connection closes instead of a slow
+	// client holding it while streaming an unbounded payload). 0 means
+	// DefaultMaxBodyBytes; negative disables the cap. Set before serving.
+	MaxBodyBytes int64
+	// draining flips when Drain is called: :predict stops admitting (503
+	// + Retry-After) while /healthz keeps answering and reports the
+	// drain, so load balancers see the instance leaving before its
+	// in-flight work finishes.
+	draining atomic.Bool
 }
+
+// DefaultMaxBodyBytes caps :predict bodies unless Server.MaxBodyBytes
+// overrides it. 8 MiB holds a batch-1 request of ~2M float32 elements in
+// JSON; real deployments tune it to their largest declared input.
+const DefaultMaxBodyBytes int64 = 8 << 20
 
 // NewServer wraps a repository in the HTTP front-end.
 func NewServer(reg *Registry) *Server { return &Server{reg: reg} }
+
+// Drain puts the server into draining mode: every subsequent :predict is
+// refused with 503 + Retry-After while /healthz keeps answering (status
+// "draining"). Pair with http.Server.Shutdown: Drain first so new work is
+// refused deterministically even on kept-alive connections, then Shutdown
+// waits for in-flight requests.
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// Draining reports whether Drain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Registry returns the repository the server fronts.
 func (s *Server) Registry() *Registry { return s.reg }
@@ -63,15 +91,59 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// healthHost is one loaded host's overload-control state on /healthz: the
+// control signals an operator watches under load, without forcing any lazy
+// build (unloaded hosts are omitted).
+type healthHost struct {
+	QueueDepth        int     `json:"queue_depth"`
+	QueueCapacity     int     `json:"queue_capacity"`
+	Shed              uint64  `json:"shed"`
+	Expired           uint64  `json:"expired"`
+	CurrentMaxDelayUs int64   `json:"current_max_delay_us"`
+	QueueDepthEwma    float64 `json:"queue_depth_ewma"`
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, errors.New("healthz is GET-only"))
 		return
 	}
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	names := s.reg.Names()
+	hosts := map[string]healthHost{}
+	var shed, expired uint64
+	for _, name := range names {
+		h, err := s.reg.Resolve(name)
+		if err != nil || !h.Loaded() {
+			continue
+		}
+		var info Info
+		h.controlState(&info)
+		st := h.st.snapshot()
+		shed += st.Shed
+		expired += st.Expired
+		hosts[name] = healthHost{
+			QueueDepth:        info.QueueDepth,
+			QueueCapacity:     info.QueueCapacity,
+			Shed:              st.Shed,
+			Expired:           st.Expired,
+			CurrentMaxDelayUs: info.CurrentMaxDelayUs,
+			QueueDepthEwma:    info.QueueDepthEwma,
+		}
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":         "ok",
-		"models":         len(s.reg.Names()),
+		"status":         status,
+		"models":         len(names),
 		"build_failures": s.reg.BuildFailures(),
+		"in_flight":      s.reg.InFlight(),
+		"max_in_flight":  s.reg.MaxInFlight(),
+		"saturated":      s.reg.Saturated(),
+		"shed":           shed,
+		"expired":        expired,
+		"hosts":          hosts,
 	})
 }
 
@@ -142,6 +214,10 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request, name stri
 		writeError(w, http.StatusMethodNotAllowed, errors.New("predict is POST-only"))
 		return
 	}
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, errors.New("server is draining"))
+		return
+	}
 	h, err := s.reg.Resolve(name)
 	if err != nil {
 		writeError(w, statusFor(err), err)
@@ -151,10 +227,19 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request, name stri
 		writeBuildError(w, statusFor(err), name, err)
 		return
 	}
+	if limit := s.bodyLimit(); limit > 0 {
+		r.Body = http.MaxBytesReader(w, r.Body, limit)
+	}
 	var req predictRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
+			return
+		}
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request body: %w", err))
 		return
 	}
@@ -204,6 +289,14 @@ func (h *Host) decodeTensor(name string, wt wireTensor) (*dnnfusion.Tensor, erro
 	return t, nil
 }
 
+// bodyLimit resolves the effective :predict body cap.
+func (s *Server) bodyLimit() int64 {
+	if s.MaxBodyBytes == 0 {
+		return DefaultMaxBodyBytes
+	}
+	return s.MaxBodyBytes
+}
+
 // statusFor maps the serving error taxonomy onto HTTP status codes.
 func statusFor(err error) int {
 	switch {
@@ -217,8 +310,15 @@ func statusFor(err error) int {
 		// The model file on disk cannot be loaded; the request itself is
 		// fine, so neither 400 nor 500 fits.
 		return http.StatusUnprocessableEntity
-	case errors.Is(err, ErrClosed):
+	case errors.Is(err, ErrSaturated), errors.Is(err, ErrClosed):
+		// Whole-server conditions: the in-flight ceiling or an evicted/
+		// draining host. Checked before the general overload case —
+		// ErrSaturated wraps ErrOverloaded but is not a retry-this-
+		// instance signal.
 		return http.StatusServiceUnavailable
+	case errors.Is(err, dnnfusion.ErrOverloaded):
+		// One model's queue is full: back off and retry.
+		return http.StatusTooManyRequests
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		return 499 // client closed request (nginx convention)
 	default:
@@ -233,6 +333,12 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		// Shed responses carry a retry hint: the rejection was cheap and
+		// the condition is expected to clear (queue drains, drain
+		// completes, a slot frees).
+		w.Header().Set("Retry-After", "1")
+	}
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 

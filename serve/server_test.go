@@ -201,6 +201,205 @@ func TestServerErrorTaxonomy(t *testing.T) {
 	postJSON(t, ts.URL+"/v1/models/micro-mlp:predict", `{"inputs":{"x":{}}}`, http.StatusNotFound)
 }
 
+// postRaw posts and returns the raw response (status/header checks); the
+// body is fully read and closed, its JSON (if any) decoded into out.
+func postRaw(t *testing.T, url, body string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	json.NewDecoder(resp.Body).Decode(&out)
+	return resp, out
+}
+
+func TestServerBodyLimit413(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Register("micro-mlp", compileMicro(t, models.MicroMLP), Config{MaxBatch: 1}); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(r)
+	srv.MaxBodyBytes = 256
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() { ts.Close(); r.Close() })
+
+	// A minimal request under the cap still serves.
+	postJSON(t, ts.URL+"/v1/models/micro-mlp:predict", `{"inputs":{"x":{}}}`, http.StatusOK)
+
+	big := `{"inputs":{"x":{"data":[` + strings.Repeat("0,", 400) + `0]}}}`
+	resp, body := postRaw(t, ts.URL+"/v1/models/micro-mlp:predict", big)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body = %d (%v), want 413", resp.StatusCode, body)
+	}
+	if !strings.Contains(body["error"].(string), "256") {
+		t.Fatalf("413 body does not name the limit: %v", body)
+	}
+}
+
+// TestServerOverload429RetryAfter drives the HTTP shed path: dispatcher
+// pinned, queue full, next :predict answers 429 with a Retry-After hint.
+func TestServerOverload429RetryAfter(t *testing.T) {
+	r := NewRegistry()
+	h, err := r.Register("micro-mlp", compileMicro(t, models.MicroMLP), Config{MaxBatch: 1, Queue: 1, MaxDelay: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(r))
+	t.Cleanup(func() { ts.Close(); r.Close() })
+	url := ts.URL + "/v1/models/micro-mlp:predict"
+	postJSON(t, url, `{"inputs":{"x":{}}}`, http.StatusOK) // warm before arming
+
+	entered, release := blockExecute(t)
+	defer func() {
+		select {
+		case <-release:
+		default:
+			close(release)
+		}
+	}()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ { // one executing, one queued
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			postJSON(t, url, `{"inputs":{"x":{}}}`, http.StatusOK)
+		}()
+		if i == 0 {
+			<-entered
+		} else {
+			waitQueueDepth(t, h, 1)
+		}
+	}
+	resp, body := postRaw(t, url, `{"inputs":{"x":{}}}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("flooded predict = %d (%v), want 429", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") != "1" {
+		t.Fatalf("429 without Retry-After hint: %v", resp.Header)
+	}
+	if !strings.Contains(body["error"].(string), "queue full") {
+		t.Fatalf("429 body = %v", body)
+	}
+	close(release)
+	wg.Wait()
+
+	// The shed shows up on /healthz, per host and in the aggregate.
+	health := getJSON(t, ts.URL+"/healthz", http.StatusOK)
+	if health["shed"].(float64) != 1 {
+		t.Fatalf("healthz shed = %v", health["shed"])
+	}
+	hh := health["hosts"].(map[string]any)["micro-mlp"].(map[string]any)
+	if hh["shed"].(float64) != 1 || hh["queue_capacity"].(float64) != 1 {
+		t.Fatalf("healthz host state = %v", hh)
+	}
+}
+
+// TestServerSaturated503 drives the registry-wide ceiling over HTTP: one
+// request in flight at max-inflight 1 turns the next into a 503.
+func TestServerSaturated503(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Register("micro-mlp", compileMicro(t, models.MicroMLP), Config{MaxBatch: 1, Queue: 4, MaxDelay: -1}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(r))
+	t.Cleanup(func() { ts.Close(); r.Close() })
+	url := ts.URL + "/v1/models/micro-mlp:predict"
+	postJSON(t, url, `{"inputs":{"x":{}}}`, http.StatusOK)
+
+	r.SetMaxInFlight(1)
+	entered, release := blockExecute(t)
+	defer func() {
+		select {
+		case <-release:
+		default:
+			close(release)
+		}
+	}()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		postJSON(t, url, `{"inputs":{"x":{}}}`, http.StatusOK)
+	}()
+	<-entered
+	resp, body := postRaw(t, url, `{"inputs":{"x":{}}}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("saturated predict = %d (%v), want 503", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") != "1" {
+		t.Fatalf("503 without Retry-After hint: %v", resp.Header)
+	}
+	close(release)
+	wg.Wait()
+	health := getJSON(t, ts.URL+"/healthz", http.StatusOK)
+	if health["saturated"].(float64) != 1 || health["max_in_flight"].(float64) != 1 {
+		t.Fatalf("healthz saturation state = %v", health)
+	}
+}
+
+// TestServerDrain: after Drain, :predict refuses with 503 while /healthz
+// keeps answering and reports "draining".
+func TestServerDrain(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Register("micro-mlp", compileMicro(t, models.MicroMLP), Config{MaxBatch: 1}); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(r)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() { ts.Close(); r.Close() })
+	url := ts.URL + "/v1/models/micro-mlp:predict"
+	postJSON(t, url, `{"inputs":{"x":{}}}`, http.StatusOK)
+
+	srv.Drain()
+	if !srv.Draining() {
+		t.Fatal("Draining() false after Drain")
+	}
+	resp, body := postRaw(t, url, `{"inputs":{"x":{}}}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining predict = %d (%v), want 503", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") != "1" {
+		t.Fatalf("drain 503 without Retry-After: %v", resp.Header)
+	}
+	health := getJSON(t, ts.URL+"/healthz", http.StatusOK)
+	if health["status"] != "draining" {
+		t.Fatalf("healthz during drain = %v", health["status"])
+	}
+	// Listing and metadata stay up for operators during the drain.
+	getJSON(t, ts.URL+"/v1/models", http.StatusOK)
+	getJSON(t, ts.URL+"/v1/models/micro-mlp", http.StatusOK)
+}
+
+// TestServerHealthzControlState: the overload-control fields are present
+// and sane on a healthy, idle server.
+func TestServerHealthzControlState(t *testing.T) {
+	ts, _ := newTestServer(t)
+	postJSON(t, ts.URL+"/v1/models/micro-mlp:predict", `{"inputs":{"x":{}}}`, http.StatusOK)
+	health := getJSON(t, ts.URL+"/healthz", http.StatusOK)
+	for _, key := range []string{"in_flight", "max_in_flight", "saturated", "shed", "expired", "hosts"} {
+		if _, ok := health[key]; !ok {
+			t.Fatalf("healthz missing %q: %v", key, health)
+		}
+	}
+	hh := health["hosts"].(map[string]any)["micro-mlp"].(map[string]any)
+	if hh["queue_capacity"].(float64) <= 0 {
+		t.Fatalf("loaded host reports no queue capacity: %v", hh)
+	}
+	if hh["queue_depth"].(float64) != 0 || hh["shed"].(float64) != 0 {
+		t.Fatalf("idle host control state = %v", hh)
+	}
+	// current_max_delay_us reflects the configured fixed MaxDelay (100us).
+	if hh["current_max_delay_us"].(float64) != 100 {
+		t.Fatalf("current_max_delay_us = %v, want 100", hh["current_max_delay_us"])
+	}
+	// The never-loaded lazy model is absent: health must not force builds.
+	if _, ok := health["hosts"].(map[string]any)["micro-attention"]; ok {
+		t.Fatal("healthz forced the lazy model's state")
+	}
+}
+
 // TestServerParallelPredictRace hammers the HTTP surface from concurrent
 // clients (run under -race in CI's GOMAXPROCS=4 step).
 func TestServerParallelPredictRace(t *testing.T) {
