@@ -113,7 +113,10 @@ func kernelSchedules(model *dnnfusion.Model) []jsonKernelSchedule {
 // across PRs, and ns_per_op_t8 the same kernels split over an 8-lane
 // worker pool (WithThreads(8)). schedules records each heavy kernel's
 // tuner-selected tile schedule (schema v4); chains the model's detected
-// contraction chains and whether each fused (schema v6).
+// contraction chains and whether each fused (schema v6); profile each
+// kernel's measured share of execution time (schema v8), taken from
+// separate profiled runs after the timed windows so arming the telemetry
+// hooks cannot perturb the recorded ns_per_op.
 type jsonExec struct {
 	Name             string               `json:"name"`
 	Operators        int                  `json:"operators"`
@@ -125,6 +128,63 @@ type jsonExec struct {
 	AllocsPerOp      float64              `json:"allocs_per_op"`
 	Schedules        []jsonKernelSchedule `json:"schedules,omitempty"`
 	Chains           []jsonChain          `json:"chains,omitempty"`
+	Profile          []jsonKernelProfile  `json:"profile,omitempty"`
+}
+
+// jsonKernelProfile is one kernel's row in the per-model execution profile:
+// its tuner-selected schedule (compact form), mean profiled latency, and
+// share of the model's total profiled execution time.
+type jsonKernelProfile struct {
+	Kernel   string  `json:"kernel"`
+	Schedule string  `json:"schedule"`
+	Chain    bool    `json:"chain,omitempty"`
+	Runs     uint64  `json:"runs"`
+	MeanNs   float64 `json:"mean_ns"`
+	NsShare  float64 `json:"ns_share"`
+}
+
+// profileModel runs the model a fixed number of profiled iterations on a
+// fresh runner and returns the per-kernel profile. Profiling is armed only
+// here — after every timed window — so the telemetry hooks never tax the
+// recorded benchmark numbers.
+func profileModel(model *dnnfusion.Model) ([]jsonKernelProfile, error) {
+	inputs := map[string]*dnnfusion.Tensor{}
+	for _, name := range model.InputNames() {
+		shape, err := model.InputShape(name)
+		if err != nil {
+			return nil, err
+		}
+		inputs[name] = dnnfusion.Rand(shape...)
+	}
+	runner := model.NewRunner()
+	defer runner.Release()
+	ctx := context.Background()
+	dnnfusion.EnableProfiling()
+	defer dnnfusion.DisableProfiling()
+	for i := 0; i < 32; i++ {
+		if _, err := runner.Run(ctx, inputs); err != nil {
+			return nil, err
+		}
+	}
+	profile := model.Profile()
+	var total int64
+	for _, p := range profile {
+		total += p.TotalNs
+	}
+	out := make([]jsonKernelProfile, len(profile))
+	for i, p := range profile {
+		out[i] = jsonKernelProfile{
+			Kernel:   p.Kernel,
+			Schedule: p.Schedule,
+			Chain:    p.Chain,
+			Runs:     p.Runs,
+			MeanNs:   p.MeanNs,
+		}
+		if total > 0 {
+			out[i].NsShare = float64(p.TotalNs) / float64(total)
+		}
+	}
+	return out, nil
 }
 
 // timeRunner measures steady-state ns/op, bytes/op, and allocs/op of a
@@ -201,6 +261,12 @@ func measureExec(build func() *dnnfusion.Graph) (jsonExec, error) {
 	if err != nil {
 		return jsonExec{}, err
 	}
+	// Profile after (never during) the timed windows: arming telemetry adds
+	// clock reads per kernel, which must not leak into ns_per_op.
+	profile, err := profileModel(model)
+	if err != nil {
+		return jsonExec{}, err
+	}
 	return jsonExec{
 		Name:             g.Name,
 		Operators:        len(g.Nodes),
@@ -212,6 +278,7 @@ func measureExec(build func() *dnnfusion.Graph) (jsonExec, error) {
 		AllocsPerOp:      allocs1,
 		Schedules:        kernelSchedules(model),
 		Chains:           chainStatus(model),
+		Profile:          profile,
 	}, nil
 }
 
@@ -446,8 +513,10 @@ func measureSoak(build func() *dnnfusion.Graph) (jsonSoak, error) {
 	}, nil
 }
 
-// jsonSummary is the -json baseline file (schema dnnf-bench/v7: v6 plus
-// the overload soak scenario — serving behavior at 4x queue capacity).
+// jsonSummary is the -json baseline file (schema dnnf-bench/v8: v7 plus a
+// per-kernel execution profile for every exec model, measured with the
+// telemetry hooks armed after the timed windows; v7 added the overload
+// soak scenario — serving behavior at 4x queue capacity).
 // num_cpu and gomaxprocs make threaded numbers (ns_per_op_t8,
 // the micro-batch scenario) self-describing: a t8 column produced on a
 // 1-CPU container cannot show wall-clock parallel gains, and the file
@@ -660,7 +729,7 @@ func buildJSONBaseline(c *bench.Context) (*jsonSummary, error) {
 		}
 	}
 	summary := &jsonSummary{
-		Schema:     "dnnf-bench/v7",
+		Schema:     "dnnf-bench/v8",
 		NumCPU:     runtime.NumCPU(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 	}

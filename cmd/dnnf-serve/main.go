@@ -18,6 +18,8 @@
 //	GET  /v1/models
 //	GET  /v1/models/{name}
 //	POST /v1/models/{name}:predict     {"inputs": {"x": {"shape": [...], "data": [...]}}}
+//	GET  /metrics                      Prometheus text exposition
+//	GET  /debug/pprof/                 Go profiling (only with -pprof)
 //
 // Models from -models are imported lazily on first request; a file that
 // fails to import answers its own requests with 422 and counts on
@@ -59,6 +61,7 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 5*time.Second, "graceful-shutdown budget: stop admitting (503), drain in-flight requests this long, then force-close")
 	threads := flag.Int("threads", 0, "worker lanes per model (0 = GOMAXPROCS)")
 	prewarm := flag.Bool("prewarm", false, "compile and bind serving arenas at startup instead of on first request")
+	pprofOn := flag.Bool("pprof", false, "expose Go profiling under /debug/pprof/ (off by default; costs CPU and reveals internals)")
 	flag.Parse()
 
 	cfg := serve.Config{
@@ -143,6 +146,7 @@ func main() {
 	}
 
 	handler := serve.NewServer(reg)
+	handler.Pprof = *pprofOn
 	srv := &http.Server{
 		Addr:    *addr,
 		Handler: handler,

@@ -108,6 +108,36 @@ func TestSessionRunZeroAllocSteadyState(t *testing.T) {
 	}
 }
 
+// TestRunnerZeroAllocSteadyStateProfiled extends the gate to the armed
+// telemetry path: with per-kernel profiling enabled (as every serving
+// process runs), a warmed Runner.Run must still perform zero steady-state
+// heap allocations — the hooks pay clock reads and atomic updates only.
+func TestRunnerZeroAllocSteadyStateProfiled(t *testing.T) {
+	model, inputs := compileAllocCNN(t)
+	runner := model.NewRunner()
+	ctx := context.Background()
+	if _, err := runner.Run(ctx, inputs); err != nil {
+		t.Fatal(err)
+	}
+	dnnfusion.EnableProfiling()
+	defer dnnfusion.DisableProfiling()
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := runner.Run(ctx, inputs); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warmed Runner.Run with profiling armed allocates %.0f times per inference, want 0", allocs)
+	}
+	var runs uint64
+	for _, p := range model.Profile() {
+		runs += p.Runs
+	}
+	if runs == 0 {
+		t.Error("profiling armed but no kernel runs recorded")
+	}
+}
+
 // TestRunnerOutputsSurviveNextRun pins the public ownership contract:
 // copy-out means the outputs of one Run remain valid and unchanged after
 // the next Run on the same runner, even though no allocation happened.

@@ -72,9 +72,19 @@ func Defaults() Options {
 }
 
 // CompileStats reports what compilation did — the inputs to Figure 9b.
+// The *Ms fields are the per-stage wall-clock timings of the pipeline
+// (rewrite → fusion → codegen → schedule tuning → executor/memory
+// planning), so observability layers can attribute compile cost to a
+// stage.
 type CompileStats struct {
 	RewriteMs float64
 	FusionMs  float64
+	CodegenMs float64
+	// TuneMs covers schedule selection (GA search + profile-DB lookups);
+	// PlanMs covers executor construction: block scheduling and the arena
+	// memory plan.
+	TuneMs float64
+	PlanMs float64
 	// ProfileLookups is the number of yellow decisions; ProfileMisses is
 	// how many required a fresh measurement (empty or cold database).
 	ProfileLookups  int
@@ -149,15 +159,20 @@ func Compile(g *graph.Graph, opts Options) (*Compiled, error) {
 	if opts.Cache != nil {
 		cacheHitsBefore = opts.Cache.Hits
 	}
+	start = time.Now()
 	kernels, err := codegen.CompilePlan(e, c.Plan, opts.Cache)
 	if err != nil {
 		return nil, err
 	}
+	c.Stats.CodegenMs = float64(time.Since(start).Microseconds()) / 1000
 	c.Kernels = kernels
 	if opts.Cache != nil {
 		c.Stats.KernelCacheHits = opts.Cache.Hits - cacheHitsBefore
 	}
+	start = time.Now()
 	c.selectSchedules()
+	c.Stats.TuneMs = float64(time.Since(start).Microseconds()) / 1000
+	start = time.Now()
 	if opts.Pool != nil {
 		c.exec, err = engine.NewExecutorPool(e, c.Plan, kernels, opts.Pool)
 	} else {
@@ -166,12 +181,26 @@ func Compile(g *graph.Graph, opts Options) (*Compiled, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.Stats.PlanMs = float64(time.Since(start).Microseconds()) / 1000
 	return c, nil
 }
 
 // SharedPool returns the executor's worker pool (nil when single-threaded)
 // so a batch-capacity variant can borrow it via Options.Pool.
 func (c *Compiled) SharedPool() *engine.Pool { return c.exec.Pool() }
+
+// Profile snapshots the per-kernel execution profile accumulated across
+// every session while telemetry was armed (see internal/obs).
+func (c *Compiled) Profile() []engine.KernelProfile { return c.exec.Profile() }
+
+// KernelStats exposes the executor's per-kernel accounting (aligned with
+// ScheduledKernels) so serving layers can attach the latency histograms to
+// their metric registries.
+func (c *Compiled) KernelStats() []*engine.KernelStat { return c.exec.KernelStats() }
+
+// ScheduledKernels returns the compiled kernels in execution order — the
+// index space of KernelStats and session spans.
+func (c *Compiled) ScheduledKernels() []*codegen.Kernel { return c.exec.ScheduledKernels() }
 
 // NewSession creates an independent execution session over the compiled
 // kernels. The Compiled artifact is shared and immutable; each session owns

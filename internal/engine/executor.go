@@ -4,11 +4,15 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sync/atomic"
+	"time"
 
 	"dnnfusion/internal/codegen"
 	"dnnfusion/internal/ecg"
 	"dnnfusion/internal/fusion"
 	"dnnfusion/internal/graph"
+	"dnnfusion/internal/obs"
+	"dnnfusion/internal/ops"
 	"dnnfusion/internal/tensor"
 )
 
@@ -30,6 +34,51 @@ type Executor struct {
 	// pool splits kernel output ranges across worker lanes; nil when the
 	// executor runs single-threaded.
 	pool *Pool
+	// kstats accumulates per-kernel execution accounting across every
+	// session of the executor, indexed like kernels (schedule order).
+	// Counts advance only while telemetry is armed (obs.Armed).
+	kstats []*KernelStat
+}
+
+// KernelStat is one scheduled kernel's cumulative execution accounting,
+// shared by all sessions of an executor. The atomic counters and the
+// histogram advance only on profiled runs (obs.Armed), so the unarmed hot
+// path pays nothing for their existence.
+type KernelStat struct {
+	runs    atomic.Uint64
+	totalNs atomic.Int64
+	// Hist is the kernel's execution-latency histogram in seconds. It is
+	// owned by the executor and standalone (not bound to any registry), so
+	// a serving layer can attach it to its obs.Registry under per-model
+	// labels without double accounting.
+	Hist *obs.Histogram
+}
+
+// Runs returns how many profiled executions the kernel has recorded.
+func (k *KernelStat) Runs() uint64 { return k.runs.Load() }
+
+// TotalNs returns the summed wall time of the kernel's profiled executions.
+func (k *KernelStat) TotalNs() int64 { return k.totalNs.Load() }
+
+// Span is one kernel execution in a session's last profiled run: the
+// kernel's index into ScheduledKernels, its start offset from the run's
+// first kernel, and its duration.
+type Span struct {
+	Kernel  int
+	StartNs int64
+	DurNs   int64
+}
+
+// KernelProfile aggregates one scheduled kernel's execution accounting —
+// the per-kernel cost attribution surfaced as Model.Profile().
+type KernelProfile struct {
+	Kernel   string
+	Schedule ops.Schedule
+	Producer ops.Schedule // chain-fused kernels' producer schedule (zero otherwise)
+	Chain    bool
+	Lanes    int
+	Runs     uint64
+	TotalNs  int64
 }
 
 // NewExecutor schedules the plan's blocks, pairs them with their compiled
@@ -104,8 +153,10 @@ func newExecutor(e *ecg.ECG, plan *fusion.Plan, kernels []*codegen.Kernel) (*Exe
 		kernelOf[b] = kernels[i]
 	}
 	scheduled := make([]*codegen.Kernel, len(order))
+	kstats := make([]*KernelStat, len(order))
 	for i, b := range order {
 		scheduled[i] = kernelOf[b]
+		kstats[i] = &KernelStat{Hist: obs.NewHistogram(obs.KernelBuckets...)}
 	}
 	return &Executor{
 		e:       e,
@@ -113,6 +164,7 @@ func newExecutor(e *ecg.ECG, plan *fusion.Plan, kernels []*codegen.Kernel) (*Exe
 		order:   order,
 		kernels: scheduled,
 		memplan: PlanArena(plan, order, e.G),
+		kstats:  kstats,
 	}, nil
 }
 
@@ -132,6 +184,36 @@ func (x *Executor) Threads() int {
 
 // Graph returns the compiled graph the executor runs.
 func (x *Executor) Graph() *graph.Graph { return x.e.G }
+
+// ScheduledKernels returns the compiled kernels in execution (schedule)
+// order — the index space of KernelStats and Span.Kernel. The slice is
+// shared and must not be mutated.
+func (x *Executor) ScheduledKernels() []*codegen.Kernel { return x.kernels }
+
+// KernelStats returns the executor's per-kernel accounting, aligned with
+// ScheduledKernels, so serving layers can attach the histograms to their
+// metric registries.
+func (x *Executor) KernelStats() []*KernelStat { return x.kstats }
+
+// Profile snapshots the executor's per-kernel execution profile: one entry
+// per scheduled kernel with its name, tuner-selected schedule(s), lane
+// count, and cumulative profiled run accounting across every session.
+func (x *Executor) Profile() []KernelProfile {
+	lanes := x.Threads()
+	out := make([]KernelProfile, len(x.kernels))
+	for i, k := range x.kernels {
+		out[i] = KernelProfile{
+			Kernel:   k.Name,
+			Schedule: k.Schedule,
+			Producer: k.ProducerSchedule,
+			Chain:    k.Block != nil && k.Block.Chain != nil,
+			Lanes:    lanes,
+			Runs:     x.kstats[i].Runs(),
+			TotalNs:  x.kstats[i].TotalNs(),
+		}
+	}
+	return out
+}
 
 // MemPlan returns the executor's arena memory plan.
 func (x *Executor) MemPlan() *MemPlan { return x.memplan }
@@ -179,6 +261,12 @@ type Session struct {
 	// ring double-buffers the copied-out graph outputs.
 	ring   [2][]*tensor.Tensor
 	parity int
+	// spans is the per-session span ring: one entry per program,
+	// overwritten in place on every profiled run (obs.Armed), so recording
+	// a run's kernel timeline allocates nothing. profiled marks that at
+	// least one profiled run has filled it.
+	spans    []Span
+	profiled bool
 }
 
 // bind allocates the arena, creates the slot views, composes every kernel's
@@ -221,6 +309,8 @@ func (s *Session) bind() error {
 		}
 		s.programs[i] = bk
 	}
+	s.spans = make([]Span, len(s.programs))
+	s.profiled = false
 	for r := range s.ring {
 		s.ring[r] = make([]*tensor.Tensor, len(g.Outputs))
 		for i, out := range g.Outputs {
@@ -249,6 +339,19 @@ func (s *Session) Release() {
 	s.programs = nil
 	s.ring = [2][]*tensor.Tensor{}
 	s.parity = 0
+	s.spans = nil
+	s.profiled = false
+}
+
+// Spans returns the session's last profiled run as per-kernel spans (in
+// execution order, Kernel indexing ScheduledKernels). The slice is the
+// session's ring: it is overwritten by the next profiled Run and must not
+// be retained or mutated. Nil until a Run executes with telemetry armed.
+func (s *Session) Spans() []Span {
+	if !s.profiled {
+		return nil
+	}
+	return s.spans
 }
 
 // Run executes the plan for one set of feeds (keyed by the compiled graph's
@@ -360,13 +463,35 @@ func (s *Session) RunBatch(ctx context.Context, reqs []map[*graph.Value]*tensor.
 // by Run and RunBatch.
 func (s *Session) execute(ctx context.Context) ([]*tensor.Tensor, error) {
 	g := s.x.e.G
+	// Profiling gates on one atomic load per run; when armed, each kernel
+	// costs two clock reads and a few atomic updates — no allocation — so
+	// the zero-allocs-per-op steady state holds armed or not.
+	profiling := obs.Armed()
+	var runStart time.Time
+	if profiling {
+		runStart = time.Now()
+	}
 	for i, bk := range s.programs {
 		if ctx != nil {
 			if err := ctx.Err(); err != nil {
 				return nil, fmt.Errorf("engine: canceled before kernel %d/%d: %w", i+1, len(s.programs), err)
 			}
 		}
+		if !profiling {
+			bk.ExecuteInto()
+			continue
+		}
+		kStart := time.Now()
 		bk.ExecuteInto()
+		dur := time.Since(kStart)
+		ks := s.x.kstats[i]
+		ks.runs.Add(1)
+		ks.totalNs.Add(int64(dur))
+		ks.Hist.Observe(dur.Seconds())
+		s.spans[i] = Span{Kernel: i, StartNs: int64(kStart.Sub(runStart)), DurNs: int64(dur)}
+	}
+	if profiling {
+		s.profiled = true
 	}
 	out := s.ring[s.parity]
 	for i, o := range g.Outputs {

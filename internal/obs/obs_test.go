@@ -1,0 +1,222 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestObsCounterGaugeSemantics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("test_total", "a counter"); again != c {
+		t.Fatal("get-or-create returned a different counter for the same name")
+	}
+	if labeled := r.Counter("test_total", "a counter", "model", "m"); labeled == c {
+		t.Fatal("different label set returned the same counter")
+	}
+
+	g := r.Gauge("test_gauge", "a gauge")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+}
+
+func TestObsHistogramBuckets(t *testing.T) {
+	h := NewHistogram(0.001, 0.01, 0.1)
+	for _, v := range []float64{0.0005, 0.001, 0.005, 0.05, 5} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("count = %d, want 5", got)
+	}
+	if got := h.Sum(); math.Abs(got-5.0565) > 1e-9 {
+		t.Fatalf("sum = %v, want 5.0565", got)
+	}
+	cumulative, total := h.snapshotCumulative(nil)
+	want := []uint64{2, 3, 4, 5} // le=0.001 catches 0.0005 and the boundary 0.001
+	if total != 5 {
+		t.Fatalf("total = %d, want 5", total)
+	}
+	for i, w := range want {
+		if cumulative[i] != w {
+			t.Fatalf("cumulative[%d] = %d, want %d (%v)", i, cumulative[i], w, cumulative)
+		}
+	}
+}
+
+func TestObsHistogramRejectsBadBounds(t *testing.T) {
+	for _, bounds := range [][]float64{{2, 1}, {1, 1}, {math.Inf(1)}, {math.NaN()}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v) did not panic", bounds)
+				}
+			}()
+			NewHistogram(bounds...)
+		}()
+	}
+}
+
+func TestObsArmingNests(t *testing.T) {
+	if Armed() {
+		t.Fatal("armed before any Arm (leaked from another test?)")
+	}
+	Arm()
+	Arm()
+	if !Armed() {
+		t.Fatal("not armed after Arm")
+	}
+	Disarm()
+	if !Armed() {
+		t.Fatal("nested arm released by a single Disarm")
+	}
+	Disarm()
+	if Armed() {
+		t.Fatal("still armed after matching Disarms")
+	}
+	Disarm() // extra disarm must not drive the count negative…
+	Arm()
+	if !Armed() {
+		t.Fatal("Arm after an extra Disarm did not arm")
+	}
+	Disarm()
+}
+
+func TestObsPrometheusOutput(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("app_requests_total", "Requests served.", "code", "200").Add(3)
+	r.Counter("app_requests_total", "Requests served.", "code", "503").Add(1)
+	r.Gauge("app_depth", "Queue depth.").Set(2)
+	r.GaugeFunc("app_fn", "Callback gauge.", func() float64 { return 7.5 })
+	h := r.Histogram("app_latency_seconds", "Latency.", []float64{0.01, 0.1}, "model", `a"b\c`)
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(2)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP app_requests_total Requests served.\n# TYPE app_requests_total counter\n",
+		`app_requests_total{code="200"} 3`,
+		`app_requests_total{code="503"} 1`,
+		"# TYPE app_depth gauge",
+		"app_depth 2",
+		"app_fn 7.5",
+		"# TYPE app_latency_seconds histogram",
+		`app_latency_seconds_bucket{model="a\"b\\c",le="0.01"} 1`,
+		`app_latency_seconds_bucket{model="a\"b\\c",le="0.1"} 2`,
+		`app_latency_seconds_bucket{model="a\"b\\c",le="+Inf"} 3`,
+		`app_latency_seconds_count{model="a\"b\\c"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Families must appear in sorted order and exactly once.
+	if strings.Count(out, "# TYPE app_requests_total") != 1 {
+		t.Error("family header repeated")
+	}
+	if strings.Index(out, "# TYPE app_depth") > strings.Index(out, "# TYPE app_fn") {
+		t.Error("families not sorted by name")
+	}
+	// Counters render as exact decimal integers even at large magnitudes.
+	r2 := NewRegistry()
+	r2.Counter("big_total", "big").Add(2_000_000)
+	b.Reset()
+	if err := r2.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "big_total 2000000\n") {
+		t.Errorf("large counter not decimal: %q", b.String())
+	}
+}
+
+func TestObsLabelOrderCanonical(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "x", "b", "2", "a", "1")
+	b := r.Counter("x_total", "x", "a", "1", "b", "2")
+	if a != b {
+		t.Fatal("label order changed series identity")
+	}
+}
+
+func TestObsInvalidNamesPanic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ok_total", "h") // registered as a counter for the mismatch case
+	for _, fn := range []func(){
+		func() { r.Counter("9bad", "h") },
+		func() { r.Counter("has space", "h") },
+		func() { r.Counter("ok_total", "h", "bad-label", "v") },
+		func() { r.Counter("ok_total", "h", "odd") },
+		func() { r.Gauge("ok_total", "h") }, // type mismatch with the counter
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestObsConcurrentScrapeRace(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("race_total", "c")
+	h := r.Histogram("race_seconds", "h", LatencyBuckets)
+	g := r.Gauge("race_gauge", "g")
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(seed float64) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				g.Add(seed)
+				h.Observe(seed / 1000)
+			}
+		}(float64(i + 1))
+	}
+	for i := 0; i < 50; i++ {
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		// The histogram must be internally consistent within one scrape
+		// even while writers race it: +Inf bucket == _count.
+		out := b.String()
+		var inf, count string
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, `race_seconds_bucket{le="+Inf"}`) {
+				inf = strings.Fields(line)[1]
+			}
+			if strings.HasPrefix(line, "race_seconds_count") {
+				count = strings.Fields(line)[1]
+			}
+		}
+		if inf == "" || inf != count {
+			t.Fatalf("scrape %d: +Inf bucket %q != count %q", i, inf, count)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,286 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Registry collects named metric families and renders them in Prometheus
+// text exposition format. Instruments are get-or-create: asking for the
+// same (name, labels) twice returns the same instrument, so every layer
+// that touches a metric shares one source of truth. A registry is safe for
+// concurrent use; scrapes may race updates (the exporter keeps each
+// histogram internally consistent).
+//
+// Registries are values, not process globals: each serving repository owns
+// one, so tests and multi-tenant processes never share counters.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+type family struct {
+	name, help, typ string
+	series          map[string]*series // keyed by rendered label suffix
+}
+
+// series is one labeled sample within a family; exactly one of the
+// instrument fields is set, matching the family type.
+type series struct {
+	labels  string // rendered `{k="v",...}` suffix, "" when unlabeled
+	counter *Counter
+	gauge   *Gauge
+	gaugeFn func() float64
+	hist    *Histogram
+}
+
+// NewRegistry creates an empty metric registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Counter returns the counter registered under name with the given label
+// pairs ("key", "value", ...), creating it on first use. It panics on an
+// invalid name, mismatched label pairs, or a name already registered as a
+// different metric type — all programmer errors.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.getOrCreateLocked(name, help, "counter", labels)
+	if s.counter == nil {
+		s.counter = &Counter{}
+	}
+	return s.counter
+}
+
+// Gauge returns the gauge registered under name with the given label pairs,
+// creating it on first use.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.getOrCreateLocked(name, help, "gauge", labels)
+	if s.gauge == nil {
+		s.gauge = &Gauge{}
+	}
+	return s.gauge
+}
+
+// GaugeFunc registers a callback gauge: fn is called at scrape time (under
+// the registry lock — it must not call back into the registry). Re-
+// registering the same (name, labels) replaces the callback, so a serving
+// host that is evicted and re-registered publishes its live state, not a
+// closed predecessor's.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.getOrCreateLocked(name, help, "gauge", labels)
+	s.gauge = nil
+	s.gaugeFn = fn
+}
+
+// Histogram returns the histogram registered under name with the given
+// label pairs, creating it with the given bucket bounds on first use (the
+// bounds of an existing histogram are kept).
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.getOrCreateLocked(name, help, "histogram", labels)
+	if s.hist == nil {
+		s.hist = NewHistogram(buckets...)
+	}
+	return s.hist
+}
+
+// Attach registers an externally owned histogram under (name, labels),
+// replacing any previous instrument there. It is how per-kernel histograms
+// owned by an executor appear on a serving registry's /metrics without
+// double accounting.
+func (r *Registry) Attach(name, help string, h *Histogram, labels ...string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.getOrCreateLocked(name, help, "histogram", labels)
+	s.hist = h
+}
+
+// getOrCreateLocked resolves (name, labels) to its series, creating family
+// and series as needed. Callers hold r.mu: instrument assignment on the
+// returned series must happen under the same critical section that created
+// it, or concurrent get-or-creates race on the instrument pointer.
+func (r *Registry) getOrCreateLocked(name, help, typ string, labels []string) *series {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	suffix := renderLabels(labels)
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ, series: make(map[string]*series)}
+		r.families[name] = f
+	} else if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.typ, typ))
+	}
+	s := f.series[suffix]
+	if s == nil {
+		s = &series{labels: suffix}
+		f.series[suffix] = s
+	}
+	return s
+}
+
+// renderLabels validates alternating key/value label pairs and renders the
+// canonical `{k="v",...}` suffix (keys sorted, values escaped), which
+// doubles as the series identity.
+func renderLabels(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("obs: odd label list %q", labels))
+	}
+	type kv struct{ k, v string }
+	pairs := make([]kv, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		if !validLabelName(labels[i]) {
+			panic(fmt.Sprintf("obs: invalid label name %q", labels[i]))
+		}
+		pairs = append(pairs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(p.v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		alpha := (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':'
+		if !alpha && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(name string) bool {
+	if name == "" || strings.ContainsRune(name, ':') {
+		return false
+	}
+	return validMetricName(name)
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus renders every registered family in text exposition
+// format 0.0.4: families sorted by name, series sorted by label suffix,
+// histograms expanded into cumulative `_bucket` samples plus `_sum` and
+// `_count`. Counter and bucket values print as exact decimal integers so
+// scrapers (and the in-tree parser tests) never see scientific notation
+// for counts.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var buf []uint64
+	for _, name := range names {
+		f := r.families[name]
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, escapeHelp(f.help), f.name, f.typ); err != nil {
+			return err
+		}
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			s := f.series[k]
+			var err error
+			switch {
+			case s.counter != nil:
+				_, err = fmt.Fprintf(w, "%s%s %s\n", f.name, s.labels, strconv.FormatUint(s.counter.Value(), 10))
+			case s.gaugeFn != nil:
+				_, err = fmt.Fprintf(w, "%s%s %s\n", f.name, s.labels, formatFloat(s.gaugeFn()))
+			case s.gauge != nil:
+				_, err = fmt.Fprintf(w, "%s%s %s\n", f.name, s.labels, formatFloat(s.gauge.Value()))
+			case s.hist != nil:
+				buf, err = writeHistogram(w, f.name, s.labels, s.hist, buf)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeHistogram(w io.Writer, name, labels string, h *Histogram, buf []uint64) ([]uint64, error) {
+	cumulative, total := h.snapshotCumulative(buf)
+	for i, bound := range h.bounds {
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %s\n",
+			name, mergeLE(labels, formatFloat(bound)), strconv.FormatUint(cumulative[i], 10)); err != nil {
+			return cumulative, err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %s\n", name, mergeLE(labels, "+Inf"), strconv.FormatUint(total, 10)); err != nil {
+		return cumulative, err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, labels, formatFloat(h.Sum())); err != nil {
+		return cumulative, err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %s\n", name, labels, strconv.FormatUint(total, 10))
+	return cumulative, err
+}
+
+// mergeLE appends the le bucket label to an existing label suffix.
+func mergeLE(labels, le string) string {
+	if labels == "" {
+		return `{le="` + le + `"}`
+	}
+	return labels[:len(labels)-1] + `,le="` + le + `"}`
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(help string) string {
+	help = strings.ReplaceAll(help, "\\", `\\`)
+	return strings.ReplaceAll(help, "\n", `\n`)
+}

@@ -1,6 +1,10 @@
 package ops
 
-import "dnnfusion/internal/tensor"
+import (
+	"fmt"
+
+	"dnnfusion/internal/tensor"
+)
 
 // Schedule is the tile schedule of a heavy kernel — the compile-time
 // artifact the tuner selects per kernel shape and device (§4.3–4.4 pair
@@ -28,6 +32,16 @@ type Schedule struct {
 
 // Zero reports an unset schedule (no tuner ran for the kernel).
 func (s Schedule) Zero() bool { return s.RowTile == 0 && s.ColPanel == 0 && s.Unroll == 0 }
+
+// String renders the schedule compactly for profiles and bench output:
+// "rt4/cp128/u4", or "default" for the zero schedule (the operators'
+// built-in blocking).
+func (s Schedule) String() string {
+	if s.Zero() {
+		return "default"
+	}
+	return fmt.Sprintf("rt%d/cp%d/u%d", s.RowTile, s.ColPanel, s.Unroll)
+}
 
 // DefaultSchedule is the schedule the blocked paths assume when no tuner
 // ran: the pre-schedule hard-coded blocking (4-row tiles, ~16KiB column

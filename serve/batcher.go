@@ -10,6 +10,7 @@ import (
 	"dnnfusion"
 
 	"dnnfusion/internal/faultinject"
+	"dnnfusion/internal/obs"
 )
 
 // The dynamic batcher: one dispatcher goroutine per host pulls queued
@@ -51,6 +52,7 @@ func (h *Host) dispatch() {
 	for {
 		select {
 		case c := <-h.calls:
+			c.deq = time.Now()
 			batch = h.fill(append(batch[:0], c), timer)
 			// The queue depth left over after forming this batch is the
 			// overload signal the adaptive delay controller feeds on.
@@ -82,7 +84,7 @@ func (h *Host) dropExpired(batch []*call) []*call {
 			live = append(live, c)
 			continue
 		}
-		h.st.expired.Add(1)
+		h.st.expired.Inc()
 		c.err = err
 		c.done <- struct{}{}
 	}
@@ -137,6 +139,7 @@ func (h *Host) fill(batch []*call, timer *time.Timer) []*call {
 	for len(batch) < max {
 		select {
 		case c := <-h.calls:
+			c.deq = time.Now()
 			batch = append(batch, c)
 			continue
 		default:
@@ -152,6 +155,7 @@ collect:
 	for len(batch) < max {
 		select {
 		case c := <-h.calls:
+			c.deq = time.Now()
 			batch = append(batch, c)
 		case <-timer.C:
 			return batch
@@ -184,9 +188,13 @@ func (h *Host) execute(runner *dnnfusion.Runner, br *dnnfusion.BatchRunner, batc
 		defer cancel()
 	}
 	n := len(batch)
-	h.st.batches.Add(1)
+	h.st.batches.Inc()
 	h.st.batched.Add(uint64(n))
 	h.st.observeBatch(n)
+	h.st.batchSize.Observe(float64(n))
+	for _, c := range batch {
+		c.batchSize = n
+	}
 	if faultinject.Active() {
 		// Fault-injection point: force slow or failing executions, or hold
 		// the batch in flight against ctx. The batch slice rides along for
@@ -203,12 +211,16 @@ func (h *Host) execute(runner *dnnfusion.Runner, br *dnnfusion.BatchRunner, batc
 		for i, c := range batch {
 			reqs[i] = c.inputs
 		}
+		execStart := time.Now()
 		results, err := br.RunBatch(ctx, reqs[:n])
+		execNs := time.Since(execStart).Nanoseconds()
+		h.st.execute.Observe(float64(execNs) / 1e9)
 		for i := range reqs[:n] {
 			reqs[i] = nil
 		}
 		if err == nil {
 			for i, c := range batch {
+				c.execStart, c.execNs = execStart, execNs
 				c.res = h.deliver(results[i])
 			}
 		} else {
@@ -218,11 +230,14 @@ func (h *Host) execute(runner *dnnfusion.Runner, br *dnnfusion.BatchRunner, batc
 		}
 	} else {
 		for _, c := range batch {
+			execStart := time.Now()
 			out, err := runner.Run(ctx, c.inputs)
 			if err != nil {
 				c.err = h.callErr(c, err)
 				continue
 			}
+			c.execStart, c.execNs = execStart, time.Since(execStart).Nanoseconds()
+			h.st.execute.Observe(float64(c.execNs) / 1e9)
 			c.res = h.deliver(out)
 		}
 	}
@@ -299,24 +314,32 @@ func (h *Host) drainClosed() {
 	}
 }
 
-// stats are the host's serving counters, updated atomically on the request
-// and dispatch paths.
+// stats are the host's serving counters. The counting instruments live on
+// the repository's obs.Registry (wired by stats.init at registration) so
+// /healthz, /v1/models, and /metrics read one source of truth; only the
+// control-loop state and the max-batch high-water mark stay as plain
+// atomics — they are not Prometheus-shaped.
 type stats struct {
-	requests atomic.Uint64
-	errors   atomic.Uint64
+	requests *obs.Counter
+	errors   *obs.Counter
 	// shed counts requests rejected by this host's admission control (a
 	// full queue); expired counts requests whose context was done before
 	// execution (dead on arrival, or dropped from the queue by the
 	// dispatcher). Both are subsets of errors.
-	shed    atomic.Uint64
-	expired atomic.Uint64
+	shed    *obs.Counter
+	expired *obs.Counter
 
-	batches  atomic.Uint64
-	batched  atomic.Uint64
+	batches  *obs.Counter
+	batched  *obs.Counter
 	maxBatch atomic.Uint64
 
-	latencyNs atomic.Int64
-	latencyN  atomic.Uint64
+	// latency is the admission-to-result request histogram (in seconds);
+	// queueWait and execute split it into the queue and inference stages,
+	// and batchSize records coalesced batch sizes.
+	latency   *obs.Histogram
+	queueWait *obs.Histogram
+	execute   *obs.Histogram
+	batchSize *obs.Histogram
 
 	// Adaptive-batching control state, written by the dispatcher (adapt),
 	// read lock-free by fill and the observability surfaces: the
@@ -359,18 +382,18 @@ type Stats struct {
 
 func (s *stats) snapshot() Stats {
 	out := Stats{
-		Requests: s.requests.Load(),
-		Errors:   s.errors.Load(),
-		Shed:     s.shed.Load(),
-		Expired:  s.expired.Load(),
-		Batches:  s.batches.Load(),
+		Requests: s.requests.Value(),
+		Errors:   s.errors.Value(),
+		Shed:     s.shed.Value(),
+		Expired:  s.expired.Value(),
+		Batches:  s.batches.Value(),
 		MaxBatch: int(s.maxBatch.Load()),
 	}
 	if out.Batches > 0 {
-		out.MeanBatch = float64(s.batched.Load()) / float64(out.Batches)
+		out.MeanBatch = float64(s.batched.Value()) / float64(out.Batches)
 	}
-	if n := s.latencyN.Load(); n > 0 {
-		out.MeanLatencyUs = float64(s.latencyNs.Load()) / float64(n) / 1e3
+	if n := s.latency.Count(); n > 0 {
+		out.MeanLatencyUs = s.latency.Sum() / float64(n) * 1e6
 	}
 	return out
 }

@@ -10,6 +10,7 @@ import (
 	"dnnfusion"
 
 	"dnnfusion/internal/faultinject"
+	"dnnfusion/internal/obs"
 )
 
 // Host serves one registered model: it owns the (possibly lazily built)
@@ -54,6 +55,9 @@ type Host struct {
 	// limiter is the registry-wide in-flight ceiling this host admits
 	// through (nil for bare hosts, always set by Registry.add).
 	limiter *inflight
+	// obs is the repository metric registry the host publishes on (nil for
+	// bare hosts; set by Registry.add before init can run).
+	obs *obs.Registry
 
 	resPool sync.Pool
 	st      stats
@@ -68,12 +72,24 @@ type Host struct {
 // passed instead of executing work nobody will read. The done channel
 // carries exactly one token per dispatch; calls recycle through a pool on
 // the success path.
+//
+// The timing fields record the request's passage through the pipeline:
+// start/enq are stamped by Run before enqueueing; deq, execStart, execNs,
+// and batchSize by the dispatcher before the done token is sent, so Run
+// reads them race-free after <-c.done (and never on the abandon path).
 type call struct {
 	ctx    context.Context
 	inputs map[string]*dnnfusion.Tensor
 	res    *Result
 	err    error
 	done   chan struct{}
+
+	start     time.Time // admission (Run entry, post-init)
+	enq       time.Time // enqueued into h.calls
+	deq       time.Time // pulled by the dispatcher
+	execStart time.Time // execution began for this call's batch
+	execNs    int64     // execution wall time
+	batchSize int       // peers coalesced with this call (incl. itself)
 }
 
 var callPool = sync.Pool{New: func() any { return &call{done: make(chan struct{}, 1)} }}
@@ -87,7 +103,29 @@ var callPool = sync.Pool{New: func() any { return &call{done: make(chan struct{}
 type Result struct {
 	h    *Host
 	outs map[string]*dnnfusion.Tensor
+	tl   Timeline
 }
+
+// Timeline is one request's per-stage timing, recorded for every
+// successfully delivered Run: admission (validation and limiter checks
+// before enqueue), queue wait (enqueue to dispatcher pull), batch formation
+// (pull to execution start), and the execution itself. The HTTP layer
+// surfaces it as the ?trace=1 block on :predict.
+type Timeline struct {
+	// BatchSize is how many requests were coalesced into this call's
+	// execution (1 when served per-request).
+	BatchSize   int
+	AdmissionNs int64
+	QueueWaitNs int64
+	BatchFormNs int64
+	ExecuteNs   int64
+	// TotalNs is the full admission-to-result latency; the gap between it
+	// and the sum of the stages is response delivery.
+	TotalNs int64
+}
+
+// Timeline returns the request's stage timings; valid until Release.
+func (r *Result) Timeline() Timeline { return r.tl }
 
 // Outputs maps output names to tensors; valid until Release.
 func (r *Result) Outputs() map[string]*dnnfusion.Tensor { return r.outs }
@@ -162,6 +200,7 @@ func (h *Host) init() error {
 		h.resPool.New = func() any { return h.newResult() }
 		h.calls = make(chan *call, h.cfg.Queue)
 		h.st.curDelayNs.Store(int64(h.cfg.MaxDelay))
+		h.registerModelMetrics()
 		go h.dispatch()
 		h.started.Store(true)
 	})
@@ -306,23 +345,23 @@ func (h *Host) inSpec(name string) *TensorSpec {
 // first.
 func (h *Host) Run(ctx context.Context, inputs map[string]*dnnfusion.Tensor) (*Result, error) {
 	if err := h.init(); err != nil {
-		h.st.requests.Add(1)
-		h.st.errors.Add(1)
+		h.st.requests.Inc()
+		h.st.errors.Inc()
 		return nil, err
 	}
 	start := time.Now()
 	if err := h.validate(inputs); err != nil {
-		h.st.requests.Add(1)
-		h.st.errors.Add(1)
+		h.st.requests.Inc()
+		h.st.errors.Inc()
 		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
 		// Dead on arrival: the client's deadline has already passed (or it
 		// canceled), so admitting the request could only waste capacity
 		// the live traffic needs.
-		h.st.requests.Add(1)
-		h.st.errors.Add(1)
-		h.st.expired.Add(1)
+		h.st.requests.Inc()
+		h.st.errors.Inc()
+		h.st.expired.Inc()
 		return nil, err
 	}
 	if h.limiter != nil {
@@ -330,8 +369,8 @@ func (h *Host) Run(ctx context.Context, inputs map[string]*dnnfusion.Tensor) (*R
 			// Counted registry-wide (Registry.Saturated), not in the
 			// per-host shed counter: the host's own queue was not the
 			// bottleneck.
-			h.st.requests.Add(1)
-			h.st.errors.Add(1)
+			h.st.requests.Inc()
+			h.st.errors.Inc()
 			return nil, ErrSaturated
 		}
 		defer h.limiter.release()
@@ -343,12 +382,14 @@ func (h *Host) Run(ctx context.Context, inputs map[string]*dnnfusion.Tensor) (*R
 	h.pending.Add(1)
 	if h.closing.Load() {
 		h.pending.Add(-1)
-		h.st.requests.Add(1)
-		h.st.errors.Add(1)
+		h.st.requests.Inc()
+		h.st.errors.Inc()
 		return nil, ErrClosed
 	}
 	c := callPool.Get().(*call)
 	c.ctx, c.inputs, c.res, c.err = ctx, inputs, nil, nil
+	c.start, c.enq = start, time.Now()
+	c.deq, c.execStart, c.execNs, c.batchSize = time.Time{}, time.Time{}, 0, 0
 	select {
 	case h.calls <- c:
 	default:
@@ -359,12 +400,12 @@ func (h *Host) Run(ctx context.Context, inputs map[string]*dnnfusion.Tensor) (*R
 		h.pending.Add(-1)
 		c.ctx, c.inputs = nil, nil
 		callPool.Put(c)
-		h.st.requests.Add(1)
-		h.st.errors.Add(1)
+		h.st.requests.Inc()
+		h.st.errors.Inc()
 		if h.closing.Load() {
 			return nil, ErrClosed
 		}
-		h.st.shed.Add(1)
+		h.st.shed.Inc()
 		return nil, fmt.Errorf("serve: model %q: queue full (capacity %d): %w",
 			h.name, h.cfg.Queue, dnnfusion.ErrOverloaded)
 	}
@@ -374,20 +415,31 @@ func (h *Host) Run(ctx context.Context, inputs map[string]*dnnfusion.Tensor) (*R
 		// The dispatcher still owns c; abandon it (the call object is
 		// garbage collected, never pooled, so the late token is harmless).
 		h.pending.Add(-1)
-		h.st.requests.Add(1)
-		h.st.errors.Add(1)
+		h.st.requests.Inc()
+		h.st.errors.Inc()
 		return nil, ctx.Err()
 	}
 	h.pending.Add(-1)
 	res, err := c.res, c.err
+	enq, deq, execStart, execNs, bsz := c.enq, c.deq, c.execStart, c.execNs, c.batchSize
 	c.ctx, c.inputs, c.res, c.err = nil, nil, nil, nil
 	callPool.Put(c)
-	h.st.requests.Add(1)
-	h.st.latencyNs.Add(time.Since(start).Nanoseconds())
-	h.st.latencyN.Add(1)
+	h.st.requests.Inc()
+	elapsed := time.Since(start)
+	h.st.latency.Observe(elapsed.Seconds())
 	if err != nil {
-		h.st.errors.Add(1)
+		h.st.errors.Inc()
 		return nil, err
+	}
+	wait := deq.Sub(enq)
+	h.st.queueWait.Observe(wait.Seconds())
+	res.tl = Timeline{
+		BatchSize:   bsz,
+		AdmissionNs: enq.Sub(start).Nanoseconds(),
+		QueueWaitNs: wait.Nanoseconds(),
+		BatchFormNs: execStart.Sub(deq).Nanoseconds(),
+		ExecuteNs:   execNs,
+		TotalNs:     elapsed.Nanoseconds(),
 	}
 	return res, nil
 }

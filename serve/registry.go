@@ -25,6 +25,8 @@ import (
 	"time"
 
 	"dnnfusion"
+
+	"dnnfusion/internal/obs"
 )
 
 // ErrClosed reports a request against an evicted (closed) host.
@@ -103,10 +105,12 @@ func (c Config) withDefaults() Config {
 // inflight is the registry-wide concurrent-request limiter shared by every
 // host: a ceiling on requests between admission and response, across all
 // models, so total queued+executing work is bounded before memory is.
+// Rejections count on the registry's obs counter (the 503 path's source of
+// truth for /healthz and /metrics alike).
 type inflight struct {
 	max      atomic.Int64
 	cur      atomic.Int64
-	rejected atomic.Uint64
+	rejected *obs.Counter
 }
 
 // acquire claims one in-flight slot; false means the ceiling is reached
@@ -130,18 +134,25 @@ func (l *inflight) release() { l.cur.Add(-1) }
 type Registry struct {
 	mu    sync.RWMutex
 	hosts map[string]*Host
+	// obs is the repository's metric registry — the single source of truth
+	// for every serving counter. /healthz, /v1/models, and /metrics all
+	// read through it.
+	obs *obs.Registry
 	// buildFails counts lazy builders that failed (import or compile
 	// errors), across all hosts ever registered. Surfaced on /healthz so a
 	// bad file in a -models directory is visible without hitting the model.
-	buildFails atomic.Uint64
+	buildFails *obs.Counter
 	// limiter is the registry-wide in-flight ceiling every host admits
 	// through (SetMaxInFlight; 0 = unlimited).
 	limiter inflight
+	// disarm balances the obs.Arm taken at construction, exactly once even
+	// if Close is called repeatedly.
+	disarm sync.Once
 }
 
 // BuildFailures reports how many registered builders have failed to
 // produce a model (each failed host counts once; failures are sticky).
-func (r *Registry) BuildFailures() uint64 { return r.buildFails.Load() }
+func (r *Registry) BuildFailures() uint64 { return r.buildFails.Value() }
 
 // SetMaxInFlight caps concurrent requests (queued + executing) across
 // every host in the registry; beyond the cap Host.Run fails fast with
@@ -158,11 +169,22 @@ func (r *Registry) MaxInFlight() int { return int(r.limiter.max.Load()) }
 func (r *Registry) InFlight() int { return int(r.limiter.cur.Load()) }
 
 // Saturated counts requests rejected by the in-flight ceiling.
-func (r *Registry) Saturated() uint64 { return r.limiter.rejected.Load() }
+func (r *Registry) Saturated() uint64 { return r.limiter.rejected.Value() }
 
-// NewRegistry creates an empty repository.
+// NewRegistry creates an empty repository. It owns a metric registry
+// (WritePrometheus, Server's /metrics) and arms process-global per-kernel
+// profiling for its lifetime — Close disarms — so a serving process
+// attributes execution time to kernels by default.
 func NewRegistry() *Registry {
-	return &Registry{hosts: make(map[string]*Host)}
+	r := &Registry{hosts: make(map[string]*Host), obs: obs.NewRegistry()}
+	r.buildFails = r.obs.Counter("dnnf_serve_build_failures_total", helpBuildFails)
+	r.limiter.rejected = r.obs.Counter("dnnf_serve_saturated_total", helpSaturated)
+	r.obs.GaugeFunc("dnnf_serve_in_flight", helpInFlight,
+		func() float64 { return float64(r.limiter.cur.Load()) })
+	r.obs.GaugeFunc("dnnf_serve_max_in_flight", helpMaxInFlight,
+		func() float64 { return float64(r.limiter.max.Load()) })
+	obs.Arm()
+	return r
 }
 
 // Register adds a compiled model under the given name and returns its
@@ -191,8 +213,10 @@ func (r *Registry) add(name string, h *Host) (*Host, error) {
 	}
 	h.closed = make(chan struct{})
 	h.ctx, h.cancel = context.WithCancel(context.Background())
-	h.onBuildFail = func() { r.buildFails.Add(1) }
+	h.onBuildFail = func() { r.buildFails.Inc() }
 	h.limiter = &r.limiter
+	h.obs = r.obs
+	h.st.init(r.obs, name)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, dup := r.hosts[name]; dup {
@@ -240,9 +264,11 @@ func (r *Registry) Evict(name string) bool {
 	return ok
 }
 
-// Close evicts every model.
+// Close evicts every model and disarms the profiling hook armed at
+// construction (once, however many times Close runs).
 func (r *Registry) Close() {
 	for _, name := range r.Names() {
 		r.Evict(name)
 	}
+	r.disarm.Do(obs.Disarm)
 }

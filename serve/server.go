@@ -2,10 +2,14 @@ package serve
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
+	"strconv"
 	"strings"
 	"sync/atomic"
 
@@ -19,6 +23,15 @@ import (
 //	GET  /v1/models                   — list models (name, loaded, stats)
 //	GET  /v1/models/{name}            — one model's full serving metadata
 //	POST /v1/models/{name}:predict    — run one inference
+//	GET  /metrics                     — Prometheus text exposition (0.0.4)
+//	GET  /debug/pprof/*               — Go profiling (only when Pprof is set)
+//
+// Every response carries an X-Request-ID header: the sanitized client
+// X-Request-ID when one was sent, a freshly generated ID otherwise. Predict
+// responses echo it in the body as request_id — error bodies too, so a shed
+// 429 or 503 is attributable in client logs — and ?trace=1 on :predict adds
+// a per-stage timing block (admission, queue wait, batch formation,
+// execute, respond) from the host's request Timeline.
 //
 // A predict request body maps input names to tensors:
 //
@@ -42,6 +55,10 @@ type Server struct {
 	// client holding it while streaming an unbounded payload). 0 means
 	// DefaultMaxBodyBytes; negative disables the cap. Set before serving.
 	MaxBodyBytes int64
+	// Pprof exposes net/http/pprof under /debug/pprof/ when set (the
+	// dnnf-serve -pprof flag). Off by default: profiling endpoints reveal
+	// internals and cost CPU, so they are opt-in. Set before serving.
+	Pprof bool
 	// draining flips when Drain is called: :predict stops admitting (503
 	// + Retry-After) while /healthz keeps answering and reports the
 	// drain, so load balancers see the instance leaving before its
@@ -73,21 +90,146 @@ func (s *Server) Registry() *Registry { return s.reg }
 const modelsPrefix = "/v1/models"
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	// Request IDs are minted (or adopted) at the edge so every log line,
+	// response header, and error body below this point is attributable.
+	// The statusWriter records the response code for the per-route HTTP
+	// counter without changing what the client sees.
+	id := requestID(r)
+	sw := &statusWriter{ResponseWriter: w}
+	sw.Header().Set("X-Request-ID", id)
 	path := r.URL.Path
+	route := "other"
 	switch {
 	case path == "/healthz":
-		s.handleHealth(w, r)
+		route = "healthz"
+		s.handleHealth(sw, r)
+	case path == "/metrics":
+		route = "metrics"
+		s.handleMetrics(sw, r)
+	case path == "/debug/pprof" || strings.HasPrefix(path, "/debug/pprof/"):
+		route = "pprof"
+		s.handlePprof(sw, r)
 	case path == modelsPrefix || path == modelsPrefix+"/":
-		s.handleList(w, r)
+		route = "models"
+		s.handleList(sw, r)
 	case strings.HasPrefix(path, modelsPrefix+"/"):
 		rest := strings.TrimPrefix(path, modelsPrefix+"/")
 		if name, ok := strings.CutSuffix(rest, ":predict"); ok {
-			s.handlePredict(w, r, name)
-			return
+			route = "predict"
+			s.handlePredict(sw, r, name, id)
+		} else {
+			route = "models"
+			s.handleInfo(sw, r, rest)
 		}
-		s.handleInfo(w, r, rest)
 	default:
-		writeError(w, http.StatusNotFound, fmt.Errorf("no such endpoint %q", path))
+		writeError(sw, http.StatusNotFound, fmt.Errorf("no such endpoint %q", path))
+	}
+	s.countHTTP(route, sw.code())
+}
+
+// requestID adopts the client's X-Request-ID when it is well-formed (so a
+// caller can correlate across services) and mints a fresh random ID
+// otherwise.
+func requestID(r *http.Request) string {
+	if id := sanitizeRequestID(r.Header.Get("X-Request-ID")); id != "" {
+		return id
+	}
+	var b [8]byte
+	rand.Read(b[:])
+	return hex.EncodeToString(b[:])
+}
+
+// sanitizeRequestID accepts client-supplied IDs only when they are short
+// and drawn from a log-safe alphabet — anything else is discarded (a
+// header echoed into JSON bodies and logs must not smuggle arbitrary
+// bytes). Returns "" for rejects.
+func sanitizeRequestID(id string) string {
+	if id == "" || len(id) > 128 {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case '0' <= c && c <= '9', 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z',
+			c == '.', c == '_', c == '-':
+		default:
+			return ""
+		}
+	}
+	return id
+}
+
+// statusWriter captures the response status for the per-route HTTP counter.
+// The first WriteHeader (or implicit 200 on first Write) wins, matching
+// net/http semantics.
+type statusWriter struct {
+	http.ResponseWriter
+	wrote  bool
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.wrote, w.status = true, code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if !w.wrote {
+		w.wrote, w.status = true, http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) code() int {
+	if !w.wrote {
+		return http.StatusOK
+	}
+	return w.status
+}
+
+// Flush passes through so streaming responses (pprof trace) keep working
+// behind the wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (s *Server) countHTTP(route string, code int) {
+	s.reg.obs.Counter("dnnf_http_requests_total", helpHTTPRequests,
+		"route", route, "code", strconv.Itoa(code)).Inc()
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("metrics is GET-only"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
+}
+
+// handlePprof serves net/http/pprof without claiming http.DefaultServeMux:
+// the Server routes everything itself, so the profiling handlers are
+// invoked directly and only when opted in.
+func (s *Server) handlePprof(w http.ResponseWriter, r *http.Request) {
+	if !s.Pprof {
+		writeError(w, http.StatusNotFound, errors.New("pprof is disabled (run dnnf-serve with -pprof)"))
+		return
+	}
+	switch r.URL.Path {
+	case "/debug/pprof/cmdline":
+		pprof.Cmdline(w, r)
+	case "/debug/pprof/profile":
+		pprof.Profile(w, r)
+	case "/debug/pprof/symbol":
+		pprof.Symbol(w, r)
+	case "/debug/pprof/trace":
+		pprof.Trace(w, r)
+	default:
+		pprof.Index(w, r)
 	}
 }
 
@@ -205,11 +347,45 @@ type predictRequest struct {
 }
 
 type predictResponse struct {
-	Model   string                `json:"model"`
-	Outputs map[string]wireTensor `json:"outputs"`
+	Model     string                `json:"model"`
+	RequestID string                `json:"request_id"`
+	Outputs   map[string]wireTensor `json:"outputs"`
+	Trace     *predictTrace         `json:"trace,omitempty"`
 }
 
-func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request, name string) {
+// predictTrace is the ?trace=1 timing block: the request's passage through
+// the serving pipeline, stage by stage, in nanoseconds.
+type predictTrace struct {
+	BatchSize int          `json:"batch_size"`
+	Stages    []traceStage `json:"stages"`
+}
+
+type traceStage struct {
+	Stage string `json:"stage"`
+	Ns    int64  `json:"ns"`
+}
+
+// traceOf renders a host Timeline as the wire trace. respond is the
+// remainder of the total after the measured stages — result scatter and
+// hand-back — clamped at zero against clock skew between stamps.
+func traceOf(tl Timeline) *predictTrace {
+	respond := tl.TotalNs - tl.AdmissionNs - tl.QueueWaitNs - tl.BatchFormNs - tl.ExecuteNs
+	if respond < 0 {
+		respond = 0
+	}
+	return &predictTrace{
+		BatchSize: tl.BatchSize,
+		Stages: []traceStage{
+			{Stage: "admission", Ns: tl.AdmissionNs},
+			{Stage: "queue_wait", Ns: tl.QueueWaitNs},
+			{Stage: "batch_formation", Ns: tl.BatchFormNs},
+			{Stage: "execute", Ns: tl.ExecuteNs},
+			{Stage: "respond", Ns: respond},
+		},
+	}
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request, name, id string) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, errors.New("predict is POST-only"))
 		return
@@ -258,9 +434,12 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request, name stri
 		return
 	}
 	defer res.Release()
-	resp := predictResponse{Model: name, Outputs: make(map[string]wireTensor, len(res.Outputs()))}
+	resp := predictResponse{Model: name, RequestID: id, Outputs: make(map[string]wireTensor, len(res.Outputs()))}
 	for outName, t := range res.Outputs() {
 		resp.Outputs[outName] = wireTensor{Shape: t.Shape(), Data: t.Data()}
+	}
+	if r.URL.Query().Get("trace") == "1" {
+		resp.Trace = traceOf(res.Timeline())
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -339,7 +518,19 @@ func writeError(w http.ResponseWriter, status int, err error) {
 		// completes, a slot frees).
 		w.Header().Set("Retry-After", "1")
 	}
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	body := map[string]string{"error": err.Error()}
+	addRequestID(w, body)
+	writeJSON(w, status, body)
+}
+
+// addRequestID copies the response's X-Request-ID (set once at the edge by
+// ServeHTTP) into a JSON error body, so a shed 429/503 or a 422 build
+// failure is attributable from the body alone — clients and log pipelines
+// that drop headers still keep the correlation key.
+func addRequestID(w http.ResponseWriter, body map[string]string) {
+	if id := w.Header().Get("X-Request-ID"); id != "" {
+		body["request_id"] = id
+	}
 }
 
 // writeBuildError reports a model whose lazy build failed. Unlike plain
@@ -354,6 +545,7 @@ func writeBuildError(w http.ResponseWriter, status int, model string, err error)
 	if cause := rootCause(err); cause != err.Error() {
 		body["cause"] = cause
 	}
+	addRequestID(w, body)
 	writeJSON(w, status, body)
 }
 

@@ -1,0 +1,142 @@
+// Tests for the public telemetry surface: per-kernel profiles accumulate
+// only while profiling is armed, arming nests, and the reported schedules
+// and shares describe the compiled kernels.
+package dnnfusion_test
+
+import (
+	"context"
+	"testing"
+
+	"dnnfusion"
+
+	"dnnfusion/internal/models"
+)
+
+func totalRuns(profile []dnnfusion.KernelProfile) uint64 {
+	var runs uint64
+	for _, p := range profile {
+		runs += p.Runs
+	}
+	return runs
+}
+
+// TestProfileAccumulatesOnlyWhenArmed pins the arming contract: unarmed
+// runs leave the profile untouched (the hot path stays a single atomic
+// load), armed runs advance every kernel's counters, and disarming stops
+// accumulation again.
+func TestProfileAccumulatesOnlyWhenArmed(t *testing.T) {
+	model, err := dnnfusion.Compile(models.MicroMLP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := model.NewRunner()
+	defer runner.Release()
+	ctx := context.Background()
+	inputs := map[string]*dnnfusion.Tensor{"x": dnnfusion.Rand(16, 64)}
+
+	if dnnfusion.ProfilingEnabled() {
+		t.Fatal("profiling armed at test start")
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := runner.Run(ctx, inputs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if runs := totalRuns(model.Profile()); runs != 0 {
+		t.Fatalf("unarmed runs recorded %d kernel executions, want 0", runs)
+	}
+
+	dnnfusion.EnableProfiling()
+	if !dnnfusion.ProfilingEnabled() {
+		t.Fatal("EnableProfiling did not arm")
+	}
+	const armedRuns = 4
+	for i := 0; i < armedRuns; i++ {
+		if _, err := runner.Run(ctx, inputs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dnnfusion.DisableProfiling()
+	if dnnfusion.ProfilingEnabled() {
+		t.Fatal("DisableProfiling did not disarm")
+	}
+
+	profile := model.Profile()
+	if len(profile) == 0 {
+		t.Fatal("empty profile for compiled model")
+	}
+	for _, p := range profile {
+		if p.Runs != armedRuns {
+			t.Errorf("kernel %q: %d profiled runs, want %d", p.Kernel, p.Runs, armedRuns)
+		}
+		if p.TotalNs <= 0 || p.MeanNs <= 0 {
+			t.Errorf("kernel %q: TotalNs=%d MeanNs=%v, want > 0", p.Kernel, p.TotalNs, p.MeanNs)
+		}
+		if p.Kernel == "" || p.Schedule == "" {
+			t.Errorf("profile row missing identity: %+v", p)
+		}
+		if p.Lanes < 1 {
+			t.Errorf("kernel %q: lanes = %d, want >= 1", p.Kernel, p.Lanes)
+		}
+	}
+
+	// Disarmed again: further runs do not advance the counters.
+	if _, err := runner.Run(ctx, inputs); err != nil {
+		t.Fatal(err)
+	}
+	if runs := totalRuns(model.Profile()); runs != uint64(armedRuns)*uint64(len(profile)) {
+		t.Errorf("disarmed run advanced profile: %d total kernel runs", runs)
+	}
+}
+
+// TestProfileNestsArming pins nesting: profiling stays armed until every
+// Enable has been matched by a Disable, and a stray extra Disable does not
+// wedge future arming.
+func TestProfileNestsArming(t *testing.T) {
+	dnnfusion.EnableProfiling()
+	dnnfusion.EnableProfiling()
+	dnnfusion.DisableProfiling()
+	if !dnnfusion.ProfilingEnabled() {
+		t.Error("inner Disable disarmed while outer Enable still held")
+	}
+	dnnfusion.DisableProfiling()
+	dnnfusion.DisableProfiling() // extra: must clamp, not go negative
+	if dnnfusion.ProfilingEnabled() {
+		t.Error("still armed after matching Disables")
+	}
+	dnnfusion.EnableProfiling()
+	if !dnnfusion.ProfilingEnabled() {
+		t.Error("arming wedged by a stray extra Disable")
+	}
+	dnnfusion.DisableProfiling()
+}
+
+// TestProfileChainKernels verifies chain-fused kernels are identifiable in
+// the profile and carry their producer schedule in the compact rendering.
+func TestProfileChainKernels(t *testing.T) {
+	model, err := dnnfusion.Compile(models.MicroAttention())
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := model.NewRunner()
+	defer runner.Release()
+	dnnfusion.EnableProfiling()
+	defer dnnfusion.DisableProfiling()
+	if _, err := runner.Run(context.Background(), map[string]*dnnfusion.Tensor{
+		"tokens": dnnfusion.Rand(8, 32),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var chains int
+	for _, p := range model.Profile() {
+		if p.Chain {
+			chains++
+			if p.Runs == 0 {
+				t.Errorf("chain kernel %q never profiled", p.Kernel)
+			}
+		}
+	}
+	if chains == 0 {
+		t.Error("attention model profile reports no chain-fused kernels")
+	}
+}
