@@ -50,7 +50,9 @@ type jsonModel struct {
 
 // jsonKernelSchedule is the tuner-selected tile schedule of one heavy
 // kernel (schema v4): the GEMM-shape task it was tuned for and the chosen
-// blocking, so BENCH deltas are explainable schedule by schedule.
+// blocking, so BENCH deltas are explainable schedule by schedule. In the
+// tuned_schedules section (schema v9) Tuned marks kernels whose
+// measured-tuned schedule differs from the analytical choice.
 type jsonKernelSchedule struct {
 	Kernel   string `json:"kernel"`
 	TaskM    int    `json:"task_m"`
@@ -59,6 +61,7 @@ type jsonKernelSchedule struct {
 	RowTile  int    `json:"row_tile"`
 	ColPanel int    `json:"col_panel"`
 	Unroll   int    `json:"unroll"`
+	Tuned    bool   `json:"tuned,omitempty"`
 }
 
 // jsonChain is one detected contraction chain of an exec model (schema
@@ -129,6 +132,17 @@ type jsonExec struct {
 	Schedules        []jsonKernelSchedule `json:"schedules,omitempty"`
 	Chains           []jsonChain          `json:"chains,omitempty"`
 	Profile          []jsonKernelProfile  `json:"profile,omitempty"`
+	// Tuned-path numbers (schema v9): the same model compiled with
+	// measured tuning (WithMeasuredTuning) instead of the analytical
+	// model alone. tuned_ns_per_op tracks what measurement buys;
+	// tuned_measured_runs what it cost; tuned_differs whether the search
+	// picked a (plan, schedule) pair the analytical model would not have;
+	// tuned_schedules each kernel's winning schedule with per-kernel
+	// tuned-vs-analytical marks.
+	TunedNsPerOp      int64                `json:"tuned_ns_per_op,omitempty"`
+	TunedMeasuredRuns int                  `json:"tuned_measured_runs,omitempty"`
+	TunedDiffers      bool                 `json:"tuned_differs,omitempty"`
+	TunedSchedules    []jsonKernelSchedule `json:"tuned_schedules,omitempty"`
 }
 
 // jsonKernelProfile is one kernel's row in the per-model execution profile:
@@ -248,6 +262,12 @@ func timeRunner(g *dnnfusion.Graph, opts ...dnnfusion.Option) (nsPerOp, bytesPer
 	return nsPerOp, bytesPerOp, allocsPerOp, model, nil
 }
 
+// tuneBudget is the measured runs the tuned-path scenario allows each
+// model's search — enough to measure every plan variant of the micro
+// models plus a few schedule refinements, small enough that the scenario
+// stays a minor fraction of the bench run.
+const tuneBudget = 16
+
 // measureExec records one micro model's measured serving-path numbers:
 // blocked single-threaded execution (the BENCH trajectory number) plus the
 // same kernels over an 8-lane worker pool.
@@ -267,6 +287,24 @@ func measureExec(build func() *dnnfusion.Graph) (jsonExec, error) {
 	if err != nil {
 		return jsonExec{}, err
 	}
+	// Tuned path (schema v9): the same model through the measured
+	// fusion-plan × schedule search, timed with the same discipline. The
+	// per-kernel marks diff the winning schedules against the analytical
+	// compilation above.
+	nsTuned, _, _, tuned, err := timeRunner(build(), dnnfusion.WithThreads(1), dnnfusion.WithMeasuredTuning(tuneBudget))
+	if err != nil {
+		return jsonExec{}, fmt.Errorf("tuned path: %w", err)
+	}
+	analytical := map[string]jsonKernelSchedule{}
+	for _, s := range kernelSchedules(model) {
+		analytical[s.Kernel] = s
+	}
+	tunedScheds := kernelSchedules(tuned)
+	for i := range tunedScheds {
+		a, ok := analytical[tunedScheds[i].Kernel]
+		a.Tuned = false
+		tunedScheds[i].Tuned = !ok || tunedScheds[i] != a
+	}
 	return jsonExec{
 		Name:             g.Name,
 		Operators:        len(g.Nodes),
@@ -279,6 +317,11 @@ func measureExec(build func() *dnnfusion.Graph) (jsonExec, error) {
 		Schedules:        kernelSchedules(model),
 		Chains:           chainStatus(model),
 		Profile:          profile,
+
+		TunedNsPerOp:      nsTuned,
+		TunedMeasuredRuns: tuned.Stats.MeasuredRuns,
+		TunedDiffers:      tuned.Stats.TunedDiffers,
+		TunedSchedules:    tunedScheds,
 	}, nil
 }
 
@@ -513,10 +556,11 @@ func measureSoak(build func() *dnnfusion.Graph) (jsonSoak, error) {
 	}, nil
 }
 
-// jsonSummary is the -json baseline file (schema dnnf-bench/v8: v7 plus a
-// per-kernel execution profile for every exec model, measured with the
-// telemetry hooks armed after the timed windows; v7 added the overload
-// soak scenario — serving behavior at 4x queue capacity).
+// jsonSummary is the -json baseline file (schema dnnf-bench/v9: v8 plus
+// each exec model's measured-tuning numbers — tuned ns/op, the
+// measurement cost, and per-kernel tuned-vs-analytical schedule marks;
+// v8 added the per-kernel execution profile, v7 the overload soak
+// scenario — serving behavior at 4x queue capacity).
 // num_cpu and gomaxprocs make threaded numbers (ns_per_op_t8,
 // the micro-batch scenario) self-describing: a t8 column produced on a
 // 1-CPU container cannot show wall-clock parallel gains, and the file
@@ -729,7 +773,7 @@ func buildJSONBaseline(c *bench.Context) (*jsonSummary, error) {
 		}
 	}
 	summary := &jsonSummary{
-		Schema:     "dnnf-bench/v8",
+		Schema:     "dnnf-bench/v9",
 		NumCPU:     runtime.NumCPU(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 	}
@@ -786,9 +830,9 @@ func writeJSONBaseline(summary *jsonSummary, path string) error {
 
 // compareBaseline diffs the current measured-exec numbers against a prior
 // -json baseline and reports per-model deltas; ok is false when any model
-// regresses more than 10% in single-threaded measured ns/op. Models
-// present on only one side are reported but never gate.
-func compareBaseline(summary *jsonSummary, baselinePath string, w *os.File) (ok bool, err error) {
+// regresses more than threshold percent in single-threaded measured
+// ns/op. Models present on only one side are reported but never gate.
+func compareBaseline(summary *jsonSummary, baselinePath string, threshold float64, w *os.File) (ok bool, err error) {
 	data, err := os.ReadFile(baselinePath)
 	if err != nil {
 		return false, err
@@ -809,23 +853,23 @@ func compareBaseline(summary *jsonSummary, baselinePath string, w *os.File) (ok 
 	} else {
 		fmt.Fprintf(w, "; baseline (schema %s) predates cpu recording\n", base.Schema)
 	}
-	fmt.Fprintf(w, "measured exec vs %s (gate: >10%% ns/op regression)\n", baselinePath)
-	fmt.Fprintf(w, "%-20s %14s %14s %9s %14s\n", "model", "base ns/op", "now ns/op", "delta", "now t8 ns/op")
+	fmt.Fprintf(w, "measured exec vs %s (gate: >%.1f%% ns/op regression)\n", baselinePath, threshold)
+	fmt.Fprintf(w, "%-20s %14s %14s %9s %10s %14s\n", "model", "base ns/op", "now ns/op", "delta", "threshold", "now t8 ns/op")
 	for _, e := range summary.Exec {
 		b, have := baseExec[e.Name]
 		if !have || b.NsPerOp <= 0 {
-			fmt.Fprintf(w, "%-20s %14s %14d %9s %14d  (no usable baseline, not gated)\n", e.Name, "-", e.NsPerOp, "-", e.NsPerOpT8)
+			fmt.Fprintf(w, "%-20s %14s %14d %9s %10s %14d  (no usable baseline, not gated)\n", e.Name, "-", e.NsPerOp, "-", "-", e.NsPerOpT8)
 			delete(baseExec, e.Name)
 			continue
 		}
 		gated++
 		delta := float64(e.NsPerOp-b.NsPerOp) / float64(b.NsPerOp) * 100
 		mark := ""
-		if delta > 10 {
+		if delta > threshold {
 			mark = "  REGRESSION"
 			ok = false
 		}
-		fmt.Fprintf(w, "%-20s %14d %14d %+8.1f%% %14d%s\n", e.Name, b.NsPerOp, e.NsPerOp, delta, e.NsPerOpT8, mark)
+		fmt.Fprintf(w, "%-20s %14d %14d %+8.1f%% %9.1f%% %14d%s\n", e.Name, b.NsPerOp, e.NsPerOp, delta, threshold, e.NsPerOpT8, mark)
 		delete(baseExec, e.Name)
 	}
 	for name := range baseExec {
@@ -837,10 +881,47 @@ func compareBaseline(summary *jsonSummary, baselinePath string, w *os.File) (ok 
 		// rename would otherwise disable the check silently.
 		return false, fmt.Errorf("%s has no exec entries matching the current micro models; nothing was gated", baselinePath)
 	}
+	printTuned(summary, w)
 	printMicroBatch(summary, w)
 	printImports(summary, w)
 	printSoak(summary, w)
 	return ok, nil
+}
+
+// printTuned renders the tuned-path scenario: measured tuning versus the
+// analytical compilation of the same model (informational; the regression
+// gate stays on the analytical exec ns/op so tuning variance cannot gate).
+func printTuned(summary *jsonSummary, w *os.File) {
+	any := false
+	for _, e := range summary.Exec {
+		if e.TunedNsPerOp > 0 {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return
+	}
+	fmt.Fprintf(w, "\ntuned-path scenario (measured fusion-plan x schedule search vs analytical)\n")
+	fmt.Fprintf(w, "%-20s %14s %14s %9s %9s %8s %14s\n",
+		"model", "analytical ns", "tuned ns", "delta", "searched", "differs", "tuned kernels")
+	for _, e := range summary.Exec {
+		if e.TunedNsPerOp <= 0 {
+			continue
+		}
+		delta := "-"
+		if e.NsPerOp > 0 {
+			delta = fmt.Sprintf("%+.1f%%", float64(e.TunedNsPerOp-e.NsPerOp)/float64(e.NsPerOp)*100)
+		}
+		tunedKernels := 0
+		for _, s := range e.TunedSchedules {
+			if s.Tuned {
+				tunedKernels++
+			}
+		}
+		fmt.Fprintf(w, "%-20s %14d %14d %9s %9d %8v %7d of %-4d\n",
+			e.Name, e.NsPerOp, e.TunedNsPerOp, delta, e.TunedMeasuredRuns, e.TunedDiffers, tunedKernels, len(e.TunedSchedules))
+	}
 }
 
 // printSoak renders the overload soak scenario (informational; the
@@ -906,8 +987,13 @@ func main() {
 	flag.Var(&experiments, "e", "experiment id (table1..table6, fig6..fig10, ablations, all); repeatable")
 	dbPath := flag.String("db", "", "profiling database path: loaded if present, saved on exit (accumulates across runs, §4.3)")
 	jsonPath := flag.String("json", "", "write a machine-readable per-model baseline (fusion counts, latency) to this path and exit")
-	comparePath := flag.String("compare", "", "diff current measured-exec numbers against a prior -json baseline; exits non-zero on a >10% ns/op regression (combine with -json to also record)")
+	comparePath := flag.String("compare", "", "diff current measured-exec numbers against a prior -json baseline; exits non-zero on an ns/op regression beyond -threshold (combine with -json to also record)")
+	threshold := flag.Float64("threshold", 10, "regression gate for -compare, in percent of baseline ns/op")
 	flag.Parse()
+	if *threshold <= 0 {
+		fmt.Fprintln(os.Stderr, "-threshold must be positive")
+		os.Exit(2)
+	}
 	if len(experiments) == 0 {
 		experiments = list{"all"}
 	}
@@ -949,13 +1035,13 @@ func main() {
 			fmt.Fprintf(os.Stderr, "wrote baseline %s\n", *jsonPath)
 		}
 		if *comparePath != "" {
-			ok, err := compareBaseline(summary, *comparePath, os.Stdout)
+			ok, err := compareBaseline(summary, *comparePath, *threshold, os.Stdout)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "comparing against %s: %v\n", *comparePath, err)
 				os.Exit(1)
 			}
 			if !ok {
-				fmt.Fprintln(os.Stderr, "measured-exec regression exceeds 10%")
+				fmt.Fprintf(os.Stderr, "measured-exec regression exceeds %.1f%%\n", *threshold)
 				os.Exit(1)
 			}
 		}

@@ -11,6 +11,8 @@
 //	dnnf-serve -zoo                     # also expose the Table 5 models
 //	dnnf-serve -queue 32 -max-inflight 256 -max-delay-ceiling 2ms
 //	dnnf-serve -drain-timeout 10s       # graceful-shutdown budget on SIGTERM
+//	dnnf-serve -profile tuned.json      # compile with dnnf-tune's tuned plans
+//	dnnf-serve -profile tuned.json -tune-budget 16  # measure models not yet tuned
 //
 // Endpoints (see serve.Server):
 //
@@ -60,6 +62,8 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 0, "server-wide concurrent-request ceiling (0 = unlimited); beyond it requests get 503")
 	drainTimeout := flag.Duration("drain-timeout", 5*time.Second, "graceful-shutdown budget: stop admitting (503), drain in-flight requests this long, then force-close")
 	threads := flag.Int("threads", 0, "worker lanes per model (0 = GOMAXPROCS)")
+	profilePath := flag.String("profile", "", "profile database to compile with (pre-tune with dnnf-tune; tuned plans warm-start compilation with zero measurement)")
+	tuneBudget := flag.Int("tune-budget", 0, "measured-tuning budget per compilation (0 = analytical schedules; with -profile, models already tuned compile without measuring)")
 	prewarm := flag.Bool("prewarm", false, "compile and bind serving arenas at startup instead of on first request")
 	pprofOn := flag.Bool("pprof", false, "expose Go profiling under /debug/pprof/ (off by default; costs CPU and reveals internals)")
 	flag.Parse()
@@ -71,13 +75,25 @@ func main() {
 		Queue:           *queue,
 		Prewarm:         *prewarm,
 	}
+	compileOpts := []dnnfusion.Option{dnnfusion.WithThreads(*threads)}
+	if *profilePath != "" {
+		db, err := dnnfusion.LoadProfileDB(*profilePath)
+		if err != nil {
+			log.Fatalf("loading profile database %s: %v", *profilePath, err)
+		}
+		log.Printf("loaded profile database %s: %d tuned plans", *profilePath, db.PlanLen())
+		compileOpts = append(compileOpts, dnnfusion.WithProfileDB(db))
+	}
+	if *tuneBudget > 0 {
+		compileOpts = append(compileOpts, dnnfusion.WithMeasuredTuning(*tuneBudget))
+	}
 	reg := serve.NewRegistry()
 	reg.SetMaxInFlight(*maxInflight)
 	registered := 0
 
 	if *modelDir != "" {
 		names, err := reg.RegisterDir(*modelDir, func(g *dnnfusion.Graph) (*dnnfusion.Model, error) {
-			return dnnfusion.Compile(g, dnnfusion.WithThreads(*threads))
+			return dnnfusion.Compile(g, compileOpts...)
 		}, cfg)
 		if err != nil {
 			log.Fatalf("registering model directory: %v", err)
@@ -94,17 +110,18 @@ func main() {
 	}
 	serveMicro := !want["none"]
 	delete(want, "none")
+	filtered := len(want) > 0
 	for _, spec := range models.MicroModels() {
 		if !serveMicro {
 			break
 		}
-		if len(want) > 0 && !want[spec.Name] {
+		if filtered && !want[spec.Name] {
 			continue
 		}
 		delete(want, spec.Name)
 		build := spec.Build
 		if _, err := reg.RegisterBuilder(spec.Name, func() (*dnnfusion.Model, error) {
-			return dnnfusion.Compile(build(), dnnfusion.WithThreads(*threads))
+			return dnnfusion.Compile(build(), compileOpts...)
 		}, cfg); err != nil {
 			log.Fatalf("registering %s: %v", spec.Name, err)
 		}
@@ -121,7 +138,7 @@ func main() {
 				if err != nil {
 					return nil, err
 				}
-				return dnnfusion.Compile(g, dnnfusion.WithThreads(*threads))
+				return dnnfusion.Compile(g, compileOpts...)
 			}, cfg); err != nil {
 				log.Fatalf("registering zoo model %s: %v", name, err)
 			}

@@ -8,8 +8,10 @@
 package core
 
 import (
+	"strconv"
 	"time"
 
+	"dnnfusion/internal/autotune"
 	"dnnfusion/internal/codegen"
 	"dnnfusion/internal/device"
 	"dnnfusion/internal/ecg"
@@ -64,6 +66,18 @@ type Options struct {
 	// pair shares one set of worker lanes; the caller must keep the pool's
 	// owning executor reachable (see engine.NewExecutorPool).
 	Pool *engine.Pool
+	// MeasureBudget, when positive, replaces analytical plan and schedule
+	// selection with the measured-feedback search (internal/autotune):
+	// candidate fusion plans × top-k schedules scored by short timed runs
+	// of the real kernels, at most MeasureBudget measurements. Winners
+	// persist in ProfileDB (format v4, keyed by graph fingerprint ×
+	// device × batch size) so repeat compilations warm-start with zero
+	// measurement. Zero keeps the analytical path — the default, so CI
+	// and cold-start latency are unchanged. Requires Fusion.
+	MeasureBudget int
+	// BatchSize keys measured-tuning results per formed batch size;
+	// CompileBatch sets it to the variant's capacity. Zero means 1.
+	BatchSize int
 }
 
 // Defaults is the full DNNFusion pipeline.
@@ -100,6 +114,17 @@ type CompileStats struct {
 	// ChainFusions is the number of contraction chains merged into
 	// streaming chain kernels.
 	ChainFusions int
+	// Measured-tuning accounting (Options.MeasureBudget > 0): MeasuredRuns
+	// is how many timed candidate measurements this compilation spent
+	// (zero on a tuned-plan warm start), TunedPlanHits/TunedPlanMisses
+	// whether the profile database already held the winner, and
+	// TunedDiffers whether the measured winner differs from the
+	// analytical choice (a different plan variant or at least one
+	// different kernel schedule).
+	MeasuredRuns    int
+	TunedPlanHits   int
+	TunedPlanMisses int
+	TunedDiffers    bool
 }
 
 // Compiled is a ready-to-run model. After Compile returns it is immutable:
@@ -112,6 +137,10 @@ type Compiled struct {
 	Kernels []*codegen.Kernel
 	Opts    Options
 	Stats   CompileStats
+	// Fingerprint is the post-rewrite structural graph fingerprint
+	// (graph.Fingerprint); set when measured tuning runs, it is the graph
+	// axis of the tuned plan's profile-database key.
+	Fingerprint string
 
 	exec *engine.Executor
 }
@@ -134,55 +163,128 @@ func Compile(g *graph.Graph, opts Options) (*Compiled, error) {
 		c.Stats.RewriteMs = float64(time.Since(start).Microseconds()) / 1000
 	}
 
-	start := time.Now()
-	if opts.Fusion {
-		fopts := fusion.Options{
-			Seeds:          opts.Seeds,
-			MaxBlockOps:    opts.MaxBlockOps,
-			MaxBlockInputs: opts.MaxBlockInputs,
-		}
-		if opts.Device != nil {
-			fopts.Latency = c.latencyFunc()
-		}
-		c.Plan = fusion.GeneratePlan(e, fopts)
-		if opts.ChainFusion {
-			fusion.FuseChains(e, c.Plan, fopts)
-			c.Stats.ChainFusions = c.Plan.ChainFusions
-		}
-	} else {
-		c.Plan = fusion.SingletonPlan(e)
+	fopts := fusion.Options{
+		Seeds:          opts.Seeds,
+		MaxBlockOps:    opts.MaxBlockOps,
+		MaxBlockInputs: opts.MaxBlockInputs,
 	}
-	c.Stats.FusionMs = float64(time.Since(start).Microseconds()) / 1000
-	c.Plan.MarkRemovable(e)
+	if opts.Device != nil {
+		fopts.Latency = c.latencyFunc()
+	}
+	if opts.Fusion && opts.MeasureBudget > 0 {
+		// Measured-feedback path: plan enumeration, codegen, and schedule
+		// selection happen jointly inside the search (or the warm-start
+		// rebuild), so the whole stage is attributed to TuneMs.
+		cacheHitsBefore := 0
+		if opts.Cache != nil {
+			cacheHitsBefore = opts.Cache.Hits
+		}
+		start := time.Now()
+		if err := c.compileMeasured(fopts); err != nil {
+			return nil, err
+		}
+		c.Stats.TuneMs = float64(time.Since(start).Microseconds()) / 1000
+		if opts.Cache != nil {
+			c.Stats.KernelCacheHits = opts.Cache.Hits - cacheHitsBefore
+		}
+		c.Plan.MarkRemovable(e)
+	} else {
+		start := time.Now()
+		if opts.Fusion {
+			c.Plan = fusion.GeneratePlan(e, fopts)
+			if opts.ChainFusion {
+				fusion.FuseChains(e, c.Plan, fopts)
+				c.Stats.ChainFusions = c.Plan.ChainFusions
+			}
+		} else {
+			c.Plan = fusion.SingletonPlan(e)
+		}
+		c.Stats.FusionMs = float64(time.Since(start).Microseconds()) / 1000
+		c.Plan.MarkRemovable(e)
 
-	cacheHitsBefore := 0
-	if opts.Cache != nil {
-		cacheHitsBefore = opts.Cache.Hits
+		cacheHitsBefore := 0
+		if opts.Cache != nil {
+			cacheHitsBefore = opts.Cache.Hits
+		}
+		start = time.Now()
+		kernels, err := codegen.CompilePlan(e, c.Plan, opts.Cache)
+		if err != nil {
+			return nil, err
+		}
+		c.Stats.CodegenMs = float64(time.Since(start).Microseconds()) / 1000
+		c.Kernels = kernels
+		if opts.Cache != nil {
+			c.Stats.KernelCacheHits = opts.Cache.Hits - cacheHitsBefore
+		}
+		start = time.Now()
+		c.selectSchedules()
+		c.Stats.TuneMs = float64(time.Since(start).Microseconds()) / 1000
 	}
-	start = time.Now()
-	kernels, err := codegen.CompilePlan(e, c.Plan, opts.Cache)
-	if err != nil {
-		return nil, err
-	}
-	c.Stats.CodegenMs = float64(time.Since(start).Microseconds()) / 1000
-	c.Kernels = kernels
-	if opts.Cache != nil {
-		c.Stats.KernelCacheHits = opts.Cache.Hits - cacheHitsBefore
-	}
-	start = time.Now()
-	c.selectSchedules()
-	c.Stats.TuneMs = float64(time.Since(start).Microseconds()) / 1000
-	start = time.Now()
+	start := time.Now()
+	var err error
 	if opts.Pool != nil {
-		c.exec, err = engine.NewExecutorPool(e, c.Plan, kernels, opts.Pool)
+		c.exec, err = engine.NewExecutorPool(e, c.Plan, c.Kernels, opts.Pool)
 	} else {
-		c.exec, err = engine.NewExecutorThreads(e, c.Plan, kernels, opts.Threads)
+		c.exec, err = engine.NewExecutorThreads(e, c.Plan, c.Kernels, opts.Threads)
 	}
 	if err != nil {
 		return nil, err
 	}
 	c.Stats.PlanMs = float64(time.Since(start).Microseconds()) / 1000
 	return c, nil
+}
+
+// compileMeasured is the MeasureBudget > 0 plan/schedule stage: look the
+// tuned plan up in the profile database by (fingerprint, device, batch)
+// and rebuild it with zero measurement, or run the measured search and
+// persist the winner. A stale database entry (the rebuilt plan no longer
+// matches the stored kernels — planner or graph drift) falls through to
+// a fresh search that overwrites it.
+func (c *Compiled) compileMeasured(fopts fusion.Options) error {
+	opts := c.Opts
+	dev := opts.scheduleDevice()
+	fp := graph.Fingerprint(c.G)
+	c.Fingerprint = fp
+	key := profile.PlanKey(dev.Name, fp, opts.BatchSize)
+	seed, _ := strconv.ParseUint(fp, 16, 64)
+	acfg := autotune.Config{
+		Fusion:      fopts,
+		ChainFusion: opts.ChainFusion,
+		Device:      dev,
+		Budget:      opts.MeasureBudget,
+		Cache:       opts.Cache,
+		Threads:     opts.Threads,
+		Pool:        opts.Pool,
+		Seed:        seed,
+	}
+	if opts.ProfileDB != nil {
+		if tp, ok := opts.ProfileDB.LookupPlan(key); ok {
+			plan, kernels, err := autotune.Rebuild(c.E, acfg, tp)
+			if err == nil {
+				c.Plan, c.Kernels = plan, kernels
+				c.Stats.TunedPlanHits++
+				c.Stats.ScheduleLookups += len(tp.Kernels)
+				c.Stats.ChainFusions = plan.ChainFusions
+				c.Stats.TunedDiffers = !tp.Analytical
+				return nil
+			}
+		}
+	}
+	c.Stats.TunedPlanMisses++
+	res, err := autotune.Search(c.E, acfg)
+	if err != nil {
+		return err
+	}
+	c.Plan, c.Kernels = res.Plan, res.Kernels
+	c.Stats.MeasuredRuns = res.MeasuredRuns
+	c.Stats.TunedDiffers = !res.Analytical
+	c.Stats.ScheduleLookups += len(res.Tuned.Kernels)
+	c.Stats.ScheduleMisses += len(res.Tuned.Kernels)
+	c.Stats.ChainFusions = res.Plan.ChainFusions
+	if opts.ProfileDB != nil {
+		opts.ProfileDB.InsertPlan(key, res.Tuned)
+	}
+	return nil
 }
 
 // SharedPool returns the executor's worker pool (nil when single-threaded)

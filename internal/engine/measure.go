@@ -1,0 +1,30 @@
+package engine
+
+import (
+	"dnnfusion/internal/graph"
+	"dnnfusion/internal/tensor"
+)
+
+// MeasureRunner is the measured-tuning harness over one candidate
+// executor: it binds a dedicated session (its own arena and bound
+// kernels, warmed up front so the first timed window sees steady state)
+// and returns a closure running one inference over the fixed feeds.
+// Nothing is shared with any serving session — the candidate executor is
+// throwaway, so measuring it cannot disturb a live model's sessions, and
+// releasing it returns the arena.
+//
+// The caller must invoke release when done (it is safe to call after a
+// run error). Feeds are keyed by the candidate graph's input values and
+// must carry the declared shapes.
+func MeasureRunner(x *Executor, feeds map[*graph.Value]*tensor.Tensor) (run func() error, release func(), err error) {
+	s := x.NewSession()
+	if err := s.Warm(); err != nil {
+		s.Release()
+		return nil, nil, err
+	}
+	run = func() error {
+		_, err := s.Run(nil, feeds)
+		return err
+	}
+	return run, s.Release, nil
+}

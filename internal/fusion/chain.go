@@ -158,6 +158,16 @@ func chainMiddle(p *graph.Node, v *graph.Value) (*graph.Value, bool) {
 // kernel and the planner drops the intermediate from the arena. Returns
 // the chains actually fused, consumer-topo-ordered.
 func FuseChains(e *ecg.ECG, p *Plan, opts Options) []*Chain {
+	return FuseChainsMask(e, p, opts, ^uint64(0))
+}
+
+// FuseChainsMask is FuseChains restricted to a subset of the detected
+// chains: bit i of mask selects chain i in DetectChains order (consumer-
+// topo order, which is deterministic, so a mask names the same chains in
+// every compilation of the same graph). The measured-tuning plan
+// enumerator uses it to spell out chain-fusion on/off per chain; a full
+// mask is exactly FuseChains. Chains past bit 63 follow bit 63.
+func FuseChainsMask(e *ecg.ECG, p *Plan, opts Options, mask uint64) []*Chain {
 	opts = opts.withDefaults()
 	order := e.G.TopoSort()
 	pos := make(map[*graph.Node]int, len(order))
@@ -165,7 +175,14 @@ func FuseChains(e *ecg.ECG, p *Plan, opts Options) []*Chain {
 		pos[n] = i
 	}
 	var fused []*Chain
-	for _, c := range DetectChains(e) {
+	for i, c := range DetectChains(e) {
+		bit := i
+		if bit > 63 {
+			bit = 63
+		}
+		if mask&(1<<uint(bit)) == 0 {
+			continue
+		}
 		if p.fuseChain(c, opts, pos) {
 			fused = append(fused, c)
 			p.ChainFusions++

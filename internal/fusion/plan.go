@@ -43,6 +43,11 @@ type Options struct {
 	Latency LatencyFunc
 	// Seeds selects the seed policy.
 	Seeds SeedPolicy
+	// NoYellow forces every yellow (FuseDepend) decision to break instead
+	// of consulting Latency — the "FuseBreak variant" axis of the
+	// measured-tuning plan space (internal/autotune), where the static
+	// heuristic's opinion is just one candidate among the measured ones.
+	NoYellow bool
 }
 
 func (o Options) withDefaults() Options {
@@ -406,6 +411,9 @@ func (p *planner) checkConstraints(b *Block, candidate *graph.Node) bool {
 // profitable is Listing 1 step 2.3: fuse only if the fused kernel is
 // predicted no slower than running the block and the candidate separately.
 func (p *planner) profitable(b *Block, candidate *graph.Node) bool {
+	if p.opts.NoYellow {
+		return false
+	}
 	if p.opts.Latency == nil {
 		return true
 	}

@@ -1,0 +1,68 @@
+package graph
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+)
+
+// Fingerprint canonicalizes a graph's structure into a short stable hash:
+// operator types and attributes, every value's shape and kind, and the
+// wiring between them (as value indices in topological encounter order).
+// Value and graph names are excluded, so two independently built graphs
+// with the same structure share a fingerprint, while any change to an
+// operator, an attribute, the topology, or a shape — including a weight
+// shape — produces a different one.
+//
+// The fingerprint keys measured-tuning results in profile.DB (per graph ×
+// device × batch size), so it must be a pure function of structure: no
+// pointers, no map iteration order, no weight *data* (tuning cost does not
+// depend on values, and hashing megabytes of weights per compile would).
+func Fingerprint(g *Graph) string {
+	var sb strings.Builder
+	idx := map[*Value]int{}
+	id := func(v *Value) int {
+		i, ok := idx[v]
+		if !ok {
+			i = len(idx)
+			idx[v] = i
+			// Each value is described once, at first encounter.
+			fmt.Fprintf(&sb, "v%d:%s:%s;", i, v.Kind, v.Shape)
+		}
+		return i
+	}
+	for _, v := range g.Inputs {
+		id(v)
+	}
+	for _, n := range g.TopoSort() {
+		sb.WriteString(n.Op.Type())
+		if a := n.Op.AttrKey(); a != "" {
+			sb.WriteString("[" + a + "]")
+		}
+		sb.WriteString("(")
+		for i, in := range n.Inputs {
+			if i > 0 {
+				sb.WriteString(",")
+			}
+			fmt.Fprintf(&sb, "v%d", id(in))
+		}
+		sb.WriteString(")->(")
+		for i, out := range n.Outputs {
+			if i > 0 {
+				sb.WriteString(",")
+			}
+			fmt.Fprintf(&sb, "v%d", id(out))
+		}
+		sb.WriteString(");")
+	}
+	sb.WriteString("out:")
+	for i, v := range g.Outputs {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		fmt.Fprintf(&sb, "v%d", id(v))
+	}
+	h := fnv.New64a()
+	h.Write([]byte(sb.String()))
+	return fmt.Sprintf("%016x", h.Sum64())
+}

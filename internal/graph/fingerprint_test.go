@@ -1,0 +1,64 @@
+package graph
+
+import (
+	"testing"
+
+	"dnnfusion/internal/ops"
+	"dnnfusion/internal/tensor"
+)
+
+// fpGraph builds a small matmul→relu graph with a hidden×out weight; the
+// tests vary the weight shape to probe fingerprint sensitivity.
+func fpGraph(name string, hidden int) *Graph {
+	g := New(name)
+	x := g.AddInput("x", tensor.Of(4, 8))
+	w := g.AddWeight("w", tensor.New(8, hidden).Rand(7))
+	v := g.Apply1(ops.NewMatMul(), x, w)
+	v = g.Apply1(ops.NewRelu(), v)
+	g.MarkOutput(v)
+	return g
+}
+
+func TestFingerprintStructuralIdentity(t *testing.T) {
+	a := Fingerprint(fpGraph("a", 16))
+	b := Fingerprint(fpGraph("b", 16)) // fresh build, different name, same structure
+	if a != b {
+		t.Errorf("structurally identical graphs fingerprint differently: %s vs %s", a, b)
+	}
+	if got := Fingerprint(fpGraph("a", 16)); got != a {
+		t.Errorf("fingerprint not deterministic: %s vs %s", got, a)
+	}
+	if len(a) != 16 {
+		t.Errorf("fingerprint %q is not a 16-hex-digit hash", a)
+	}
+}
+
+func TestFingerprintWeightShapeSensitivity(t *testing.T) {
+	a := Fingerprint(fpGraph("a", 16))
+	b := Fingerprint(fpGraph("a", 32)) // same ops and topology, wider weight
+	if a == b {
+		t.Error("changing a weight shape did not change the fingerprint")
+	}
+}
+
+func TestFingerprintWeightDataInsensitivity(t *testing.T) {
+	g1 := fpGraph("a", 16)
+	g2 := fpGraph("a", 16)
+	for i := range g2.Nodes[0].Inputs[1].Data.Data() {
+		g2.Nodes[0].Inputs[1].Data.Data()[i] *= 2
+	}
+	if Fingerprint(g1) != Fingerprint(g2) {
+		t.Error("weight data (not shape) changed the fingerprint")
+	}
+}
+
+func TestFingerprintOpSensitivity(t *testing.T) {
+	g := New("a")
+	x := g.AddInput("x", tensor.Of(4, 8))
+	w := g.AddWeight("w", tensor.New(8, 16).Rand(7))
+	v := g.Apply1(ops.NewMatMul(), x, w)
+	g.MarkOutput(g.Apply1(ops.NewSigmoid(), v))
+	if Fingerprint(g) == Fingerprint(fpGraph("a", 16)) {
+		t.Error("different activation ops share a fingerprint")
+	}
+}

@@ -9,8 +9,10 @@ package profile
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -30,15 +32,23 @@ type DB struct {
 	// chainSchedules caches jointly tuned chain-kernel schedule pairs
 	// (ChainScheduleKey).
 	chainSchedules map[string]ChainSchedule
+	// plans stores measured-tuning winners — a whole-graph fusion-plan
+	// spec plus per-kernel schedules — keyed by PlanKey (graph
+	// fingerprint × device × batch size), so repeat compilations with
+	// measured tuning enabled warm-start with zero measurement.
+	plans map[string]TunedPlan
 
 	// Hits/Misses count latency lookups; Measurements counts inserts that
 	// came from fresh measurements (not a bulk load). ScheduleHits/
-	// ScheduleMisses count schedule lookups the same way.
+	// ScheduleMisses count schedule lookups the same way, and PlanHits/
+	// PlanMisses tuned-plan lookups.
 	Hits           int
 	Misses         int
 	Measurements   int
 	ScheduleHits   int
 	ScheduleMisses int
+	PlanHits       int
+	PlanMisses     int
 }
 
 // New returns an empty database.
@@ -47,6 +57,7 @@ func New() *DB {
 		entries:        map[string]float64{},
 		schedules:      map[string]ops.Schedule{},
 		chainSchedules: map[string]ChainSchedule{},
+		plans:          map[string]TunedPlan{},
 	}
 }
 
@@ -86,6 +97,7 @@ func (db *DB) ResetStats() {
 	defer db.mu.Unlock()
 	db.Hits, db.Misses, db.Measurements = 0, 0, 0
 	db.ScheduleHits, db.ScheduleMisses = 0, 0
+	db.PlanHits, db.PlanMisses = 0, 0
 }
 
 // ScheduleKey canonicalizes one heavy-kernel tuning task: device identity
@@ -162,6 +174,76 @@ func (db *DB) ChainScheduleLen() int {
 	return len(db.chainSchedules)
 }
 
+// TunedKernel is one schedulable kernel's slot in a tuned plan. Task is
+// the kernel's canonical tuning-task string (recorded when the plan was
+// measured); on warm start it cross-checks that the deterministically
+// rebuilt plan produced the same kernel in the same position before the
+// stored schedule is applied.
+type TunedKernel struct {
+	Task     string        `json:"task"`
+	Schedule ops.Schedule  `json:"schedule"`
+	Producer *ops.Schedule `json:"producer,omitempty"`
+}
+
+// TunedPlan is a measured-tuning winner: the fusion-plan variant that won
+// the short measured runs plus the per-kernel schedules it won with.
+// ChainMask selects which detected contraction chains fuse (bit i = chain
+// i in consumer-topo order); NoYellow forces every yellow (FuseDepend)
+// decision to break instead of consulting the latency heuristic; Seeds is
+// the planner seed policy. Rebuilding the plan from these fields is
+// deterministic, so the whole compiled artifact is reproducible from the
+// database without re-measurement.
+type TunedPlan struct {
+	ChainMask uint64        `json:"chain_mask"`
+	NoYellow  bool          `json:"no_yellow,omitempty"`
+	Seeds     int           `json:"seeds,omitempty"`
+	Kernels   []TunedKernel `json:"kernels,omitempty"`
+	// MeasuredNs is the winner's measured ns/inference; MeasuredRuns how
+	// many candidate measurements the search spent; Analytical whether the
+	// winner coincides with the analytical choice (plan and schedules).
+	MeasuredNs   int64 `json:"measured_ns"`
+	MeasuredRuns int   `json:"measured_runs"`
+	Analytical   bool  `json:"analytical,omitempty"`
+}
+
+// PlanKey canonicalizes one measured-tuning task: graph fingerprint
+// (graph.Fingerprint of the post-rewrite graph), device identity, and the
+// batch size the graph was compiled for — the three axes a tuned plan is
+// conditioned on.
+func PlanKey(deviceName, fingerprint string, batch int) string {
+	if batch < 1 {
+		batch = 1
+	}
+	return fmt.Sprintf("plan|%s|fp=%s|b=%d", deviceName, fingerprint, batch)
+}
+
+// LookupPlan returns the stored tuned plan for key.
+func (db *DB) LookupPlan(key string) (TunedPlan, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	p, ok := db.plans[key]
+	if ok {
+		db.PlanHits++
+	} else {
+		db.PlanMisses++
+	}
+	return p, ok
+}
+
+// InsertPlan stores a measured-tuning winner.
+func (db *DB) InsertPlan(key string, p TunedPlan) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.plans[key] = p
+}
+
+// PlanLen returns the number of stored tuned plans.
+func (db *DB) PlanLen() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return len(db.plans)
+}
+
 // KeyFor canonicalizes a candidate fusion-block node list: operator types,
 // attributes, and input/output shapes, independent of value names, so the
 // same combination measured in one model is reused in another.
@@ -193,24 +275,56 @@ func KeyFor(nodes []*graph.Node) string {
 	return strings.Join(parts, ";")
 }
 
+// FormatVersion is the on-disk format this build writes (and the newest
+// it understands).
+const FormatVersion = 4
+
+// ErrVersion reports a database written by a newer build than this one.
+// Callers match it with errors.Is; the concrete *VersionError carries the
+// offending path and version.
+var ErrVersion = errors.New("profile: unsupported database version")
+
+// VersionError is the typed failure for a database file whose version is
+// newer than FormatVersion. Loading it partially could silently drop the
+// newer sections (and a subsequent Save would destroy them), so Load
+// refuses instead.
+type VersionError struct {
+	Path    string
+	Version int
+}
+
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("profile: %s: version %d is newer than supported version %d", e.Path, e.Version, FormatVersion)
+}
+
+func (e *VersionError) Unwrap() error { return ErrVersion }
+
 // fileFormat is the on-disk representation. Version 2 added the tuned
-// schedule cache, version 3 the chain-schedule cache; older files load
-// with the missing caches empty.
+// schedule cache, version 3 the chain-schedule cache, version 4 the
+// measured-tuning plan table; older files load with the missing sections
+// empty. Versions newer than FormatVersion fail with a *VersionError.
 type fileFormat struct {
 	Version        int                      `json:"version"`
 	Entries        map[string]float64       `json:"entries"`
 	Schedules      map[string]ops.Schedule  `json:"schedules,omitempty"`
 	ChainSchedules map[string]ChainSchedule `json:"chain_schedules,omitempty"`
+	Plans          map[string]TunedPlan     `json:"plans,omitempty"`
 }
 
-// Save writes the database as JSON.
+// Save writes the database as JSON, atomically: the bytes land in a
+// temporary file in the destination directory and replace the target with
+// os.Rename, so a concurrent reader (a serving process sharing the file
+// with dnnf-tune) sees either the old complete database or the new one,
+// never torn JSON. The marshalled form is canonical — map keys sort — so
+// saving an unchanged database is byte-stable.
 func (db *DB) Save(path string) error {
 	db.mu.Lock()
 	ff := fileFormat{
-		Version:        3,
+		Version:        FormatVersion,
 		Entries:        make(map[string]float64, len(db.entries)),
 		Schedules:      make(map[string]ops.Schedule, len(db.schedules)),
 		ChainSchedules: make(map[string]ChainSchedule, len(db.chainSchedules)),
+		Plans:          make(map[string]TunedPlan, len(db.plans)),
 	}
 	for k, v := range db.entries {
 		ff.Entries[k] = v
@@ -221,15 +335,42 @@ func (db *DB) Save(path string) error {
 	for k, v := range db.chainSchedules {
 		ff.ChainSchedules[k] = v
 	}
+	for k, v := range db.plans {
+		ff.Plans[k] = v
+	}
 	db.mu.Unlock()
 	data, err := json.MarshalIndent(ff, "", " ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, data, 0o644)
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Chmod(tmpName, 0o644); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
 }
 
-// Load reads a database written by Save (any version).
+// Load reads a database written by Save (any version up to FormatVersion;
+// newer versions fail with a *VersionError).
 func Load(path string) (*DB, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -238,6 +379,9 @@ func Load(path string) (*DB, error) {
 	var ff fileFormat
 	if err := json.Unmarshal(data, &ff); err != nil {
 		return nil, fmt.Errorf("profile: %s: %w", path, err)
+	}
+	if ff.Version > FormatVersion {
+		return nil, &VersionError{Path: path, Version: ff.Version}
 	}
 	db := New()
 	for k, v := range ff.Entries {
@@ -248,6 +392,9 @@ func Load(path string) (*DB, error) {
 	}
 	for k, v := range ff.ChainSchedules {
 		db.chainSchedules[k] = v
+	}
+	for k, v := range ff.Plans {
+		db.plans[k] = v
 	}
 	return db, nil
 }

@@ -1,0 +1,245 @@
+package tuner
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"dnnfusion/internal/ops"
+)
+
+// Measured feedback: the analytical fitness surfaces in this package rank
+// candidates without ever consulting the hardware. measure.go closes that
+// loop — it times short best-of-N windows of a real compiled candidate
+// (the dnnf-bench discipline, shrunk to tuning budgets) and exposes the
+// top-k analytical candidates worth spending those measurements on. The
+// clock is stubbable (faultinject-style: an atomic arm with a zero-cost
+// unarmed fast path) so CI can drive measured tuning deterministically.
+
+// epoch anchors the real clock; differences of nowNs are monotonic.
+var epoch = time.Now()
+
+// fakeClock, when armed, replaces the wall clock for every measurement.
+var fakeClock atomic.Pointer[func() int64]
+
+// nowNs reads the measurement clock in nanoseconds.
+func nowNs() int64 {
+	if f := fakeClock.Load(); f != nil {
+		return (*f)()
+	}
+	return int64(time.Since(epoch))
+}
+
+// SetClock replaces the measurement clock with fn (nanoseconds, must be
+// non-decreasing). Tests and CI use it to make measured tuning
+// deterministic; nil restores the wall clock. Like the faultinject hook
+// points, the unarmed fast path is one atomic load.
+func SetClock(fn func() int64) {
+	if fn == nil {
+		fakeClock.Store(nil)
+		return
+	}
+	fakeClock.Store(&fn)
+}
+
+// ResetClock restores the wall clock.
+func ResetClock() { SetClock(nil) }
+
+// clockStubbed reports whether a fake measurement clock is armed. Measure
+// consults it to skip iteration auto-scaling: synthetic time carries no
+// signal, so scaling a window to a synthetic length would only burn real
+// kernel executions without changing any measured value.
+func clockStubbed() bool { return fakeClock.Load() != nil }
+
+// StepClock returns a deterministic virtual clock advancing stepNs per
+// reading — the stub CI installs via SetClock. Under it every candidate
+// measures identically, so the search's tie-breaking (first candidate in
+// enumeration order, which is the analytical prior's ranking) decides,
+// and runs are reproducible.
+func StepClock(stepNs int64) func() int64 {
+	if stepNs < 1 {
+		stepNs = 1
+	}
+	var t atomic.Int64
+	return func() int64 { return t.Add(stepNs) }
+}
+
+// MeasureOptions sizes one measurement.
+type MeasureOptions struct {
+	// Window is the minimum timed-window length; iterations auto-scale
+	// until one window reaches it. Zero means 2ms — long enough to
+	// amortize timer overhead on micro kernels, short enough that a
+	// budget of tens of candidates tunes in well under a second.
+	Window time.Duration
+	// Rounds is how many sized windows run; the best (minimum ns/op) is
+	// kept, discarding scheduler noise. Zero means 3.
+	Rounds int
+	// MaxIters caps the per-window iteration count during auto-scaling.
+	// Zero means 65536.
+	MaxIters int
+}
+
+func (o MeasureOptions) withDefaults() MeasureOptions {
+	if o.Window <= 0 {
+		o.Window = 2 * time.Millisecond
+	}
+	if o.Rounds <= 0 {
+		o.Rounds = 3
+	}
+	if o.MaxIters <= 0 {
+		o.MaxIters = 1 << 16
+	}
+	return o
+}
+
+// Measure times run with the bench discipline shrunk to tuning budgets:
+// one warm-up call, iterations scaled until a window reaches
+// MeasureOptions.Window, then best-of-Rounds sized windows. It returns
+// the winning window's ns per run.
+func Measure(run func() error, o MeasureOptions) (nsPerOp int64, err error) {
+	o = o.withDefaults()
+	if err := run(); err != nil { // warm up: bind arenas, start pools
+		return 0, err
+	}
+	iters := 1
+	window := o.Window.Nanoseconds()
+	var elapsed int64
+	for {
+		start := nowNs()
+		for i := 0; i < iters; i++ {
+			if err := run(); err != nil {
+				return 0, err
+			}
+		}
+		elapsed = nowNs() - start
+		if elapsed >= window || iters >= o.MaxIters || clockStubbed() {
+			break
+		}
+		scale := 4
+		if elapsed > 0 {
+			// Aim past the window in one step instead of quadrupling
+			// blindly; the cap keeps a mis-ticking clock from exploding.
+			if s := int(window/elapsed) + 1; s < scale {
+				scale = s
+			}
+		}
+		if scale < 2 {
+			scale = 2
+		}
+		iters *= scale
+		if iters > o.MaxIters {
+			iters = o.MaxIters
+		}
+	}
+	best := elapsed / int64(iters)
+	for round := 1; round < o.Rounds; round++ {
+		start := nowNs()
+		for i := 0; i < iters; i++ {
+			if err := run(); err != nil {
+				return 0, err
+			}
+		}
+		if ns := (nowNs() - start) / int64(iters); ns < best {
+			best = ns
+		}
+	}
+	if best < 1 {
+		best = 1
+	}
+	return best, nil
+}
+
+// SelectTopK returns the k best distinct schedules for the task by the
+// analytical fitness, best first — the measured search's shortlist. The
+// schedule space is small enough (4 row tiles × 7 panels × 4 unrolls) to
+// rank exhaustively, which also makes the shortlist deterministic:
+// ties break toward smaller tiles, so the ordering is a pure function of
+// (task, device).
+func SelectTopK(t Task, k int) []ops.Schedule {
+	if k < 1 {
+		return nil
+	}
+	type scored struct {
+		s     ops.Schedule
+		score float64
+	}
+	seen := map[ops.Schedule]bool{}
+	var all []scored
+	for _, rt := range rowTileChoices {
+		for _, cp := range colPanelChoices {
+			for _, u := range unrollChoices {
+				s := normalizeSchedule(t, ops.Schedule{RowTile: rt, ColPanel: cp, Unroll: u})
+				if seen[s] {
+					continue
+				}
+				seen[s] = true
+				all = append(all, scored{s: s, score: ScheduleFitness(t, s)})
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.score != b.score {
+			return a.score > b.score
+		}
+		if a.s.RowTile != b.s.RowTile {
+			return a.s.RowTile < b.s.RowTile
+		}
+		if a.s.ColPanel != b.s.ColPanel {
+			return a.s.ColPanel < b.s.ColPanel
+		}
+		return a.s.Unroll < b.s.Unroll
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]ops.Schedule, k)
+	for i := range out {
+		out[i] = all[i].s
+	}
+	return out
+}
+
+// SelectChainTopK returns the k best distinct schedule pairs for a fused
+// contraction chain, best first, ranked exhaustively like SelectChain
+// (shared row tile, independent column panels).
+func SelectChainTopK(prod, cons Task, k int) []ChainScheduleResult {
+	if k < 1 {
+		return nil
+	}
+	type pairKey struct{ p, c ops.Schedule }
+	seen := map[pairKey]bool{}
+	var all []ChainScheduleResult
+	for _, rt := range rowTileChoices {
+		for _, pcp := range colPanelChoices {
+			ps := normalizeSchedule(prod, ops.Schedule{RowTile: rt, ColPanel: pcp, Unroll: 4})
+			pScore := ScheduleFitness(prod, ps)
+			for _, ccp := range colPanelChoices {
+				cs := normalizeSchedule(cons, ops.Schedule{RowTile: rt, ColPanel: ccp, Unroll: 4})
+				key := pairKey{ps, cs}
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				all = append(all, ChainScheduleResult{Producer: ps, Consumer: cs, Score: pScore * ScheduleFitness(cons, cs)})
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Score != b.Score {
+			return a.Score > b.Score
+		}
+		if a.Producer.RowTile != b.Producer.RowTile {
+			return a.Producer.RowTile < b.Producer.RowTile
+		}
+		if a.Producer.ColPanel != b.Producer.ColPanel {
+			return a.Producer.ColPanel < b.Producer.ColPanel
+		}
+		return a.Consumer.ColPanel < b.Consumer.ColPanel
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	return all[:k]
+}

@@ -63,6 +63,27 @@ func WithBlockLimits(maxOps, maxInputs int) Option {
 // frameworks with weaker kernel implementations (1.0 is DNNFusion's own).
 func WithQuality(q float64) Option { return func(o *core.Options) { o.Quality = q } }
 
+// WithMeasuredTuning enables measured-feedback autotuning: instead of
+// trusting the analytical cache model and the ECG heuristics, Compile
+// enumerates candidate fusion plans (chain fusion on/off per detected
+// chain, plus the forced-FuseBreak variant), pairs them with the tuner's
+// top-k schedule shortlists, and scores the (plan, schedule) pairs with
+// short timed runs of the real compiled kernels — at most budget
+// measurements, with the analytical model as the pruning prior. Winners
+// persist in the configured ProfileDB (format v4, keyed by graph
+// fingerprint × device × batch size), so repeat compilations — including
+// batch-capacity variants, which tune per formed batch size — warm-start
+// with zero measurement. Pair it with WithProfileDB to persist across
+// processes (cmd/dnnf-tune pre-tunes offline; dnnf-serve -profile loads
+// the result).
+//
+// Budgets of 8–32 cover the micro models; budget ≤ 0 disables measured
+// tuning (the default analytical path, so CI and cold-start compile
+// latency are unchanged).
+func WithMeasuredTuning(budget int) Option {
+	return func(o *core.Options) { o.MeasureBudget = budget }
+}
+
 // WithThreads sets the CPU executor's worker-lane count: each kernel's
 // output range is split into grain-sized chunks across n lanes drawn from
 // one worker pool shared by all of the model's runners. n = 0 (the
